@@ -1,0 +1,44 @@
+// Ablation of the §3.4 recursion-depth rule: the paper stops splitting when
+// the next block would drop below 20 x GPU core count. We sweep the stop
+// threshold around that rule and show solve performance on representative
+// matrices — too-fine blocks drown in kernel launches, too-coarse blocks
+// give up locality and parallel SpMV work.
+//
+//   ./bench/ablation_depth
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace blocktri;
+using namespace blocktri::bench;
+
+int main(int, char**) {
+  const sim::GpuSpec base = sim::titan_rtx();
+  const double factors[6] = {0.125, 0.25, 0.5, 1.0, 2.0, 4.0};
+
+  std::printf("Depth-rule ablation — block-algorithm GFlops vs stop_rows\n"
+              "(1.0 = the paper's 20 x cores rule, scaled per matrix):\n\n");
+  TextTable t({"matrix", "0.125x", "0.25x", "0.5x", "1x (paper)", "2x", "4x",
+               "leaves @1x"});
+  for (const auto& entry : gen::representative_suite()) {
+    const Csr<double> L = entry.build();
+    const sim::GpuSpec gpu = sim::scale_for_dataset(base, entry.scale);
+    const auto rule =
+        static_cast<index_t>(sim::paper_stop_rows(base, entry.scale));
+    const auto b = gen::random_rhs<double>(L.nrows, 7);
+    std::vector<std::string> row = {entry.name};
+    index_t leaves_at_rule = 0;
+    for (const double f : factors) {
+      auto opt = bench_block_options<double>(std::max<index_t>(
+          32, static_cast<index_t>(static_cast<double>(rule) * f)));
+      const BlockSolver<double> solver(L, opt);
+      if (f == 1.0) leaves_at_rule = solver.plan().num_tri_blocks();
+      row.push_back(fmt_fixed(measure_block(solver, b, gpu).gflops, 2));
+    }
+    row.push_back(std::to_string(leaves_at_rule));
+    t.add_row(std::move(row));
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Figure 6 + Table 3 reproduction: SpTRSV performance (GFlops, double
+// precision) of cuSPARSE-like, Sync-free and the recursive block algorithm
+// on the 159-matrix suite, on both simulated GPUs, plus the speedup summary
+// the paper headlines (mean 4.72x over cuSPARSE, 9.95x over Sync-free; best
+// 72.03x / 61.08x).
+//
+//   ./bench/fig6_dataset_perf [--limit=159] [--gpu=both|rtx|x] [--verbose]
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace blocktri;
+using namespace blocktri::bench;
+
+namespace {
+
+struct GpuSummary {
+  GeoMean vs_cusparse, vs_syncfree;
+  double best_vs_cusparse = 0.0, best_vs_syncfree = 0.0;
+  std::string best_cusp_name, best_sync_name;
+  int block_slowest = 0;  // matrices where block is the slowest method
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto limit = static_cast<std::size_t>(cli.get_int("limit", 159));
+  const std::string which_gpu = cli.get("gpu", "both");
+  const bool verbose = cli.get_bool("verbose", true);
+
+  // Table 3: platforms and algorithms.
+  std::printf("Table 3 — platforms (simulated) and algorithms:\n");
+  for (const auto& base : {sim::titan_x(), sim::titan_rtx()}) {
+    std::printf("  %-22s %d CUDA cores @ %.0f MHz, B/W %.1f GB/s\n",
+                base.name.c_str(), base.cores(), base.clock_ghz * 1e3,
+                base.mem_bandwidth_gbps);
+  }
+  std::printf("  algorithms: (1) cuSPARSE-like level merge, (2) Sync-free, "
+              "(3) recursive block (this work)\n\n");
+
+  std::vector<sim::GpuSpec> gpus;
+  if (which_gpu == "both" || which_gpu == "x") gpus.push_back(sim::titan_x());
+  if (which_gpu == "both" || which_gpu == "rtx")
+    gpus.push_back(sim::titan_rtx());
+
+  const auto suite = gen::paper_suite();
+  std::vector<GpuSummary> summary(gpus.size());
+
+  TextTable table([&] {
+    std::vector<std::string> h = {"matrix", "family", "n", "nnz"};
+    for (const auto& g : gpus) {
+      const std::string tag = g.cores() == 3072 ? "X" : "RTX";
+      h.push_back("cuSP@" + tag);
+      h.push_back("Sync@" + tag);
+      h.push_back("blk@" + tag);
+    }
+    return h;
+  }());
+
+  std::size_t done = 0;
+  for (const auto& entry : suite) {
+    if (done >= limit) break;
+    ++done;
+    const Csr<double> L = entry.build();
+    std::vector<std::string> row = {entry.name, entry.family,
+                                    fmt_count(L.nrows), fmt_count(L.nnz())};
+    for (std::size_t g = 0; g < gpus.size(); ++g) {
+      const sim::GpuSpec gpu = sim::scale_for_dataset(gpus[g], entry.scale);
+      const auto stop =
+          static_cast<index_t>(sim::paper_stop_rows(gpus[g], entry.scale));
+      const ThreeWay r = run_three_methods(L, gpu, stop);
+      row.push_back(fmt_fixed(r.cusparse.gflops, 2));
+      row.push_back(fmt_fixed(r.syncfree.gflops, 2));
+      row.push_back(fmt_fixed(r.block.gflops, 2));
+
+      GpuSummary& s = summary[g];
+      const double su_c = r.block.gflops / r.cusparse.gflops;
+      const double su_s = r.block.gflops / r.syncfree.gflops;
+      s.vs_cusparse.add(su_c);
+      s.vs_syncfree.add(su_s);
+      if (su_c > s.best_vs_cusparse) {
+        s.best_vs_cusparse = su_c;
+        s.best_cusp_name = entry.name;
+      }
+      if (su_s > s.best_vs_syncfree) {
+        s.best_vs_syncfree = su_s;
+        s.best_sync_name = entry.name;
+      }
+      if (r.block.gflops < r.cusparse.gflops &&
+          r.block.gflops < r.syncfree.gflops)
+        ++s.block_slowest;
+    }
+    table.add_row(std::move(row));
+    if (verbose && done % 20 == 0)
+      std::fprintf(stderr, "  ... %zu/%zu matrices\n", done,
+                   std::min(limit, suite.size()));
+  }
+
+  std::printf("Figure 6 — per-matrix GFlops (double precision):\n%s\n",
+              table.to_string().c_str());
+
+  std::printf("Speedup summary of the recursive block algorithm:\n");
+  for (std::size_t g = 0; g < gpus.size(); ++g) {
+    const GpuSummary& s = summary[g];
+    std::printf(
+        "  %-22s vs cuSPARSE-like: mean %.2fx, best %.2fx (%s)\n"
+        "  %-22s vs Sync-free:     mean %.2fx, best %.2fx (%s)\n"
+        "  %-22s block slowest of the three on %d/%d matrices\n",
+        gpus[g].name.c_str(), s.vs_cusparse.value(), s.best_vs_cusparse,
+        s.best_cusp_name.c_str(), "", s.vs_syncfree.value(),
+        s.best_vs_syncfree, s.best_sync_name.c_str(), "", s.block_slowest,
+        s.vs_cusparse.count());
+  }
+  std::printf(
+      "\nPaper (full-size matrices, real GPUs): mean 4.72x / best 72.03x over\n"
+      "cuSPARSE v2, mean 9.95x / best 61.08x over Sync-free; \"almost never\n"
+      "slower\" than either.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 7 reproduction: box plots of the double/single-precision
+// performance ratio of the three methods on both GPUs across the suite.
+//
+// The paper's observation: because sparse kernels are dominated by structure
+// traffic rather than arithmetic, the ratio sits far above the dense-compute
+// 0.5 — around 0.9 for Sync-free, 0.8–0.9 for the block algorithm, 0.7–0.8
+// for cuSPARSE.
+//
+//   ./bench/fig7_precision [--limit=159]
+#include <algorithm>
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace blocktri;
+using namespace blocktri::bench;
+
+namespace {
+
+struct Box {
+  std::vector<double> v;
+  void add(double x) { v.push_back(x); }
+  std::string render() {
+    if (v.empty()) return "(no data)";
+    std::sort(v.begin(), v.end());
+    auto q = [&](double p) {
+      const double idx = p * static_cast<double>(v.size() - 1);
+      const auto lo = static_cast<std::size_t>(idx);
+      const auto hi = std::min(lo + 1, v.size() - 1);
+      return v[lo] + (idx - static_cast<double>(lo)) * (v[hi] - v[lo]);
+    };
+    return "min " + fmt_fixed(v.front(), 3) + " | q1 " + fmt_fixed(q(0.25), 3) +
+           " | med " + fmt_fixed(q(0.5), 3) + " | q3 " + fmt_fixed(q(0.75), 3) +
+           " | max " + fmt_fixed(v.back(), 3);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto limit = static_cast<std::size_t>(cli.get_int("limit", 159));
+
+  const auto suite = gen::paper_suite();
+  // boxes[gpu][method]
+  Box boxes[2][3];
+  const char* method_names[3] = {"cuSPARSE-like", "Sync-free",
+                                 "block algorithm"};
+  const sim::GpuSpec bases[2] = {sim::titan_x(), sim::titan_rtx()};
+
+  std::size_t done = 0;
+  for (const auto& entry : suite) {
+    if (done >= limit) break;
+    ++done;
+    const Csr<double> Ld = entry.build();
+    const Csr<float> Lf = gen::convert_values<float>(Ld);
+    for (int g = 0; g < 2; ++g) {
+      const sim::GpuSpec gpu = sim::scale_for_dataset(bases[g], entry.scale);
+      const auto stop =
+          static_cast<index_t>(sim::paper_stop_rows(bases[g], entry.scale));
+      const ThreeWay rd = run_three_methods(Ld, gpu, stop);
+      const ThreeWay rf = run_three_methods(Lf, gpu, stop);
+      boxes[g][0].add(rd.cusparse.gflops / rf.cusparse.gflops);
+      boxes[g][1].add(rd.syncfree.gflops / rf.syncfree.gflops);
+      boxes[g][2].add(rd.block.gflops / rf.block.gflops);
+    }
+    if (done % 20 == 0)
+      std::fprintf(stderr, "  ... %zu/%zu matrices\n", done,
+                   std::min(limit, suite.size()));
+  }
+
+  std::printf("Figure 7 — double/single precision performance ratio "
+              "(%zu matrices):\n\n", done);
+  for (int g = 0; g < 2; ++g) {
+    std::printf("%s:\n", bases[g].name.c_str());
+    for (int m = 0; m < 3; ++m)
+      std::printf("  %-16s %s\n", method_names[m], boxes[g][m].render().c_str());
+  }
+  std::printf(
+      "\nPaper: Sync-free ratio ~0.9; block algorithm 0.8–0.9; cuSPARSE\n"
+      "0.7–0.8 — all far above the dense-kernel 0.5 because structure\n"
+      "traffic, not arithmetic, dominates.\n");
+  return 0;
+}

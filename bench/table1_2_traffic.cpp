@@ -1,0 +1,83 @@
+// Tables 1 and 2 reproduction: the number of items updated to the right-hand
+// side b (Table 1) and loaded from the solution vector x (Table 2) for the
+// three block algorithms, as a function of the number of triangular parts.
+//
+// Two columns are shown per cell: the paper's closed form and the count
+// measured from an actual partition plan (they must agree; the dense model
+// is exact for the uniform splits used here).
+//
+//   ./bench/table1_2_traffic
+#include <cmath>
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace blocktri;
+using namespace blocktri::bench;
+
+int main(int, char**) {
+  const index_t n = 65536 * 4;  // divisible by every part count below
+  const index_t part_counts[4] = {4, 16, 256, 65536};
+
+  auto measured = [&](BlockScheme scheme, index_t parts, bool b_items) {
+    BlockPlan plan;
+    if (scheme == BlockScheme::kColumn) {
+      plan = plan_column(n, parts);
+    } else if (scheme == BlockScheme::kRow) {
+      plan = plan_row(n, parts);
+    } else {
+      PlannerOptions opt;
+      opt.reorder = false;
+      opt.stop_rows = 1;
+      opt.max_depth = static_cast<int>(std::lround(std::log2(parts)));
+      Csr<double> permuted;
+      const auto L = gen::diagonal(n, 1);
+      plan = plan_recursive(L, opt, &permuted);
+    }
+    return static_cast<double>(b_items ? plan.b_items_updated()
+                                       : plan.x_items_loaded()) /
+           static_cast<double>(n);
+  };
+
+  auto row_for = [&](const char* name, auto formula, BlockScheme scheme,
+                     bool b_items) {
+    std::vector<std::string> row = {name};
+    for (const index_t p : part_counts) {
+      const double x = std::log2(static_cast<double>(p));
+      row.push_back(fmt_compact(formula(x)) + "n (meas " +
+                    fmt_compact(measured(scheme, p, b_items)) + "n)");
+    }
+    return row;
+  };
+
+  std::printf("Table 1 — items updated to right-hand side b "
+              "(formula vs measured, units of n):\n\n");
+  TextTable t1({"method", "4 parts", "16 parts", "256 parts", "65536 parts"});
+  t1.add_row(row_for("col. block",
+                     [](double x) { return std::pow(2.0, x - 1) + 0.5; },
+                     BlockScheme::kColumn, true));
+  t1.add_row(row_for("row block",
+                     [](double x) { return 2.0 - std::pow(2.0, -x); },
+                     BlockScheme::kRow, true));
+  t1.add_row(row_for("rec. block", [](double x) { return 0.5 * x + 1.0; },
+                     BlockScheme::kRecursive, true));
+  std::printf("%s\n", t1.to_string().c_str());
+
+  std::printf("Table 2 — items loaded from solution vector x:\n\n");
+  TextTable t2({"method", "4 parts", "16 parts", "256 parts", "65536 parts"});
+  t2.add_row(row_for("col. block",
+                     [](double x) { return 1.0 - std::pow(2.0, -x); },
+                     BlockScheme::kColumn, false));
+  t2.add_row(row_for("row block",
+                     [](double x) { return std::pow(2.0, x - 1) - 0.5; },
+                     BlockScheme::kRow, false));
+  t2.add_row(row_for("rec. block", [](double x) { return 0.5 * x; },
+                     BlockScheme::kRecursive, false));
+  std::printf("%s\n", t2.to_string().c_str());
+
+  std::printf(
+      "Shape: the column scheme's b-updates and the row scheme's x-loads grow\n"
+      "like 2^(x-1); the recursive scheme grows only linearly in x = log2(parts)\n"
+      "— the trade-off that makes it the best of the three (paper §3.2).\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Adaptive-selection explorer: shows what the preprocessing stage decides
+// for a given matrix — the block structure, per-block features, and which
+// SpTRSV / SpMV kernel Algorithm 7 picks for every block.
+//
+//   ./examples/adaptive_explorer --suite=fullchip-sim
+//   ./examples/adaptive_explorer --matrix=/path/to/matrix.mtx
+//   ./examples/adaptive_explorer            (default: kkt_power-sim)
+#include <cstdio>
+
+#include "blocktri.hpp"
+
+using namespace blocktri;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+
+  Csr<double> L;
+  std::string name;
+  if (cli.has("matrix")) {
+    name = cli.get("matrix", "");
+    std::printf("Reading %s...\n", name.c_str());
+    const auto coo = read_matrix_market_file<double>(name);
+    L = lower_triangular_with_diag(coo_to_csr(coo));
+  } else {
+    name = cli.get("suite", "kkt_power-sim");
+    L = gen::find_suite_entry(name).build();
+  }
+
+  const auto feat = compute_triangular_features(L);
+  std::printf("\nMatrix %s: %s\n", name.c_str(), describe(feat.base).c_str());
+  std::printf("level sets: %d (width min %d / avg %.1f / max %d)\n",
+              feat.nlevels, feat.parallelism.min_width,
+              feat.parallelism.avg_width, feat.parallelism.max_width);
+  std::printf("\nSparsity pattern (downsampled):\n%s\n", spy(L, 48).c_str());
+
+  BlockSolver<double>::Options opt;
+  opt.planner.stop_rows = static_cast<index_t>(
+      cli.get_int("stop_rows", std::max<index_t>(512, L.nrows / 32)));
+  const BlockSolver<double> solver(L, opt);
+
+  std::printf("Recursive plan: %d triangular blocks, %zu squares, depth %d\n",
+              solver.plan().num_tri_blocks(), solver.plan().squares.size(),
+              solver.plan().depth_used);
+  std::printf("nnz in squares after reordering: %s / %s\n\n",
+              fmt_count(solver.nnz_in_squares()).c_str(),
+              fmt_count(L.nnz()).c_str());
+
+  TextTable tri({"tri block", "rows", "nnz", "levels", "kernel (Alg. 7)"});
+  for (std::size_t t = 0; t < solver.tri_info().size(); ++t) {
+    const auto& info = solver.tri_info()[t];
+    tri.add_row({std::to_string(t),
+                 fmt_count(info.r1 - info.r0),
+                 fmt_count(info.nnz),
+                 fmt_count(info.nlevels),
+                 to_string(info.kind)});
+  }
+  std::printf("%s\n", tri.to_string().c_str());
+
+  TextTable sq({"square block", "shape", "nnz", "empty rows", "kernel"});
+  for (std::size_t q = 0; q < solver.square_info().size(); ++q) {
+    const auto& info = solver.square_info()[q];
+    sq.add_row({std::to_string(q),
+                fmt_count(info.ref.r1 - info.ref.r0) + " x " +
+                    fmt_count(info.ref.c1 - info.ref.c0),
+                fmt_count(info.nnz),
+                fmt_fixed(100.0 * info.empty_ratio, 1) + "%",
+                to_string(info.kind)});
+  }
+  std::printf("%s\n", sq.to_string().c_str());
+
+  // Verify while we're here.
+  const auto b = gen::random_rhs<double>(L.nrows, 1);
+  const auto x = solver.solve(b);
+  const auto x_ref = sptrsv_serial(L, b);
+  double err = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    err = std::max(err, std::abs(x[i] - x_ref[i]));
+  std::printf("solution check vs serial: max err = %.3e\n", err);
+  return 0;
+}

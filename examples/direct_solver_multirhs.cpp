@@ -1,0 +1,96 @@
+// Direct-solver scenario — the paper's other §1 motivation: the solve phase
+// of a sparse direct factorisation applies L^{-1} to many right-hand sides,
+// so preprocessing once and solving fast wins (Table 5's amortisation
+// argument, shown here from the user's perspective).
+//
+// We mimic the triangular factor of a structured factorisation with a banded
+// system, then solve a batch of right-hand sides with all three methods and
+// report total (preprocess + k solves) simulated time.
+//
+//   ./examples/direct_solver_multirhs [--n=400000] [--rhs=64]
+#include <cstdio>
+
+#include "blocktri.hpp"
+
+using namespace blocktri;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto n = static_cast<index_t>(cli.get_int("n", 300000));
+  const int num_rhs = static_cast<int>(cli.get_int("rhs", 64));
+  const sim::GpuSpec base = sim::titan_rtx();
+  const double scale = 16.0;  // dataset-scale convention, DESIGN.md §2
+  const sim::GpuSpec gpu = sim::scale_for_dataset(base, scale);
+
+  // A factor with the kkt_power profile (Table 4 row 3): moderate level
+  // count, wide parallelism, power-law row lengths — typical of triangular
+  // factors from circuit/optimisation problems.
+  const Csr<double> L = gen::power_law_levels(n, 17, 0.75, 1.8, 1500, 4.14,
+                                              1.3, 0, 0.0, 2, 0.05,
+                                              /*seed=*/5);
+  std::printf("Triangular factor: n = %d, nnz = %s; solving %d rhs on %s\n\n",
+              n, fmt_count(L.nnz()).c_str(), num_rhs, gpu.name.c_str());
+
+  std::vector<std::vector<double>> rhs;
+  rhs.reserve(static_cast<std::size_t>(num_rhs));
+  for (int k = 0; k < num_rhs; ++k)
+    rhs.push_back(gen::random_rhs<double>(n, 100 + static_cast<unsigned>(k)));
+
+  TextTable table({"method", "preprocess (ms)", "per-solve (ms)",
+                   "total for " + std::to_string(num_rhs) + " rhs (ms)"});
+
+  // --- Recursive block algorithm (preprocess once, solve many). ---
+  {
+    BlockSolver<double>::Options opt;
+    opt.planner.stop_rows =
+        static_cast<index_t>(sim::paper_stop_rows(base, scale));
+    const BlockSolver<double> solver(L, opt);
+    const double pre_ms = solver.preprocess_stats().model_ms;
+
+    sim::CacheModel cache(gpu.cache_bytes, gpu.cache_line_bytes,
+                          gpu.cache_assoc);
+    sim::SolveReport total;
+    for (const auto& b : rhs) solver.solve_simulated(b, gpu, &cache, &total);
+    table.add_row({"recursive block (this work)", fmt_fixed(pre_ms, 2),
+                   fmt_fixed(total.ms() / num_rhs, 4),
+                   fmt_fixed(pre_ms + total.ms(), 2)});
+  }
+
+  // --- Baselines. Their preprocessing is cheap (level analysis / in-degree
+  // count); we model it as two passes over the nonzeros on the host.
+  auto run_baseline = [&](auto& solver, const std::string& name,
+                          std::int64_t pre_passes) {
+    sim::HostSim hs(sim::host_default());
+    hs.ops(pre_passes * L.nnz());
+    hs.bytes(pre_passes * L.nnz() *
+             static_cast<std::int64_t>(sizeof(index_t) + sizeof(double)));
+    const double pre_ms = hs.ms();
+
+    sim::CacheModel cache(gpu.cache_bytes, gpu.cache_line_bytes,
+                          gpu.cache_assoc);
+    sim::AddressSpace as;
+    TrsvSim ts;
+    ts.gpu = &gpu;
+    ts.cache = &cache;
+    ts.fp64 = true;
+    ts.x_base = as.reserve(static_cast<std::uint64_t>(n) * 8);
+    ts.b_base = as.reserve(static_cast<std::uint64_t>(n) * 8);
+    ts.aux_base = as.reserve(static_cast<std::uint64_t>(n) * 12);
+    sim::SolveReport total;
+    ts.report = &total;
+    std::vector<double> x(static_cast<std::size_t>(n));
+    for (const auto& b : rhs) solver.solve(b.data(), x.data(), &ts);
+    table.add_row({name, fmt_fixed(pre_ms, 2),
+                   fmt_fixed(total.ms() / num_rhs, 4),
+                   fmt_fixed(pre_ms + total.ms(), 2)});
+  };
+  CusparseLikeSolver<double> cusp(L);
+  run_baseline(cusp, "cuSPARSE-like (level merge)", 2);
+  SyncFreeSolver<double> sf(L);
+  run_baseline(sf, "Sync-free", 1);
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("The blocked method pays more preprocessing but it amortises\n"
+              "across the batch — the Table 5 effect.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Sparsity-structure feature extraction. These are exactly the quantities the
+// paper's adaptive selector and evaluation tables consume: nnz/row and
+// nlevels for triangular blocks (Fig. 5a), nnz/row and emptyratio for square
+// blocks (Fig. 5b), and the row-length distribution that explains the
+// power-law load-imbalance pathology (§2.2).
+#pragma once
+
+#include <string>
+
+#include "analysis/levels.hpp"
+#include "sparse/formats.hpp"
+
+namespace blocktri {
+
+struct MatrixFeatures {
+  index_t nrows = 0;
+  index_t ncols = 0;
+  offset_t nnz = 0;
+  double nnz_per_row = 0.0;    // nnz / nrows (the paper's "nnz/row")
+  double empty_ratio = 0.0;    // empty rows / nrows (the paper's emptyratio)
+  offset_t max_row_nnz = 0;
+  offset_t min_row_nnz = 0;
+  double row_nnz_stddev = 0.0;
+  index_t bandwidth = 0;       // max |i - j| over nonzeros
+  bool diagonal_only = false;  // triangular block with perfect parallelism
+};
+
+template <class T>
+MatrixFeatures compute_features(const Csr<T>& a);
+
+/// Features of a triangular block including its level count — the SpTRSV
+/// selector's inputs.
+struct TriangularFeatures {
+  MatrixFeatures base;
+  index_t nlevels = 0;
+  ParallelismStats parallelism;
+};
+
+template <class T>
+TriangularFeatures compute_triangular_features(const Csr<T>& lower);
+
+std::string describe(const MatrixFeatures& f);
+
+}  // namespace blocktri

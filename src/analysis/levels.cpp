@@ -1,0 +1,69 @@
+#include "analysis/levels.hpp"
+
+#include <algorithm>
+
+#include "common/prefix.hpp"
+
+namespace blocktri {
+
+LevelSets compute_level_sets(index_t n, const std::vector<offset_t>& row_ptr,
+                             const std::vector<index_t>& col_idx) {
+  BLOCKTRI_CHECK(row_ptr.size() == static_cast<std::size_t>(n) + 1);
+  LevelSets ls;
+  ls.level_of.assign(static_cast<std::size_t>(n), 0);
+
+  index_t max_level = -1;
+  for (index_t i = 0; i < n; ++i) {
+    index_t lvl = 0;
+    for (offset_t k = row_ptr[static_cast<std::size_t>(i)];
+         k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const index_t j = col_idx[static_cast<std::size_t>(k)];
+      BLOCKTRI_CHECK_MSG(j <= i, "compute_level_sets: matrix is not lower "
+                                 "triangular");
+      if (j == i) continue;  // diagonal is not a dependency
+      lvl = std::max(lvl,
+                     ls.level_of[static_cast<std::size_t>(j)] + index_t{1});
+    }
+    ls.level_of[static_cast<std::size_t>(i)] = lvl;
+    max_level = std::max(max_level, lvl);
+  }
+  ls.nlevels = n == 0 ? 0 : max_level + 1;
+
+  ls.level_ptr.assign(static_cast<std::size_t>(ls.nlevels) + 1, 0);
+  for (const index_t l : ls.level_of)
+    ++ls.level_ptr[static_cast<std::size_t>(l)];
+  exclusive_scan_in_place(ls.level_ptr);
+  ls.level_item.resize(static_cast<std::size_t>(n));
+  {
+    std::vector<offset_t> cursor(ls.level_ptr.begin(), ls.level_ptr.end() - 1);
+    for (index_t i = 0; i < n; ++i) {
+      const auto l = static_cast<std::size_t>(
+          ls.level_of[static_cast<std::size_t>(i)]);
+      ls.level_item[static_cast<std::size_t>(cursor[l]++)] = i;
+    }
+  }
+  return ls;
+}
+
+ParallelismStats parallelism_stats(const LevelSets& ls) {
+  ParallelismStats st;
+  if (ls.nlevels == 0) return st;
+  st.min_width = ls.level_width(0);
+  double total = 0.0;
+  for (index_t l = 0; l < ls.nlevels; ++l) {
+    const index_t w = ls.level_width(l);
+    st.min_width = std::min(st.min_width, w);
+    st.max_width = std::max(st.max_width, w);
+    total += static_cast<double>(w);
+  }
+  st.avg_width = total / static_cast<double>(ls.nlevels);
+  return st;
+}
+
+std::vector<index_t> level_order_permutation(const LevelSets& ls) {
+  // level_item already lists components by (level, original index); the
+  // permutation sends old index level_item[p] to new position p.
+  return invert_permutation(ls.level_item);
+}
+
+}  // namespace blocktri

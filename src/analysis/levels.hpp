@@ -1,0 +1,61 @@
+// Level-set analysis (Anderson & Saad / Saltz): partition the components of
+// a lower-triangular system into levels such that components within a level
+// have no mutual dependencies and can be solved in parallel (§2.1.2).
+//
+// Used three ways in this repo, mirroring the paper:
+//   1. the level-set and cuSPARSE-like baseline solvers schedule by level,
+//   2. the improved recursive layout reorders every triangular part by its
+//      level-set order (§3.3, Fig. 3),
+//   3. `nlevels` is one of the two features the adaptive SpTRSV selector
+//      keys on (§3.4, Fig. 5a), and Table 4 reports per-matrix level counts
+//      and level-width (parallelism) statistics.
+#pragma once
+
+#include <vector>
+
+#include "sparse/formats.hpp"
+
+namespace blocktri {
+
+struct LevelSets {
+  index_t nlevels = 0;
+  std::vector<index_t> level_of;    // level of each component, size n
+  std::vector<offset_t> level_ptr;  // size nlevels + 1
+  std::vector<index_t> level_item;  // components grouped by level; within a
+                                    // level, ascending original index (the
+                                    // stable order §3.3's reordering relies on)
+
+  index_t level_width(index_t l) const {
+    return static_cast<index_t>(level_ptr[static_cast<std::size_t>(l) + 1] -
+                                level_ptr[static_cast<std::size_t>(l)]);
+  }
+};
+
+/// Level analysis of a lower-triangular CSR matrix (diagonal entries may be
+/// present or absent; self-edges are ignored). level[i] = 1 + max over
+/// strictly-lower neighbours, so a diagonal-only matrix has one level.
+/// O(n + nnz), single pass thanks to the triangular ordering.
+LevelSets compute_level_sets(index_t n, const std::vector<offset_t>& row_ptr,
+                             const std::vector<index_t>& col_idx);
+
+template <class T>
+LevelSets compute_level_sets(const Csr<T>& lower) {
+  return compute_level_sets(lower.nrows, lower.row_ptr, lower.col_idx);
+}
+
+/// Level-width statistics: the "Parallelism min/ave./max" columns of Table 4.
+struct ParallelismStats {
+  index_t min_width = 0;
+  double avg_width = 0.0;
+  index_t max_width = 0;
+};
+
+ParallelismStats parallelism_stats(const LevelSets& ls);
+
+/// The level-set permutation of §3.3: new_of_old ordering components by
+/// (level, original index). Applying it with permute_symmetric keeps the
+/// matrix lower triangular and makes each level a contiguous row range whose
+/// diagonal block is diagonal-only.
+std::vector<index_t> level_order_permutation(const LevelSets& ls);
+
+}  // namespace blocktri

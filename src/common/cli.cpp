@@ -1,0 +1,73 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+#include "common/types.hpp"
+
+namespace blocktri {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        flags_[arg.substr(2)] = "true";
+      } else {
+        flags_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const {
+  queried_[key] = true;
+  return flags_.contains(key);
+}
+
+std::string Cli::get(const std::string& key,
+                     const std::string& fallback) const {
+  queried_[key] = true;
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+long long Cli::get_int(const std::string& key, long long fallback) const {
+  const std::string v = get(key, "");
+  if (v.empty()) return fallback;
+  char* end = nullptr;
+  const long long out = std::strtoll(v.c_str(), &end, 10);
+  BLOCKTRI_CHECK_MSG(end && *end == '\0', "--" + key + " expects an integer");
+  return out;
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  const std::string v = get(key, "");
+  if (v.empty()) return fallback;
+  char* end = nullptr;
+  const double out = std::strtod(v.c_str(), &end);
+  BLOCKTRI_CHECK_MSG(end && *end == '\0', "--" + key + " expects a number");
+  return out;
+}
+
+bool Cli::get_bool(const std::string& key, bool fallback) const {
+  const std::string v = get(key, "");
+  if (v.empty()) return fallback;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  BLOCKTRI_CHECK_MSG(false, "--" + key + " expects a boolean");
+  return fallback;
+}
+
+std::vector<std::string> Cli::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : flags_) {
+    (void)v;
+    if (!queried_.contains(k)) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace blocktri

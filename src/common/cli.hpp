@@ -1,0 +1,36 @@
+// Minimal --key=value flag parser for the bench/example binaries. No external
+// dependencies; unknown flags are an error so typos fail fast in scripted
+// benchmark runs.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace blocktri {
+
+class Cli {
+ public:
+  /// Parses argv of the form: prog [--flag=value] [--switch] ...
+  /// Positional arguments are collected in order.
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get(const std::string& key, const std::string& fallback) const;
+  long long get_int(const std::string& key, long long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags seen but never queried — used by mains to reject typos.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace blocktri

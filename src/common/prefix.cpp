@@ -1,0 +1,45 @@
+#include "common/prefix.hpp"
+
+#include <algorithm>
+
+namespace blocktri {
+
+std::vector<index_t> stable_counting_sort_perm(const std::vector<index_t>& keys,
+                                               index_t nbuckets) {
+  BLOCKTRI_CHECK(nbuckets >= 0);
+  std::vector<offset_t> bucket_ptr(static_cast<std::size_t>(nbuckets) + 1, 0);
+  for (const index_t k : keys) {
+    BLOCKTRI_CHECK_MSG(k >= 0 && k < nbuckets, "sort key out of range");
+    ++bucket_ptr[static_cast<std::size_t>(k)];
+  }
+  exclusive_scan_in_place(bucket_ptr);
+  std::vector<index_t> perm(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    perm[static_cast<std::size_t>(
+        bucket_ptr[static_cast<std::size_t>(keys[i])]++)] =
+        static_cast<index_t>(i);
+  }
+  return perm;
+}
+
+std::vector<index_t> invert_permutation(const std::vector<index_t>& perm) {
+  std::vector<index_t> inv(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    const index_t p = perm[i];
+    BLOCKTRI_CHECK(p >= 0 && static_cast<std::size_t>(p) < perm.size());
+    inv[static_cast<std::size_t>(p)] = static_cast<index_t>(i);
+  }
+  return inv;
+}
+
+bool is_permutation_of_iota(const std::vector<index_t>& perm) {
+  std::vector<char> seen(perm.size(), 0);
+  for (const index_t p : perm) {
+    if (p < 0 || static_cast<std::size_t>(p) >= perm.size()) return false;
+    if (seen[static_cast<std::size_t>(p)]) return false;
+    seen[static_cast<std::size_t>(p)] = 1;
+  }
+  return true;
+}
+
+}  // namespace blocktri

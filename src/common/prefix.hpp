@@ -1,0 +1,37 @@
+// Small scan/counting-sort helpers used throughout the sparse format
+// conversions. Kept header-only: they are tiny templates on the index types.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace blocktri {
+
+/// In-place exclusive prefix sum: v = [0, v0, v0+v1, ...]. The input vector
+/// must have size n+1 with v[n] ignored on input; on output v[n] holds the
+/// total. This matches the classic CSR row_ptr construction idiom.
+template <class T>
+void exclusive_scan_in_place(std::vector<T>& v) {
+  T running{0};
+  for (auto& x : v) {
+    const T count = x;
+    x = running;
+    running += count;
+  }
+}
+
+/// Stable counting sort of `keys` (values in [0, nbuckets)); returns the
+/// permutation `perm` such that keys[perm[0..]] is sorted and equal keys keep
+/// their original relative order. This is the core of the level-set
+/// reordering in §3.3 of the paper: stability preserves within-level order.
+std::vector<index_t> stable_counting_sort_perm(const std::vector<index_t>& keys,
+                                               index_t nbuckets);
+
+/// Inverse of a permutation: out[perm[i]] = i.
+std::vector<index_t> invert_permutation(const std::vector<index_t>& perm);
+
+/// True if `perm` is a permutation of [0, n).
+bool is_permutation_of_iota(const std::vector<index_t>& perm);
+
+}  // namespace blocktri

@@ -1,0 +1,115 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace blocktri {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& lane : s_) lane = splitmix64(sm);
+  // A zero state is a fixed point of xoshiro; splitmix64 cannot produce four
+  // zero outputs from any seed, so no further guard is needed.
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  BLOCKTRI_CHECK(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits, same construction as the xoshiro reference code.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+double Rng::normal() {
+  // Box–Muller; discard the second variate to keep the generator stateless
+  // beyond its xoshiro lanes (simpler reproducibility reasoning).
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::int64_t Rng::power_law(double alpha, std::int64_t max) {
+  BLOCKTRI_CHECK(max >= 1);
+  BLOCKTRI_CHECK(alpha > 1.0);
+  // Inverse-CDF sampling of a continuous Pareto truncated to [1, max+1),
+  // floored to an integer. Gives P(k) ≈ k^(-alpha) for k in [1, max].
+  const double xmax = static_cast<double>(max) + 1.0;
+  const double one_minus_a = 1.0 - alpha;
+  const double cdf_max = (std::pow(xmax, one_minus_a) - 1.0) / one_minus_a;
+  const double u = uniform() * cdf_max;
+  const double x = std::pow(1.0 + one_minus_a * u, 1.0 / one_minus_a);
+  auto k = static_cast<std::int64_t>(x);
+  if (k < 1) k = 1;
+  if (k > max) k = max;
+  return k;
+}
+
+std::int64_t Rng::geometric(double p) {
+  BLOCKTRI_CHECK(p > 0.0 && p <= 1.0);
+  if (p == 1.0) return 0;
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return static_cast<std::int64_t>(std::log(u) / std::log1p(-p));
+}
+
+std::vector<std::int64_t> Rng::sample_distinct(std::int64_t lo, std::int64_t hi,
+                                               std::int64_t k) {
+  BLOCKTRI_CHECK(lo <= hi);
+  const std::int64_t span = hi - lo + 1;
+  BLOCKTRI_CHECK_MSG(k >= 0 && k <= span, "sample size exceeds range");
+  // Floyd's algorithm: k iterations, expected O(k) hash operations.
+  std::unordered_set<std::int64_t> chosen;
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(k));
+  for (std::int64_t j = span - k; j < span; ++j) {
+    const std::int64_t t = uniform_int(0, j);
+    const std::int64_t pick = chosen.contains(lo + t) ? lo + j : lo + t;
+    chosen.insert(pick);
+    out.push_back(pick);
+  }
+  return out;
+}
+
+}  // namespace blocktri

@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation for the synthetic matrix
+// generators and property tests.
+//
+// We implement xoshiro256** (Blackman & Vigna) rather than relying on
+// std::mt19937 so that generated matrices are bit-identical across standard
+// library implementations — the benchmark suite's "159 matrices" must be the
+// same matrices everywhere.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace blocktri {
+
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes from a single seed via splitmix64, the
+  /// initialisation recommended by the xoshiro authors.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value (xoshiro256**).
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform();
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  double normal();
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// Power-law distributed integer in [1, max]: P(k) ∝ k^(-alpha).
+  /// Used by the circuit/network generators to create the long-row
+  /// distributions the paper identifies as the Sync-free pathology (§2.2).
+  std::int64_t power_law(double alpha, std::int64_t max);
+
+  /// Geometric distribution: number of Bernoulli(p) failures before success.
+  std::int64_t geometric(double p);
+
+  /// In-place Fisher–Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k distinct values sampled uniformly from [lo, hi] (Floyd's algorithm).
+  std::vector<std::int64_t> sample_distinct(std::int64_t lo, std::int64_t hi,
+                                            std::int64_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace blocktri

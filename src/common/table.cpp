@@ -1,0 +1,86 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/types.hpp"
+
+namespace blocktri {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  BLOCKTRI_CHECK(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  BLOCKTRI_CHECK_MSG(cells.size() == header_.size(),
+                     "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c] << std::string(width[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string fmt_fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_compact(double v) {
+  if (v == 0.0) return "0";
+  const double a = std::fabs(v);
+  char buf[64];
+  if (a >= 0.01 && a < 100000.0) {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3e", v);
+  }
+  return buf;
+}
+
+std::string fmt_count(long long v) {
+  const bool neg = v < 0;
+  unsigned long long u =
+      neg ? ~static_cast<unsigned long long>(v) + 1ULL
+          : static_cast<unsigned long long>(v);
+  std::string digits = std::to_string(u);
+  std::string out;
+  int run = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (run == 3) {
+      out.push_back(',');
+      run = 0;
+    }
+    out.push_back(*it);
+    ++run;
+  }
+  if (neg) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace blocktri

@@ -1,0 +1,38 @@
+// Plain-text table formatting for the benchmark harnesses. Every bench binary
+// prints the same rows/series the paper reports (DESIGN.md §4), and this
+// printer keeps those tables aligned and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace blocktri {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same number of cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header separator.
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting ("12.34"), locale-independent.
+std::string fmt_fixed(double v, int digits);
+
+/// Scientific-ish compact formatting for values spanning many decades
+/// ("1.23e-05" / "45.7").
+std::string fmt_compact(double v);
+
+/// Groups thousands for readability: 1234567 -> "1,234,567".
+std::string fmt_count(long long v);
+
+}  // namespace blocktri

@@ -1,0 +1,27 @@
+// Wall-clock stopwatch for the host-side (real) timings reported next to the
+// simulated GPU timings in the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace blocktri {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace blocktri

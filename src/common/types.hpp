@@ -1,0 +1,61 @@
+// Core scalar/index typedefs and error-checking helpers shared by every
+// blocktri module.
+//
+// Conventions (see DESIGN.md §5):
+//   * index_t  — row/column indices. 32-bit: the paper's dataset tops out at
+//                ~69 M rows, far below 2^31.
+//   * offset_t — positions into nonzero arrays (row_ptr / col_ptr). 64-bit so
+//                matrices with more than 2^31 nonzeros remain representable.
+//   * value_t  — templated per kernel as float or double (Fig. 7 compares the
+//                two precisions), never hard-coded.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace blocktri {
+
+using index_t = std::int32_t;
+using offset_t = std::int64_t;
+
+/// Exception thrown by all blocktri precondition/invariant checks.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "blocktri check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace blocktri
+
+/// Precondition/invariant check that is always on (cheap checks only; hot
+/// loops use BLOCKTRI_DCHECK below). Throws blocktri::Error on failure.
+#define BLOCKTRI_CHECK(expr)                                                  \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::blocktri::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define BLOCKTRI_CHECK_MSG(expr, msg)                                      \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::blocktri::detail::throw_check_failure(#expr, __FILE__, __LINE__,   \
+                                              (msg));                      \
+  } while (0)
+
+/// Debug-only check, compiled out in release builds. Use in per-nonzero loops.
+#ifndef NDEBUG
+#define BLOCKTRI_DCHECK(expr) BLOCKTRI_CHECK(expr)
+#else
+#define BLOCKTRI_DCHECK(expr) ((void)0)
+#endif

@@ -1,0 +1,208 @@
+#include "core/plan.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "analysis/levels.hpp"
+#include "sparse/permute.hpp"
+#include "sparse/triangular.hpp"
+
+namespace blocktri {
+
+std::string to_string(BlockScheme s) {
+  switch (s) {
+    case BlockScheme::kColumn: return "column-block";
+    case BlockScheme::kRow: return "row-block";
+    case BlockScheme::kRecursive: return "recursive-block";
+  }
+  return "?";
+}
+
+std::vector<index_t> uniform_boundaries(index_t n, index_t nseg) {
+  BLOCKTRI_CHECK(nseg >= 1);
+  std::vector<index_t> b(static_cast<std::size_t>(nseg) + 1);
+  for (index_t s = 0; s <= nseg; ++s)
+    b[static_cast<std::size_t>(s)] = static_cast<index_t>(
+        static_cast<std::int64_t>(n) * s / nseg);
+  return b;
+}
+
+std::int64_t BlockPlan::b_items_updated() const {
+  // Triangular solves consume each b entry once ...
+  std::int64_t total = n;
+  // ... and every SpMV call updates its block's rows.
+  for (const auto& sq : squares) total += sq.r1 - sq.r0;
+  return total;
+}
+
+std::int64_t BlockPlan::x_items_loaded() const {
+  std::int64_t total = 0;
+  for (const auto& sq : squares) total += sq.c1 - sq.c0;
+  return total;
+}
+
+BlockPlan plan_column(index_t n, index_t nseg) {
+  BlockPlan p;
+  p.scheme = BlockScheme::kColumn;
+  p.n = n;
+  p.new_of_old.resize(static_cast<std::size_t>(n));
+  std::iota(p.new_of_old.begin(), p.new_of_old.end(), 0);
+  p.tri_bounds = uniform_boundaries(n, nseg);
+  for (index_t si = 0; si < nseg; ++si) {
+    p.steps.push_back({ExecStep::Kind::kTri, si});
+    if (si + 1 < nseg) {
+      // The rectangle below triangular block si: all remaining rows, this
+      // segment's columns (Alg. 4 line 5 updates b for the whole rest).
+      p.squares.push_back({p.tri_bounds[static_cast<std::size_t>(si) + 1], n,
+                           p.tri_bounds[static_cast<std::size_t>(si)],
+                           p.tri_bounds[static_cast<std::size_t>(si) + 1]});
+      p.steps.push_back({ExecStep::Kind::kSquare,
+                         static_cast<index_t>(p.squares.size()) - 1});
+    }
+  }
+  return p;
+}
+
+BlockPlan plan_row(index_t n, index_t nseg) {
+  BlockPlan p;
+  p.scheme = BlockScheme::kRow;
+  p.n = n;
+  p.new_of_old.resize(static_cast<std::size_t>(n));
+  std::iota(p.new_of_old.begin(), p.new_of_old.end(), 0);
+  p.tri_bounds = uniform_boundaries(n, nseg);
+  for (index_t si = 0; si < nseg; ++si) {
+    if (si > 0) {
+      // The rectangle left of triangular block si: this segment's rows, all
+      // already-solved columns (Alg. 5 line 4).
+      p.squares.push_back({p.tri_bounds[static_cast<std::size_t>(si)],
+                           p.tri_bounds[static_cast<std::size_t>(si) + 1], 0,
+                           p.tri_bounds[static_cast<std::size_t>(si)]});
+      p.steps.push_back({ExecStep::Kind::kSquare,
+                         static_cast<index_t>(p.squares.size()) - 1});
+    }
+    p.steps.push_back({ExecStep::Kind::kTri, si});
+  }
+  return p;
+}
+
+namespace {
+
+/// The recursion tree is fully determined by (n, stop_rows, max_depth):
+/// splits always land at range midpoints. The planner therefore builds the
+/// tree arithmetically first, then — when reordering is enabled — performs
+/// ONE whole-matrix permutation per recursion DEPTH, composing the level
+/// orders of every node at that depth. This keeps the preprocessing at
+/// O(nnz · depth) rather than O(nnz · node-count): exactly the batching a
+/// production implementation of §3.3 uses, and what keeps the paper's
+/// preprocessing "moderate" (Table 5).
+template <class T>
+class RecursivePlanner {
+ public:
+  RecursivePlanner(const Csr<T>& lower, const PlannerOptions& opt)
+      : opt_(opt), work_(lower) {
+    plan_.scheme = BlockScheme::kRecursive;
+    plan_.n = lower.nrows;
+  }
+
+  BlockPlan run(Csr<T>* permuted) {
+    plan_.tri_bounds.push_back(0);
+    if (plan_.n > 0) build_tree(0, plan_.n, 0);
+
+    if (opt_.reorder) {
+      for (const auto& depth_nodes : nodes_by_depth_) reorder_depth(depth_nodes);
+    }
+
+    if (cur_of_orig_.empty()) {
+      plan_.new_of_old.resize(static_cast<std::size_t>(plan_.n));
+      std::iota(plan_.new_of_old.begin(), plan_.new_of_old.end(), 0);
+    } else {
+      plan_.new_of_old = std::move(cur_of_orig_);
+    }
+    if (permuted != nullptr) *permuted = std::move(work_);
+    return std::move(plan_);
+  }
+
+ private:
+  void build_tree(index_t r0, index_t r1, int depth) {
+    plan_.depth_used = std::max(plan_.depth_used, depth);
+    if (nodes_by_depth_.size() <= static_cast<std::size_t>(depth))
+      nodes_by_depth_.resize(static_cast<std::size_t>(depth) + 1);
+    nodes_by_depth_[static_cast<std::size_t>(depth)].push_back({r0, r1});
+
+    const index_t rows = r1 - r0;
+    // §3.4 depth rule: split only while both halves stay at or above the
+    // saturation size.
+    if (rows / 2 < opt_.stop_rows || depth >= opt_.max_depth) {
+      plan_.tri_bounds.push_back(r1);  // leaf
+      plan_.steps.push_back(
+          {ExecStep::Kind::kTri,
+           static_cast<index_t>(plan_.tri_bounds.size()) - 2});
+      return;
+    }
+    const index_t mid = r0 + rows / 2;
+    build_tree(r0, mid, depth + 1);  // top triangle first (Alg. 6 line 5)
+    plan_.squares.push_back({mid, r1, r0, mid});  // then the square update
+    plan_.steps.push_back({ExecStep::Kind::kSquare,
+                           static_cast<index_t>(plan_.squares.size()) - 1});
+    build_tree(mid, r1, depth + 1);  // bottom triangle last (Alg. 6 line 7)
+  }
+
+  /// Level-orders every node range of one depth with a single global
+  /// symmetric permutation.
+  void reorder_depth(const std::vector<std::pair<index_t, index_t>>& nodes) {
+    std::vector<index_t> perm(static_cast<std::size_t>(plan_.n));
+    std::iota(perm.begin(), perm.end(), 0);
+    bool any = false;
+    for (const auto& [r0, r1] : nodes) {
+      const Csr<T> sub = extract_block(work_, r0, r1, r0, r1);
+      const LevelSets ls = compute_level_sets(sub);
+      // Level analysis pass: one visit per nonzero + per row.
+      plan_.host_ops += sub.nnz() + (r1 - r0);
+      plan_.host_bytes += sub.nnz() * static_cast<std::int64_t>(
+                              sizeof(index_t) + sizeof(T));
+      if (ls.nlevels <= 1) continue;  // already diagonal: nothing to move
+      const std::vector<index_t> local = level_order_permutation(ls);
+      for (index_t i = r0; i < r1; ++i)
+        perm[static_cast<std::size_t>(i)] =
+            r0 + local[static_cast<std::size_t>(i - r0)];
+      any = true;
+    }
+    if (!any) return;
+    work_ = permute_symmetric(work_, perm);
+    if (cur_of_orig_.empty()) {
+      cur_of_orig_ = perm;
+    } else {
+      for (auto& cur : cur_of_orig_)
+        cur = perm[static_cast<std::size_t>(cur)];
+    }
+    // One whole-matrix permutation pass per depth (ptr rebuild + scatter +
+    // row sorts).
+    plan_.host_ops += 2 * work_.nnz() + plan_.n;
+    plan_.host_bytes += 2 * work_.nnz() *
+                        static_cast<std::int64_t>(sizeof(index_t) + sizeof(T));
+  }
+
+  const PlannerOptions& opt_;
+  Csr<T> work_;
+  std::vector<index_t> cur_of_orig_;  // empty until the first permutation
+  std::vector<std::vector<std::pair<index_t, index_t>>> nodes_by_depth_;
+  BlockPlan plan_;
+};
+
+}  // namespace
+
+template <class T>
+BlockPlan plan_recursive(const Csr<T>& lower, const PlannerOptions& opt,
+                         Csr<T>* permuted) {
+  BLOCKTRI_CHECK(lower.nrows == lower.ncols);
+  BLOCKTRI_CHECK(opt.stop_rows >= 1);
+  RecursivePlanner<T> planner(lower, opt);
+  return planner.run(permuted);
+}
+
+template BlockPlan plan_recursive(const Csr<float>&, const PlannerOptions&,
+                                  Csr<float>*);
+template BlockPlan plan_recursive(const Csr<double>&, const PlannerOptions&,
+                                  Csr<double>*);
+
+}  // namespace blocktri

@@ -1,0 +1,93 @@
+// Block partition planning — the three schemes of §3.1 (Fig. 2) plus the
+// recursive level-set reordering of §3.3 (Fig. 3).
+//
+// A BlockPlan is scheme-agnostic: a permutation (identity for the column/row
+// schemes), the leaf triangular ranges, the rectangular/square blocks, and
+// the execution sequence interleaving them exactly as the arrows in Fig. 2
+// prescribe. The executor (core/solver) walks the steps; the traffic
+// analysis of Tables 1–2 reads the block shapes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/formats.hpp"
+
+namespace blocktri {
+
+enum class BlockScheme {
+  kColumn,     // Fig. 2(a), Algorithm 4
+  kRow,        // Fig. 2(b), Algorithm 5
+  kRecursive,  // Fig. 2(c), Algorithm 6 / §3.3 improved layout
+};
+
+std::string to_string(BlockScheme s);
+
+struct PlannerOptions {
+  /// Stop splitting when the next (half) block would have fewer rows than
+  /// this. The paper's rule is 20 x GPU core count (§3.4: 92160 on the Titan
+  /// RTX); benches on the scaled suite pass a proportionally scaled value.
+  index_t stop_rows = 92160;
+  int max_depth = 30;
+  /// Apply the §3.3 recursive level-set reordering (recursive scheme only).
+  bool reorder = true;
+  /// Number of segments for the column/row schemes.
+  index_t nseg = 4;
+};
+
+struct SquareBlockRef {
+  index_t r0, r1;  // row range of the block (global, post-permutation)
+  index_t c0, c1;  // column range
+};
+
+struct ExecStep {
+  enum class Kind { kTri, kSquare };
+  Kind kind;
+  index_t index;  // into tri_bounds (tri i spans [tri_bounds[i],
+                  // tri_bounds[i+1])) or into squares
+};
+
+struct BlockPlan {
+  BlockScheme scheme = BlockScheme::kRecursive;
+  index_t n = 0;
+  std::vector<index_t> new_of_old;  // §3.3 permutation; identity if disabled
+  std::vector<index_t> tri_bounds;  // nleaves + 1 ascending boundaries
+  std::vector<SquareBlockRef> squares;
+  std::vector<ExecStep> steps;
+  int depth_used = 0;  // recursion depth actually reached
+
+  // Host-model preprocessing counters (level analyses + permutations).
+  std::int64_t host_ops = 0;
+  std::int64_t host_bytes = 0;
+
+  index_t num_tri_blocks() const {
+    return static_cast<index_t>(tri_bounds.size()) - 1;
+  }
+
+  /// Dense-model traffic counts for Tables 1 and 2: every SpMV updates all
+  /// rows of its block and loads all columns of its block; every triangular
+  /// solve consumes its b segment once (n total).
+  std::int64_t b_items_updated() const;
+  std::int64_t x_items_loaded() const;
+};
+
+/// Fig. 2(a): nseg column blocks; square si spans rows (b[si+1], n) x cols
+/// segment si. No reordering.
+BlockPlan plan_column(index_t n, index_t nseg);
+
+/// Fig. 2(b): nseg row blocks; square si spans rows segment si x cols
+/// [0, b[si]). No reordering.
+BlockPlan plan_row(index_t n, index_t nseg);
+
+/// Fig. 2(c) + §3.3: recursive halving with per-node level-set reordering.
+/// Returns the plan and (through `permuted`) the reordered matrix the
+/// executor should store — recomputing the permutation application would
+/// double the preprocessing cost.
+template <class T>
+BlockPlan plan_recursive(const Csr<T>& lower, const PlannerOptions& opt,
+                         Csr<T>* permuted);
+
+/// nseg+1 near-equal boundaries over [0, n].
+std::vector<index_t> uniform_boundaries(index_t n, index_t nseg);
+
+}  // namespace blocktri

@@ -1,0 +1,255 @@
+#include "core/solver.hpp"
+
+#include <algorithm>
+
+#include "sim/kernel_sim.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/permute.hpp"
+#include "sparse/triangular.hpp"
+
+namespace blocktri {
+
+template <class T>
+BlockSolver<T>::BlockSolver(const Csr<T>& lower, const Options& opt)
+    : opt_(opt) {
+  BLOCKTRI_CHECK_MSG(is_lower_triangular_nonsingular(lower),
+                     "BlockSolver requires a nonsingular lower triangle");
+  nnz_ = lower.nnz();
+
+  // --- Partition (and, for the recursive scheme, reorder). ---
+  Csr<T> stored;
+  switch (opt.scheme) {
+    case BlockScheme::kColumn:
+      plan_ = plan_column(lower.nrows, opt.planner.nseg);
+      stored = lower;
+      break;
+    case BlockScheme::kRow:
+      plan_ = plan_row(lower.nrows, opt.planner.nseg);
+      stored = lower;
+      break;
+    case BlockScheme::kRecursive:
+      plan_ = plan_recursive(lower, opt.planner, &stored);
+      break;
+  }
+
+  // --- Extract blocks, select kernels, build per-block structures. The
+  // blocks are created in execution order, which is also the order their
+  // simulated addresses would be laid out in the §3.3 contiguous arena.
+  tri_.resize(static_cast<std::size_t>(plan_.num_tri_blocks()));
+  squares_.resize(plan_.squares.size());
+
+  for (index_t t = 0; t < plan_.num_tri_blocks(); ++t) {
+    const index_t r0 = plan_.tri_bounds[static_cast<std::size_t>(t)];
+    const index_t r1 = plan_.tri_bounds[static_cast<std::size_t>(t) + 1];
+    Csr<T> blk = extract_block(stored, r0, r1, r0, r1);
+    build_ops_ += blk.nnz() + (r1 - r0);
+    build_bytes_ += blk.nnz() * static_cast<std::int64_t>(sizeof(index_t) +
+                                                          sizeof(T));
+
+    TriBlock& out = tri_[static_cast<std::size_t>(t)];
+    out.info.r0 = r0;
+    out.info.r1 = r1;
+    out.info.nnz = blk.nnz();
+
+    const TriangularFeatures feat = compute_triangular_features(blk);
+    out.info.nlevels = feat.nlevels;
+    TriKernelKind kind = opt.adaptive
+                             ? select_tri_kernel(feat, opt.thresholds)
+                             : opt.forced_tri;
+    // A forced kernel still degrades gracefully on a diagonal block: every
+    // kernel handles it, so honour the forced choice except that the
+    // diagonal fast path requires an actually-diagonal block.
+    if (kind == TriKernelKind::kCompletelyParallel && feat.nlevels > 1)
+      kind = TriKernelKind::kSyncFree;
+    out.info.kind = kind;
+
+    switch (kind) {
+      case TriKernelKind::kCompletelyParallel: {
+        StrictLowerSplit<T> split = split_diagonal(blk);
+        BLOCKTRI_CHECK(split.strict.nnz() == 0);
+        out.diag = std::make_unique<DiagonalSolver<T>>(std::move(split.diag));
+        break;
+      }
+      case TriKernelKind::kLevelSet:
+        out.levelset = std::make_unique<LevelSetSolver<T>>(std::move(blk));
+        build_ops_ += out.info.nnz;  // level analysis in the sub-solver
+        break;
+      case TriKernelKind::kSyncFree:
+        out.syncfree = std::make_unique<SyncFreeSolver<T>>(blk);
+        build_ops_ += 2 * out.info.nnz;  // CSC conversion + in-degrees
+        build_bytes_ += 2 * out.info.nnz *
+                        static_cast<std::int64_t>(sizeof(index_t) + sizeof(T));
+        break;
+      case TriKernelKind::kCusparseLike:
+        out.cusparse =
+            std::make_unique<CusparseLikeSolver<T>>(std::move(blk));
+        build_ops_ += out.info.nnz;
+        break;
+    }
+    tri_info_.push_back(out.info);
+  }
+
+  for (std::size_t q = 0; q < plan_.squares.size(); ++q) {
+    const SquareBlockRef ref = plan_.squares[q];
+    Csr<T> blk = extract_block(stored, ref.r0, ref.r1, ref.c0, ref.c1);
+    build_ops_ += blk.nnz() + (ref.r1 - ref.r0);
+    build_bytes_ += blk.nnz() * static_cast<std::int64_t>(sizeof(index_t) +
+                                                          sizeof(T));
+    SquareBlock& out = squares_[q];
+    out.info.ref = ref;
+    out.info.nnz = blk.nnz();
+    const MatrixFeatures feat = compute_features(blk);
+    out.info.empty_ratio = feat.empty_ratio;
+    out.info.kind = opt.adaptive ? select_square_kernel(feat, opt.thresholds)
+                                 : opt.forced_square;
+    if (out.info.kind == SpmvKernelKind::kScalarDcsr ||
+        out.info.kind == SpmvKernelKind::kVectorDcsr) {
+      out.dcsr = csr_to_dcsr(blk);
+      build_ops_ += ref.r1 - ref.r0;
+    } else {
+      out.csr = std::move(blk);
+    }
+    square_info_.push_back(out.info);
+  }
+
+  // --- Simulated address layout: x | b | scratch (left_sum + in_degree). ---
+  sim::AddressSpace as;
+  const auto n_u = static_cast<std::uint64_t>(plan_.n);
+  x_base_ = as.reserve(n_u * sizeof(T));
+  b_base_ = as.reserve(n_u * sizeof(T));
+  aux_base_ = as.reserve(n_u * (sizeof(T) + 4));
+}
+
+template <class T>
+void BlockSolver<T>::exec_tri(const TriBlock& blk, const T* b, T* x,
+                              const TrsvSim* s) const {
+  switch (blk.info.kind) {
+    case TriKernelKind::kCompletelyParallel:
+      blk.diag->solve(b, x, s);
+      return;
+    case TriKernelKind::kLevelSet:
+      blk.levelset->solve(b, x, s);
+      return;
+    case TriKernelKind::kSyncFree:
+      blk.syncfree->solve(b, x, s);
+      return;
+    case TriKernelKind::kCusparseLike:
+      blk.cusparse->solve(b, x, s);
+      return;
+  }
+  BLOCKTRI_CHECK_MSG(false, "unknown triangular kernel kind");
+}
+
+template <class T>
+void BlockSolver<T>::exec_square(const SquareBlock& blk, const T* x, T* y,
+                                 const SpmvSim* s) const {
+  switch (blk.info.kind) {
+    case SpmvKernelKind::kScalarCsr:
+      spmv_scalar_csr(blk.csr, x, y, s);
+      return;
+    case SpmvKernelKind::kVectorCsr:
+      spmv_vector_csr(blk.csr, x, y, s);
+      return;
+    case SpmvKernelKind::kScalarDcsr:
+      spmv_scalar_dcsr(blk.dcsr, x, y, s);
+      return;
+    case SpmvKernelKind::kVectorDcsr:
+      spmv_vector_dcsr(blk.dcsr, x, y, s);
+      return;
+  }
+  BLOCKTRI_CHECK_MSG(false, "unknown square kernel kind");
+}
+
+template <class T>
+std::vector<T> BlockSolver<T>::solve(const std::vector<T>& b) const {
+  BLOCKTRI_CHECK(b.size() == static_cast<std::size_t>(plan_.n));
+  std::vector<T> bw = permute_vector(b, plan_.new_of_old);
+  std::vector<T> xw(static_cast<std::size_t>(plan_.n));
+
+  for (const ExecStep& step : plan_.steps) {
+    if (step.kind == ExecStep::Kind::kTri) {
+      const TriBlock& blk = tri_[static_cast<std::size_t>(step.index)];
+      exec_tri(blk, bw.data() + blk.info.r0, xw.data() + blk.info.r0,
+               nullptr);
+    } else {
+      const SquareBlock& blk = squares_[static_cast<std::size_t>(step.index)];
+      exec_square(blk, xw.data() + blk.info.ref.c0,
+                  bw.data() + blk.info.ref.r0, nullptr);
+    }
+  }
+  return unpermute_vector(xw, plan_.new_of_old);
+}
+
+template <class T>
+std::vector<T> BlockSolver<T>::solve_simulated(
+    const std::vector<T>& b, const sim::GpuSpec& gpu, sim::CacheModel* cache,
+    sim::SolveReport* report, BlockSolveBreakdown* breakdown,
+    bool fp64) const {
+  BLOCKTRI_CHECK(b.size() == static_cast<std::size_t>(plan_.n));
+  BLOCKTRI_CHECK(report != nullptr);
+  const int elem = static_cast<int>(sizeof(T));
+  std::vector<T> bw = permute_vector(b, plan_.new_of_old);
+  std::vector<T> xw(static_cast<std::size_t>(plan_.n));
+
+  for (const ExecStep& step : plan_.steps) {
+    const double ns_before = report->ns;
+    if (step.kind == ExecStep::Kind::kTri) {
+      const TriBlock& blk = tri_[static_cast<std::size_t>(step.index)];
+      TrsvSim ts;
+      ts.gpu = &gpu;
+      ts.cache = cache;
+      ts.fp64 = fp64;
+      ts.x_base = x_base_ + static_cast<std::uint64_t>(blk.info.r0) * elem;
+      ts.b_base = b_base_ + static_cast<std::uint64_t>(blk.info.r0) * elem;
+      ts.aux_base =
+          aux_base_ + static_cast<std::uint64_t>(blk.info.r0) * (elem + 4);
+      ts.report = report;
+      const int launches_before = report->kernel_launches;
+      exec_tri(blk, bw.data() + blk.info.r0, xw.data() + blk.info.r0, &ts);
+      if (breakdown != nullptr) {
+        breakdown->tri_ns += report->ns - ns_before;
+        breakdown->tri_kernels += report->kernel_launches - launches_before;
+      }
+    } else {
+      const SquareBlock& blk = squares_[static_cast<std::size_t>(step.index)];
+      sim::KernelSim ks(gpu, cache, fp64);
+      SpmvSim ss;
+      ss.ks = &ks;
+      ss.x_base = x_base_ + static_cast<std::uint64_t>(blk.info.ref.c0) * elem;
+      ss.y_base = b_base_ + static_cast<std::uint64_t>(blk.info.ref.r0) * elem;
+      exec_square(blk, xw.data() + blk.info.ref.c0,
+                  bw.data() + blk.info.ref.r0, &ss);
+      report->add_kernel_launch(ks.finish(), gpu.kernel_launch_ns);
+      if (breakdown != nullptr) {
+        breakdown->spmv_ns += report->ns - ns_before;
+        ++breakdown->spmv_kernels;
+      }
+    }
+  }
+  return unpermute_vector(xw, plan_.new_of_old);
+}
+
+template <class T>
+offset_t BlockSolver<T>::nnz_in_squares() const {
+  offset_t total = 0;
+  for (const auto& sq : square_info_) total += sq.nnz;
+  return total;
+}
+
+template <class T>
+typename BlockSolver<T>::PreprocessStats BlockSolver<T>::preprocess_stats()
+    const {
+  PreprocessStats st;
+  st.host_ops = plan_.host_ops + build_ops_;
+  st.host_bytes = plan_.host_bytes + build_bytes_;
+  sim::HostSim hs(sim::host_default());
+  hs.ops(st.host_ops);
+  hs.bytes(st.host_bytes);
+  st.model_ms = hs.ms();
+  return st;
+}
+
+template class BlockSolver<float>;
+template class BlockSolver<double>;
+
+}  // namespace blocktri

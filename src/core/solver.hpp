@@ -1,0 +1,150 @@
+// BlockSolver — the library's main public API, implementing the paper's
+// contribution end to end:
+//
+//   preprocessing (once):  partition (column / row / recursive scheme §3.1),
+//                          recursive level-set reordering (§3.3),
+//                          per-block adaptive kernel selection (§3.4),
+//                          per-block storage (CSC-style triangles via the
+//                          sub-solvers, CSR/DCSR squares, diagonal separate)
+//   solve (many times):    walk the execution steps, calling the selected
+//                          SpTRSV kernel on each triangular block and the
+//                          selected SpMV kernel on each square block.
+//
+// Typical use:
+//
+//   blocktri::BlockSolver<double>::Options opt;
+//   opt.planner.stop_rows = 4096;
+//   blocktri::BlockSolver<double> solver(L, opt);   // preprocess once
+//   std::vector<double> x = solver.solve(b);        // solve many rhs
+//
+// Simulated-GPU timing (the benchmark path) goes through solve_simulated.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "core/plan.hpp"
+#include "sim/cache.hpp"
+#include "sim/host_sim.hpp"
+#include "sim/machine.hpp"
+#include "sim/report.hpp"
+#include "spmv/kernels.hpp"
+#include "sptrsv/cusparse_like.hpp"
+#include "sptrsv/diagonal.hpp"
+#include "sptrsv/levelset.hpp"
+#include "sptrsv/syncfree.hpp"
+
+namespace blocktri {
+
+/// Time split between the triangular and SpMV parts of a blocked solve —
+/// the quantity Fig. 4 plots.
+struct BlockSolveBreakdown {
+  double tri_ns = 0.0;
+  double spmv_ns = 0.0;
+  int tri_kernels = 0;
+  int spmv_kernels = 0;
+};
+
+template <class T>
+class BlockSolver {
+ public:
+  struct Options {
+    BlockScheme scheme = BlockScheme::kRecursive;
+    PlannerOptions planner;
+    /// Adaptive per-block kernel selection (Alg. 7). When false, every
+    /// triangular block uses forced_tri and every square block forced_square
+    /// — the ablation mode of bench/ablation_adaptive.
+    bool adaptive = true;
+    TriKernelKind forced_tri = TriKernelKind::kSyncFree;
+    SpmvKernelKind forced_square = SpmvKernelKind::kScalarCsr;
+    ThresholdTable thresholds;
+  };
+
+  /// Preprocessing stage. `lower` must be lower triangular with a nonzero
+  /// diagonal stored last in each row.
+  BlockSolver(const Csr<T>& lower, const Options& opt);
+
+  /// Solves L x = b (host execution only).
+  std::vector<T> solve(const std::vector<T>& b) const;
+
+  /// Solves and accounts simulated GPU time into `report`. `cache` carries
+  /// locality across calls (pass the same cache for warm-cache measurements;
+  /// nullptr models a cache-less device). `breakdown` (optional) splits the
+  /// time between triangular and SpMV kernels.
+  std::vector<T> solve_simulated(const std::vector<T>& b,
+                                 const sim::GpuSpec& gpu,
+                                 sim::CacheModel* cache,
+                                 sim::SolveReport* report,
+                                 BlockSolveBreakdown* breakdown = nullptr,
+                                 bool fp64 = sizeof(T) == 8) const;
+
+  // --- Introspection -------------------------------------------------------
+
+  struct TriBlockInfo {
+    index_t r0 = 0, r1 = 0;
+    TriKernelKind kind = TriKernelKind::kSyncFree;
+    index_t nlevels = 0;
+    offset_t nnz = 0;
+  };
+  struct SquareBlockInfo {
+    SquareBlockRef ref{};
+    SpmvKernelKind kind = SpmvKernelKind::kScalarCsr;
+    offset_t nnz = 0;
+    double empty_ratio = 0.0;
+  };
+
+  const BlockPlan& plan() const { return plan_; }
+  const std::vector<TriBlockInfo>& tri_info() const { return tri_info_; }
+  const std::vector<SquareBlockInfo>& square_info() const {
+    return square_info_;
+  }
+
+  index_t n() const { return plan_.n; }
+  offset_t nnz() const { return nnz_; }
+
+  /// Nonzeros that ended up in square blocks — the §3.3 claim that the
+  /// reordering concentrates work into the parallel-friendly SpMV parts.
+  offset_t nnz_in_squares() const;
+
+  /// Host-model preprocessing cost (Table 5 column 1).
+  struct PreprocessStats {
+    std::int64_t host_ops = 0;
+    std::int64_t host_bytes = 0;
+    double model_ms = 0.0;
+  };
+  PreprocessStats preprocess_stats() const;
+
+ private:
+  struct TriBlock {
+    TriBlockInfo info;
+    std::unique_ptr<DiagonalSolver<T>> diag;
+    std::unique_ptr<LevelSetSolver<T>> levelset;
+    std::unique_ptr<SyncFreeSolver<T>> syncfree;
+    std::unique_ptr<CusparseLikeSolver<T>> cusparse;
+  };
+  struct SquareBlock {
+    SquareBlockInfo info;
+    Csr<T> csr;    // populated for the CSR kernel kinds
+    Dcsr<T> dcsr;  // populated for the DCSR kernel kinds
+  };
+
+  void exec_tri(const TriBlock& blk, const T* b, T* x,
+                const TrsvSim* s) const;
+  void exec_square(const SquareBlock& blk, const T* x, T* y,
+                   const SpmvSim* s) const;
+
+  Options opt_;
+  BlockPlan plan_;
+  offset_t nnz_ = 0;
+  std::vector<TriBlock> tri_;
+  std::vector<SquareBlock> squares_;
+  std::vector<TriBlockInfo> tri_info_;
+  std::vector<SquareBlockInfo> square_info_;
+  std::int64_t build_ops_ = 0;    // extraction/conversion cost counters
+  std::int64_t build_bytes_ = 0;
+  // Simulated address layout: x, b and the per-solve scratch region.
+  std::uint64_t x_base_ = 0, b_base_ = 0, aux_base_ = 0;
+};
+
+}  // namespace blocktri

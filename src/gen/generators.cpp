@@ -1,0 +1,557 @@
+#include "gen/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/prefix.hpp"
+#include "common/rng.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/permute.hpp"
+#include "sparse/triangular.hpp"
+
+#include <queue>
+#include <utility>
+
+namespace blocktri::gen {
+
+namespace {
+
+/// Incrementally assembles a lower-triangular CSR matrix row by row:
+/// deduplicates and sorts the strictly-lower columns, draws values, and
+/// appends a dominant diagonal.
+class LowerBuilder {
+ public:
+  LowerBuilder(index_t n, Rng& rng) : rng_(rng) {
+    a_.nrows = n;
+    a_.ncols = n;
+    a_.row_ptr.reserve(static_cast<std::size_t>(n) + 1);
+    a_.row_ptr.push_back(0);
+  }
+
+  /// `cols` may be unsorted and contain duplicates/out-of-range hints; they
+  /// are clamped to [0, i) and deduplicated.
+  void add_row(index_t i, std::vector<index_t>& cols) {
+    BLOCKTRI_CHECK(static_cast<index_t>(a_.row_ptr.size()) - 1 == i);
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    double abs_sum = 0.0;
+    for (const index_t c : cols) {
+      if (c < 0 || c >= i) continue;
+      const double v = rng_.uniform(-1.0, 1.0);
+      a_.col_idx.push_back(c);
+      a_.val.push_back(v);
+      abs_sum += std::fabs(v);
+    }
+    a_.col_idx.push_back(i);
+    a_.val.push_back(1.0 + abs_sum);  // diagonal dominance
+    a_.row_ptr.push_back(static_cast<offset_t>(a_.val.size()));
+  }
+
+  Csr<double> take() {
+    BLOCKTRI_CHECK_MSG(a_.row_ptr.size() ==
+                           static_cast<std::size_t>(a_.nrows) + 1,
+                       "not all rows added");
+    return std::move(a_);
+  }
+
+ private:
+  Rng& rng_;
+  Csr<double> a_;
+};
+
+/// Level widths following a geometric profile w_{l+1} = ratio * w_l,
+/// normalised to sum to n with every level at least one row.
+std::vector<index_t> geometric_widths(index_t n, index_t nlevels,
+                                      double ratio) {
+  BLOCKTRI_CHECK(nlevels >= 1 && n >= nlevels);
+  std::vector<double> raw(static_cast<std::size_t>(nlevels));
+  double w = 1.0, total = 0.0;
+  for (auto& r : raw) {
+    r = w;
+    total += w;
+    w *= ratio;
+  }
+  std::vector<index_t> widths(static_cast<std::size_t>(nlevels), 1);
+  index_t assigned = nlevels;
+  for (std::size_t l = 0; l < raw.size() && assigned < n; ++l) {
+    const auto want = static_cast<index_t>(
+        raw[l] / total * static_cast<double>(n - nlevels));
+    const index_t give = std::min<index_t>(want, n - assigned);
+    widths[l] += give;
+    assigned += give;
+  }
+  // Distribute rounding remainder to the widest levels from the front.
+  for (std::size_t l = 0; assigned < n; l = (l + 1) % raw.size()) {
+    ++widths[l];
+    ++assigned;
+  }
+  return widths;
+}
+
+std::vector<offset_t> widths_to_ptr(const std::vector<index_t>& widths) {
+  std::vector<offset_t> ptr(widths.size() + 1, 0);
+  for (std::size_t l = 0; l < widths.size(); ++l)
+    ptr[l + 1] = ptr[l] + widths[l];
+  return ptr;
+}
+
+/// Samples an integer count with the given (possibly fractional) mean.
+index_t fractional_count(Rng& rng, double mean) {
+  const double fl = std::floor(mean);
+  auto c = static_cast<index_t>(fl);
+  if (rng.bernoulli(mean - fl)) ++c;
+  return c;
+}
+
+}  // namespace
+
+Csr<double> diagonal(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  LowerBuilder b(n, rng);
+  std::vector<index_t> none;
+  for (index_t i = 0; i < n; ++i) {
+    none.clear();
+    b.add_row(i, none);
+  }
+  return b.take();
+}
+
+Csr<double> tridiag_chain(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  LowerBuilder b(n, rng);
+  std::vector<index_t> cols;
+  for (index_t i = 0; i < n; ++i) {
+    cols.clear();
+    if (i > 0) cols.push_back(i - 1);
+    b.add_row(i, cols);
+  }
+  return b.take();
+}
+
+Csr<double> banded(index_t n, index_t bandwidth, double avg_in_band,
+                   std::uint64_t seed) {
+  BLOCKTRI_CHECK(bandwidth >= 1);
+  Rng rng(seed);
+  LowerBuilder b(n, rng);
+  std::vector<index_t> cols;
+  for (index_t i = 0; i < n; ++i) {
+    cols.clear();
+    const index_t bw = std::min(bandwidth, i);
+    const index_t want = std::min(bw, fractional_count(rng, avg_in_band));
+    for (index_t k = 0; k < want; ++k)
+      cols.push_back(i - 1 -
+                     static_cast<index_t>(rng.uniform_int(0, bw - 1)));
+    b.add_row(i, cols);
+  }
+  return b.take();
+}
+
+Csr<double> grid2d(index_t nx, index_t ny, std::uint64_t seed) {
+  Rng rng(seed);
+  const index_t n = nx * ny;
+  LowerBuilder b(n, rng);
+  std::vector<index_t> cols;
+  for (index_t iy = 0; iy < ny; ++iy) {
+    for (index_t ix = 0; ix < nx; ++ix) {
+      const index_t i = iy * nx + ix;
+      cols.clear();
+      if (ix > 0) cols.push_back(i - 1);
+      if (iy > 0) cols.push_back(i - nx);
+      b.add_row(i, cols);
+    }
+  }
+  return b.take();
+}
+
+Csr<double> grid3d(index_t nx, index_t ny, index_t nz, std::uint64_t seed) {
+  Rng rng(seed);
+  const index_t n = nx * ny * nz;
+  LowerBuilder b(n, rng);
+  std::vector<index_t> cols;
+  for (index_t iz = 0; iz < nz; ++iz) {
+    for (index_t iy = 0; iy < ny; ++iy) {
+      for (index_t ix = 0; ix < nx; ++ix) {
+        const index_t i = (iz * ny + iy) * nx + ix;
+        cols.clear();
+        if (ix > 0) cols.push_back(i - 1);
+        if (iy > 0) cols.push_back(i - nx);
+        if (iz > 0) cols.push_back(i - nx * ny);
+        b.add_row(i, cols);
+      }
+    }
+  }
+  return b.take();
+}
+
+Csr<double> power_law(index_t n, double alpha, index_t max_degree,
+                      double avg_degree, std::uint64_t seed) {
+  BLOCKTRI_CHECK(max_degree >= 1);
+  Rng rng(seed);
+  // Estimate the truncated power-law mean empirically (deterministically) so
+  // avg_degree can rescale the samples.
+  Rng est(seed ^ 0x5bd1e995u);
+  double mean = 0.0;
+  for (int k = 0; k < 2048; ++k)
+    mean += static_cast<double>(est.power_law(alpha, max_degree));
+  mean /= 2048.0;
+
+  LowerBuilder b(n, rng);
+  // Preferential attachment via the repeated-endpoints trick: sampling a
+  // uniform element of `endpoints` picks column j with probability
+  // proportional to its current in-degree (+1 for its own appearance).
+  std::vector<index_t> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(n) * avg_degree * 2.0, 3e7)));
+  std::vector<index_t> cols;
+  for (index_t i = 0; i < n; ++i) {
+    cols.clear();
+    if (i > 0) {
+      const double s = static_cast<double>(rng.power_law(alpha, max_degree));
+      const auto deg = std::min<index_t>(
+          i, std::max<index_t>(1, static_cast<index_t>(
+                                      std::lround(s / mean * avg_degree))));
+      for (index_t k = 0; k < deg; ++k) {
+        index_t c;
+        if (!endpoints.empty() && rng.bernoulli(0.7)) {
+          c = endpoints[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(endpoints.size()) - 1))];
+          if (c >= i)  // endpoint from this row; fall back to uniform
+            c = static_cast<index_t>(rng.uniform_int(0, i - 1));
+        } else {
+          c = static_cast<index_t>(rng.uniform_int(0, i - 1));
+        }
+        cols.push_back(c);
+        endpoints.push_back(c);
+      }
+    }
+    endpoints.push_back(i);
+    b.add_row(i, cols);
+  }
+  return b.take();
+}
+
+Csr<double> random_levels(index_t n, index_t nlevels, double extra_degree,
+                          double width_ratio, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<index_t> widths = geometric_widths(n, nlevels, width_ratio);
+  const std::vector<offset_t> lvl_ptr = widths_to_ptr(widths);
+
+  LowerBuilder b(n, rng);
+  std::vector<index_t> cols;
+  for (index_t l = 0; l < nlevels; ++l) {
+    for (offset_t p = lvl_ptr[static_cast<std::size_t>(l)];
+         p < lvl_ptr[static_cast<std::size_t>(l) + 1]; ++p) {
+      const auto i = static_cast<index_t>(p);
+      cols.clear();
+      if (l > 0) {
+        // One parent in the previous level pins the row's level exactly.
+        cols.push_back(static_cast<index_t>(rng.uniform_int(
+            lvl_ptr[static_cast<std::size_t>(l) - 1],
+            lvl_ptr[static_cast<std::size_t>(l)] - 1)));
+        // Extra parents anywhere before this level (same-level parents would
+        // push the row deeper).
+        const index_t extra = fractional_count(rng, extra_degree);
+        for (index_t k = 0; k < extra; ++k)
+          cols.push_back(static_cast<index_t>(rng.uniform_int(
+              0, lvl_ptr[static_cast<std::size_t>(l)] - 1)));
+      }
+      b.add_row(i, cols);
+    }
+  }
+  return b.take();
+}
+
+Csr<double> two_level_kkt(index_t n, index_t m, double couple_degree,
+                          std::uint64_t seed) {
+  BLOCKTRI_CHECK(m >= 1 && m < n);
+  Rng rng(seed);
+  LowerBuilder b(n, rng);
+  std::vector<index_t> cols;
+  for (index_t i = 0; i < n; ++i) {
+    cols.clear();
+    if (i >= m) {
+      // PDE-constrained-KKT locality: the coupling block is near-diagonal —
+      // row m+k couples to a stencil neighbourhood of column k. Nearby rows
+      // therefore share x cache lines, the structure blocking exploits.
+      const index_t deg =
+          std::max<index_t>(1, fractional_count(rng, couple_degree));
+      const double frac = static_cast<double>(i - m) /
+                          static_cast<double>(n - m);
+      const auto base = static_cast<index_t>(frac * (m - 1));
+      for (index_t k = 0; k < deg; ++k) {
+        const auto off = static_cast<index_t>(rng.geometric(0.004));
+        const index_t c = rng.bernoulli(0.5)
+                              ? base + off
+                              : base - off;
+        cols.push_back(std::clamp<index_t>(c, 0, m - 1));
+      }
+    }
+    b.add_row(i, cols);
+  }
+  return b.take();
+}
+
+Csr<double> kkt_structure(index_t n, index_t nlevels, double couple_degree,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  // Uniform level widths with long-range couplings into the first quarter —
+  // the optimisation-matrix profile: moderate level count, wide levels,
+  // mixed short/long dependency spans.
+  const std::vector<index_t> widths = geometric_widths(n, nlevels, 1.0);
+  const std::vector<offset_t> lvl_ptr = widths_to_ptr(widths);
+  LowerBuilder b(n, rng);
+  std::vector<index_t> cols;
+  const index_t quarter = std::max<index_t>(1, n / 4);
+  for (index_t l = 0; l < nlevels; ++l) {
+    for (offset_t p = lvl_ptr[static_cast<std::size_t>(l)];
+         p < lvl_ptr[static_cast<std::size_t>(l) + 1]; ++p) {
+      const auto i = static_cast<index_t>(p);
+      cols.clear();
+      if (l > 0) {
+        cols.push_back(static_cast<index_t>(rng.uniform_int(
+            lvl_ptr[static_cast<std::size_t>(l) - 1],
+            lvl_ptr[static_cast<std::size_t>(l)] - 1)));
+        const index_t extra = fractional_count(rng, couple_degree);
+        for (index_t k = 0; k < extra; ++k) {
+          // Half the couplings go far back (saddle-point block), half local.
+          // Both stay strictly below this level's first row so the assigned
+          // level count is exact.
+          const auto lvl_lo = static_cast<index_t>(
+              lvl_ptr[static_cast<std::size_t>(l)]);
+          const index_t c =
+              rng.bernoulli(0.5)
+                  ? static_cast<index_t>(rng.uniform_int(
+                        0, std::min<index_t>(quarter, lvl_lo) - 1))
+                  : static_cast<index_t>(rng.uniform_int(0, lvl_lo - 1));
+          if (c < i) cols.push_back(c);
+        }
+      }
+      b.add_row(i, cols);
+    }
+  }
+  return b.take();
+}
+
+Csr<double> trace_network(index_t n, index_t nlevels, double alpha,
+                          double width_ratio, std::uint64_t seed) {
+  Rng rng(seed);
+  // Decaying widths: a huge first level, then a thinning tail — the
+  // mawi-style profile (19 levels spanning widths 11 .. 34.5M) at ratio
+  // ~0.45, or a FullChip-like even-width hubbed profile near ratio 1.
+  const std::vector<index_t> widths =
+      geometric_widths(n, nlevels, width_ratio);
+  const std::vector<offset_t> lvl_ptr = widths_to_ptr(widths);
+  LowerBuilder b(n, rng);
+  std::vector<index_t> cols;
+  for (index_t l = 0; l < nlevels; ++l) {
+    const offset_t prev_lo = l > 0 ? lvl_ptr[static_cast<std::size_t>(l) - 1]
+                                   : 0;
+    const offset_t prev_hi = l > 0 ? lvl_ptr[static_cast<std::size_t>(l)] : 0;
+    const offset_t prev_w = prev_hi - prev_lo;
+    for (offset_t p = lvl_ptr[static_cast<std::size_t>(l)];
+         p < lvl_ptr[static_cast<std::size_t>(l) + 1]; ++p) {
+      const auto i = static_cast<index_t>(p);
+      cols.clear();
+      if (l > 0) {
+        // Hub bias: parents cluster at the front of the previous level, so a
+        // handful of columns fan out to most of the next level.
+        const std::int64_t hub =
+            rng.power_law(alpha, static_cast<std::int64_t>(prev_w)) - 1;
+        cols.push_back(static_cast<index_t>(prev_lo + hub));
+        const auto extra = static_cast<index_t>(rng.power_law(alpha, 32) - 1);
+        for (index_t k = 0; k < extra; ++k) {
+          const std::int64_t h2 =
+              rng.power_law(alpha, static_cast<std::int64_t>(
+                                       lvl_ptr[static_cast<std::size_t>(l)])) -
+              1;
+          cols.push_back(static_cast<index_t>(h2));
+        }
+      }
+      b.add_row(i, cols);
+    }
+  }
+  return b.take();
+}
+
+Csr<double> power_law_levels(index_t n, index_t nlevels, double width_ratio,
+                             double alpha_row, index_t max_row,
+                             double avg_row, double hub_alpha,
+                             index_t hub_rows, double hub_row_fill,
+                             index_t hub_cols, double hub_col_fill,
+                             std::uint64_t seed) {
+  BLOCKTRI_CHECK(max_row >= 1);
+  Rng rng(seed);
+  const std::vector<index_t> widths =
+      geometric_widths(n, nlevels, width_ratio);
+  const std::vector<offset_t> lvl_ptr = widths_to_ptr(widths);
+
+  // Deterministic estimate of the truncated power-law mean so avg_row can
+  // rescale the samples (same trick as power_law()).
+  Rng est(seed ^ 0x5bd1e995u);
+  double mean = 0.0;
+  for (int k = 0; k < 2048; ++k)
+    mean += static_cast<double>(est.power_law(alpha_row, max_row));
+  mean /= 2048.0;
+
+  // Super-hub rows live at the start of the last `hub_rows` levels, so each
+  // can connect to almost the whole matrix without changing the level count.
+  std::vector<char> is_hub(static_cast<std::size_t>(n), 0);
+  for (index_t h = 0; h < hub_rows && h + 1 < nlevels; ++h)
+    is_hub[static_cast<std::size_t>(
+        lvl_ptr[static_cast<std::size_t>(nlevels - 1 - h)])] = 1;
+
+  LowerBuilder b(n, rng);
+  std::vector<index_t> cols;
+  for (index_t l = 0; l < nlevels; ++l) {
+    const offset_t prev_lo =
+        l > 0 ? lvl_ptr[static_cast<std::size_t>(l) - 1] : 0;
+    const offset_t lvl_lo = lvl_ptr[static_cast<std::size_t>(l)];
+    const offset_t prev_w = lvl_lo - prev_lo;
+    for (offset_t p = lvl_lo; p < lvl_ptr[static_cast<std::size_t>(l) + 1];
+         ++p) {
+      const auto i = static_cast<index_t>(p);
+      cols.clear();
+      if (l > 0 && is_hub[static_cast<std::size_t>(i)]) {
+        // Hub row: connects to hub_row_fill of everything before its level.
+        cols.push_back(static_cast<index_t>(
+            prev_lo + rng.uniform_int(0, prev_w - 1)));  // pin the level
+        const auto want = static_cast<index_t>(
+            hub_row_fill * static_cast<double>(lvl_lo));
+        for (const auto c : rng.sample_distinct(0, lvl_lo - 1,
+                                                std::min<offset_t>(want,
+                                                                   lvl_lo)))
+          cols.push_back(static_cast<index_t>(c));
+        b.add_row(i, cols);
+        continue;
+      }
+      if (l > 0 && hub_cols > 0 && rng.bernoulli(hub_col_fill)) {
+        // Attach to one of the designated hub columns (front of level 0).
+        cols.push_back(static_cast<index_t>(rng.uniform_int(
+            0, std::min<offset_t>(hub_cols, lvl_ptr[1]) - 1)));
+      }
+      if (l > 0) {
+        // Pinned parent in the previous level, hub-biased to its front.
+        cols.push_back(static_cast<index_t>(
+            prev_lo + rng.power_law(hub_alpha,
+                                    static_cast<std::int64_t>(prev_w)) -
+            1));
+        // Power-law extra degree, parents hub-biased over all earlier
+        // levels (front rows of the matrix collect huge in-degrees).
+        const double s =
+            static_cast<double>(rng.power_law(alpha_row, max_row));
+        const auto deg = static_cast<index_t>(
+            std::lround(s / mean * (avg_row - 1.0)));
+        for (index_t k = 0; k + 1 < deg; ++k) {
+          // Half hub-biased (long columns), half uniform (so very long rows
+          // survive deduplication and stay long).
+          const index_t c =
+              rng.bernoulli(0.5)
+                  ? static_cast<index_t>(
+                        rng.power_law(hub_alpha,
+                                      static_cast<std::int64_t>(lvl_lo)) -
+                        1)
+                  : static_cast<index_t>(rng.uniform_int(0, lvl_lo - 1));
+          cols.push_back(c);
+        }
+      }
+      b.add_row(i, cols);
+    }
+  }
+  return b.take();
+}
+
+Csr<double> chain_banded(index_t n, index_t bandwidth, double extra_avg,
+                         std::uint64_t seed) {
+  BLOCKTRI_CHECK(bandwidth >= 1);
+  Rng rng(seed);
+  LowerBuilder b(n, rng);
+  std::vector<index_t> cols;
+  for (index_t i = 0; i < n; ++i) {
+    cols.clear();
+    if (i > 0) {
+      cols.push_back(i - 1);  // the chain: forces nlevels == n
+      const index_t bw = std::min(bandwidth, i);
+      const index_t extra = fractional_count(rng, extra_avg);
+      for (index_t k = 0; k < extra; ++k)
+        cols.push_back(i - 1 -
+                       static_cast<index_t>(rng.uniform_int(0, bw - 1)));
+    }
+    b.add_row(i, cols);
+  }
+  return b.take();
+}
+
+Csr<double> dense_lower(index_t n, double density, std::uint64_t seed) {
+  Rng rng(seed);
+  LowerBuilder b(n, rng);
+  std::vector<index_t> cols;
+  for (index_t i = 0; i < n; ++i) {
+    cols.clear();
+    for (index_t j = 0; j < i; ++j)
+      if (rng.bernoulli(density)) cols.push_back(j);
+    b.add_row(i, cols);
+  }
+  return b.take();
+}
+
+Csr<double> random_topological_shuffle(const Csr<double>& lower,
+                                       std::uint64_t seed) {
+  const index_t n = lower.nrows;
+  Rng rng(seed);
+  // Kahn's algorithm with random priorities: any pop order is a valid
+  // topological order; random priorities make it a uniform-ish shuffle.
+  const Csc<double> csc = csr_to_csc(lower);
+  std::vector<index_t> indeg(static_cast<std::size_t>(n), 0);
+  for (index_t i = 0; i < n; ++i)
+    indeg[static_cast<std::size_t>(i)] =
+        static_cast<index_t>(lower.row_nnz(i)) - 1;  // minus the diagonal
+  using Entry = std::pair<std::uint64_t, index_t>;  // (priority, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> ready;
+  for (index_t i = 0; i < n; ++i)
+    if (indeg[static_cast<std::size_t>(i)] == 0)
+      ready.push({rng.next_u64(), i});
+
+  std::vector<index_t> new_of_old(static_cast<std::size_t>(n));
+  index_t next = 0;
+  while (!ready.empty()) {
+    const index_t j = ready.top().second;
+    ready.pop();
+    new_of_old[static_cast<std::size_t>(j)] = next++;
+    for (offset_t k = csc.col_ptr[static_cast<std::size_t>(j)];
+         k < csc.col_ptr[static_cast<std::size_t>(j) + 1]; ++k) {
+      const index_t r = csc.row_idx[static_cast<std::size_t>(k)];
+      if (r == j) continue;
+      if (--indeg[static_cast<std::size_t>(r)] == 0)
+        ready.push({rng.next_u64(), r});
+    }
+  }
+  BLOCKTRI_CHECK_MSG(next == n, "dependency graph is not a DAG");
+  return permute_symmetric(lower, new_of_old);
+}
+
+template <class T>
+Csr<T> convert_values(const Csr<double>& a) {
+  Csr<T> out;
+  out.nrows = a.nrows;
+  out.ncols = a.ncols;
+  out.row_ptr = a.row_ptr;
+  out.col_idx = a.col_idx;
+  out.val.reserve(a.val.size());
+  for (const double v : a.val) out.val.push_back(static_cast<T>(v));
+  return out;
+}
+
+template <class T>
+std::vector<T> random_rhs(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<T> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = static_cast<T>(rng.uniform(-1.0, 1.0));
+  return b;
+}
+
+template Csr<float> convert_values<float>(const Csr<double>&);
+template Csr<double> convert_values<double>(const Csr<double>&);
+template std::vector<float> random_rhs<float>(index_t, std::uint64_t);
+template std::vector<double> random_rhs<double>(index_t, std::uint64_t);
+
+}  // namespace blocktri::gen

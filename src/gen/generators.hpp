@@ -1,0 +1,131 @@
+// Synthetic sparse lower-triangular system generators.
+//
+// The paper's dataset is 159 SuiteSparse matrices chosen by size filters
+// (§4.1); what discriminates SpTRSV algorithms on them is *structure*: level
+// count, level widths (parallelism), row-length distribution (power-law long
+// rows/columns), bandwidth, and density. Each generator here produces a
+// lower-triangular matrix (diagonal included, stored last in each row) with
+// one of those structural fingerprints dialled in directly (DESIGN.md §2).
+//
+// All generators:
+//   * are deterministic in (parameters, seed),
+//   * emit strictly ascending columns per row with the diagonal present,
+//   * fill values with off-diagonal entries in [-1, 1] and the diagonal set
+//     to 1 + Σ|off-diag| (diagonal dominance), so forward substitution is
+//     well-conditioned even for chains hundreds of thousands deep — the
+//     float/double comparison of Fig. 7 needs both precisions to converge.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/formats.hpp"
+
+namespace blocktri::gen {
+
+/// Diagonal-only system: one level, perfect parallelism (§3.4 case 1).
+Csr<double> diagonal(index_t n, std::uint64_t seed);
+
+/// First-order chain (x_i depends on x_{i-1}): n levels of width 1 — the
+/// tmt_sym-like "almost no parallelism" extreme of Table 4.
+Csr<double> tridiag_chain(index_t n, std::uint64_t seed);
+
+/// Random entries within a band of the given width; `avg_in_band` entries
+/// per row on average. Moderate levels, regular rows.
+Csr<double> banded(index_t n, index_t bandwidth, double avg_in_band,
+                   std::uint64_t seed);
+
+/// 5-point-stencil lower part on an nx*ny grid: nx+ny-1 wavefront levels of
+/// width up to min(nx, ny) — the classic structured-problem profile.
+Csr<double> grid2d(index_t nx, index_t ny, std::uint64_t seed);
+
+/// 7-point-stencil lower part on an nx*ny*nz grid.
+Csr<double> grid3d(index_t nx, index_t ny, index_t nz, std::uint64_t seed);
+
+/// Power-law matrix with preferential attachment: row degrees follow
+/// P(k) ∝ k^-alpha (capped) and columns are chosen preferentially, creating
+/// the hub columns that break sync-free load balance (§2.2, FullChip-like).
+Csr<double> power_law(index_t n, double alpha, index_t max_degree,
+                      double avg_degree, std::uint64_t seed);
+
+/// Exact level structure: `nlevels` levels whose widths follow a geometric
+/// profile (ratio 1 = uniform). Each row takes one parent in the previous
+/// level (pinning its level) plus `extra_degree` parents anywhere earlier.
+/// The workhorse for the Fig. 5 calibration sweeps where nlevels is an axis.
+Csr<double> random_levels(index_t n, index_t nlevels, double extra_degree,
+                          double width_ratio, std::uint64_t seed);
+
+/// Two-level saddle-point profile (nlpkkt-like): the first `m` rows are
+/// diagonal-only; the remaining rows couple into the first half with
+/// `couple_degree` entries each. Exactly 2 levels, huge widths.
+Csr<double> two_level_kkt(index_t n, index_t m, double couple_degree,
+                          std::uint64_t seed);
+
+/// Optimisation-KKT profile (kkt_power-like): a banded leading segment plus
+/// a trailing segment with random couplings into the leading one — a few
+/// tens of levels with wide parallelism.
+Csr<double> kkt_structure(index_t n, index_t nlevels, double couple_degree,
+                          std::uint64_t seed);
+
+/// Network-trace profile (mawi-like): very few levels, enormous and wildly
+/// uneven widths, power-law degrees concentrated on hub columns.
+/// `width_ratio` shapes the geometric level-width decay (0.45 = front-loaded
+/// mawi profile; ~1 = even widths with hubs, the FullChip-like profile).
+Csr<double> trace_network(index_t n, index_t nlevels, double alpha,
+                          double width_ratio, std::uint64_t seed);
+
+/// The most faithful stand-in for the paper's hard matrices: an exact level
+/// structure combined with power-law row lengths and hub columns.
+///
+///   * widths follow a geometric profile (`width_ratio`, as random_levels),
+///   * row degrees are power-law: deg ~ avg_row * PL(alpha_row)/mean,
+///     capped at max_row — the long rows that break one-thread-per-row
+///     kernels (§2.2),
+///   * parents are chosen with power-law position bias toward the front of
+///     the eligible range, concentrating in-degree on hub columns — the
+///     long columns that break sync-free load balance (§2.2).
+///
+/// `hub_rows` / `hub_row_fill`: number of explicit super-hub rows (the
+/// power/ground-net or trace-aggregator rows of the paper's FullChip and
+/// mawi matrices) and the fraction of all earlier rows each one connects
+/// to. Hub rows are placed at the starts of the deepest levels so the level
+/// count stays exact.
+///
+/// `hub_cols` / `hub_col_fill`: number of explicit super-hub COLUMNS (the
+/// first rows of the matrix) and the probability that any later row depends
+/// on one. A hub column makes the CSC sync-free kernel's warp issue a
+/// serialised atomic storm over an enormous fan-out — the §4.2 load
+/// imbalance that blocking cuts into segments.
+Csr<double> power_law_levels(index_t n, index_t nlevels, double width_ratio,
+                             double alpha_row, index_t max_row,
+                             double avg_row, double hub_alpha,
+                             index_t hub_rows, double hub_row_fill,
+                             index_t hub_cols, double hub_col_fill,
+                             std::uint64_t seed);
+
+/// Serial-dominated banded profile (tmt_sym-like): every row depends on its
+/// predecessor (so nlevels == n) plus `extra_avg` extra entries within the
+/// band. Near-zero parallelism regardless of width.
+Csr<double> chain_banded(index_t n, index_t bandwidth, double extra_avg,
+                         std::uint64_t seed);
+
+/// Dense-ish lower triangle with the given fill fraction (for the Table 1/2
+/// traffic measurements, whose closed forms assume dense blocks).
+Csr<double> dense_lower(index_t n, double density, std::uint64_t seed);
+
+/// Renumbers the system by a RANDOM topological order of its dependency DAG
+/// (random-priority Kahn): the result is still lower triangular and
+/// represents the same system, but rows are no longer level-coherent —
+/// the state real collection matrices arrive in, and the input on which the
+/// §3.3 level-set reordering earns its keep (bench/ablation_reorder).
+Csr<double> random_topological_shuffle(const Csr<double>& lower,
+                                       std::uint64_t seed);
+
+/// Value-type conversion for the Fig. 7 float/double comparison.
+template <class T>
+Csr<T> convert_values(const Csr<double>& a);
+
+/// Deterministic right-hand side in [-1, 1].
+template <class T>
+std::vector<T> random_rhs(index_t n, std::uint64_t seed);
+
+}  // namespace blocktri::gen

@@ -1,0 +1,220 @@
+#include "gen/suite.hpp"
+
+#include <string>
+
+#include "common/types.hpp"
+#include "gen/generators.hpp"
+
+namespace blocktri::gen {
+
+namespace {
+
+std::uint64_t suite_seed(std::size_t idx) {
+  // Distinct, stable seeds per entry: the suite must be the same matrices
+  // on every machine and every run.
+  return 0x0b1ec7715eedULL + 0x9e3779b97f4a7c15ULL * (idx + 1);
+}
+
+void add(std::vector<SuiteEntry>& out, std::string family,
+         std::function<Csr<double>()> build) {
+  SuiteEntry e;
+  e.family = std::move(family);
+  e.name = e.family + "_" + std::to_string(out.size());
+  e.build = std::move(build);
+  out.push_back(std::move(e));
+}
+
+}  // namespace
+
+std::vector<SuiteEntry> paper_suite() {
+  std::vector<SuiteEntry> out;
+  out.reserve(159);
+
+  // 24 structured 2D grids (wavefront levels, regular rows).
+  {
+    const index_t dims[12][2] = {{100, 100},  {150, 100}, {200, 150},
+                                 {200, 200},  {300, 200}, {300, 300},
+                                 {400, 250},  {400, 400}, {500, 300},
+                                 {500, 500},  {600, 400}, {640, 480}};
+    for (int rep = 0; rep < 2; ++rep)
+      for (const auto& d : dims) {
+        const index_t nx = d[0], ny = d[1];
+        add(out, "grid2d", [nx, ny, s = suite_seed(out.size() + rep)] {
+          return grid2d(nx, ny, s);
+        });
+      }
+  }
+
+  // 12 structured 3D grids.
+  {
+    const index_t dims[12] = {20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 60, 64};
+    for (const index_t d : dims)
+      add(out, "grid3d",
+          [d, s = suite_seed(out.size())] { return grid3d(d, d, d, s); });
+  }
+
+  // 20 banded systems (bandwidth x size sweep).
+  {
+    const index_t ns[4] = {20000, 50000, 100000, 150000};
+    const index_t bws[5] = {4, 16, 64, 256, 1024};
+    for (const index_t n : ns)
+      for (const index_t bw : bws)
+        add(out, "banded", [n, bw, s = suite_seed(out.size())] {
+          return banded(n, bw, 3.0, s);
+        });
+  }
+
+  // 24 power-law circuit/network graphs (hub columns, load imbalance).
+  {
+    const index_t ns[3] = {30000, 60000, 120000};
+    const double alphas[4] = {1.8, 2.2, 2.6, 3.0};
+    const double degs[2] = {4.0, 16.0};
+    for (const index_t n : ns)
+      for (const double a : alphas)
+        for (const double deg : degs)
+          add(out, "powerlaw", [n, a, deg, s = suite_seed(out.size())] {
+            return power_law(n, a, 4096, deg, s);
+          });
+  }
+
+  // 24 level-controlled random DAGs (the nlevels axis).
+  {
+    const index_t ns[2] = {40000, 100000};
+    const index_t levels[6] = {4, 32, 256, 2048, 16384, 32768};
+    const double extras[2] = {2.0, 8.0};
+    for (const index_t n : ns)
+      for (const index_t nl : levels)
+        for (const double ex : extras)
+          add(out, "rndlevels", [n, nl, ex, s = suite_seed(out.size())] {
+            return random_levels(n, std::min<index_t>(nl, n / 2), ex, 1.0, s);
+          });
+  }
+
+  // 10 two-level saddle-point systems (nlpkkt-like extreme parallelism).
+  {
+    const index_t ns[5] = {50000, 80000, 100000, 150000, 200000};
+    const double couples[2] = {8.0, 24.0};
+    for (const index_t n : ns)
+      for (const double c : couples)
+        add(out, "twolevel", [n, c, s = suite_seed(out.size())] {
+          return two_level_kkt(n, n / 2, c, s);
+        });
+  }
+
+  // 15 KKT/optimisation structures (moderate levels, mixed spans).
+  {
+    const index_t ns[3] = {50000, 100000, 150000};
+    const index_t levels[5] = {10, 20, 40, 80, 160};
+    for (const index_t n : ns)
+      for (const index_t nl : levels)
+        add(out, "kkt", [n, nl, s = suite_seed(out.size())] {
+          return kkt_structure(n, nl, 3.0, s);
+        });
+  }
+
+  // 12 network traces (few huge levels, hubbed).
+  {
+    const index_t ns[2] = {80000, 150000};
+    const index_t levels[3] = {8, 19, 45};
+    const double alphas[2] = {1.6, 2.0};
+    for (const index_t n : ns)
+      for (const index_t nl : levels)
+        for (const double a : alphas)
+          add(out, "trace", [n, nl, a, s = suite_seed(out.size())] {
+            return trace_network(n, nl, a, 0.45, s);
+          });
+  }
+
+  // 12 near-serial chains (tmt-like worst case for everyone).
+  {
+    const index_t ns[4] = {10000, 30000, 80000, 150000};
+    const index_t bws[3] = {2, 8, 32};
+    for (const index_t n : ns)
+      for (const index_t bw : bws)
+        add(out, "chain", [n, bw, s = suite_seed(out.size())] {
+          return chain_banded(n, bw, 2.0, s);
+        });
+  }
+
+  // 3 diagonal systems (the perfectly parallel endpoint).
+  for (const index_t n : {50000, 100000, 200000})
+    add(out, "diag", [n, s = suite_seed(out.size())] { return diagonal(n, s); });
+
+  // 3 dense-ish lower triangles (blocking upper bound).
+  for (const index_t n : {1500, 2500, 4000})
+    add(out, "denselow",
+        [n, s = suite_seed(out.size())] { return dense_lower(n, 0.15, s); });
+
+  BLOCKTRI_CHECK_MSG(out.size() == 159,
+                     "paper_suite must contain exactly 159 matrices, got " +
+                         std::to_string(out.size()));
+  return out;
+}
+
+std::vector<SuiteEntry> representative_suite() {
+  std::vector<SuiteEntry> out;
+  auto push = [&out](std::string name, std::string family, std::string mimics,
+                     double scale, std::function<Csr<double>()> build) {
+    SuiteEntry e;
+    e.name = std::move(name);
+    e.family = std::move(family);
+    e.mimics = std::move(mimics);
+    e.scale = scale;
+    e.build = std::move(build);
+    out.push_back(std::move(e));
+  };
+
+  // Table 4 row 1: nlpkkt200 — n=16.24M, nnz=232M (nnz/row 14.3), 2 levels
+  // of enormous width (8.0M / 8.24M). At 1/64: n=254k, same nnz/row.
+  push("nlpkkt-sim", "twolevel", "nlpkkt200", 64.0,
+       [] { return two_level_kkt(254000, 127000, 26.6, 11); });
+
+  // Row 2: mawi_201512020030 — n=68.86M, nnz/row 2.04, 19 levels of widths
+  // 11..34.5M, extreme power-law hubs (network trace). At 1/256.
+  push("mawi-sim", "plevels", "mawi_201512020030", 256.0, [] {
+    return power_law_levels(269000, 19, 0.45, 1.5, 2000, 2.04, 1.3,
+                            /*hub_rows=*/5, /*hub_row_fill=*/0.3,
+                            /*hub_cols=*/3, /*hub_col_fill=*/0.25, 22);
+  });
+
+  // Row 3: kkt_power — n=2.06M, nnz/row 4.14, 17 levels (1090..626k wide),
+  // power-law optimisation structure. At 1/16.
+  push("kkt_power-sim", "plevels", "kkt_power", 16.0, [] {
+    return power_law_levels(129000, 17, 0.75, 1.8, 1500, 4.14, 1.3,
+                            /*hub_rows=*/0, 0.0, /*hub_cols=*/2,
+                            /*hub_col_fill=*/0.05, 33);
+  });
+
+  // Row 4: FullChip — n=2.99M, nnz/row 4.96, 324 levels (1..468k wide),
+  // circuit power-law with huge hubs (power/ground nets). At 1/16.
+  push("fullchip-sim", "plevels", "FullChip", 16.0, [] {
+    return power_law_levels(187000, 324, 0.985, 1.9, 2000, 4.96, 1.08,
+                            /*hub_rows=*/0, 0.0, /*hub_cols=*/2,
+                            /*hub_col_fill=*/0.75, 44);
+  });
+
+  // Row 5: vas_stokes_4M — n=4.38M, nnz/row 22.1, 2815 levels of avg width
+  // 1556 (min 1), long rows/columns per the paper's §4.2 analysis. At 1/32.
+  push("vas_stokes-sim", "plevels", "vas_stokes_4M", 32.0, [] {
+    return power_law_levels(137000, 2815, 0.9995, 3.5, 200, 22.1, 1.15,
+                            /*hub_rows=*/0, 0.0, /*hub_cols=*/3,
+                            /*hub_col_fill=*/0.4, 55);
+  });
+
+  // Row 6: tmt_sym — n=727k, nnz/row 4.0, 726k levels: a serial chain. 1/8.
+  push("tmt-sim", "chain", "tmt_sym", 8.0,
+       [] { return chain_banded(90800, 5, 3.0, 66); });
+
+  return out;
+}
+
+SuiteEntry find_suite_entry(const std::string& name) {
+  for (auto& e : representative_suite())
+    if (e.name == name) return e;
+  for (auto& e : paper_suite())
+    if (e.name == name) return e;
+  BLOCKTRI_CHECK_MSG(false, "no suite entry named " + name);
+  return {};
+}
+
+}  // namespace blocktri::gen

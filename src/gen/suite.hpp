@@ -1,0 +1,45 @@
+// The benchmark dataset registries (DESIGN.md §2).
+//
+//   * paper_suite()          — 159 synthetic matrices standing in for the 159
+//     SuiteSparse matrices of §4.1, spanning the same structural families:
+//     structured grids, banded systems, power-law circuit/network graphs,
+//     saddle-point/KKT patterns, level-controlled DAGs, traces and
+//     near-serial chains. Sizes are scaled down (DESIGN.md documents why
+//     structure, not raw size, is the discriminating variable).
+//   * representative_suite() — six matrices mimicking the structural
+//     fingerprints of Table 4's representatives (nlpkkt200,
+//     mawi_201512020030, kkt_power, FullChip, vas_stokes_4M, tmt_sym).
+//
+// Entries carry a builder rather than a matrix so harnesses can generate,
+// measure and discard one matrix at a time (the whole suite would not be
+// RAM-friendly materialised at once).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sparse/formats.hpp"
+
+namespace blocktri::gen {
+
+struct SuiteEntry {
+  std::string name;
+  std::string family;      // generator family, for grouping in reports
+  std::string mimics;      // for representatives: the Table 4 matrix name
+  /// Dataset scale factor: this matrix mimics its real counterpart at
+  /// roughly 1/scale of the row count. Harnesses measure it on
+  /// sim::scale_for_dataset(gpu, scale) so overhead-to-work ratios match
+  /// the full-size run (see sim/machine.hpp).
+  double scale = 16.0;
+  std::function<Csr<double>()> build;
+};
+
+std::vector<SuiteEntry> paper_suite();
+
+std::vector<SuiteEntry> representative_suite();
+
+/// Lookup by name in either suite; throws if absent.
+SuiteEntry find_suite_entry(const std::string& name);
+
+}  // namespace blocktri::gen

@@ -1,0 +1,73 @@
+#include "sim/cache.hpp"
+
+#include "common/types.hpp"
+
+namespace blocktri::sim {
+
+CacheModel::CacheModel(std::size_t bytes, int line_bytes, int assoc)
+    : line_(line_bytes), assoc_(assoc) {
+  BLOCKTRI_CHECK(line_bytes > 0 && (line_bytes & (line_bytes - 1)) == 0);
+  BLOCKTRI_CHECK(assoc > 0);
+  nsets_ = bytes / (static_cast<std::size_t>(line_bytes) *
+                    static_cast<std::size_t>(assoc));
+  if (nsets_ == 0) nsets_ = 1;
+  // Power-of-two set count so the index is a mask, keeping per-access cost
+  // to a handful of instructions (the fig6 sweep makes ~10^9 probes).
+  std::uint64_t p2 = 1;
+  while (p2 * 2 <= nsets_) p2 *= 2;
+  nsets_ = p2;
+  tags_.assign(nsets_ * static_cast<std::uint64_t>(assoc_), 0);
+  stamps_.assign(tags_.size(), 0);
+}
+
+int CacheModel::probe_line(std::uint64_t line_addr) {
+  const std::uint64_t set = line_addr & (nsets_ - 1);
+  const std::uint64_t tag = line_addr + 1;  // +1: 0 marks an empty way
+  const std::size_t base = static_cast<std::size_t>(set) *
+                           static_cast<std::size_t>(assoc_);
+  ++tick_;
+  int victim = 0;
+  std::uint32_t oldest = stamps_[base];
+  for (int w = 0; w < assoc_; ++w) {
+    if (tags_[base + static_cast<std::size_t>(w)] == tag) {
+      stamps_[base + static_cast<std::size_t>(w)] = tick_;
+      ++hits_;
+      return 0;
+    }
+    if (stamps_[base + static_cast<std::size_t>(w)] < oldest) {
+      oldest = stamps_[base + static_cast<std::size_t>(w)];
+      victim = w;
+    }
+  }
+  tags_[base + static_cast<std::size_t>(victim)] = tag;
+  stamps_[base + static_cast<std::size_t>(victim)] = tick_;
+  ++misses_;
+  return 1;
+}
+
+int CacheModel::access(std::uint64_t addr, int size) {
+  BLOCKTRI_CHECK(size > 0);
+  const std::uint64_t first = addr / static_cast<std::uint64_t>(line_);
+  const std::uint64_t last =
+      (addr + static_cast<std::uint64_t>(size) - 1) /
+      static_cast<std::uint64_t>(line_);
+  int missed = 0;
+  for (std::uint64_t l = first; l <= last; ++l) missed += probe_line(l);
+  return missed;
+}
+
+void CacheModel::reset() {
+  std::fill(tags_.begin(), tags_.end(), 0);
+  std::fill(stamps_.begin(), stamps_.end(), 0);
+  tick_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+std::uint64_t AddressSpace::reserve(std::uint64_t bytes) {
+  const std::uint64_t base = next_;
+  next_ += (bytes + 63) & ~std::uint64_t{63};
+  return base;
+}
+
+}  // namespace blocktri::sim

@@ -1,0 +1,45 @@
+// Host-side cost model for the preprocessing stage (Table 5).
+//
+// Preprocessing (level analysis, stable sorts, block extraction, format
+// conversion) runs on the host CPU in the paper's pipeline. The actual
+// passes in core/ are instrumented with the operation and byte counts they
+// perform, and this accumulator converts those counts into nanoseconds under
+// a documented HostSpec, so preprocessing time and simulated GPU solve time
+// share a single time base (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/machine.hpp"
+
+namespace blocktri::sim {
+
+class HostSim {
+ public:
+  explicit HostSim(const HostSpec& spec) : spec_(spec) {}
+
+  /// Simple integer/compare/move operations (loop bodies).
+  void ops(std::int64_t n) { ops_ += n; }
+
+  /// Bytes moved through memory (reads + writes of array passes).
+  void bytes(std::int64_t n) { bytes_ += n; }
+
+  std::int64_t total_ops() const { return ops_; }
+  std::int64_t total_bytes() const { return bytes_; }
+
+  /// max(op-limited, bandwidth-limited) time — a two-term host roofline.
+  double ns() const {
+    const double op_ns = static_cast<double>(ops_) / spec_.ops_per_ns;
+    const double mem_ns =
+        static_cast<double>(bytes_) / spec_.mem_bandwidth_gbps;
+    return op_ns > mem_ns ? op_ns : mem_ns;
+  }
+  double ms() const { return ns() * 1e-6; }
+
+ private:
+  HostSpec spec_;
+  std::int64_t ops_ = 0;
+  std::int64_t bytes_ = 0;
+};
+
+}  // namespace blocktri::sim

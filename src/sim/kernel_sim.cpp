@@ -1,0 +1,194 @@
+#include "sim/kernel_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/types.hpp"
+
+namespace blocktri::sim {
+
+KernelSim::KernelSim(const GpuSpec& gpu, CacheModel* cache, bool fp64)
+    : gpu_(gpu), cache_(cache), fp64_(fp64) {
+  // A dependent multiply-add iteration in a warp lane: ~4 cycles of issue +
+  // address arithmetic for fp32; fp64 units on GeForce parts add latency
+  // (but nowhere near the 1/32 *throughput* ratio, which is modelled in the
+  // compute-roofline term instead).
+  const double cycle_ns = 1.0 / gpu.clock_ghz;
+  fma_ns_per_iter_ = (fp64 ? 8.0 : 4.0) * cycle_ns;
+  if (cache_ != nullptr) {
+    // Snapshot so per-kernel hit/miss stats exclude earlier kernels that
+    // shared this cache.
+    hits_ = cache_->hits();
+    misses_ = cache_->misses();
+  }
+}
+
+void KernelSim::begin_task() {
+  BLOCKTRI_CHECK_MSG(!in_task_, "begin_task while a task is open");
+  in_task_ = true;
+  cur_ns_ = gpu_.warp_start_ns;
+  cur_flops_ = 0;
+}
+
+void KernelSim::dep(std::int64_t task_id) {
+  BLOCKTRI_CHECK(in_task_);
+  BLOCKTRI_CHECK_MSG(task_id >= 0 && task_id < task_count(),
+                     "dependency on a task that does not exist yet");
+  deps_.push_back(task_id);
+}
+
+void KernelSim::gather(const std::uint64_t* addrs, int n, int elem_bytes) {
+  BLOCKTRI_CHECK(in_task_);
+  const int line = gpu_.cache_line_bytes;
+  for (int g = 0; g < n; g += gpu_.warp_size) {
+    const int lanes = std::min(gpu_.warp_size, n - g);
+    int missed_lines = 0;
+    if (cache_ != nullptr) {
+      for (int l = 0; l < lanes; ++l)
+        missed_lines += cache_->access(addrs[g + l], elem_bytes);
+    } else {
+      missed_lines = lanes;  // cold device: every lane is a transaction
+    }
+    cur_ns_ += missed_lines > 0 ? gpu_.dram_latency_ns
+                                : gpu_.cache_hit_latency_ns;
+    missed_bytes_ += static_cast<std::int64_t>(missed_lines) * line;
+  }
+}
+
+void KernelSim::touch(std::uint64_t addr, int elem_bytes) {
+  gather(&addr, 1, elem_bytes);
+}
+
+void KernelSim::atomic(const std::uint64_t* addrs, int n, int elem_bytes) {
+  BLOCKTRI_CHECK(in_task_);
+  const int line = gpu_.cache_line_bytes;
+  for (int g = 0; g < n; g += gpu_.warp_size) {
+    const int lanes = std::min(gpu_.warp_size, n - g);
+    int missed_lines = 0;
+    if (cache_ != nullptr) {
+      for (int l = 0; l < lanes; ++l)
+        missed_lines += cache_->access(addrs[g + l], elem_bytes);
+    } else {
+      missed_lines = lanes;
+    }
+    // Atomics funnel through the memory partitions and, for fp64, are far
+    // slower than plain loads: issue cost per lane pair on top of the usual
+    // read-modify-write memory behaviour.
+    cur_ns_ += static_cast<double>(lanes) * gpu_.atomic_op_ns / 2.0 +
+               (missed_lines > 0 ? gpu_.dram_latency_ns
+                                 : gpu_.cache_hit_latency_ns);
+    missed_bytes_ += static_cast<std::int64_t>(missed_lines) * line;
+    for (int l = 0; l < lanes; ++l) ++atomic_counts_[addrs[g + l]];
+  }
+}
+
+void KernelSim::stream_bytes(std::int64_t bytes) {
+  BLOCKTRI_CHECK(in_task_);
+  streamed_bytes_ += bytes;
+}
+
+void KernelSim::fma_iters(std::int64_t n) {
+  BLOCKTRI_CHECK(in_task_);
+  cur_ns_ += static_cast<double>(n) * fma_ns_per_iter_;
+  cur_flops_ += 2 * n;
+}
+
+void KernelSim::flops(std::int64_t n) {
+  BLOCKTRI_CHECK(in_task_);
+  cur_flops_ += n;
+}
+
+void KernelSim::serial_ns(double ns) {
+  BLOCKTRI_CHECK(in_task_);
+  cur_ns_ += ns;
+}
+
+std::int64_t KernelSim::end_task() {
+  BLOCKTRI_CHECK(in_task_);
+  in_task_ = false;
+  if (task_dep_ptr_.empty()) task_dep_ptr_.push_back(0);
+  task_ns_.push_back(cur_ns_);
+  task_flops_.push_back(cur_flops_);
+  task_dep_ptr_.push_back(deps_.size());
+  return task_count() - 1;
+}
+
+KernelReport KernelSim::finish() {
+  BLOCKTRI_CHECK_MSG(!in_task_, "finish() with an open task");
+  KernelReport rep;
+  rep.tasks = task_count();
+  for (const std::int64_t f : task_flops_) rep.flops += f;
+  rep.bytes = streamed_bytes_ + missed_bytes_;
+
+  // --- Latency roofline: list-schedule tasks, in issue order, onto the
+  // resident-warp slots. A task holds its slot from acquisition (spinning on
+  // dependencies included) until completion.
+  const int slots = std::max(1, gpu_.warp_slots());
+  double makespan = 0.0;
+  if (!task_ns_.empty()) {
+    std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
+    // Lazily materialise slots: cheaper when tasks < slots.
+    int unopened = slots;
+    std::vector<double> finish_at(task_ns_.size());
+    for (std::size_t t = 0; t < task_ns_.size(); ++t) {
+      double slot_free = 0.0;
+      if (unopened > 0) {
+        --unopened;
+      } else {
+        slot_free = free_at.top();
+        free_at.pop();
+      }
+      double ready = 0.0;
+      for (std::size_t d = task_dep_ptr_[t]; d < task_dep_ptr_[t + 1]; ++d) {
+        ready = std::max(
+            ready, finish_at[static_cast<std::size_t>(
+                       deps_[d])] + gpu_.atomic_propagate_ns);
+      }
+      double begin = std::max(slot_free, ready);
+      // The warp was actually spinning: add one busy-wait detection delay
+      // (the poll that finally observes the updated in-degree).
+      if (ready > slot_free) begin += gpu_.spin_poll_ns;
+      const double fin = begin + task_ns_[t];
+      finish_at[t] = fin;
+      free_at.push(fin);
+      makespan = std::max(makespan, fin);
+    }
+  }
+  rep.latency_ns = makespan;
+
+  // --- Bandwidth and compute rooflines.
+  rep.bandwidth_ns =
+      static_cast<double>(rep.bytes) / gpu_.mem_bandwidth_gbps;
+  rep.compute_ns =
+      static_cast<double>(rep.flops) / gpu_.peak_flops_per_ns(fp64_);
+  // Per-address atomic contention: the hottest address's serialised RMW
+  // chain lower-bounds the kernel time.
+  std::int64_t hottest = 0;
+  for (const auto& [addr, count] : atomic_counts_) {
+    (void)addr;
+    if (count > hottest) hottest = count;
+  }
+  rep.contention_ns = static_cast<double>(hottest) * gpu_.atomic_rmw_ns;
+  rep.ns = std::max(
+      {rep.latency_ns, rep.bandwidth_ns, rep.compute_ns, rep.contention_ns});
+
+  // Cache statistics for this kernel only.
+  if (cache_ != nullptr) {
+    rep.cache_hits = cache_->hits() - hits_;
+    rep.cache_misses = cache_->misses() - misses_;
+    hits_ = cache_->hits();
+    misses_ = cache_->misses();
+  }
+
+  // Reset per-kernel state so the object can be reused.
+  task_ns_.clear();
+  task_flops_.clear();
+  task_dep_ptr_.clear();
+  deps_.clear();
+  streamed_bytes_ = 0;
+  missed_bytes_ = 0;
+  atomic_counts_.clear();
+  return rep;
+}
+
+}  // namespace blocktri::sim

@@ -1,0 +1,118 @@
+// Per-kernel cost accounting and warp-level list scheduling.
+//
+// Execution model (DESIGN.md §2): a kernel is a set of warp tasks. Each task
+// describes the work of one 32-lane warp — lane-parallel memory gathers that
+// go through the cache model, streamed (perfectly coalesced/prefetched)
+// bytes, lane-serial arithmetic iterations, atomics, and optional
+// dependencies on earlier tasks of the same kernel (the sync-free busy-wait).
+//
+// Timing assembles three roofline components and takes their max:
+//   * latency  — list schedule of the tasks onto the device's resident-warp
+//                slots. A task OCCUPIES ITS SLOT FROM ACQUISITION, even while
+//                waiting on dependencies: this reproduces the real sync-free
+//                behaviour where spinning warps hold SM residency and deep
+//                dependency chains starve the device.
+//   * bandwidth— total DRAM bytes (streams + missed cache lines) divided by
+//                the device bandwidth.
+//   * compute  — total flops divided by peak (fp64 at the GeForce 1/32 rate).
+//   * atomic contention — atomics to the SAME address serialise at the
+//                memory partition: the kernel cannot finish faster than the
+//                hottest address's RMW chain. This is what breaks sync-free
+//                on matrices with very long rows (all producers of one
+//                component hammer one left_sum entry — §2.2/§4.2).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/machine.hpp"
+#include "sim/report.hpp"
+
+namespace blocktri::sim {
+
+class KernelSim {
+ public:
+  /// `cache` may be shared across kernels of a solve so locality carries
+  /// over; pass nullptr to model a cold, cache-less device (every irregular
+  /// access is a miss).
+  /// `fp64` selects the arithmetic throughput rate and is recorded so value
+  /// sizes default sensibly.
+  KernelSim(const GpuSpec& gpu, CacheModel* cache, bool fp64);
+
+  // --- Task construction. Calls between begin_task/end_task accumulate into
+  //     the current task; end_task returns the task id usable in dep().
+
+  void begin_task();
+
+  /// Declares that the current task must wait for `task_id` to finish plus
+  /// the atomic visibility latency (producer writes → consumer observes).
+  void dep(std::int64_t task_id);
+
+  /// Lane-parallel gather/scatter of `n` irregular addresses (n <= 32 per
+  /// group; larger n is split into ceil(n/32) groups internally). Each group
+  /// costs one cache-hit latency, or one DRAM latency if any lane misses;
+  /// missed lines are charged to DRAM traffic.
+  void gather(const std::uint64_t* addrs, int n, int elem_bytes);
+
+  /// Single irregular access (convenience for scalar kernels).
+  void touch(std::uint64_t addr, int elem_bytes);
+
+  /// Lane-parallel atomics on `n` addresses: atomic throughput cost plus the
+  /// usual memory behaviour of a read-modify-write.
+  void atomic(const std::uint64_t* addrs, int n, int elem_bytes);
+
+  /// Perfectly-coalesced streaming traffic (val/col_idx/ptr arrays):
+  /// bandwidth-accounted, no latency contribution.
+  void stream_bytes(std::int64_t bytes);
+
+  /// `n` lane-serial multiply-add iterations (also counts 2n flops).
+  void fma_iters(std::int64_t n);
+
+  /// Counts flops without latency (work already covered by gather costs).
+  void flops(std::int64_t n);
+
+  /// Extra serial latency inside the task (e.g. a division at the end of a
+  /// triangular row).
+  void serial_ns(double ns);
+
+  std::int64_t end_task();
+
+  const GpuSpec& gpu() const { return gpu_; }
+
+  std::int64_t task_count() const {
+    return static_cast<std::int64_t>(task_ns_.size());
+  }
+
+  /// Schedules all tasks and returns the kernel report. After finish() the
+  /// object can be reused for a fresh kernel (tasks are cleared, the shared
+  /// cache keeps its state).
+  KernelReport finish();
+
+ private:
+  GpuSpec gpu_;  // by value: KernelSim must not outlive-depend on the caller
+  CacheModel* cache_;
+  bool fp64_;
+  double fma_ns_per_iter_;
+
+  // Current task accumulation.
+  bool in_task_ = false;
+  double cur_ns_ = 0.0;
+  std::int64_t cur_flops_ = 0;
+
+  // Finished tasks.
+  std::vector<double> task_ns_;
+  std::vector<std::int64_t> task_flops_;
+  std::vector<std::size_t> task_dep_ptr_;  // size tasks+1
+  std::vector<std::int64_t> deps_;
+
+  // Kernel-wide totals.
+  std::unordered_map<std::uint64_t, std::int64_t> atomic_counts_;
+  std::int64_t streamed_bytes_ = 0;
+  std::int64_t missed_bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace blocktri::sim

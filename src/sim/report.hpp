@@ -1,0 +1,61 @@
+// Result records produced by the simulator. A KernelReport covers one kernel
+// launch; a SolveReport aggregates a whole SpTRSV (many kernels for the
+// level-set and block methods, one for sync-free) and yields the GFlops
+// figure the paper reports (2·nnz flops per solve / time).
+#pragma once
+
+#include <cstdint>
+
+namespace blocktri::sim {
+
+struct KernelReport {
+  double ns = 0.0;           // kernel execution time, excluding launch cost
+  double latency_ns = 0.0;   // roofline component: scheduled warp latency
+  double bandwidth_ns = 0.0; // roofline component: DRAM bytes / bandwidth
+  double compute_ns = 0.0;   // roofline component: flops / peak
+  double contention_ns = 0.0; // roofline component: hottest-address atomics
+  std::int64_t flops = 0;
+  std::int64_t bytes = 0;    // DRAM traffic (streamed + missed lines)
+  std::int64_t tasks = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+struct SolveReport {
+  double ns = 0.0;  // end-to-end solve time including launches/syncs
+  std::int64_t flops = 0;
+  std::int64_t bytes = 0;
+  int kernel_launches = 0;
+  int grid_syncs = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
+  /// GFlops as the paper computes it; `ns` is nanoseconds so flops/ns is
+  /// exactly 1e9 flops/s units.
+  double gflops() const { return ns > 0.0 ? static_cast<double>(flops) / ns : 0.0; }
+  double ms() const { return ns * 1e-6; }
+
+  /// Appends one kernel preceded by a fresh launch.
+  void add_kernel_launch(const KernelReport& k, double launch_ns) {
+    ns += launch_ns + k.ns;
+    ++kernel_launches;
+    absorb(k);
+  }
+
+  /// Appends one kernel phase separated by an intra-kernel device-wide sync
+  /// (the cuSPARSE-like merged-level path).
+  void add_kernel_grid_sync(const KernelReport& k, double sync_ns) {
+    ns += sync_ns + k.ns;
+    ++grid_syncs;
+    absorb(k);
+  }
+
+  void absorb(const KernelReport& k) {
+    flops += k.flops;
+    bytes += k.bytes;
+    cache_hits += k.cache_hits;
+    cache_misses += k.cache_misses;
+  }
+};
+
+}  // namespace blocktri::sim

@@ -1,0 +1,198 @@
+#include "sparse/convert.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/prefix.hpp"
+
+namespace blocktri {
+
+template <class T>
+Csr<T> coo_to_csr(const Coo<T>& a) {
+  validate(a);
+  const std::size_t n = static_cast<std::size_t>(a.nrows);
+
+  Csr<T> out;
+  out.nrows = a.nrows;
+  out.ncols = a.ncols;
+  out.row_ptr.assign(n + 1, 0);
+  for (const index_t r : a.row) ++out.row_ptr[static_cast<std::size_t>(r)];
+  exclusive_scan_in_place(out.row_ptr);
+
+  // Scatter into row buckets, then sort each row by column and fold
+  // duplicates. Sorting per row keeps peak memory at one extra nnz array.
+  std::vector<index_t> cols(a.val.size());
+  std::vector<T> vals(a.val.size());
+  {
+    std::vector<offset_t> cursor(out.row_ptr.begin(), out.row_ptr.end() - 1);
+    for (std::size_t k = 0; k < a.val.size(); ++k) {
+      const auto at = static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(a.row[k])]++);
+      cols[at] = a.col[k];
+      vals[at] = a.val[k];
+    }
+  }
+
+  out.col_idx.reserve(a.val.size());
+  out.val.reserve(a.val.size());
+  std::vector<offset_t> new_ptr(n + 1, 0);
+  std::vector<std::pair<index_t, T>> rowbuf;
+  for (std::size_t i = 0; i < n; ++i) {
+    rowbuf.clear();
+    for (offset_t k = out.row_ptr[i]; k < out.row_ptr[i + 1]; ++k)
+      rowbuf.emplace_back(cols[static_cast<std::size_t>(k)],
+                          vals[static_cast<std::size_t>(k)]);
+    std::sort(rowbuf.begin(), rowbuf.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (std::size_t k = 0; k < rowbuf.size(); ++k) {
+      if (k > 0 && rowbuf[k].first == rowbuf[k - 1].first) {
+        out.val.back() += rowbuf[k].second;  // assembly: sum duplicates
+      } else {
+        out.col_idx.push_back(rowbuf[k].first);
+        out.val.push_back(rowbuf[k].second);
+      }
+    }
+    new_ptr[i + 1] = static_cast<offset_t>(out.val.size());
+  }
+  out.row_ptr = std::move(new_ptr);
+  return out;
+}
+
+template <class T>
+Coo<T> csr_to_coo(const Csr<T>& a) {
+  Coo<T> out;
+  out.nrows = a.nrows;
+  out.ncols = a.ncols;
+  out.row.reserve(static_cast<std::size_t>(a.nnz()));
+  out.col = a.col_idx;
+  out.val = a.val;
+  for (index_t i = 0; i < a.nrows; ++i)
+    for (offset_t k = a.row_ptr[static_cast<std::size_t>(i)];
+         k < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+      out.row.push_back(i);
+  return out;
+}
+
+template <class T>
+Csc<T> csr_to_csc(const Csr<T>& a) {
+  Csc<T> out;
+  out.nrows = a.nrows;
+  out.ncols = a.ncols;
+  out.col_ptr.assign(static_cast<std::size_t>(a.ncols) + 1, 0);
+  for (const index_t c : a.col_idx) ++out.col_ptr[static_cast<std::size_t>(c)];
+  exclusive_scan_in_place(out.col_ptr);
+
+  out.row_idx.resize(a.col_idx.size());
+  out.val.resize(a.val.size());
+  std::vector<offset_t> cursor(out.col_ptr.begin(), out.col_ptr.end() - 1);
+  // Row-major traversal writes each column's rows in ascending order, so the
+  // output is sorted without a second pass.
+  for (index_t i = 0; i < a.nrows; ++i) {
+    for (offset_t k = a.row_ptr[static_cast<std::size_t>(i)];
+         k < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const auto c = static_cast<std::size_t>(
+          a.col_idx[static_cast<std::size_t>(k)]);
+      const auto at = static_cast<std::size_t>(cursor[c]++);
+      out.row_idx[at] = i;
+      out.val[at] = a.val[static_cast<std::size_t>(k)];
+    }
+  }
+  return out;
+}
+
+template <class T>
+Csr<T> csc_to_csr(const Csc<T>& a) {
+  Csr<T> out;
+  out.nrows = a.nrows;
+  out.ncols = a.ncols;
+  out.row_ptr.assign(static_cast<std::size_t>(a.nrows) + 1, 0);
+  for (const index_t r : a.row_idx) ++out.row_ptr[static_cast<std::size_t>(r)];
+  exclusive_scan_in_place(out.row_ptr);
+
+  out.col_idx.resize(a.row_idx.size());
+  out.val.resize(a.val.size());
+  std::vector<offset_t> cursor(out.row_ptr.begin(), out.row_ptr.end() - 1);
+  for (index_t j = 0; j < a.ncols; ++j) {
+    for (offset_t k = a.col_ptr[static_cast<std::size_t>(j)];
+         k < a.col_ptr[static_cast<std::size_t>(j) + 1]; ++k) {
+      const auto r = static_cast<std::size_t>(
+          a.row_idx[static_cast<std::size_t>(k)]);
+      const auto at = static_cast<std::size_t>(cursor[r]++);
+      out.col_idx[at] = j;
+      out.val[at] = a.val[static_cast<std::size_t>(k)];
+    }
+  }
+  return out;
+}
+
+template <class T>
+Csr<T> transpose(const Csr<T>& a) {
+  // A^T in CSR has the same arrays as A in CSC.
+  Csc<T> csc = csr_to_csc(a);
+  Csr<T> out;
+  out.nrows = a.ncols;
+  out.ncols = a.nrows;
+  out.row_ptr = std::move(csc.col_ptr);
+  out.col_idx = std::move(csc.row_idx);
+  out.val = std::move(csc.val);
+  return out;
+}
+
+template <class T>
+Dcsr<T> csr_to_dcsr(const Csr<T>& a) {
+  Dcsr<T> out;
+  out.nrows = a.nrows;
+  out.ncols = a.ncols;
+  out.col_idx = a.col_idx;
+  out.val = a.val;
+  out.row_ptr.push_back(0);
+  for (index_t i = 0; i < a.nrows; ++i) {
+    if (a.row_nnz(i) > 0) {
+      out.row_ids.push_back(i);
+      out.row_ptr.push_back(a.row_ptr[static_cast<std::size_t>(i) + 1]);
+    }
+  }
+  return out;
+}
+
+template <class T>
+Csr<T> dcsr_to_csr(const Dcsr<T>& a) {
+  Csr<T> out;
+  out.nrows = a.nrows;
+  out.ncols = a.ncols;
+  out.col_idx = a.col_idx;
+  out.val = a.val;
+  out.row_ptr.assign(static_cast<std::size_t>(a.nrows) + 1, 0);
+  for (std::size_t r = 0; r < a.row_ids.size(); ++r) {
+    out.row_ptr[static_cast<std::size_t>(a.row_ids[r]) + 1] =
+        a.row_ptr[r + 1] - a.row_ptr[r];
+  }
+  for (std::size_t i = 1; i < out.row_ptr.size(); ++i)
+    out.row_ptr[i] += out.row_ptr[i - 1];
+  return out;
+}
+
+template <class T>
+double empty_row_ratio(const Csr<T>& a) {
+  if (a.nrows == 0) return 0.0;
+  index_t empty = 0;
+  for (index_t i = 0; i < a.nrows; ++i)
+    if (a.row_nnz(i) == 0) ++empty;
+  return static_cast<double>(empty) / static_cast<double>(a.nrows);
+}
+
+#define BLOCKTRI_INSTANTIATE(T)                   \
+  template Csr<T> coo_to_csr(const Coo<T>&);      \
+  template Coo<T> csr_to_coo(const Csr<T>&);      \
+  template Csc<T> csr_to_csc(const Csr<T>&);      \
+  template Csr<T> csc_to_csr(const Csc<T>&);      \
+  template Csr<T> transpose(const Csr<T>&);       \
+  template Dcsr<T> csr_to_dcsr(const Csr<T>&);    \
+  template Csr<T> dcsr_to_csr(const Dcsr<T>&);    \
+  template double empty_row_ratio(const Csr<T>&);
+
+BLOCKTRI_INSTANTIATE(float)
+BLOCKTRI_INSTANTIATE(double)
+#undef BLOCKTRI_INSTANTIATE
+
+}  // namespace blocktri

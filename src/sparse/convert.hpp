@@ -1,0 +1,43 @@
+// Lossless structural conversions between the sparse formats. All functions
+// produce sorted, duplicate-free outputs (duplicates in COO input are summed,
+// the usual assembly convention).
+#pragma once
+
+#include "sparse/formats.hpp"
+
+namespace blocktri {
+
+/// COO -> CSR. Duplicate (row, col) entries are summed. O(nnz + nrows).
+template <class T>
+Csr<T> coo_to_csr(const Coo<T>& a);
+
+/// CSR -> COO, entries emitted in row-major order.
+template <class T>
+Coo<T> csr_to_coo(const Csr<T>& a);
+
+/// CSR -> CSC of the same matrix (i.e. a layout change, not a transpose).
+template <class T>
+Csc<T> csr_to_csc(const Csr<T>& a);
+
+/// CSC -> CSR of the same matrix.
+template <class T>
+Csr<T> csc_to_csr(const Csc<T>& a);
+
+/// Explicit transpose: returns B = A^T in CSR.
+template <class T>
+Csr<T> transpose(const Csr<T>& a);
+
+/// CSR -> DCSR: drops empty rows from the pointer array (§3.3). Lossless.
+template <class T>
+Dcsr<T> csr_to_dcsr(const Csr<T>& a);
+
+/// DCSR -> CSR: reinstates empty rows.
+template <class T>
+Csr<T> dcsr_to_csr(const Dcsr<T>& a);
+
+/// Fraction of rows with no nonzero entry — the `emptyratio` feature the
+/// adaptive SpMV selector keys on (§3.4).
+template <class T>
+double empty_row_ratio(const Csr<T>& a);
+
+}  // namespace blocktri

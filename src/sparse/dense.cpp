@@ -1,0 +1,104 @@
+#include "sparse/dense.hpp"
+
+#include <algorithm>
+
+namespace blocktri {
+
+template <class T>
+std::vector<T> to_dense(const Csr<T>& a) {
+  std::vector<T> d(static_cast<std::size_t>(a.nrows) *
+                       static_cast<std::size_t>(a.ncols),
+                   T(0));
+  for (index_t i = 0; i < a.nrows; ++i)
+    for (offset_t k = a.row_ptr[static_cast<std::size_t>(i)];
+         k < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+      d[static_cast<std::size_t>(i) * static_cast<std::size_t>(a.ncols) +
+        static_cast<std::size_t>(a.col_idx[static_cast<std::size_t>(k)])] =
+          a.val[static_cast<std::size_t>(k)];
+  return d;
+}
+
+template <class T>
+std::vector<T> dense_lower_solve(const std::vector<T>& dense, index_t n,
+                                 const std::vector<T>& b) {
+  BLOCKTRI_CHECK(dense.size() ==
+                 static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  BLOCKTRI_CHECK(b.size() == static_cast<std::size_t>(n));
+  std::vector<T> x(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    T sum = b[static_cast<std::size_t>(i)];
+    const std::size_t row =
+        static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+    for (index_t j = 0; j < i; ++j)
+      sum -= dense[row + static_cast<std::size_t>(j)] *
+             x[static_cast<std::size_t>(j)];
+    const T d = dense[row + static_cast<std::size_t>(i)];
+    BLOCKTRI_CHECK_MSG(d != T(0), "singular diagonal in dense oracle");
+    x[static_cast<std::size_t>(i)] = sum / d;
+  }
+  return x;
+}
+
+template <class T>
+std::vector<T> dense_matvec(const std::vector<T>& dense, index_t nrows,
+                            index_t ncols, const std::vector<T>& x) {
+  BLOCKTRI_CHECK(dense.size() == static_cast<std::size_t>(nrows) *
+                                     static_cast<std::size_t>(ncols));
+  BLOCKTRI_CHECK(x.size() == static_cast<std::size_t>(ncols));
+  std::vector<T> y(static_cast<std::size_t>(nrows), T(0));
+  for (index_t i = 0; i < nrows; ++i) {
+    T sum = T(0);
+    const std::size_t row =
+        static_cast<std::size_t>(i) * static_cast<std::size_t>(ncols);
+    for (index_t j = 0; j < ncols; ++j)
+      sum += dense[row + static_cast<std::size_t>(j)] *
+             x[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(i)] = sum;
+  }
+  return y;
+}
+
+template <class T>
+std::string spy(const Csr<T>& a, index_t max_dim) {
+  BLOCKTRI_CHECK(max_dim > 0);
+  const index_t h = std::min(a.nrows, max_dim);
+  const index_t w = std::min(a.ncols, max_dim);
+  if (h == 0 || w == 0) return "(empty)\n";
+  std::vector<char> grid(static_cast<std::size_t>(h) *
+                             static_cast<std::size_t>(w),
+                         '.');
+  for (index_t i = 0; i < a.nrows; ++i) {
+    const index_t gi = static_cast<index_t>(
+        static_cast<std::int64_t>(i) * h / std::max<index_t>(a.nrows, 1));
+    for (offset_t k = a.row_ptr[static_cast<std::size_t>(i)];
+         k < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const index_t j = a.col_idx[static_cast<std::size_t>(k)];
+      const index_t gj = static_cast<index_t>(
+          static_cast<std::int64_t>(j) * w / std::max<index_t>(a.ncols, 1));
+      grid[static_cast<std::size_t>(gi) * static_cast<std::size_t>(w) +
+           static_cast<std::size_t>(gj)] = '*';
+    }
+  }
+  std::string out;
+  out.reserve(static_cast<std::size_t>(h) * (static_cast<std::size_t>(w) + 1));
+  for (index_t r = 0; r < h; ++r) {
+    out.append(grid.begin() + static_cast<std::ptrdiff_t>(r) * w,
+               grid.begin() + static_cast<std::ptrdiff_t>(r + 1) * w);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+#define BLOCKTRI_INSTANTIATE(T)                                             \
+  template std::vector<T> to_dense(const Csr<T>&);                          \
+  template std::vector<T> dense_lower_solve(const std::vector<T>&, index_t, \
+                                            const std::vector<T>&);         \
+  template std::vector<T> dense_matvec(const std::vector<T>&, index_t,      \
+                                       index_t, const std::vector<T>&);     \
+  template std::string spy(const Csr<T>&, index_t);
+
+BLOCKTRI_INSTANTIATE(float)
+BLOCKTRI_INSTANTIATE(double)
+#undef BLOCKTRI_INSTANTIATE
+
+}  // namespace blocktri

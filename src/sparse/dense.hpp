@@ -1,0 +1,33 @@
+// Dense helpers used as test oracles: dense conversion, dense forward
+// substitution, and dense mat-vec. Quadratic/cubic — for small matrices in
+// unit tests only, never in benchmark paths.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparse/formats.hpp"
+
+namespace blocktri {
+
+/// Row-major dense copy, size nrows*ncols.
+template <class T>
+std::vector<T> to_dense(const Csr<T>& a);
+
+/// Dense forward substitution oracle for L x = b (L lower triangular with
+/// nonzero diagonal, passed densely row-major).
+template <class T>
+std::vector<T> dense_lower_solve(const std::vector<T>& dense, index_t n,
+                                 const std::vector<T>& b);
+
+/// Dense y = A x.
+template <class T>
+std::vector<T> dense_matvec(const std::vector<T>& dense, index_t nrows,
+                            index_t ncols, const std::vector<T>& x);
+
+/// ASCII "spy" plot of the sparsity pattern, at most max_dim rows/cols
+/// (down-sampled beyond that). Handy in examples and failure messages.
+template <class T>
+std::string spy(const Csr<T>& a, index_t max_dim = 64);
+
+}  // namespace blocktri

@@ -1,0 +1,110 @@
+#include "sparse/formats.hpp"
+
+namespace blocktri {
+
+namespace {
+
+void check_ptr_monotone(const std::vector<offset_t>& ptr, offset_t nnz,
+                        const char* what) {
+  BLOCKTRI_CHECK_MSG(!ptr.empty(), std::string(what) + ": empty pointer array");
+  BLOCKTRI_CHECK_MSG(ptr.front() == 0, std::string(what) + ": ptr[0] != 0");
+  for (std::size_t i = 1; i < ptr.size(); ++i)
+    BLOCKTRI_CHECK_MSG(ptr[i - 1] <= ptr[i],
+                       std::string(what) + ": non-monotone pointer array");
+  BLOCKTRI_CHECK_MSG(ptr.back() == nnz,
+                     std::string(what) + ": ptr back != nnz");
+}
+
+void check_sorted_indices(const std::vector<offset_t>& ptr,
+                          const std::vector<index_t>& idx, index_t bound,
+                          const char* what) {
+  for (std::size_t seg = 0; seg + 1 < ptr.size(); ++seg) {
+    for (offset_t k = ptr[seg]; k < ptr[seg + 1]; ++k) {
+      const index_t v = idx[static_cast<std::size_t>(k)];
+      BLOCKTRI_CHECK_MSG(v >= 0 && v < bound,
+                         std::string(what) + ": index out of range");
+      if (k > ptr[seg])
+        BLOCKTRI_CHECK_MSG(idx[static_cast<std::size_t>(k - 1)] < v,
+                           std::string(what) +
+                               ": indices not strictly ascending (duplicate?)");
+    }
+  }
+}
+
+}  // namespace
+
+template <class T>
+void validate(const Csr<T>& a) {
+  BLOCKTRI_CHECK(a.nrows >= 0 && a.ncols >= 0);
+  BLOCKTRI_CHECK(a.row_ptr.size() == static_cast<std::size_t>(a.nrows) + 1);
+  BLOCKTRI_CHECK(a.col_idx.size() == a.val.size());
+  check_ptr_monotone(a.row_ptr, a.nnz(), "csr");
+  check_sorted_indices(a.row_ptr, a.col_idx, a.ncols, "csr");
+}
+
+template <class T>
+void validate(const Csc<T>& a) {
+  BLOCKTRI_CHECK(a.nrows >= 0 && a.ncols >= 0);
+  BLOCKTRI_CHECK(a.col_ptr.size() == static_cast<std::size_t>(a.ncols) + 1);
+  BLOCKTRI_CHECK(a.row_idx.size() == a.val.size());
+  check_ptr_monotone(a.col_ptr, a.nnz(), "csc");
+  check_sorted_indices(a.col_ptr, a.row_idx, a.nrows, "csc");
+}
+
+template <class T>
+void validate(const Dcsr<T>& a) {
+  BLOCKTRI_CHECK(a.nrows >= 0 && a.ncols >= 0);
+  BLOCKTRI_CHECK(a.row_ptr.size() == a.row_ids.size() + 1);
+  BLOCKTRI_CHECK(a.col_idx.size() == a.val.size());
+  check_ptr_monotone(a.row_ptr, a.nnz(), "dcsr");
+  check_sorted_indices(a.row_ptr, a.col_idx, a.ncols, "dcsr");
+  for (std::size_t i = 0; i < a.row_ids.size(); ++i) {
+    BLOCKTRI_CHECK_MSG(a.row_ids[i] >= 0 && a.row_ids[i] < a.nrows,
+                       "dcsr: row id out of range");
+    if (i > 0)
+      BLOCKTRI_CHECK_MSG(a.row_ids[i - 1] < a.row_ids[i],
+                         "dcsr: row ids not strictly ascending");
+    // DCSR's reason to exist is skipping empty rows; an empty row entry is
+    // legal but indicates a conversion bug upstream, so reject it.
+    BLOCKTRI_CHECK_MSG(a.row_ptr[i] < a.row_ptr[i + 1],
+                       "dcsr: empty row stored explicitly");
+  }
+}
+
+template <class T>
+void validate(const Coo<T>& a) {
+  BLOCKTRI_CHECK(a.nrows >= 0 && a.ncols >= 0);
+  BLOCKTRI_CHECK(a.row.size() == a.val.size() && a.col.size() == a.val.size());
+  for (std::size_t k = 0; k < a.val.size(); ++k) {
+    BLOCKTRI_CHECK_MSG(a.row[k] >= 0 && a.row[k] < a.nrows,
+                       "coo: row index out of range");
+    BLOCKTRI_CHECK_MSG(a.col[k] >= 0 && a.col[k] < a.ncols,
+                       "coo: col index out of range");
+  }
+}
+
+template <class T>
+bool equals(const Csr<T>& a, const Csr<T>& b) {
+  return a.nrows == b.nrows && a.ncols == b.ncols && a.row_ptr == b.row_ptr &&
+         a.col_idx == b.col_idx && a.val == b.val;
+}
+
+template <class T>
+bool equals(const Csc<T>& a, const Csc<T>& b) {
+  return a.nrows == b.nrows && a.ncols == b.ncols && a.col_ptr == b.col_ptr &&
+         a.row_idx == b.row_idx && a.val == b.val;
+}
+
+#define BLOCKTRI_INSTANTIATE(T)            \
+  template void validate(const Csr<T>&);   \
+  template void validate(const Csc<T>&);   \
+  template void validate(const Dcsr<T>&);  \
+  template void validate(const Coo<T>&);   \
+  template bool equals(const Csr<T>&, const Csr<T>&); \
+  template bool equals(const Csc<T>&, const Csc<T>&);
+
+BLOCKTRI_INSTANTIATE(float)
+BLOCKTRI_INSTANTIATE(double)
+#undef BLOCKTRI_INSTANTIATE
+
+}  // namespace blocktri

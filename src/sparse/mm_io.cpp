@@ -1,0 +1,140 @@
+#include "sparse/mm_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace blocktri {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+struct Header {
+  bool pattern = false;
+  bool symmetric = false;
+};
+
+Header parse_header(const std::string& line) {
+  std::istringstream hs(line);
+  std::string banner, object, format, field, symmetry;
+  hs >> banner >> object >> format >> field >> symmetry;
+  BLOCKTRI_CHECK_MSG(banner == "%%MatrixMarket",
+                     "not a MatrixMarket file: bad banner");
+  BLOCKTRI_CHECK_MSG(lower(object) == "matrix",
+                     "unsupported MatrixMarket object: " + object);
+  BLOCKTRI_CHECK_MSG(lower(format) == "coordinate",
+                     "only coordinate MatrixMarket files are supported");
+  Header h;
+  const std::string f = lower(field);
+  if (f == "pattern") {
+    h.pattern = true;
+  } else {
+    BLOCKTRI_CHECK_MSG(f == "real" || f == "integer",
+                       "unsupported MatrixMarket field: " + field);
+  }
+  const std::string s = lower(symmetry);
+  if (s == "symmetric" || s == "skew-symmetric") {
+    h.symmetric = true;
+  } else {
+    BLOCKTRI_CHECK_MSG(s == "general",
+                       "unsupported MatrixMarket symmetry: " + symmetry);
+  }
+  return h;
+}
+
+}  // namespace
+
+template <class T>
+Coo<T> read_matrix_market(std::istream& in) {
+  std::string line;
+  BLOCKTRI_CHECK_MSG(static_cast<bool>(std::getline(in, line)),
+                     "empty MatrixMarket stream");
+  const Header h = parse_header(line);
+
+  // Skip comments, read the size line.
+  long long nrows = 0, ncols = 0, nnz = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ss(line);
+    BLOCKTRI_CHECK_MSG(static_cast<bool>(ss >> nrows >> ncols >> nnz),
+                       "bad MatrixMarket size line");
+    break;
+  }
+  BLOCKTRI_CHECK(nrows >= 0 && ncols >= 0 && nnz >= 0);
+
+  Coo<T> out;
+  out.nrows = static_cast<index_t>(nrows);
+  out.ncols = static_cast<index_t>(ncols);
+  out.row.reserve(static_cast<std::size_t>(nnz));
+  out.col.reserve(static_cast<std::size_t>(nnz));
+  out.val.reserve(static_cast<std::size_t>(nnz));
+  long long seen = 0;
+  while (seen < nnz && std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ss(line);
+    long long r, c;
+    double v = 1.0;
+    BLOCKTRI_CHECK_MSG(static_cast<bool>(ss >> r >> c),
+                       "bad MatrixMarket entry line");
+    if (!h.pattern) BLOCKTRI_CHECK_MSG(static_cast<bool>(ss >> v),
+                                       "missing MatrixMarket value");
+    BLOCKTRI_CHECK_MSG(r >= 1 && r <= nrows && c >= 1 && c <= ncols,
+                       "MatrixMarket entry out of bounds");
+    out.row.push_back(static_cast<index_t>(r - 1));
+    out.col.push_back(static_cast<index_t>(c - 1));
+    out.val.push_back(static_cast<T>(v));
+    if (h.symmetric && r != c) {
+      out.row.push_back(static_cast<index_t>(c - 1));
+      out.col.push_back(static_cast<index_t>(r - 1));
+      out.val.push_back(static_cast<T>(v));
+    }
+    ++seen;
+  }
+  BLOCKTRI_CHECK_MSG(seen == nnz, "MatrixMarket file truncated");
+  return out;
+}
+
+template <class T>
+Coo<T> read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  BLOCKTRI_CHECK_MSG(in.good(), "cannot open " + path);
+  return read_matrix_market<T>(in);
+}
+
+template <class T>
+void write_matrix_market(std::ostream& out, const Csr<T>& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.nrows << ' ' << a.ncols << ' ' << a.nnz() << '\n';
+  out.precision(17);
+  for (index_t i = 0; i < a.nrows; ++i)
+    for (offset_t k = a.row_ptr[static_cast<std::size_t>(i)];
+         k < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+      out << (i + 1) << ' '
+          << (a.col_idx[static_cast<std::size_t>(k)] + 1) << ' '
+          << static_cast<double>(a.val[static_cast<std::size_t>(k)]) << '\n';
+}
+
+template <class T>
+void write_matrix_market_file(const std::string& path, const Csr<T>& a) {
+  std::ofstream out(path);
+  BLOCKTRI_CHECK_MSG(out.good(), "cannot open " + path + " for writing");
+  write_matrix_market(out, a);
+}
+
+#define BLOCKTRI_INSTANTIATE(T)                                      \
+  template Coo<T> read_matrix_market(std::istream&);                 \
+  template Coo<T> read_matrix_market_file(const std::string&);      \
+  template void write_matrix_market(std::ostream&, const Csr<T>&);  \
+  template void write_matrix_market_file(const std::string&, const Csr<T>&);
+
+BLOCKTRI_INSTANTIATE(float)
+BLOCKTRI_INSTANTIATE(double)
+#undef BLOCKTRI_INSTANTIATE
+
+}  // namespace blocktri

@@ -1,0 +1,30 @@
+// Matrix Market (coordinate) I/O. The paper's dataset is the SuiteSparse
+// Matrix Collection, distributed in this format; when real .mtx files are
+// available they can be dropped into any bench with --matrix=path, otherwise
+// the synthetic suite stands in (DESIGN.md §2).
+//
+// Supported: `%%MatrixMarket matrix coordinate (real|integer|pattern)
+// (general|symmetric)`. Pattern entries get value 1. Symmetric files are
+// expanded to both triangles.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/formats.hpp"
+
+namespace blocktri {
+
+template <class T>
+Coo<T> read_matrix_market(std::istream& in);
+
+template <class T>
+Coo<T> read_matrix_market_file(const std::string& path);
+
+template <class T>
+void write_matrix_market(std::ostream& out, const Csr<T>& a);
+
+template <class T>
+void write_matrix_market_file(const std::string& path, const Csr<T>& a);
+
+}  // namespace blocktri

@@ -1,0 +1,134 @@
+#include "sparse/triangular.hpp"
+
+#include <algorithm>
+
+namespace blocktri {
+
+template <class T>
+Csr<T> lower_triangular_with_diag(const Csr<T>& a, T diag_fill) {
+  BLOCKTRI_CHECK(a.nrows == a.ncols);
+  Csr<T> out;
+  out.nrows = a.nrows;
+  out.ncols = a.ncols;
+  out.row_ptr.reserve(static_cast<std::size_t>(a.nrows) + 1);
+  out.row_ptr.push_back(0);
+  for (index_t i = 0; i < a.nrows; ++i) {
+    bool saw_diag = false;
+    for (offset_t k = a.row_ptr[static_cast<std::size_t>(i)];
+         k < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const index_t c = a.col_idx[static_cast<std::size_t>(k)];
+      if (c > i) break;  // columns sorted: the rest of the row is upper
+      T v = a.val[static_cast<std::size_t>(k)];
+      if (c == i) {
+        saw_diag = true;
+        if (v == T(0)) v = diag_fill;  // zero diagonal would be singular
+      }
+      out.col_idx.push_back(c);
+      out.val.push_back(v);
+    }
+    if (!saw_diag) {
+      out.col_idx.push_back(i);
+      out.val.push_back(diag_fill);
+    }
+    out.row_ptr.push_back(static_cast<offset_t>(out.val.size()));
+  }
+  return out;
+}
+
+template <class T>
+bool is_lower_triangular_nonsingular(const Csr<T>& a) {
+  if (a.nrows != a.ncols) return false;
+  for (index_t i = 0; i < a.nrows; ++i) {
+    const offset_t lo = a.row_ptr[static_cast<std::size_t>(i)];
+    const offset_t hi = a.row_ptr[static_cast<std::size_t>(i) + 1];
+    if (lo == hi) return false;  // empty row: no diagonal
+    // Sorted row: the diagonal, if present, is the last entry of the lower
+    // part; for a lower-triangular matrix it must be the last entry overall.
+    if (a.col_idx[static_cast<std::size_t>(hi - 1)] != i) return false;
+    if (a.val[static_cast<std::size_t>(hi - 1)] == T(0)) return false;
+  }
+  return true;
+}
+
+template <class T>
+StrictLowerSplit<T> split_diagonal(const Csr<T>& lower) {
+  BLOCKTRI_CHECK_MSG(is_lower_triangular_nonsingular(lower),
+                     "split_diagonal requires a nonsingular lower triangle");
+  StrictLowerSplit<T> out;
+  out.diag.resize(static_cast<std::size_t>(lower.nrows));
+  out.strict.nrows = lower.nrows;
+  out.strict.ncols = lower.ncols;
+  out.strict.row_ptr.reserve(static_cast<std::size_t>(lower.nrows) + 1);
+  out.strict.row_ptr.push_back(0);
+  for (index_t i = 0; i < lower.nrows; ++i) {
+    const offset_t lo = lower.row_ptr[static_cast<std::size_t>(i)];
+    const offset_t hi = lower.row_ptr[static_cast<std::size_t>(i) + 1];
+    for (offset_t k = lo; k < hi - 1; ++k) {
+      out.strict.col_idx.push_back(lower.col_idx[static_cast<std::size_t>(k)]);
+      out.strict.val.push_back(lower.val[static_cast<std::size_t>(k)]);
+    }
+    out.diag[static_cast<std::size_t>(i)] =
+        lower.val[static_cast<std::size_t>(hi - 1)];
+    out.strict.row_ptr.push_back(static_cast<offset_t>(out.strict.val.size()));
+  }
+  return out;
+}
+
+template <class T>
+Csr<T> extract_block(const Csr<T>& a, index_t r0, index_t r1, index_t c0,
+                     index_t c1) {
+  BLOCKTRI_CHECK(0 <= r0 && r0 <= r1 && r1 <= a.nrows);
+  BLOCKTRI_CHECK(0 <= c0 && c0 <= c1 && c1 <= a.ncols);
+  Csr<T> out;
+  out.nrows = r1 - r0;
+  out.ncols = c1 - c0;
+  out.row_ptr.reserve(static_cast<std::size_t>(out.nrows) + 1);
+  out.row_ptr.push_back(0);
+  for (index_t i = r0; i < r1; ++i) {
+    const offset_t lo = a.row_ptr[static_cast<std::size_t>(i)];
+    const offset_t hi = a.row_ptr[static_cast<std::size_t>(i) + 1];
+    // Binary search the sorted row for the [c0, c1) window.
+    const auto* base = a.col_idx.data();
+    const auto* first = std::lower_bound(base + lo, base + hi, c0);
+    const auto* last = std::lower_bound(first, base + hi, c1);
+    for (const auto* p = first; p != last; ++p) {
+      const auto k = static_cast<std::size_t>(p - base);
+      out.col_idx.push_back(*p - c0);
+      out.val.push_back(a.val[k]);
+    }
+    out.row_ptr.push_back(static_cast<offset_t>(out.val.size()));
+  }
+  return out;
+}
+
+template <class T>
+offset_t count_block_nnz(const Csr<T>& a, index_t r0, index_t r1, index_t c0,
+                         index_t c1) {
+  BLOCKTRI_CHECK(0 <= r0 && r0 <= r1 && r1 <= a.nrows);
+  BLOCKTRI_CHECK(0 <= c0 && c0 <= c1 && c1 <= a.ncols);
+  offset_t total = 0;
+  for (index_t i = r0; i < r1; ++i) {
+    const offset_t lo = a.row_ptr[static_cast<std::size_t>(i)];
+    const offset_t hi = a.row_ptr[static_cast<std::size_t>(i) + 1];
+    const auto* base = a.col_idx.data();
+    const auto* first = std::lower_bound(base + lo, base + hi, c0);
+    const auto* last = std::lower_bound(first, base + hi, c1);
+    total += static_cast<offset_t>(last - first);
+  }
+  return total;
+}
+
+#define BLOCKTRI_INSTANTIATE(T)                                              \
+  template Csr<T> lower_triangular_with_diag(const Csr<T>&, T);              \
+  template bool is_lower_triangular_nonsingular(const Csr<T>&);              \
+  template StrictLowerSplit<T> split_diagonal(const Csr<T>&);                \
+  template Csr<T> extract_block(const Csr<T>&, index_t, index_t, index_t,    \
+                                index_t);                                    \
+  template offset_t count_block_nnz(const Csr<T>&, index_t, index_t,         \
+                                    index_t, index_t);
+
+BLOCKTRI_INSTANTIATE(float)
+BLOCKTRI_INSTANTIATE(double)
+#undef BLOCKTRI_INSTANTIATE
+
+}  // namespace blocktri

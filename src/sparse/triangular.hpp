@@ -1,0 +1,46 @@
+// Triangular-matrix utilities: extraction of the benchmark systems (the
+// paper tests "lower triangular parts plus a diagonal to avoid singular",
+// §4.1), diagonal splitting (the improved layout stores the diagonal
+// separately, §3.3), and sub-block extraction used by the partition planners.
+#pragma once
+
+#include "sparse/formats.hpp"
+
+namespace blocktri {
+
+/// Returns the lower-triangular part of `a` (entries with col <= row).
+/// Any missing diagonal entry is inserted with value `diag_fill` so the
+/// system is non-singular — the paper's dataset construction rule.
+template <class T>
+Csr<T> lower_triangular_with_diag(const Csr<T>& a, T diag_fill = T(1));
+
+/// True iff every entry satisfies col <= row and every diagonal entry is
+/// present and nonzero.
+template <class T>
+bool is_lower_triangular_nonsingular(const Csr<T>& a);
+
+/// Splits a lower-triangular matrix into its strictly-lower part and a dense
+/// diagonal vector. The improved recursive layout keeps the diagonal apart
+/// ("for brevity, we assume the diagonal is saved separately", §3.3).
+template <class T>
+struct StrictLowerSplit {
+  Csr<T> strict;        // strictly lower triangular, n x n
+  std::vector<T> diag;  // size n, all nonzero
+};
+template <class T>
+StrictLowerSplit<T> split_diagonal(const Csr<T>& lower);
+
+/// Extracts the sub-matrix a[r0:r1, c0:c1) with indices rebased to the block
+/// origin. O(nnz of the covered rows). Used by the block partitioners to cut
+/// triangular, rectangular and square sub-matrices (Fig. 2).
+template <class T>
+Csr<T> extract_block(const Csr<T>& a, index_t r0, index_t r1, index_t c0,
+                     index_t c1);
+
+/// Sum of |row range| nonzeros that fall inside [c0, c1): cheap nnz counting
+/// used by planners to reason about block sizes without materialising them.
+template <class T>
+offset_t count_block_nnz(const Csr<T>& a, index_t r0, index_t r1, index_t c0,
+                         index_t c1);
+
+}  // namespace blocktri

@@ -1,0 +1,67 @@
+// The four SpMV kernels of §3.4, used for the square/rectangular blocks of
+// the block algorithms:
+//
+//   * scalar-CSR  — one thread per row. Best for short rows; a warp covers 32
+//                   consecutive rows and diverges to the longest row in the
+//                   group (modelled).
+//   * vector-CSR  — one 32-lane warp per row. Best for long rows.
+//   * scalar-DCSR / vector-DCSR — same, but iterating only the non-empty
+//                   rows of a doubly-compressed block (§3.3); wins when
+//                   emptyratio is high because no threads are wasted on
+//                   empty rows.
+//
+// All kernels compute the *update* form the block algorithms need
+// (Algorithms 4–6):   y ← y − A·x
+// over the block's local index space. Each function optionally accounts its
+// cost into a sim::KernelSim; the caller composes kernels into launches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/kernel_sim.hpp"
+#include "sparse/formats.hpp"
+
+namespace blocktri {
+
+enum class SpmvKernelKind {
+  kScalarCsr,
+  kVectorCsr,
+  kScalarDcsr,
+  kVectorDcsr,
+};
+
+std::string to_string(SpmvKernelKind k);
+
+/// Simulation context for one SpMV call: where the x and y segments live in
+/// the simulator's address space. Null `ks` disables cost accounting.
+struct SpmvSim {
+  sim::KernelSim* ks = nullptr;
+  std::uint64_t x_base = 0;
+  std::uint64_t y_base = 0;
+};
+
+template <class T>
+void spmv_scalar_csr(const Csr<T>& a, const T* x, T* y, const SpmvSim* s);
+
+template <class T>
+void spmv_vector_csr(const Csr<T>& a, const T* x, T* y, const SpmvSim* s);
+
+template <class T>
+void spmv_scalar_dcsr(const Dcsr<T>& a, const T* x, T* y, const SpmvSim* s);
+
+template <class T>
+void spmv_vector_dcsr(const Dcsr<T>& a, const T* x, T* y, const SpmvSim* s);
+
+/// Dispatch by kind on a CSR block (DCSR kinds convert on the fly — only used
+/// by the calibration harness; the production path stores DCSR blocks
+/// natively in BlockedMatrix).
+template <class T>
+void spmv_update(SpmvKernelKind kind, const Csr<T>& a, const T* x, T* y,
+                 const SpmvSim* s);
+
+/// Plain y = A·x convenience used by examples/tests (no simulation).
+template <class T>
+std::vector<T> spmv_apply(const Csr<T>& a, const std::vector<T>& x);
+
+}  // namespace blocktri

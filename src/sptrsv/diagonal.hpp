@@ -1,0 +1,28 @@
+// Completely-parallel SpTRSV for diagonal-only blocks (§3.4 case 1): after
+// the level-set reordering, many leaf triangular blocks of the recursive
+// layout contain nothing but their diagonal, so x_i = b_i / d_i with perfect
+// parallelism — one kernel, no dependencies at all.
+#pragma once
+
+#include <vector>
+
+#include "sparse/formats.hpp"
+#include "sptrsv/sim_ctx.hpp"
+
+namespace blocktri {
+
+template <class T>
+class DiagonalSolver {
+ public:
+  /// `diag` is the dense diagonal of the block (all entries nonzero).
+  explicit DiagonalSolver(std::vector<T> diag);
+
+  void solve(const T* b, T* x, const TrsvSim* s = nullptr) const;
+
+  index_t n() const { return static_cast<index_t>(diag_.size()); }
+
+ private:
+  std::vector<T> diag_;
+};
+
+}  // namespace blocktri

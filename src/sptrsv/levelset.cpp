@@ -1,0 +1,88 @@
+#include "sptrsv/levelset.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "sim/kernel_sim.hpp"
+#include "sparse/triangular.hpp"
+
+namespace blocktri {
+
+namespace {
+constexpr int kWarp = 32;
+constexpr double kDivideNs = 15.0;  // fp divide at the end of each component
+}  // namespace
+
+template <class T>
+LevelSetSolver<T>::LevelSetSolver(Csr<T> lower) : a_(std::move(lower)) {
+  BLOCKTRI_CHECK_MSG(is_lower_triangular_nonsingular(a_),
+                     "LevelSetSolver requires a nonsingular lower triangle");
+  ls_ = compute_level_sets(a_);
+}
+
+template <class T>
+void LevelSetSolver<T>::solve(const T* b, T* x, const TrsvSim* s) const {
+  const int elem = static_cast<int>(sizeof(T));
+  const bool simulate = s != nullptr && s->active();
+  std::uint64_t addrs[kWarp];
+
+  std::optional<sim::KernelSim> ks;
+  if (simulate) ks.emplace(*s->gpu, s->cache, s->fp64);
+
+  for (index_t lvl = 0; lvl < ls_.nlevels; ++lvl) {
+    for (offset_t p = ls_.level_ptr[static_cast<std::size_t>(lvl)];
+         p < ls_.level_ptr[static_cast<std::size_t>(lvl) + 1]; ++p) {
+      const index_t i = ls_.level_item[static_cast<std::size_t>(p)];
+      const offset_t lo = a_.row_ptr[static_cast<std::size_t>(i)];
+      const offset_t hi = a_.row_ptr[static_cast<std::size_t>(i) + 1];
+
+      // Host execution: components within a level are independent, so the
+      // sequential order here matches any parallel order numerically
+      // (distinct x entries are written).
+      T left_sum = T(0);
+      for (offset_t k = lo; k < hi - 1; ++k)
+        left_sum += a_.val[static_cast<std::size_t>(k)] *
+                    x[a_.col_idx[static_cast<std::size_t>(k)]];
+      x[i] = (b[i] - left_sum) / a_.val[static_cast<std::size_t>(hi - 1)];
+
+      if (simulate) {
+        // One warp per component: gather the solved x entries of the row in
+        // 32-lane groups, stream the row's structure, divide, write x[i].
+        ks->begin_task();
+        // Scattered row_ptr lookup (rows of a level are not contiguous).
+        ks->touch(s->aux_base + static_cast<std::uint64_t>(i) * 8u, 8);
+        ks->stream_bytes(static_cast<std::int64_t>(sizeof(offset_t)) +
+                        (hi - lo) * (static_cast<std::int64_t>(
+                                         sizeof(index_t)) +
+                                     elem));
+        for (offset_t k = lo; k < hi - 1; k += kWarp) {
+          const int n = static_cast<int>(std::min<offset_t>(kWarp, hi - 1 - k));
+          for (int l = 0; l < n; ++l)
+            addrs[l] = s->x_base +
+                       static_cast<std::uint64_t>(
+                           a_.col_idx[static_cast<std::size_t>(k + l)]) *
+                           static_cast<std::uint64_t>(elem);
+          ks->gather(addrs, n, elem);
+        }
+        ks->touch(s->b_base + static_cast<std::uint64_t>(i) *
+                                 static_cast<std::uint64_t>(elem),
+                 elem);
+        ks->flops(2 * (hi - lo));
+        ks->serial_ns(s->gpu->divide_ns);
+        ks->touch(s->x_base + static_cast<std::uint64_t>(i) *
+                                 static_cast<std::uint64_t>(elem),
+                 elem);
+        ks->end_task();
+      }
+    }
+    if (simulate) {
+      // Barrier between levels = one kernel launch per level (Alg. 2 line 20).
+      s->report->add_kernel_launch(ks->finish(), s->gpu->kernel_launch_ns);
+    }
+  }
+}
+
+template class LevelSetSolver<float>;
+template class LevelSetSolver<double>;
+
+}  // namespace blocktri

@@ -1,0 +1,37 @@
+// Level-set parallel SpTRSV — Algorithm 2 of the paper (Anderson & Saad,
+// Saltz). Preprocessing groups components into levels; the solve phase
+// launches one GPU kernel per level (a barrier between levels), each level
+// solving its components in parallel with one warp per component.
+//
+// This is also the "level-set" kernel of the adaptive selector (§3.4): the
+// paper finds it best for blocks with few levels and short rows (Fig. 5a).
+#pragma once
+
+#include <vector>
+
+#include "analysis/levels.hpp"
+#include "sparse/formats.hpp"
+#include "sptrsv/sim_ctx.hpp"
+
+namespace blocktri {
+
+template <class T>
+class LevelSetSolver {
+ public:
+  /// Preprocessing (Alg. 2 lines 1–11): level analysis of the lower
+  /// triangular matrix. The matrix is copied in; diagonal must be present.
+  explicit LevelSetSolver(Csr<T> lower);
+
+  /// Solve phase (Alg. 2 lines 12–22). One kernel launch per level when
+  /// simulation is active.
+  void solve(const T* b, T* x, const TrsvSim* s = nullptr) const;
+
+  const Csr<T>& matrix() const { return a_; }
+  const LevelSets& levels() const { return ls_; }
+
+ private:
+  Csr<T> a_;
+  LevelSets ls_;
+};
+
+}  // namespace blocktri

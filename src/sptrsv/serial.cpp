@@ -1,0 +1,40 @@
+#include "sptrsv/serial.hpp"
+
+#include "sparse/triangular.hpp"
+
+namespace blocktri {
+
+template <class T>
+void sptrsv_serial_raw(const Csr<T>& lower, const T* b, T* x) {
+  for (index_t i = 0; i < lower.nrows; ++i) {
+    const offset_t lo = lower.row_ptr[static_cast<std::size_t>(i)];
+    const offset_t hi = lower.row_ptr[static_cast<std::size_t>(i) + 1];
+    // Algorithm 1: accumulate left_sum over the already-solved components,
+    // then divide by the diagonal (last entry of the sorted row).
+    T left_sum = T(0);
+    for (offset_t k = lo; k < hi - 1; ++k)
+      left_sum += lower.val[static_cast<std::size_t>(k)] *
+                  x[lower.col_idx[static_cast<std::size_t>(k)]];
+    x[i] = (b[i] - left_sum) / lower.val[static_cast<std::size_t>(hi - 1)];
+  }
+}
+
+template <class T>
+std::vector<T> sptrsv_serial(const Csr<T>& lower, const std::vector<T>& b) {
+  BLOCKTRI_CHECK_MSG(is_lower_triangular_nonsingular(lower),
+                     "sptrsv_serial requires a nonsingular lower triangle");
+  BLOCKTRI_CHECK(b.size() == static_cast<std::size_t>(lower.nrows));
+  std::vector<T> x(static_cast<std::size_t>(lower.nrows));
+  sptrsv_serial_raw(lower, b.data(), x.data());
+  return x;
+}
+
+#define BLOCKTRI_INSTANTIATE(T)                                        \
+  template void sptrsv_serial_raw(const Csr<T>&, const T*, T*);        \
+  template std::vector<T> sptrsv_serial(const Csr<T>&, const std::vector<T>&);
+
+BLOCKTRI_INSTANTIATE(float)
+BLOCKTRI_INSTANTIATE(double)
+#undef BLOCKTRI_INSTANTIATE
+
+}  // namespace blocktri

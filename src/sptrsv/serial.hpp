@@ -1,0 +1,22 @@
+// Serial CSR forward substitution — Algorithm 1 of the paper. This is the
+// correctness oracle every parallel solver is tested against, and the
+// reference implementation of the left_sum formulation.
+#pragma once
+
+#include <vector>
+
+#include "sparse/formats.hpp"
+
+namespace blocktri {
+
+/// Solves L x = b where `lower` is lower triangular with a nonzero diagonal
+/// stored as the last entry of each row. O(nnz).
+template <class T>
+std::vector<T> sptrsv_serial(const Csr<T>& lower, const std::vector<T>& b);
+
+/// In-place variant over raw pointers (used by the block executor's
+/// sub-solves and by tests on block-local segments).
+template <class T>
+void sptrsv_serial_raw(const Csr<T>& lower, const T* b, T* x);
+
+}  // namespace blocktri

@@ -1,0 +1,28 @@
+// Shared simulation context for the SpTRSV kernels. The block executor calls
+// these kernels on sub-matrices, handing each call the global simulated
+// addresses of its x / b segments and scratch arrays, so cache locality is
+// modelled across block boundaries exactly as the paper argues it behaves
+// (§2.2: small blocks keep the live parts of x and b resident).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cache.hpp"
+#include "sim/machine.hpp"
+#include "sim/report.hpp"
+
+namespace blocktri {
+
+struct TrsvSim {
+  const sim::GpuSpec* gpu = nullptr;
+  sim::CacheModel* cache = nullptr;  // shared across the kernels of a solve
+  bool fp64 = true;
+  std::uint64_t x_base = 0;    // address of this block's x segment
+  std::uint64_t b_base = 0;    // address of this block's b segment
+  std::uint64_t aux_base = 0;  // left_sum / in_degree scratch for this block
+  sim::SolveReport* report = nullptr;
+
+  bool active() const { return gpu != nullptr && report != nullptr; }
+};
+
+}  // namespace blocktri

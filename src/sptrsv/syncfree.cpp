@@ -1,0 +1,134 @@
+#include "sptrsv/syncfree.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "sim/kernel_sim.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/triangular.hpp"
+
+namespace blocktri {
+
+namespace {
+constexpr int kWarp = 32;
+}  // namespace
+
+template <class T>
+SyncFreeSolver<T>::SyncFreeSolver(const Csr<T>& lower) {
+  BLOCKTRI_CHECK_MSG(is_lower_triangular_nonsingular(lower),
+                     "SyncFreeSolver requires a nonsingular lower triangle");
+  csc_ = csr_to_csc(lower);
+  // Dependency edges for the simulator: component i waits for every j < i
+  // with L[i,j] != 0, i.e. the strictly-lower entries of row i.
+  StrictLowerSplit<T> split = split_diagonal(lower);
+  strict_rows_ = std::move(split.strict);
+  in_degree_.assign(static_cast<std::size_t>(lower.nrows), 0);
+  for (index_t i = 0; i < lower.nrows; ++i)
+    in_degree_[static_cast<std::size_t>(i)] =
+        static_cast<index_t>(strict_rows_.row_nnz(i));
+}
+
+template <class T>
+void SyncFreeSolver<T>::solve(const T* b, T* x, const TrsvSim* s) const {
+  const index_t n = csc_.ncols;
+  const int elem = static_cast<int>(sizeof(T));
+  const bool simulate = s != nullptr && s->active();
+
+  // Host execution, faithful to Algorithm 3's data flow: a left_sum
+  // accumulator per component, updated column by column. Processing
+  // components in ascending order is a valid linearisation of the
+  // dependency partial order (the matrix is lower triangular).
+  std::vector<T> left_sum(static_cast<std::size_t>(n), T(0));
+
+  std::optional<sim::KernelSim> ks;
+  if (simulate) ks.emplace(*s->gpu, s->cache, s->fp64);
+  std::uint64_t addrs[kWarp];
+  if (simulate) {
+    // Reset kernel: left_sum must be zeroed and in_degree restored before
+    // every solve (Alg. 3's counters are consumed by the previous run) — a
+    // real extra launch the level-set methods do not pay.
+    ks->begin_task();
+    ks->stream_bytes(static_cast<std::int64_t>(n) * (elem + 4));
+    ks->end_task();
+    s->report->add_kernel_launch(ks->finish(), s->gpu->kernel_launch_ns);
+  }
+  // Scratch address layout: left_sum[i] then in_degree[i] per component.
+  const std::uint64_t ls_base = simulate ? s->aux_base : 0;
+  const std::uint64_t deg_base =
+      simulate ? s->aux_base + static_cast<std::uint64_t>(n) *
+                                   static_cast<std::uint64_t>(elem)
+               : 0;
+
+  for (index_t i = 0; i < n; ++i) {
+    const offset_t clo = csc_.col_ptr[static_cast<std::size_t>(i)];
+    const offset_t chi = csc_.col_ptr[static_cast<std::size_t>(i) + 1];
+    // Diagonal-first within the column: rows are sorted ascending and the
+    // diagonal is the smallest row index in a lower triangle's column.
+    BLOCKTRI_DCHECK(csc_.row_idx[static_cast<std::size_t>(clo)] == i);
+    x[i] = (b[i] - left_sum[static_cast<std::size_t>(i)]) /
+           csc_.val[static_cast<std::size_t>(clo)];
+    for (offset_t k = clo + 1; k < chi; ++k)
+      left_sum[static_cast<std::size_t>(
+          csc_.row_idx[static_cast<std::size_t>(k)])] +=
+          csc_.val[static_cast<std::size_t>(k)] * x[i];
+
+    if (simulate) {
+      ks->begin_task();
+      // Busy-wait: at minimum one read of the in-degree counter; the real
+      // waiting time is produced by the scheduler through the dependency
+      // edges below (and the slot is held while waiting).
+      for (offset_t k = strict_rows_.row_ptr[static_cast<std::size_t>(i)];
+           k < strict_rows_.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+        ks->dep(strict_rows_.col_idx[static_cast<std::size_t>(k)]);
+      ks->touch(deg_base + static_cast<std::uint64_t>(i) * 4u, 4);
+
+      // Compute x_i: read b_i and left_sum_i, stream the diagonal value,
+      // divide, write x_i.
+      ks->touch(s->b_base + static_cast<std::uint64_t>(i) *
+                                static_cast<std::uint64_t>(elem),
+                elem);
+      ks->touch(ls_base + static_cast<std::uint64_t>(i) *
+                              static_cast<std::uint64_t>(elem),
+                elem);
+      ks->stream_bytes(static_cast<std::int64_t>(sizeof(offset_t)) + elem);
+      ks->serial_ns(s->gpu->divide_ns);
+      ks->touch(s->x_base + static_cast<std::uint64_t>(i) *
+                                static_cast<std::uint64_t>(elem),
+                elem);
+
+      // Notify dependents: stream the column structure, one atomic add on
+      // left_sum and one atomic decrement on in_degree per entry (Alg. 3
+      // lines 12–15), issued by the warp's lanes in 32-wide groups.
+      const offset_t col_len = chi - (clo + 1);
+      ks->stream_bytes(col_len * (static_cast<std::int64_t>(sizeof(index_t)) +
+                                  elem));
+      ks->flops(2 * col_len + 2);
+      for (offset_t k = clo + 1; k < chi; k += kWarp) {
+        const int g = static_cast<int>(std::min<offset_t>(kWarp, chi - k));
+        for (int l = 0; l < g; ++l)
+          addrs[l] = ls_base +
+                     static_cast<std::uint64_t>(
+                         csc_.row_idx[static_cast<std::size_t>(k + l)]) *
+                         static_cast<std::uint64_t>(elem);
+        ks->atomic(addrs, g, elem);
+        for (int l = 0; l < g; ++l)
+          addrs[l] = deg_base +
+                     static_cast<std::uint64_t>(
+                         csc_.row_idx[static_cast<std::size_t>(k + l)]) *
+                         4u;
+        ks->atomic(addrs, g, 4);
+      }
+      ks->end_task();
+    }
+  }
+
+  if (simulate) {
+    // The whole solve is one kernel launch — the algorithm's selling point.
+    s->report->add_kernel_launch(ks->finish(), s->gpu->kernel_launch_ns);
+  }
+}
+
+template class SyncFreeSolver<float>;
+template class SyncFreeSolver<double>;
+
+}  // namespace blocktri

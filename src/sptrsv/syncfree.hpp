@@ -1,0 +1,43 @@
+// Synchronisation-free SpTRSV — Algorithm 3 of the paper (Liu et al.,
+// Euro-Par'16 / CCPE'17). One kernel for the whole solve: each component is
+// assigned a warp which busy-waits on its in-degree counter, computes its x
+// entry, then pushes val*x products into the dependent components' left_sum
+// accumulators with atomics and decrements their in-degree counters.
+//
+// Preprocessing is a single parallel pass counting in-degrees (Alg. 3 lines
+// 1–5) — the cheapest analysis of the three baselines (Table 5: 2.34 ms).
+//
+// Cost drivers reproduced by the simulation (and called out in §2.2/§4.2):
+//   * dependency chains serialise through the atomic visibility latency,
+//   * long columns make a single warp issue many atomics (power-law load
+//     imbalance — FullChip, vas_stokes_4M),
+//   * spinning warps hold SM residency: components deep in the launch order
+//     cannot even start until a slot frees (modelled by slot-holding tasks).
+#pragma once
+
+#include <vector>
+
+#include "sparse/formats.hpp"
+#include "sptrsv/sim_ctx.hpp"
+
+namespace blocktri {
+
+template <class T>
+class SyncFreeSolver {
+ public:
+  /// Builds the CSC execution structure and the in-degree counts. The input
+  /// is the lower triangle in CSR (diagonal last in each row).
+  explicit SyncFreeSolver(const Csr<T>& lower);
+
+  void solve(const T* b, T* x, const TrsvSim* s = nullptr) const;
+
+  const Csc<T>& matrix_csc() const { return csc_; }
+  const std::vector<index_t>& in_degree() const { return in_degree_; }
+
+ private:
+  Csc<T> csc_;                      // execution format (Alg. 3 is CSC)
+  Csr<T> strict_rows_;              // row lists = dependency edges for the sim
+  std::vector<index_t> in_degree_;  // off-diagonal nnz per row
+};
+
+}  // namespace blocktri

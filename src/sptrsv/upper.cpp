@@ -1,0 +1,80 @@
+#include "sptrsv/upper.hpp"
+
+#include <algorithm>
+
+namespace blocktri {
+
+template <class T>
+bool is_upper_triangular_nonsingular(const Csr<T>& a) {
+  if (a.nrows != a.ncols) return false;
+  for (index_t i = 0; i < a.nrows; ++i) {
+    const offset_t lo = a.row_ptr[static_cast<std::size_t>(i)];
+    const offset_t hi = a.row_ptr[static_cast<std::size_t>(i) + 1];
+    if (lo == hi) return false;  // empty row: no diagonal
+    // Sorted row of an upper triangle starts at the diagonal.
+    if (a.col_idx[static_cast<std::size_t>(lo)] != i) return false;
+    if (a.val[static_cast<std::size_t>(lo)] == T(0)) return false;
+  }
+  return true;
+}
+
+template <class T>
+std::vector<T> sptrsv_upper_serial(const Csr<T>& upper,
+                                   const std::vector<T>& b) {
+  BLOCKTRI_CHECK_MSG(is_upper_triangular_nonsingular(upper),
+                     "sptrsv_upper_serial requires a nonsingular upper "
+                     "triangle");
+  BLOCKTRI_CHECK(b.size() == static_cast<std::size_t>(upper.nrows));
+  std::vector<T> x(static_cast<std::size_t>(upper.nrows));
+  for (index_t i = upper.nrows - 1; i >= 0; --i) {
+    const offset_t lo = upper.row_ptr[static_cast<std::size_t>(i)];
+    const offset_t hi = upper.row_ptr[static_cast<std::size_t>(i) + 1];
+    T sum = b[static_cast<std::size_t>(i)];
+    for (offset_t k = lo + 1; k < hi; ++k)  // entries right of the diagonal
+      sum -= upper.val[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(
+                 upper.col_idx[static_cast<std::size_t>(k)])];
+    x[static_cast<std::size_t>(i)] = sum / upper.val[static_cast<std::size_t>(lo)];
+    if (i == 0) break;  // index_t is signed, but avoid relying on wrap
+  }
+  return x;
+}
+
+template <class T>
+Csr<T> lower_mirror_of_upper(const Csr<T>& upper) {
+  BLOCKTRI_CHECK(upper.nrows == upper.ncols);
+  const index_t n = upper.nrows;
+  Csr<T> out;
+  out.nrows = out.ncols = n;
+  out.row_ptr.reserve(static_cast<std::size_t>(n) + 1);
+  out.row_ptr.push_back(0);
+  out.col_idx.reserve(upper.col_idx.size());
+  out.val.reserve(upper.val.size());
+  // Mirrored row i comes from original row n-1-i with columns reversed;
+  // reversing a sorted ascending row yields a sorted ascending mirrored row
+  // with the diagonal last — the lower-solver convention.
+  for (index_t i = 0; i < n; ++i) {
+    const index_t r = n - 1 - i;
+    const offset_t lo = upper.row_ptr[static_cast<std::size_t>(r)];
+    const offset_t hi = upper.row_ptr[static_cast<std::size_t>(r) + 1];
+    for (offset_t k = hi; k > lo; --k) {
+      out.col_idx.push_back(
+          n - 1 - upper.col_idx[static_cast<std::size_t>(k - 1)]);
+      out.val.push_back(upper.val[static_cast<std::size_t>(k - 1)]);
+    }
+    out.row_ptr.push_back(static_cast<offset_t>(out.val.size()));
+  }
+  return out;
+}
+
+#define BLOCKTRI_INSTANTIATE(T)                                      \
+  template bool is_upper_triangular_nonsingular(const Csr<T>&);      \
+  template std::vector<T> sptrsv_upper_serial(const Csr<T>&,         \
+                                              const std::vector<T>&); \
+  template Csr<T> lower_mirror_of_upper(const Csr<T>&);
+
+BLOCKTRI_INSTANTIATE(float)
+BLOCKTRI_INSTANTIATE(double)
+#undef BLOCKTRI_INSTANTIATE
+
+}  // namespace blocktri

@@ -1,0 +1,49 @@
+// Upper-triangular solves: U x = b via backward substitution.
+//
+// The paper's opening sentence defines SpTRSV for "L x = b (or U x = b)";
+// the solve phase of an LU factorisation needs both. The block machinery in
+// core/ operates on lower triangles; upper systems are handled either
+// directly (serial backward substitution below) or through the index
+// reversal J (i -> n-1-i): J·U·J is lower triangular and
+//   U x = b  <=>  (J U J)(J x) = (J b),
+// so the full BlockSolver pipeline — preprocessing included — applies to
+// upper factors too (solve_upper_with).
+#pragma once
+
+#include <vector>
+
+#include "sparse/formats.hpp"
+
+namespace blocktri {
+
+/// True iff every entry satisfies col >= row and every diagonal entry is
+/// present (first entry of each sorted row) and nonzero.
+template <class T>
+bool is_upper_triangular_nonsingular(const Csr<T>& a);
+
+/// Serial backward substitution for U x = b. O(nnz).
+template <class T>
+std::vector<T> sptrsv_upper_serial(const Csr<T>& upper,
+                                   const std::vector<T>& b);
+
+/// The index-reversal mirror J·U·J (entry (i,j) = U[n-1-i][n-1-j]): lower
+/// triangular whenever U is upper triangular, with sorted rows and the
+/// diagonal last — ready for every lower solver in this library.
+template <class T>
+Csr<T> lower_mirror_of_upper(const Csr<T>& upper);
+
+/// Solves U x = b with any lower-triangular solver: `lower_solver` is a
+/// callable taking (const Csr<T>& lower, const std::vector<T>& rhs) and
+/// returning the solution vector. Used by tests and examples to run the
+/// recursive block algorithm on upper factors.
+template <class T, class Solver>
+std::vector<T> solve_upper_with(const Csr<T>& upper, const std::vector<T>& b,
+                                Solver&& lower_solver) {
+  // U x = b  <=>  (J U J) (J x) = (J b), and J U J is lower triangular.
+  const Csr<T> mirrored = lower_mirror_of_upper(upper);
+  std::vector<T> rb(b.rbegin(), b.rend());
+  std::vector<T> rx = lower_solver(mirrored, rb);
+  return {rx.rbegin(), rx.rend()};
+}
+
+}  // namespace blocktri

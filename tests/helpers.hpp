@@ -1,0 +1,100 @@
+// Shared gtest helpers: tolerance-aware vector comparison, dense oracles,
+// and a registry of small structurally-diverse matrices the solver tests
+// sweep over.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "blocktri.hpp"
+
+namespace blocktri::testing {
+
+/// Max-norm comparison with a tolerance scaled to the value type and the
+/// magnitude of the reference.
+template <class T>
+::testing::AssertionResult VectorsNear(const std::vector<T>& got,
+                                       const std::vector<T>& want,
+                                       double rel_tol) {
+  if (got.size() != want.size())
+    return ::testing::AssertionFailure()
+           << "size mismatch: " << got.size() << " vs " << want.size();
+  double max_ref = 1.0;
+  for (const T w : want)
+    max_ref = std::max(max_ref, std::fabs(static_cast<double>(w)));
+  const double tol = rel_tol * max_ref;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double d = std::fabs(static_cast<double>(got[i]) -
+                               static_cast<double>(want[i]));
+    if (!(d <= tol))
+      return ::testing::AssertionFailure()
+             << "entry " << i << ": got " << static_cast<double>(got[i])
+             << ", want " << static_cast<double>(want[i]) << " (|diff| " << d
+             << " > tol " << tol << ")";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+template <class T>
+constexpr double default_tol() {
+  return sizeof(T) == 4 ? 2e-3 : 1e-10;
+}
+
+/// Small matrices covering every structural family, for exhaustive solver
+/// sweeps. Kept small (n <= ~4000) so the full cross product of solver x
+/// matrix x precision runs in seconds.
+struct TestMatrix {
+  std::string name;
+  std::function<Csr<double>()> build;
+};
+
+inline std::vector<TestMatrix> test_matrices() {
+  using namespace blocktri::gen;
+  return {
+      {"diag", [] { return diagonal(257, 1); }},
+      {"chain", [] { return tridiag_chain(300, 2); }},
+      {"chain_banded", [] { return chain_banded(500, 8, 2.0, 3); }},
+      {"banded", [] { return banded(800, 16, 3.0, 4); }},
+      {"grid2d", [] { return grid2d(40, 25, 5); }},
+      {"grid3d", [] { return grid3d(10, 11, 9, 6); }},
+      {"powerlaw", [] { return power_law(1200, 2.1, 256, 6.0, 7); }},
+      {"rndlevels", [] { return random_levels(1500, 24, 3.0, 1.0, 8); }},
+      {"rndlevels_deep", [] { return random_levels(2000, 500, 2.0, 1.0, 9); }},
+      {"twolevel", [] { return two_level_kkt(1000, 500, 5.0, 10); }},
+      {"kkt", [] { return kkt_structure(1600, 12, 3.0, 11); }},
+      {"trace", [] { return trace_network(1800, 9, 1.8, 0.45, 12); }},
+      {"dense", [] { return dense_lower(120, 0.3, 13); }},
+      {"single", [] { return diagonal(1, 14); }},
+      {"tiny", [] { return dense_lower(5, 0.8, 15); }},
+  };
+}
+
+/// The paper's Figure 1 example: an 8x8 lower triangular matrix with 15
+/// nonzeros and four level sets {0,1,6}, {2,3,4}, {5}, {7}.
+inline Csr<double> figure1_matrix() {
+  // Dependencies (strictly-lower entries) chosen to produce the figure's
+  // level structure: rows 0, 1 and 6 are independent; x2, x3, x4 depend on
+  // level-0 components; x5 depends on x2; x7 depends on x5 and x6.
+  Coo<double> coo;
+  coo.nrows = coo.ncols = 8;
+  auto put = [&coo](index_t r, index_t c, double v) {
+    coo.row.push_back(r);
+    coo.col.push_back(c);
+    coo.val.push_back(v);
+  };
+  for (index_t i = 0; i < 8; ++i) put(i, i, 2.0 + i);
+  put(2, 0, 1.0);
+  put(3, 1, 1.0);
+  put(4, 0, 1.0);
+  put(5, 2, 1.0);
+  put(5, 0, 1.0);
+  put(7, 5, 1.0);
+  put(7, 6, 1.0);
+  return coo_to_csr(coo);
+}
+
+}  // namespace blocktri::testing

@@ -1,0 +1,131 @@
+// Adaptive kernel selection tests: every branch of Algorithm 7, including
+// the published threshold boundaries.
+#include <gtest/gtest.h>
+
+#include "core/adaptive.hpp"
+
+namespace blocktri {
+namespace {
+
+TriangularFeatures tri_feat(double nnz_per_row_total, index_t nlevels) {
+  TriangularFeatures f;
+  f.base.nrows = 1000;
+  f.base.nnz_per_row = nnz_per_row_total;  // includes the diagonal
+  f.nlevels = nlevels;
+  return f;
+}
+
+MatrixFeatures sq_feat(index_t nrows, offset_t nnz, double empty_ratio) {
+  MatrixFeatures f;
+  f.nrows = nrows;
+  f.nnz = nnz;
+  f.nnz_per_row = static_cast<double>(nnz) / nrows;
+  f.empty_ratio = empty_ratio;
+  return f;
+}
+
+const ThresholdTable kT{};
+
+TEST(AdaptiveTri, DiagonalBlockIsCompletelyParallel) {
+  EXPECT_EQ(select_tri_kernel(tri_feat(1.0, 1), kT),
+            TriKernelKind::kCompletelyParallel);
+}
+
+TEST(AdaptiveTri, VeryDeepBlocksGoToCusparse) {
+  EXPECT_EQ(select_tri_kernel(tri_feat(5.0, 20001), kT),
+            TriKernelKind::kCusparseLike);
+  // Boundary: exactly 20000 is NOT cusparse.
+  EXPECT_NE(select_tri_kernel(tri_feat(5.0, 20000), kT),
+            TriKernelKind::kCusparseLike);
+}
+
+TEST(AdaptiveTri, ShortRowsFewLevelsGoToLevelSet) {
+  // nnz/row <= 15 off-diagonal and nlevels <= 20.
+  EXPECT_EQ(select_tri_kernel(tri_feat(16.0, 20), kT),
+            TriKernelKind::kLevelSet);
+  EXPECT_EQ(select_tri_kernel(tri_feat(2.0, 5), kT), TriKernelKind::kLevelSet);
+  // Just past either threshold -> sync-free.
+  EXPECT_EQ(select_tri_kernel(tri_feat(17.5, 20), kT),
+            TriKernelKind::kSyncFree);
+  EXPECT_EQ(select_tri_kernel(tri_feat(16.0, 21), kT),
+            TriKernelKind::kSyncFree);
+}
+
+TEST(AdaptiveTri, UnitRowChainGetsLevelSetUpTo100Levels) {
+  // nnz/row == 1 off-diagonal (2.0 with the diagonal) and nlevels <= 100.
+  EXPECT_EQ(select_tri_kernel(tri_feat(2.0, 100), kT),
+            TriKernelKind::kLevelSet);
+  EXPECT_EQ(select_tri_kernel(tri_feat(2.0, 101), kT),
+            TriKernelKind::kSyncFree);
+}
+
+TEST(AdaptiveTri, MiddleGroundIsSyncFree) {
+  EXPECT_EQ(select_tri_kernel(tri_feat(40.0, 500), kT),
+            TriKernelKind::kSyncFree);
+}
+
+TEST(AdaptiveSq, ShortRowsLowEmpty) {
+  EXPECT_EQ(select_square_kernel(sq_feat(1000, 5000, 0.0), kT),
+            SpmvKernelKind::kScalarCsr);
+  EXPECT_EQ(select_square_kernel(sq_feat(1000, 5000, 0.5), kT),
+            SpmvKernelKind::kScalarCsr);  // boundary: 50% still CSR
+}
+
+TEST(AdaptiveSq, ShortRowsHighEmpty) {
+  EXPECT_EQ(select_square_kernel(sq_feat(1000, 2000, 0.51), kT),
+            SpmvKernelKind::kScalarDcsr);
+  EXPECT_EQ(select_square_kernel(sq_feat(1000, 100, 0.95), kT),
+            SpmvKernelKind::kScalarDcsr);
+}
+
+TEST(AdaptiveSq, LongRowsLowEmpty) {
+  EXPECT_EQ(select_square_kernel(sq_feat(1000, 20000, 0.0), kT),
+            SpmvKernelKind::kVectorCsr);
+  EXPECT_EQ(select_square_kernel(sq_feat(1000, 20000, 0.15), kT),
+            SpmvKernelKind::kVectorCsr);  // boundary: 15% still CSR
+}
+
+TEST(AdaptiveSq, LongRowsHighEmpty) {
+  // nnz/row over non-empty rows: 20000 / (1000*0.2) = 100 > 12.
+  EXPECT_EQ(select_square_kernel(sq_feat(1000, 20000, 0.8), kT),
+            SpmvKernelKind::kVectorDcsr);
+}
+
+TEST(AdaptiveSq, NnzPerRowUsesNonEmptyRows) {
+  // 13000 nnz over 1000 rows looks "long" on average, but if all rows are
+  // non-empty it is 13 > 12 -> vector; with 60% empty rows the active rows
+  // average 32.5 -> still vector, but DCSR.
+  EXPECT_EQ(select_square_kernel(sq_feat(1000, 13000, 0.0), kT),
+            SpmvKernelKind::kVectorCsr);
+  EXPECT_EQ(select_square_kernel(sq_feat(1000, 13000, 0.6), kT),
+            SpmvKernelKind::kVectorDcsr);
+  // Conversely 8 nnz/row over all rows but concentrated on 40% of rows is
+  // 20 per active row -> vector-DCSR, not scalar.
+  EXPECT_EQ(select_square_kernel(sq_feat(1000, 8000, 0.6), kT),
+            SpmvKernelKind::kVectorDcsr);
+}
+
+TEST(AdaptiveSq, CustomThresholds) {
+  ThresholdTable t;
+  t.sq_nnz_row_scalar = 100.0;  // everything is "short rows" now
+  EXPECT_EQ(select_square_kernel(sq_feat(1000, 20000, 0.0), t),
+            SpmvKernelKind::kScalarCsr);
+}
+
+TEST(AdaptiveTri, CustomThresholds) {
+  ThresholdTable t;
+  t.tri_nlevels_cusparse = 10;
+  EXPECT_EQ(select_tri_kernel(tri_feat(5.0, 11), t),
+            TriKernelKind::kCusparseLike);
+}
+
+TEST(Adaptive, KindNames) {
+  EXPECT_EQ(to_string(TriKernelKind::kCompletelyParallel),
+            "completely-parallel");
+  EXPECT_EQ(to_string(TriKernelKind::kLevelSet), "level-set");
+  EXPECT_EQ(to_string(TriKernelKind::kSyncFree), "sync-free");
+  EXPECT_EQ(to_string(TriKernelKind::kCusparseLike), "cusparse-like");
+}
+
+}  // namespace
+}  // namespace blocktri

@@ -1,0 +1,236 @@
+// Unit tests for src/common: RNG, scans, sorting, permutations, tables, CLI.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/cli.hpp"
+#include "common/prefix.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+namespace blocktri {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 5);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 9u);  // all 9 values hit in 2000 draws
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, PowerLawBoundsAndSkew) {
+  Rng rng(13);
+  std::int64_t ones = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.power_law(2.0, 1000);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 1000);
+    if (v == 1) ++ones;
+  }
+  // A power law with alpha=2 puts roughly half its mass on k=1.
+  EXPECT_GT(ones, 1500);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng rng(15);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += static_cast<double>(rng.geometric(0.25));
+  EXPECT_NEAR(sum / 20000.0, 3.0, 0.25);  // mean (1-p)/p = 3
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(Rng, SampleDistinctIsDistinctAndInRange) {
+  Rng rng(19);
+  const auto s = rng.sample_distinct(10, 29, 15);
+  EXPECT_EQ(s.size(), 15u);
+  std::set<std::int64_t> set(s.begin(), s.end());
+  EXPECT_EQ(set.size(), 15u);
+  for (const auto v : s) {
+    EXPECT_GE(v, 10);
+    EXPECT_LE(v, 29);
+  }
+}
+
+TEST(Rng, SampleDistinctFullRange) {
+  Rng rng(21);
+  const auto s = rng.sample_distinct(0, 9, 10);
+  std::set<std::int64_t> set(s.begin(), s.end());
+  EXPECT_EQ(set.size(), 10u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto w = v;
+  rng.shuffle(w);
+  EXPECT_NE(v, w);  // astronomically unlikely to be identity
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Prefix, ExclusiveScan) {
+  std::vector<offset_t> v = {3, 1, 4, 1, 0};
+  exclusive_scan_in_place(v);
+  EXPECT_EQ(v, (std::vector<offset_t>{0, 3, 4, 8, 9}));
+}
+
+TEST(Prefix, ExclusiveScanEmpty) {
+  std::vector<offset_t> v;
+  exclusive_scan_in_place(v);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Prefix, CountingSortIsStable) {
+  // Keys with ties; stability means original order within each key.
+  const std::vector<index_t> keys = {2, 0, 1, 0, 2, 1, 0};
+  const auto perm = stable_counting_sort_perm(keys, 3);
+  EXPECT_EQ(perm, (std::vector<index_t>{1, 3, 6, 2, 5, 0, 4}));
+}
+
+TEST(Prefix, CountingSortRejectsOutOfRange) {
+  const std::vector<index_t> keys = {0, 3};
+  EXPECT_THROW(stable_counting_sort_perm(keys, 3), Error);
+}
+
+TEST(Prefix, InvertPermutationRoundTrip) {
+  const std::vector<index_t> perm = {2, 0, 3, 1};
+  const auto inv = invert_permutation(perm);
+  EXPECT_EQ(inv, (std::vector<index_t>{1, 3, 0, 2}));
+  EXPECT_EQ(invert_permutation(inv), perm);
+}
+
+TEST(Prefix, IsPermutationOfIota) {
+  EXPECT_TRUE(is_permutation_of_iota({1, 0, 2}));
+  EXPECT_FALSE(is_permutation_of_iota({1, 1, 2}));
+  EXPECT_FALSE(is_permutation_of_iota({0, 3, 1}));
+  EXPECT_TRUE(is_permutation_of_iota({}));
+}
+
+TEST(Table, AlignsAndCounts) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  EXPECT_EQ(t.rows(), 2u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name "), std::string::npos);
+  EXPECT_NE(s.find("| long-name |"), std::string::npos);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Format, Count) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(fmt_count(-1234), "-1,234");
+}
+
+TEST(Format, Compact) {
+  EXPECT_EQ(fmt_compact(0.0), "0");
+  EXPECT_NE(fmt_compact(1.23e-7).find("e"), std::string::npos);
+}
+
+TEST(Cli, ParsesFlagsAndPositional) {
+  const char* argv[] = {"prog", "--n=42", "--verbose", "input.mtx",
+                        "--ratio=0.5"};
+  Cli cli(5, argv);
+  EXPECT_EQ(cli.get_int("n", 0), 42);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio", 0.0), 0.5);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "input.mtx");
+  EXPECT_TRUE(cli.unused().empty());
+}
+
+TEST(Cli, DefaultsAndUnused) {
+  const char* argv[] = {"prog", "--typo=1"};
+  Cli cli(2, argv);
+  EXPECT_EQ(cli.get_int("n", 7), 7);
+  const auto unused = cli.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Cli, RejectsMalformedNumbers) {
+  const char* argv[] = {"prog", "--n=12x"};
+  Cli cli(2, argv);
+  EXPECT_THROW(cli.get_int("n", 0), Error);
+}
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    BLOCKTRI_CHECK_MSG(1 == 2, "context message");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("context message"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace blocktri

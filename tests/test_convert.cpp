@@ -1,0 +1,157 @@
+// Conversion round-trip and property tests (COO/CSR/CSC/DCSR, transpose).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gen/generators.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/dense.hpp"
+
+namespace blocktri {
+namespace {
+
+Coo<double> random_coo(index_t nrows, index_t ncols, offset_t nnz,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  Coo<double> a;
+  a.nrows = nrows;
+  a.ncols = ncols;
+  for (offset_t k = 0; k < nnz; ++k) {
+    a.row.push_back(static_cast<index_t>(rng.uniform_int(0, nrows - 1)));
+    a.col.push_back(static_cast<index_t>(rng.uniform_int(0, ncols - 1)));
+    a.val.push_back(rng.uniform(-1, 1));
+  }
+  return a;
+}
+
+TEST(Convert, CooToCsrSumsDuplicates) {
+  Coo<double> a;
+  a.nrows = 2;
+  a.ncols = 2;
+  a.row = {0, 0, 1, 0};
+  a.col = {1, 0, 1, 1};
+  a.val = {2.0, 1.0, 5.0, 3.0};
+  const auto csr = coo_to_csr(a);
+  validate(csr);
+  EXPECT_EQ(csr.nnz(), 3);
+  EXPECT_EQ(csr.col_idx, (std::vector<index_t>{0, 1, 1}));
+  EXPECT_DOUBLE_EQ(csr.val[1], 5.0);  // 2 + 3 summed
+}
+
+TEST(Convert, CsrCooRoundTrip) {
+  const auto L = gen::power_law(300, 2.0, 64, 4.0, 1);
+  const auto rt = coo_to_csr(csr_to_coo(L));
+  EXPECT_TRUE(equals(L, rt));
+}
+
+TEST(Convert, CsrCscRoundTrip) {
+  const auto L = gen::grid2d(17, 13, 2);
+  const auto csc = csr_to_csc(L);
+  validate(csc);
+  EXPECT_TRUE(equals(L, csc_to_csr(csc)));
+}
+
+TEST(Convert, CscMatchesDense) {
+  const auto L = gen::banded(50, 6, 2.0, 3);
+  const auto csc = csr_to_csc(L);
+  // Column j of CSC must contain exactly the rows with dense[i][j] != 0.
+  const auto d = to_dense(L);
+  for (index_t j = 0; j < L.ncols; ++j) {
+    std::vector<index_t> rows;
+    for (index_t i = 0; i < L.nrows; ++i)
+      if (d[static_cast<std::size_t>(i) * L.ncols + j] != 0.0)
+        rows.push_back(i);
+    std::vector<index_t> got(
+        csc.row_idx.begin() + csc.col_ptr[static_cast<std::size_t>(j)],
+        csc.row_idx.begin() + csc.col_ptr[static_cast<std::size_t>(j) + 1]);
+    EXPECT_EQ(got, rows) << "column " << j;
+  }
+}
+
+TEST(Convert, TransposeTwiceIsIdentity) {
+  const auto L = gen::kkt_structure(400, 8, 3.0, 4);
+  EXPECT_TRUE(equals(L, transpose(transpose(L))));
+}
+
+TEST(Convert, TransposeMatchesDense) {
+  const auto a = coo_to_csr(random_coo(20, 35, 100, 5));
+  const auto at = transpose(a);
+  EXPECT_EQ(at.nrows, 35);
+  EXPECT_EQ(at.ncols, 20);
+  const auto d = to_dense(a);
+  const auto dt = to_dense(at);
+  for (index_t i = 0; i < 20; ++i)
+    for (index_t j = 0; j < 35; ++j)
+      EXPECT_EQ(d[static_cast<std::size_t>(i) * 35 + j],
+                dt[static_cast<std::size_t>(j) * 20 + i]);
+}
+
+TEST(Convert, DcsrRoundTripWithEmptyRows) {
+  // Construct a matrix with many empty rows via a rectangular block shape.
+  Coo<double> a;
+  a.nrows = 100;
+  a.ncols = 10;
+  a.row = {3, 3, 50, 99};
+  a.col = {1, 7, 0, 9};
+  a.val = {1, 2, 3, 4};
+  const auto csr = coo_to_csr(a);
+  const auto dcsr = csr_to_dcsr(csr);
+  validate(dcsr);
+  EXPECT_EQ(dcsr.nnz_rows(), 3);
+  EXPECT_EQ(dcsr.row_ids, (std::vector<index_t>{3, 50, 99}));
+  EXPECT_TRUE(equals(csr, dcsr_to_csr(dcsr)));
+}
+
+TEST(Convert, DcsrOnFullMatrixKeepsAllRows) {
+  const auto L = gen::tridiag_chain(40, 6);
+  const auto dcsr = csr_to_dcsr(L);
+  EXPECT_EQ(dcsr.nnz_rows(), 40);
+  EXPECT_TRUE(equals(L, dcsr_to_csr(dcsr)));
+}
+
+TEST(Convert, EmptyRowRatio) {
+  Coo<double> a;
+  a.nrows = 4;
+  a.ncols = 4;
+  a.row = {1};
+  a.col = {0};
+  a.val = {1};
+  EXPECT_DOUBLE_EQ(empty_row_ratio(coo_to_csr(a)), 0.75);
+  EXPECT_DOUBLE_EQ(empty_row_ratio(gen::diagonal(10, 1)), 0.0);
+}
+
+TEST(Convert, EmptyMatrixConversions) {
+  Coo<double> a;
+  a.nrows = 0;
+  a.ncols = 0;
+  const auto csr = coo_to_csr(a);
+  EXPECT_EQ(csr.nnz(), 0);
+  const auto csc = csr_to_csc(csr);
+  EXPECT_EQ(csc.nnz(), 0);
+  const auto dcsr = csr_to_dcsr(csr);
+  EXPECT_EQ(dcsr.nnz_rows(), 0);
+}
+
+// Property sweep: random rectangular COO matrices round-trip through every
+// format losslessly after canonicalisation.
+class ConvertRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConvertRoundTrip, AllFormats) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng shape(seed * 977 + 1);
+  const auto nrows = static_cast<index_t>(shape.uniform_int(1, 80));
+  const auto ncols = static_cast<index_t>(shape.uniform_int(1, 80));
+  const auto nnz = static_cast<offset_t>(
+      shape.uniform_int(0, static_cast<std::int64_t>(nrows) * ncols / 2));
+  const auto csr = coo_to_csr(random_coo(nrows, ncols, nnz, seed));
+  validate(csr);
+
+  EXPECT_TRUE(equals(csr, csc_to_csr(csr_to_csc(csr))));
+  EXPECT_TRUE(equals(csr, coo_to_csr(csr_to_coo(csr))));
+  EXPECT_TRUE(equals(csr, dcsr_to_csr(csr_to_dcsr(csr))));
+  EXPECT_TRUE(equals(csr, transpose(transpose(csr))));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConvertRoundTrip, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace blocktri

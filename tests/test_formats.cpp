@@ -1,0 +1,164 @@
+// Unit tests for sparse/formats: container invariants and validation.
+#include <gtest/gtest.h>
+
+#include "sparse/formats.hpp"
+
+namespace blocktri {
+namespace {
+
+Csr<double> small_csr() {
+  // [ 1 0 2 ]
+  // [ 0 3 0 ]
+  // [ 4 0 5 ]
+  Csr<double> a;
+  a.nrows = a.ncols = 3;
+  a.row_ptr = {0, 2, 3, 5};
+  a.col_idx = {0, 2, 1, 0, 2};
+  a.val = {1, 2, 3, 4, 5};
+  return a;
+}
+
+TEST(Formats, ValidCsrPasses) { EXPECT_NO_THROW(validate(small_csr())); }
+
+TEST(Formats, CsrRowNnz) {
+  const auto a = small_csr();
+  EXPECT_EQ(a.nnz(), 5);
+  EXPECT_EQ(a.row_nnz(0), 2);
+  EXPECT_EQ(a.row_nnz(1), 1);
+  EXPECT_EQ(a.row_nnz(2), 2);
+}
+
+TEST(Formats, CsrRejectsBadPtrSize) {
+  auto a = small_csr();
+  a.row_ptr.pop_back();
+  EXPECT_THROW(validate(a), Error);
+}
+
+TEST(Formats, CsrRejectsNonMonotonePtr) {
+  auto a = small_csr();
+  a.row_ptr = {0, 3, 2, 5};
+  EXPECT_THROW(validate(a), Error);
+}
+
+TEST(Formats, CsrRejectsPtrNnzMismatch) {
+  auto a = small_csr();
+  a.row_ptr.back() = 4;
+  EXPECT_THROW(validate(a), Error);
+}
+
+TEST(Formats, CsrRejectsOutOfRangeColumn) {
+  auto a = small_csr();
+  a.col_idx[1] = 3;
+  EXPECT_THROW(validate(a), Error);
+}
+
+TEST(Formats, CsrRejectsUnsortedRow) {
+  auto a = small_csr();
+  std::swap(a.col_idx[0], a.col_idx[1]);
+  EXPECT_THROW(validate(a), Error);
+}
+
+TEST(Formats, CsrRejectsDuplicateColumn) {
+  auto a = small_csr();
+  a.col_idx[1] = 0;
+  EXPECT_THROW(validate(a), Error);
+}
+
+TEST(Formats, ValidCscPasses) {
+  Csc<double> a;
+  a.nrows = a.ncols = 2;
+  a.col_ptr = {0, 1, 2};
+  a.row_idx = {0, 1};
+  a.val = {1, 2};
+  EXPECT_NO_THROW(validate(a));
+}
+
+TEST(Formats, CscRejectsUnsortedColumn) {
+  Csc<double> a;
+  a.nrows = a.ncols = 2;
+  a.col_ptr = {0, 2, 2};
+  a.row_idx = {1, 0};
+  a.val = {1, 2};
+  EXPECT_THROW(validate(a), Error);
+}
+
+TEST(Formats, ValidDcsrPasses) {
+  Dcsr<double> a;
+  a.nrows = 10;
+  a.ncols = 4;
+  a.row_ids = {3, 7};
+  a.row_ptr = {0, 1, 3};
+  a.col_idx = {1, 0, 2};
+  a.val = {1, 2, 3};
+  EXPECT_NO_THROW(validate(a));
+  EXPECT_EQ(a.nnz_rows(), 2);
+}
+
+TEST(Formats, DcsrRejectsExplicitEmptyRow) {
+  Dcsr<double> a;
+  a.nrows = 10;
+  a.ncols = 4;
+  a.row_ids = {3, 7};
+  a.row_ptr = {0, 0, 2};  // row 3 stored but empty
+  a.col_idx = {0, 2};
+  a.val = {2, 3};
+  EXPECT_THROW(validate(a), Error);
+}
+
+TEST(Formats, DcsrRejectsUnsortedRowIds) {
+  Dcsr<double> a;
+  a.nrows = 10;
+  a.ncols = 4;
+  a.row_ids = {7, 3};
+  a.row_ptr = {0, 1, 2};
+  a.col_idx = {0, 2};
+  a.val = {2, 3};
+  EXPECT_THROW(validate(a), Error);
+}
+
+TEST(Formats, CooRejectsOutOfRange) {
+  Coo<double> a;
+  a.nrows = 2;
+  a.ncols = 2;
+  a.row = {0, 2};
+  a.col = {0, 1};
+  a.val = {1, 2};
+  EXPECT_THROW(validate(a), Error);
+}
+
+TEST(Formats, EqualsDetectsValueDifference) {
+  auto a = small_csr();
+  auto b = small_csr();
+  EXPECT_TRUE(equals(a, b));
+  b.val[2] = 99;
+  EXPECT_FALSE(equals(a, b));
+}
+
+TEST(Formats, EqualsDetectsStructureDifference) {
+  auto a = small_csr();
+  auto b = small_csr();
+  b.col_idx[1] = 1;
+  EXPECT_FALSE(equals(a, b));
+}
+
+TEST(Formats, EmptyMatrixIsValid) {
+  Csr<double> a;
+  a.nrows = 0;
+  a.ncols = 0;
+  a.row_ptr = {0};
+  EXPECT_NO_THROW(validate(a));
+  EXPECT_EQ(a.nnz(), 0);
+}
+
+TEST(Formats, FloatInstantiation) {
+  Csr<float> a;
+  a.nrows = 1;
+  a.ncols = 1;
+  a.row_ptr = {0, 1};
+  a.col_idx = {0};
+  a.val = {1.0f};
+  EXPECT_NO_THROW(validate(a));
+}
+
+}  // namespace
+}  // namespace blocktri

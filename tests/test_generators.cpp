@@ -1,0 +1,260 @@
+// Generator tests: every generator must emit a valid nonsingular lower
+// triangle with the structural fingerprint it promises, deterministically.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "analysis/features.hpp"
+#include "analysis/levels.hpp"
+#include "gen/generators.hpp"
+#include "gen/suite.hpp"
+#include "sparse/triangular.hpp"
+
+namespace blocktri {
+namespace {
+
+void expect_valid_lower(const Csr<double>& L) {
+  validate(L);
+  EXPECT_TRUE(is_lower_triangular_nonsingular(L));
+}
+
+TEST(Generators, DiagonalStructure) {
+  const auto L = gen::diagonal(123, 1);
+  expect_valid_lower(L);
+  EXPECT_EQ(L.nnz(), 123);
+  EXPECT_EQ(compute_level_sets(L).nlevels, 1);
+}
+
+TEST(Generators, TridiagChainStructure) {
+  const auto L = gen::tridiag_chain(200, 2);
+  expect_valid_lower(L);
+  EXPECT_EQ(L.nnz(), 2 * 200 - 1);
+  EXPECT_EQ(compute_level_sets(L).nlevels, 200);
+}
+
+TEST(Generators, BandedRespectsBandwidth) {
+  const auto L = gen::banded(500, 10, 3.0, 3);
+  expect_valid_lower(L);
+  EXPECT_LE(compute_features(L).bandwidth, 10);
+  // Average ~3 in-band entries + diagonal.
+  EXPECT_NEAR(compute_features(L).nnz_per_row, 4.0, 0.5);
+}
+
+TEST(Generators, Grid2dLevels) {
+  const auto L = gen::grid2d(12, 9, 4);
+  expect_valid_lower(L);
+  EXPECT_EQ(L.nrows, 108);
+  const auto ls = compute_level_sets(L);
+  EXPECT_EQ(ls.nlevels, 12 + 9 - 1);
+  EXPECT_EQ(parallelism_stats(ls).max_width, 9);
+}
+
+TEST(Generators, Grid3dLevels) {
+  const auto L = gen::grid3d(5, 6, 7, 5);
+  expect_valid_lower(L);
+  EXPECT_EQ(L.nrows, 210);
+  EXPECT_EQ(compute_level_sets(L).nlevels, 5 + 6 + 7 - 2);
+}
+
+TEST(Generators, PowerLawHasHubColumns) {
+  const auto L = gen::power_law(4000, 2.0, 512, 6.0, 6);
+  expect_valid_lower(L);
+  // Column in-degrees should be heavily skewed: the busiest column must be
+  // far above the mean — that is the whole point of the generator.
+  std::vector<offset_t> indeg(static_cast<std::size_t>(L.nrows), 0);
+  for (index_t i = 0; i < L.nrows; ++i)
+    for (offset_t k = L.row_ptr[static_cast<std::size_t>(i)];
+         k < L.row_ptr[static_cast<std::size_t>(i) + 1] - 1; ++k)
+      ++indeg[static_cast<std::size_t>(
+          L.col_idx[static_cast<std::size_t>(k)])];
+  offset_t max_indeg = 0;
+  for (const auto d : indeg) max_indeg = std::max(max_indeg, d);
+  const double mean =
+      static_cast<double>(L.nnz() - L.nrows) / static_cast<double>(L.nrows);
+  EXPECT_GT(static_cast<double>(max_indeg), 20.0 * mean);
+}
+
+TEST(Generators, RandomLevelsHitsExactLevelCount) {
+  for (const index_t nl : {1, 2, 7, 64, 300}) {
+    const auto L = gen::random_levels(1200, nl, 2.0, 1.0, 7);
+    expect_valid_lower(L);
+    EXPECT_EQ(compute_level_sets(L).nlevels, nl) << "nlevels=" << nl;
+  }
+}
+
+TEST(Generators, RandomLevelsWidthRatioShapesLevels) {
+  const auto flat = gen::random_levels(1000, 10, 1.0, 1.0, 8);
+  const auto decaying = gen::random_levels(1000, 10, 1.0, 0.5, 8);
+  const auto lf = compute_level_sets(flat);
+  const auto ld = compute_level_sets(decaying);
+  // Decaying widths: first level much wider than the last.
+  EXPECT_GT(ld.level_width(0), 4 * ld.level_width(9));
+  // Uniform widths: first and last within 2x.
+  EXPECT_LT(lf.level_width(0), 2 * lf.level_width(9) + 2);
+}
+
+TEST(Generators, TwoLevelKkt) {
+  const auto L = gen::two_level_kkt(2000, 1000, 5.0, 9);
+  expect_valid_lower(L);
+  const auto ls = compute_level_sets(L);
+  EXPECT_EQ(ls.nlevels, 2);
+  EXPECT_EQ(ls.level_width(0), 1000);
+  EXPECT_EQ(ls.level_width(1), 1000);
+}
+
+TEST(Generators, KktStructureLevels) {
+  const auto L = gen::kkt_structure(3000, 17, 3.0, 10);
+  expect_valid_lower(L);
+  EXPECT_EQ(compute_level_sets(L).nlevels, 17);
+}
+
+TEST(Generators, TraceNetworkProfile) {
+  const auto L = gen::trace_network(5000, 19, 1.8, 0.45, 11);
+  expect_valid_lower(L);
+  const auto ls = compute_level_sets(L);
+  EXPECT_EQ(ls.nlevels, 19);
+  // Front-loaded widths.
+  EXPECT_GT(ls.level_width(0), ls.level_width(18) * 10);
+}
+
+TEST(Generators, ChainBandedIsFullySerial) {
+  const auto L = gen::chain_banded(400, 8, 2.0, 12);
+  expect_valid_lower(L);
+  EXPECT_EQ(compute_level_sets(L).nlevels, 400);
+}
+
+TEST(Generators, DenseLowerDensity) {
+  const auto L = gen::dense_lower(100, 0.5, 13);
+  expect_valid_lower(L);
+  const double fill = static_cast<double>(L.nnz() - 100) / (100.0 * 99.0 / 2.0);
+  EXPECT_NEAR(fill, 0.5, 0.07);
+}
+
+TEST(Generators, DeterministicAcrossCalls) {
+  const auto a = gen::power_law(500, 2.2, 64, 4.0, 99);
+  const auto b = gen::power_law(500, 2.2, 64, 4.0, 99);
+  EXPECT_TRUE(equals(a, b));
+  const auto c = gen::power_law(500, 2.2, 64, 4.0, 100);
+  EXPECT_FALSE(equals(a, c));
+}
+
+TEST(Generators, DiagonalDominance) {
+  const auto L = gen::kkt_structure(300, 9, 4.0, 14);
+  for (index_t i = 0; i < L.nrows; ++i) {
+    double offsum = 0.0;
+    const offset_t hi = L.row_ptr[static_cast<std::size_t>(i) + 1];
+    for (offset_t k = L.row_ptr[static_cast<std::size_t>(i)]; k < hi - 1; ++k)
+      offsum += std::abs(L.val[static_cast<std::size_t>(k)]);
+    EXPECT_GT(L.val[static_cast<std::size_t>(hi - 1)], offsum);
+  }
+}
+
+TEST(Generators, ConvertValuesPreservesStructure) {
+  const auto d = gen::grid2d(9, 9, 15);
+  const auto f = gen::convert_values<float>(d);
+  EXPECT_EQ(f.row_ptr, d.row_ptr);
+  EXPECT_EQ(f.col_idx, d.col_idx);
+  for (std::size_t k = 0; k < d.val.size(); ++k)
+    EXPECT_FLOAT_EQ(f.val[k], static_cast<float>(d.val[k]));
+}
+
+TEST(Generators, RandomRhsDeterministicAndBounded) {
+  const auto a = gen::random_rhs<double>(100, 5);
+  const auto b = gen::random_rhs<double>(100, 5);
+  EXPECT_EQ(a, b);
+  for (const double v : a) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Suite, PaperSuiteHas159UniqueEntries) {
+  const auto suite = gen::paper_suite();
+  ASSERT_EQ(suite.size(), 159u);
+  std::set<std::string> names;
+  for (const auto& e : suite) {
+    EXPECT_FALSE(e.name.empty());
+    EXPECT_FALSE(e.family.empty());
+    names.insert(e.name);
+  }
+  EXPECT_EQ(names.size(), 159u);
+}
+
+TEST(Suite, RepresentativeSuiteMatchesTable4Profiles) {
+  const auto reps = gen::representative_suite();
+  ASSERT_EQ(reps.size(), 6u);
+
+  // Table 4's discriminating feature is the level structure; check each
+  // stand-in hits its target regime.
+  auto levels_of = [](const gen::SuiteEntry& e) {
+    return compute_level_sets(e.build()).nlevels;
+  };
+  EXPECT_EQ(reps[0].mimics, "nlpkkt200");
+  EXPECT_EQ(levels_of(reps[0]), 2);
+  EXPECT_EQ(reps[1].mimics, "mawi_201512020030");
+  EXPECT_EQ(levels_of(reps[1]), 19);
+  EXPECT_EQ(reps[2].mimics, "kkt_power");
+  EXPECT_EQ(levels_of(reps[2]), 17);
+  EXPECT_EQ(reps[3].mimics, "FullChip");
+  EXPECT_EQ(levels_of(reps[3]), 324);
+  EXPECT_EQ(reps[4].mimics, "vas_stokes_4M");
+  EXPECT_EQ(levels_of(reps[4]), 2815);
+  EXPECT_EQ(reps[5].mimics, "tmt_sym");
+  const auto tmt = reps[5].build();
+  EXPECT_EQ(compute_level_sets(tmt).nlevels, tmt.nrows);
+}
+
+TEST(Suite, SampleEntriesBuildValidMatrices) {
+  const auto suite = gen::paper_suite();
+  // One representative from each family (first occurrence).
+  std::set<std::string> seen;
+  for (const auto& e : suite) {
+    if (!seen.insert(e.family).second) continue;
+    const auto L = e.build();
+    validate(L);
+    EXPECT_TRUE(is_lower_triangular_nonsingular(L)) << e.name;
+  }
+  EXPECT_GE(seen.size(), 8u);
+}
+
+TEST(Suite, FindByName) {
+  const auto e = gen::find_suite_entry("tmt-sim");
+  EXPECT_EQ(e.mimics, "tmt_sym");
+  EXPECT_THROW(gen::find_suite_entry("no-such-matrix"), Error);
+}
+
+}  // namespace
+}  // namespace blocktri
+namespace blocktri {
+namespace {
+
+TEST(Generators, TopologicalShuffleIsEquivalentSystem) {
+  const auto L = gen::kkt_structure(2000, 9, 3.0, 21);
+  const auto S = gen::random_topological_shuffle(L, 7);
+  validate(S);
+  EXPECT_TRUE(is_lower_triangular_nonsingular(S));
+  EXPECT_EQ(S.nnz(), L.nnz());
+  // The level structure is a graph invariant: identical level histogram.
+  const auto la = compute_level_sets(L);
+  const auto lb = compute_level_sets(S);
+  ASSERT_EQ(la.nlevels, lb.nlevels);
+  for (index_t l = 0; l < la.nlevels; ++l)
+    EXPECT_EQ(la.level_width(l), lb.level_width(l));
+  // And it genuinely shuffles: rows should no longer be level-sorted.
+  bool sorted = true;
+  for (index_t i = 1; i < S.nrows; ++i)
+    if (lb.level_of[static_cast<std::size_t>(i - 1)] >
+        lb.level_of[static_cast<std::size_t>(i)])
+      sorted = false;
+  EXPECT_FALSE(sorted);
+}
+
+TEST(Generators, TopologicalShuffleDeterministic) {
+  const auto L = gen::power_law(500, 2.2, 64, 4.0, 3);
+  EXPECT_TRUE(equals(gen::random_topological_shuffle(L, 9),
+                     gen::random_topological_shuffle(L, 9)));
+}
+
+}  // namespace
+}  // namespace blocktri

@@ -1,0 +1,140 @@
+// End-to-end integration tests: the whole pipeline on samples of the
+// benchmark suite, upper-triangular systems through the mirror adapter, and
+// cross-solver agreement properties.
+#include <gtest/gtest.h>
+
+#include "core/solver.hpp"
+#include "gen/generators.hpp"
+#include "gen/suite.hpp"
+#include "helpers.hpp"
+#include "sparse/convert.hpp"
+#include "sptrsv/serial.hpp"
+#include "sptrsv/upper.hpp"
+
+namespace blocktri {
+namespace {
+
+using blocktri::testing::default_tol;
+using blocktri::testing::VectorsNear;
+
+TEST(Integration, RepresentativeSuiteSolvesCorrectly) {
+  // The full Table 4 pipeline, at reduced stop_rows so it runs quickly.
+  for (const auto& entry : gen::representative_suite()) {
+    if (entry.name == "nlpkkt-sim" || entry.name == "vas_stokes-sim")
+      continue;  // the two largest: covered by the benches, skip in tests
+    const Csr<double> L = entry.build();
+    const auto b = gen::random_rhs<double>(L.nrows, 3);
+    BlockSolver<double>::Options opt;
+    opt.planner.stop_rows = std::max<index_t>(512, L.nrows / 16);
+    opt.thresholds = simulator_fitted_thresholds();
+    const BlockSolver<double> solver(L, opt);
+    EXPECT_TRUE(VectorsNear(solver.solve(b), sptrsv_serial(L, b),
+                            default_tol<double>()))
+        << entry.name;
+  }
+}
+
+TEST(Integration, SuiteSampleAcrossFamilies) {
+  // First matrix of each family in the 159-matrix suite, shuffled to a
+  // random topological order (collection-style input), through the whole
+  // pipeline.
+  std::set<std::string> seen;
+  for (const auto& entry : gen::paper_suite()) {
+    if (!seen.insert(entry.family).second) continue;
+    Csr<double> L = entry.build();
+    if (L.nrows > 120000) continue;  // keep the test quick
+    L = gen::random_topological_shuffle(L, 99);
+    const auto b = gen::random_rhs<double>(L.nrows, 4);
+    BlockSolver<double>::Options opt;
+    opt.planner.stop_rows = std::max<index_t>(512, L.nrows / 8);
+    const BlockSolver<double> solver(L, opt);
+    EXPECT_TRUE(VectorsNear(solver.solve(b), sptrsv_serial(L, b),
+                            default_tol<double>()))
+        << entry.name;
+  }
+  EXPECT_GE(seen.size(), 8u);
+}
+
+TEST(Upper, SerialBackwardSubstitution) {
+  // U = L^T of a generated lower triangle; check against the dense oracle
+  // through the lower mirror (independent path).
+  const auto L = gen::kkt_structure(400, 7, 3.0, 5);
+  const auto U = transpose(L);
+  ASSERT_TRUE(is_upper_triangular_nonsingular(U));
+  const auto b = gen::random_rhs<double>(400, 6);
+  const auto x = sptrsv_upper_serial(U, b);
+  // Residual check: U x == b.
+  const auto Ux = spmv_apply(U, x);
+  EXPECT_TRUE(VectorsNear(Ux, b, 1e-10));
+}
+
+TEST(Upper, DetectsNonUpper) {
+  EXPECT_FALSE(is_upper_triangular_nonsingular(gen::tridiag_chain(5, 1)));
+  EXPECT_TRUE(is_upper_triangular_nonsingular(gen::diagonal(5, 1)));
+}
+
+TEST(Upper, MirrorIsValidLowerTriangle) {
+  const auto U = transpose(gen::power_law(600, 2.1, 64, 4.0, 7));
+  const auto M = lower_mirror_of_upper(U);
+  validate(M);
+  EXPECT_TRUE(is_lower_triangular_nonsingular(M));
+  EXPECT_EQ(M.nnz(), U.nnz());
+  // Entry check: M[i][j] == U[n-1-i][n-1-j] on a dense copy.
+  const auto du = to_dense(U);
+  const auto dm = to_dense(M);
+  const index_t n = U.nrows;
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j)
+      EXPECT_EQ(dm[static_cast<std::size_t>(i) * n + j],
+                du[static_cast<std::size_t>(n - 1 - i) * n + (n - 1 - j)]);
+}
+
+TEST(Upper, BlockSolverSolvesUpperSystemsViaMirror) {
+  const auto U = transpose(gen::trace_network(3000, 9, 1.8, 0.45, 8));
+  const auto b = gen::random_rhs<double>(3000, 9);
+  const auto want = sptrsv_upper_serial(U, b);
+
+  const auto got = solve_upper_with(
+      U, b, [](const Csr<double>& lower, const std::vector<double>& rhs) {
+        BlockSolver<double>::Options opt;
+        opt.planner.stop_rows = 400;
+        return BlockSolver<double>(lower, opt).solve(rhs);
+      });
+  EXPECT_TRUE(VectorsNear(got, want, default_tol<double>()));
+}
+
+TEST(Upper, FloatMirrorPath) {
+  const auto Uf =
+      gen::convert_values<float>(transpose(gen::banded(800, 8, 2.0, 10)));
+  const auto b = gen::random_rhs<float>(800, 11);
+  const auto want = sptrsv_upper_serial(Uf, b);
+  const auto got = solve_upper_with(
+      Uf, b, [](const Csr<float>& lower, const std::vector<float>& rhs) {
+        return sptrsv_serial(lower, rhs);
+      });
+  EXPECT_TRUE(VectorsNear(got, want, default_tol<float>()));
+}
+
+TEST(Integration, BlockSolverSolutionsAgreeAcrossSchemes) {
+  // Property: all three schemes and the serial oracle agree on the same
+  // system (they compute in different orders, so agreement is a strong
+  // whole-pipeline check).
+  const auto L =
+      gen::random_topological_shuffle(gen::kkt_structure(5000, 11, 3.0, 12),
+                                      13);
+  const auto b = gen::random_rhs<double>(5000, 14);
+  const auto want = sptrsv_serial(L, b);
+  for (const auto scheme :
+       {BlockScheme::kColumn, BlockScheme::kRow, BlockScheme::kRecursive}) {
+    BlockSolver<double>::Options opt;
+    opt.scheme = scheme;
+    opt.planner.nseg = 6;
+    opt.planner.stop_rows = 600;
+    const BlockSolver<double> solver(L, opt);
+    EXPECT_TRUE(VectorsNear(solver.solve(b), want, default_tol<double>()))
+        << to_string(scheme);
+  }
+}
+
+}  // namespace
+}  // namespace blocktri

@@ -1,0 +1,188 @@
+// Level-set analysis tests, including the paper's Figure 1 example and the
+// §3.3 reordering invariants.
+#include <gtest/gtest.h>
+
+#include "analysis/features.hpp"
+#include "analysis/levels.hpp"
+#include "gen/generators.hpp"
+#include "helpers.hpp"
+#include "sparse/permute.hpp"
+#include "sparse/triangular.hpp"
+
+namespace blocktri {
+namespace {
+
+using blocktri::testing::figure1_matrix;
+
+TEST(Levels, Figure1Example) {
+  const auto L = figure1_matrix();
+  EXPECT_EQ(L.nnz(), 15);
+  const auto ls = compute_level_sets(L);
+  ASSERT_EQ(ls.nlevels, 4);
+  // Level 0: {0, 1, 6}; level 1: {2, 3, 4}; level 2: {5}; level 3: {7}.
+  EXPECT_EQ(ls.level_width(0), 3);
+  EXPECT_EQ(ls.level_width(1), 3);
+  EXPECT_EQ(ls.level_width(2), 1);
+  EXPECT_EQ(ls.level_width(3), 1);
+  EXPECT_EQ(ls.level_item, (std::vector<index_t>{0, 1, 6, 2, 3, 4, 5, 7}));
+  EXPECT_EQ(ls.level_of, (std::vector<index_t>{0, 0, 1, 1, 1, 2, 0, 3}));
+}
+
+TEST(Levels, DiagonalHasOneLevel) {
+  const auto ls = compute_level_sets(gen::diagonal(100, 1));
+  EXPECT_EQ(ls.nlevels, 1);
+  EXPECT_EQ(ls.level_width(0), 100);
+}
+
+TEST(Levels, ChainHasNLevels) {
+  const auto ls = compute_level_sets(gen::tridiag_chain(64, 2));
+  EXPECT_EQ(ls.nlevels, 64);
+  for (index_t l = 0; l < 64; ++l) EXPECT_EQ(ls.level_width(l), 1);
+}
+
+TEST(Levels, Grid2dWavefronts) {
+  const auto ls = compute_level_sets(gen::grid2d(7, 5, 3));
+  EXPECT_EQ(ls.nlevels, 7 + 5 - 1);
+}
+
+TEST(Levels, EmptyMatrix) {
+  Csr<double> a;
+  a.nrows = a.ncols = 0;
+  a.row_ptr = {0};
+  const auto ls = compute_level_sets(a);
+  EXPECT_EQ(ls.nlevels, 0);
+  EXPECT_TRUE(ls.level_item.empty());
+}
+
+TEST(Levels, RejectsUpperEntries) {
+  Coo<double> coo;
+  coo.nrows = coo.ncols = 2;
+  coo.row = {0, 0, 1};
+  coo.col = {0, 1, 1};
+  coo.val = {1, 1, 1};
+  EXPECT_THROW(compute_level_sets(coo_to_csr(coo)), Error);
+}
+
+TEST(Levels, LevelOfRespectsDependencies) {
+  const auto L = gen::power_law(500, 2.1, 64, 4.0, 7);
+  const auto ls = compute_level_sets(L);
+  for (index_t i = 0; i < L.nrows; ++i) {
+    for (offset_t k = L.row_ptr[static_cast<std::size_t>(i)];
+         k < L.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const index_t j = L.col_idx[static_cast<std::size_t>(k)];
+      if (j != i)
+        EXPECT_LT(ls.level_of[static_cast<std::size_t>(j)],
+                  ls.level_of[static_cast<std::size_t>(i)]);
+    }
+  }
+  // Tightness: every row above level 0 has a parent exactly one level up.
+  for (index_t i = 0; i < L.nrows; ++i) {
+    const index_t lvl = ls.level_of[static_cast<std::size_t>(i)];
+    if (lvl == 0) continue;
+    bool tight = false;
+    for (offset_t k = L.row_ptr[static_cast<std::size_t>(i)];
+         k < L.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const index_t j = L.col_idx[static_cast<std::size_t>(k)];
+      if (j != i && ls.level_of[static_cast<std::size_t>(j)] == lvl - 1)
+        tight = true;
+    }
+    EXPECT_TRUE(tight) << "row " << i << " is deeper than its parents force";
+  }
+}
+
+TEST(Levels, WidthsPartitionRows) {
+  const auto L = gen::kkt_structure(700, 9, 3.0, 5);
+  const auto ls = compute_level_sets(L);
+  offset_t total = 0;
+  for (index_t l = 0; l < ls.nlevels; ++l) total += ls.level_width(l);
+  EXPECT_EQ(total, 700);
+  EXPECT_EQ(ls.level_ptr.back(), 700);
+}
+
+TEST(Levels, ItemsAreStableWithinLevel) {
+  const auto L = gen::random_levels(300, 12, 2.0, 1.0, 9);
+  const auto ls = compute_level_sets(L);
+  for (index_t l = 0; l < ls.nlevels; ++l)
+    for (offset_t p = ls.level_ptr[static_cast<std::size_t>(l)] + 1;
+         p < ls.level_ptr[static_cast<std::size_t>(l) + 1]; ++p)
+      EXPECT_LT(ls.level_item[static_cast<std::size_t>(p - 1)],
+                ls.level_item[static_cast<std::size_t>(p)]);
+}
+
+TEST(Levels, ParallelismStats) {
+  const auto ls = compute_level_sets(figure1_matrix());
+  const auto st = parallelism_stats(ls);
+  EXPECT_EQ(st.min_width, 1);
+  EXPECT_EQ(st.max_width, 3);
+  EXPECT_DOUBLE_EQ(st.avg_width, 2.0);
+}
+
+TEST(Levels, PermutationKeepsLowerTriangular) {
+  const auto L = gen::trace_network(800, 7, 1.8, 0.45, 11);
+  const auto ls = compute_level_sets(L);
+  const auto perm = level_order_permutation(ls);
+  const auto P = permute_symmetric(L, perm);
+  EXPECT_TRUE(is_lower_triangular_nonsingular(P));
+  // After reordering, levels are contiguous row ranges and each level's
+  // diagonal block is diagonal-only: rows in the same level have no
+  // dependencies on one another.
+  const auto ls2 = compute_level_sets(P);
+  EXPECT_EQ(ls2.nlevels, ls.nlevels);
+  for (index_t i = 0; i < P.nrows; ++i) {
+    for (offset_t k = P.row_ptr[static_cast<std::size_t>(i)];
+         k < P.row_ptr[static_cast<std::size_t>(i) + 1] - 1; ++k) {
+      const index_t j = P.col_idx[static_cast<std::size_t>(k)];
+      EXPECT_LT(ls2.level_of[static_cast<std::size_t>(j)],
+                ls2.level_of[static_cast<std::size_t>(i)]);
+    }
+  }
+  // level_of must be non-decreasing over the permuted rows.
+  for (index_t i = 1; i < P.nrows; ++i)
+    EXPECT_LE(ls2.level_of[static_cast<std::size_t>(i - 1)],
+              ls2.level_of[static_cast<std::size_t>(i)]);
+}
+
+TEST(Features, BasicQuantities) {
+  const auto L = gen::banded(100, 8, 3.0, 13);
+  const auto f = compute_features(L);
+  EXPECT_EQ(f.nrows, 100);
+  EXPECT_EQ(f.nnz, L.nnz());
+  EXPECT_NEAR(f.nnz_per_row, static_cast<double>(L.nnz()) / 100.0, 1e-12);
+  EXPECT_DOUBLE_EQ(f.empty_ratio, 0.0);
+  EXPECT_GE(f.max_row_nnz, f.min_row_nnz);
+  EXPECT_FALSE(f.diagonal_only);
+}
+
+TEST(Features, DiagonalOnlyDetection) {
+  EXPECT_TRUE(compute_features(gen::diagonal(10, 1)).diagonal_only);
+  EXPECT_FALSE(compute_features(gen::tridiag_chain(10, 1)).diagonal_only);
+}
+
+TEST(Features, EmptyRowsInRectangularBlock) {
+  Coo<double> coo;
+  coo.nrows = 10;
+  coo.ncols = 5;
+  coo.row = {2, 7};
+  coo.col = {1, 3};
+  coo.val = {1, 1};
+  const auto f = compute_features(coo_to_csr(coo));
+  EXPECT_DOUBLE_EQ(f.empty_ratio, 0.8);
+  EXPECT_EQ(f.max_row_nnz, 1);
+  EXPECT_EQ(f.min_row_nnz, 0);
+}
+
+TEST(Features, TriangularFeaturesIncludeLevels) {
+  const auto tf = compute_triangular_features(gen::tridiag_chain(50, 3));
+  EXPECT_EQ(tf.nlevels, 50);
+  EXPECT_EQ(tf.parallelism.max_width, 1);
+  EXPECT_FALSE(describe(tf.base).empty());
+}
+
+TEST(Features, Bandwidth) {
+  const auto f = compute_features(gen::tridiag_chain(10, 1));
+  EXPECT_EQ(f.bandwidth, 1);
+  EXPECT_EQ(compute_features(gen::diagonal(10, 1)).bandwidth, 0);
+}
+
+}  // namespace
+}  // namespace blocktri

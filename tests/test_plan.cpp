@@ -1,0 +1,246 @@
+// Partition-planner tests: block shapes of the three schemes, the exact
+// Table 1/2 traffic closed forms, and the recursive reordering invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "analysis/levels.hpp"
+#include "common/prefix.hpp"
+#include "core/plan.hpp"
+#include "gen/generators.hpp"
+#include "sparse/permute.hpp"
+#include "sparse/triangular.hpp"
+
+namespace blocktri {
+namespace {
+
+TEST(Plan, UniformBoundaries) {
+  EXPECT_EQ(uniform_boundaries(10, 4), (std::vector<index_t>{0, 2, 5, 7, 10}));
+  EXPECT_EQ(uniform_boundaries(9, 3), (std::vector<index_t>{0, 3, 6, 9}));
+  EXPECT_EQ(uniform_boundaries(5, 1), (std::vector<index_t>{0, 5}));
+  EXPECT_EQ(uniform_boundaries(3, 5).size(), 6u);  // more segs than rows
+}
+
+TEST(Plan, ColumnSchemeShape) {
+  const auto p = plan_column(100, 4);
+  EXPECT_EQ(p.num_tri_blocks(), 4);
+  ASSERT_EQ(p.squares.size(), 3u);
+  // Square si: rows below segment si, columns of segment si (Fig. 2a).
+  EXPECT_EQ(p.squares[0].r0, 25);
+  EXPECT_EQ(p.squares[0].r1, 100);
+  EXPECT_EQ(p.squares[0].c0, 0);
+  EXPECT_EQ(p.squares[0].c1, 25);
+  // Execution order: T0 S0 T1 S1 T2 S2 T3.
+  ASSERT_EQ(p.steps.size(), 7u);
+  EXPECT_EQ(p.steps[0].kind, ExecStep::Kind::kTri);
+  EXPECT_EQ(p.steps[1].kind, ExecStep::Kind::kSquare);
+  EXPECT_EQ(p.steps[6].kind, ExecStep::Kind::kTri);
+}
+
+TEST(Plan, RowSchemeShape) {
+  const auto p = plan_row(100, 4);
+  EXPECT_EQ(p.num_tri_blocks(), 4);
+  ASSERT_EQ(p.squares.size(), 3u);
+  // Square si: rows of segment si+1, all columns before it (Fig. 2b).
+  EXPECT_EQ(p.squares[0].r0, 25);
+  EXPECT_EQ(p.squares[0].r1, 50);
+  EXPECT_EQ(p.squares[0].c0, 0);
+  EXPECT_EQ(p.squares[0].c1, 25);
+  // Execution order: T0 S0 T1 S1 T2 S2 T3 (square before its triangle).
+  ASSERT_EQ(p.steps.size(), 7u);
+  EXPECT_EQ(p.steps[1].kind, ExecStep::Kind::kSquare);
+  EXPECT_EQ(p.steps[2].kind, ExecStep::Kind::kTri);
+}
+
+// Tables 1 and 2 of the paper: closed forms for the dense-model traffic with
+// nseg = 2^x triangular parts. We check the published cells exactly.
+struct TrafficCase {
+  index_t parts;
+  double col_b, row_b, rec_b;  // Table 1, in units of n
+  double col_x, row_x, rec_x;  // Table 2, in units of n
+};
+
+class TrafficTables : public ::testing::TestWithParam<TrafficCase> {};
+
+TEST_P(TrafficTables, MatchPaperFormulas) {
+  const auto c = GetParam();
+  // n must be divisible by parts so segment boundaries are exact.
+  const index_t n = 65536 * 4;
+
+  const auto pc = plan_column(n, c.parts);
+  const auto pr = plan_row(n, c.parts);
+  EXPECT_DOUBLE_EQ(static_cast<double>(pc.b_items_updated()) / n, c.col_b);
+  EXPECT_DOUBLE_EQ(static_cast<double>(pr.b_items_updated()) / n, c.row_b);
+  EXPECT_DOUBLE_EQ(static_cast<double>(pc.x_items_loaded()) / n, c.col_x);
+  EXPECT_DOUBLE_EQ(static_cast<double>(pr.x_items_loaded()) / n, c.row_x);
+
+  // Recursive plan with exactly log2(parts) depth: force splitting by
+  // disabling the stop rule relative to n.
+  PlannerOptions opt;
+  opt.reorder = false;
+  opt.stop_rows = n / c.parts / 2;
+  opt.max_depth = static_cast<int>(std::lround(std::log2(c.parts)));
+  Csr<double> permuted;
+  const auto L = gen::diagonal(n, 1);  // structure is irrelevant for traffic
+  const auto prc = plan_recursive(L, opt, &permuted);
+  EXPECT_EQ(prc.num_tri_blocks(), c.parts);
+  EXPECT_DOUBLE_EQ(static_cast<double>(prc.b_items_updated()) / n, c.rec_b);
+  EXPECT_DOUBLE_EQ(static_cast<double>(prc.x_items_loaded()) / n, c.rec_x);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperCells, TrafficTables,
+    ::testing::Values(
+        // parts, col_b, row_b, rec_b, col_x, row_x, rec_x (Tables 1-2).
+        TrafficCase{4, 2.5, 1.75, 2.0, 0.75, 1.5, 1.0},
+        TrafficCase{16, 8.5, 1.9375, 3.0, 0.9375, 7.5, 2.0},
+        TrafficCase{256, 128.5, 2.0 - 1.0 / 256, 5.0, 1.0 - 1.0 / 256, 127.5,
+                    4.0}),
+    [](const ::testing::TestParamInfo<TrafficCase>& info) {
+      return "parts" + std::to_string(info.param.parts);
+    });
+
+PlannerOptions small_opts(index_t stop_rows, bool reorder = true) {
+  PlannerOptions o;
+  o.stop_rows = stop_rows;
+  o.reorder = reorder;
+  return o;
+}
+
+TEST(Plan, RecursiveBoundsPartitionAndStepsInterleave) {
+  const auto L = gen::kkt_structure(2000, 9, 3.0, 3);
+  Csr<double> permuted;
+  const auto p = plan_recursive(L, small_opts(200), &permuted);
+
+  // Bounds ascend from 0 to n.
+  EXPECT_EQ(p.tri_bounds.front(), 0);
+  EXPECT_EQ(p.tri_bounds.back(), 2000);
+  for (std::size_t i = 1; i < p.tri_bounds.size(); ++i)
+    EXPECT_LT(p.tri_bounds[i - 1], p.tri_bounds[i]);
+
+  // Steps: in-order traversal => tri, square, tri, square, ..., tri; and
+  // every tri/square index appears exactly once.
+  ASSERT_EQ(p.steps.size(), 2 * p.squares.size() + 1 +
+                                (static_cast<std::size_t>(p.num_tri_blocks()) -
+                                 p.squares.size() - 1));
+  std::set<index_t> tris, sqs;
+  for (std::size_t s = 0; s < p.steps.size(); ++s) {
+    if (p.steps[s].kind == ExecStep::Kind::kTri)
+      EXPECT_TRUE(tris.insert(p.steps[s].index).second);
+    else
+      EXPECT_TRUE(sqs.insert(p.steps[s].index).second);
+  }
+  EXPECT_EQ(static_cast<index_t>(tris.size()), p.num_tri_blocks());
+  EXPECT_EQ(sqs.size(), p.squares.size());
+  // First and last steps are triangles.
+  EXPECT_EQ(p.steps.front().kind, ExecStep::Kind::kTri);
+  EXPECT_EQ(p.steps.back().kind, ExecStep::Kind::kTri);
+}
+
+TEST(Plan, SquaresTileTheStrictLowerRegionOfLeafComplement) {
+  // For a recursive plan, the union of tri diagonal blocks and squares must
+  // cover every nonzero: check on a dense lower triangle by nnz accounting.
+  const index_t n = 512;
+  const auto L = gen::dense_lower(n, 1.0, 5);  // fully dense lower triangle
+  Csr<double> permuted;
+  const auto p = plan_recursive(L, small_opts(64, false), &permuted);
+  offset_t covered = 0;
+  for (index_t t = 0; t < p.num_tri_blocks(); ++t) {
+    const index_t r0 = p.tri_bounds[static_cast<std::size_t>(t)];
+    const index_t r1 = p.tri_bounds[static_cast<std::size_t>(t) + 1];
+    covered += count_block_nnz(permuted, r0, r1, r0, r1);
+  }
+  for (const auto& sq : p.squares)
+    covered += count_block_nnz(permuted, sq.r0, sq.r1, sq.c0, sq.c1);
+  EXPECT_EQ(covered, L.nnz());
+}
+
+TEST(Plan, StopRuleBoundsLeafSize) {
+  const auto L = gen::banded(4096, 8, 2.0, 7);
+  Csr<double> permuted;
+  const auto p = plan_recursive(L, small_opts(512), &permuted);
+  for (index_t t = 0; t < p.num_tri_blocks(); ++t) {
+    const index_t rows = p.tri_bounds[static_cast<std::size_t>(t) + 1] -
+                         p.tri_bounds[static_cast<std::size_t>(t)];
+    EXPECT_GE(rows, 512);          // no leaf below the saturation size
+    EXPECT_LT(rows, 2 * 512 + 2);  // and every splittable leaf was split
+  }
+}
+
+TEST(Plan, MaxDepthCapsRecursion) {
+  const auto L = gen::banded(4096, 8, 2.0, 7);
+  Csr<double> permuted;
+  PlannerOptions o = small_opts(2);
+  o.max_depth = 3;
+  const auto p = plan_recursive(L, o, &permuted);
+  EXPECT_EQ(p.num_tri_blocks(), 8);  // 2^3 leaves
+  EXPECT_EQ(p.depth_used, 3);
+}
+
+TEST(Plan, ReorderingPreservesSystemAndConcentratesNnz) {
+  const auto L = gen::power_law(3000, 2.0, 256, 5.0, 11);
+  Csr<double> permuted;
+  const auto p = plan_recursive(L, small_opts(400, true), &permuted);
+
+  EXPECT_TRUE(is_permutation_of_iota(p.new_of_old));
+  EXPECT_TRUE(is_lower_triangular_nonsingular(permuted));
+  // The permuted matrix is exactly P L P^T.
+  EXPECT_TRUE(equals(permuted, permute_symmetric(L, p.new_of_old)));
+
+  // §3.3's claim: the reordering moves nonzeros into the square parts.
+  Csr<double> unordered;
+  const auto p0 = plan_recursive(L, small_opts(400, false), &unordered);
+  auto nnz_squares = [](const BlockPlan& plan, const Csr<double>& m) {
+    offset_t total = 0;
+    for (const auto& sq : plan.squares)
+      total += count_block_nnz(m, sq.r0, sq.r1, sq.c0, sq.c1);
+    return total;
+  };
+  EXPECT_GT(nnz_squares(p, permuted), nnz_squares(p0, unordered));
+}
+
+TEST(Plan, ReorderedLeavesAreLevelOrdered) {
+  const auto L = gen::trace_network(1500, 11, 1.8, 0.45, 13);
+  Csr<double> permuted;
+  const auto p = plan_recursive(L, small_opts(150, true), &permuted);
+  // Within each leaf, rows must be sorted by leaf-local level.
+  for (index_t t = 0; t < p.num_tri_blocks(); ++t) {
+    const index_t r0 = p.tri_bounds[static_cast<std::size_t>(t)];
+    const index_t r1 = p.tri_bounds[static_cast<std::size_t>(t) + 1];
+    const auto blk = extract_block(permuted, r0, r1, r0, r1);
+    const auto ls = compute_level_sets(blk);
+    for (index_t i = 1; i < blk.nrows; ++i)
+      EXPECT_LE(ls.level_of[static_cast<std::size_t>(i - 1)],
+                ls.level_of[static_cast<std::size_t>(i)])
+          << "leaf " << t;
+  }
+}
+
+TEST(Plan, HostCountersPopulatedOnlyWhenReordering) {
+  const auto L = gen::grid2d(40, 40, 17);
+  Csr<double> permuted;
+  const auto with = plan_recursive(L, small_opts(200, true), &permuted);
+  EXPECT_GT(with.host_ops, 0);
+  EXPECT_GT(with.host_bytes, 0);
+  const auto without = plan_recursive(L, small_opts(200, false), &permuted);
+  EXPECT_EQ(without.host_ops, 0);
+}
+
+TEST(Plan, TinyMatrixSingleLeaf) {
+  const auto L = gen::diagonal(3, 1);
+  Csr<double> permuted;
+  const auto p = plan_recursive(L, small_opts(512), &permuted);
+  EXPECT_EQ(p.num_tri_blocks(), 1);
+  EXPECT_TRUE(p.squares.empty());
+  ASSERT_EQ(p.steps.size(), 1u);
+}
+
+TEST(Plan, SchemeNames) {
+  EXPECT_EQ(to_string(BlockScheme::kColumn), "column-block");
+  EXPECT_EQ(to_string(BlockScheme::kRow), "row-block");
+  EXPECT_EQ(to_string(BlockScheme::kRecursive), "recursive-block");
+}
+
+}  // namespace
+}  // namespace blocktri

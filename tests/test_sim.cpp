@@ -1,0 +1,263 @@
+// Simulator unit tests: cache model behaviour, address space, the warp-task
+// scheduler's roofline components and dependency handling, host cost model.
+#include <gtest/gtest.h>
+
+#include "common/types.hpp"
+#include "sim/cache.hpp"
+#include "sim/host_sim.hpp"
+#include "sim/kernel_sim.hpp"
+#include "sim/machine.hpp"
+
+namespace blocktri::sim {
+namespace {
+
+TEST(Machine, PresetsMatchTable3) {
+  const GpuSpec x = titan_x();
+  EXPECT_EQ(x.cores(), 3072);
+  EXPECT_DOUBLE_EQ(x.clock_ghz, 1.075);
+  EXPECT_DOUBLE_EQ(x.mem_bandwidth_gbps, 336.5);
+
+  const GpuSpec rtx = titan_rtx();
+  EXPECT_EQ(rtx.cores(), 4608);
+  EXPECT_DOUBLE_EQ(rtx.clock_ghz, 1.770);
+  EXPECT_DOUBLE_EQ(rtx.mem_bandwidth_gbps, 672.0);
+  EXPECT_GT(rtx.warp_slots(), 0);
+}
+
+TEST(Machine, Fp64RateReducesPeak) {
+  const GpuSpec g = titan_rtx();
+  EXPECT_DOUBLE_EQ(g.peak_flops_per_ns(true) * 32.0, g.peak_flops_per_ns(false));
+}
+
+TEST(Cache, HitAfterMiss) {
+  CacheModel c(1 << 16, 64, 4);
+  EXPECT_EQ(c.access(0x1000, 8), 1);  // cold miss
+  EXPECT_EQ(c.access(0x1000, 8), 0);  // hit
+  EXPECT_EQ(c.access(0x1008, 8), 0);  // same line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, StraddlingAccessTouchesTwoLines) {
+  CacheModel c(1 << 16, 64, 4);
+  EXPECT_EQ(c.access(60, 8), 2);  // crosses the line boundary at 64
+}
+
+TEST(Cache, LruEviction) {
+  // One set: capacity 4 lines of 64B, associativity 4.
+  CacheModel c(4 * 64, 64, 4);
+  // Fill the (single) set; line addresses must map to the same set.
+  for (int i = 0; i < 4; ++i) c.access(static_cast<std::uint64_t>(i) * 64, 1);
+  EXPECT_EQ(c.access(0, 1), 0);        // 0 still resident, refreshes LRU
+  EXPECT_EQ(c.access(4 * 64, 1), 1);   // evicts line 1 (LRU)
+  EXPECT_EQ(c.access(0, 1), 0);        // 0 survived
+  EXPECT_EQ(c.access(1 * 64, 1), 1);   // line 1 was evicted
+}
+
+TEST(Cache, ResetForgets) {
+  CacheModel c(1 << 12, 64, 4);
+  c.access(0, 8);
+  c.reset();
+  EXPECT_EQ(c.access(0, 8), 1);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, CapacityRoundsToPowerOfTwoSets) {
+  CacheModel c(100 * 64 * 4, 64, 4);  // 100 sets requested -> 64 sets
+  EXPECT_EQ(c.capacity_bytes(), 64u * 64u * 4u);
+}
+
+TEST(Cache, WorkingSetLargerThanCapacityThrashes) {
+  CacheModel c(1 << 12, 64, 4);  // 4 KB
+  // Stream 64 KB twice: second pass must still miss (capacity).
+  for (int pass = 0; pass < 2; ++pass)
+    for (std::uint64_t a = 0; a < (1u << 16); a += 64) c.access(a, 1);
+  EXPECT_GT(c.misses(), 1500u);
+}
+
+TEST(Cache, WorkingSetSmallerThanCapacityGetsWarm) {
+  CacheModel c(1 << 16, 64, 8);  // 64 KB
+  for (int pass = 0; pass < 4; ++pass)
+    for (std::uint64_t a = 0; a < (1u << 14); a += 64) c.access(a, 1);
+  // First pass misses (256), later passes hit.
+  EXPECT_EQ(c.misses(), 256u);
+  EXPECT_EQ(c.hits(), 768u);
+}
+
+TEST(AddressSpace, NonOverlappingAligned) {
+  AddressSpace as;
+  const auto a = as.reserve(100);
+  const auto b = as.reserve(10);
+  const auto c = as.reserve(1);
+  EXPECT_GE(b, a + 100);
+  EXPECT_GE(c, b + 10);
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 64, 0u);
+}
+
+GpuSpec tiny_gpu() {
+  GpuSpec g = titan_rtx();
+  g.num_sms = 1;
+  g.max_warps_per_sm = 2;  // 2 warp slots: scheduling is hand-checkable
+  g.warp_start_ns = 0.0;
+  g.kernel_launch_ns = 0.0;
+  return g;
+}
+
+TEST(KernelSim, IndependentTasksPackOntoSlots) {
+  KernelSim ks(tiny_gpu(), nullptr, true);
+  for (int t = 0; t < 4; ++t) {
+    ks.begin_task();
+    ks.serial_ns(100.0);
+    ks.end_task();
+  }
+  const KernelReport rep = ks.finish();
+  // 4 x 100ns on 2 slots = 200ns latency.
+  EXPECT_DOUBLE_EQ(rep.latency_ns, 200.0);
+  EXPECT_DOUBLE_EQ(rep.ns, 200.0);
+  EXPECT_EQ(rep.tasks, 4);
+}
+
+TEST(KernelSim, DependencyChainSerialises) {
+  const GpuSpec g = tiny_gpu();
+  KernelSim ks(g, nullptr, true);
+  std::int64_t prev = -1;
+  for (int t = 0; t < 3; ++t) {
+    ks.begin_task();
+    if (prev >= 0) ks.dep(prev);
+    ks.serial_ns(100.0);
+    prev = ks.end_task();
+  }
+  const KernelReport rep = ks.finish();
+  // Chain: 100 + (prop + spin-detect + 100) * 2.
+  EXPECT_DOUBLE_EQ(rep.latency_ns,
+                   300.0 + 2 * (g.atomic_propagate_ns + g.spin_poll_ns));
+}
+
+TEST(KernelSim, SpinningTaskHoldsItsSlot) {
+  // Slot-holding semantics: tasks acquire slots in issue order even while
+  // waiting on dependencies, so a long chain starves unrelated tasks.
+  const GpuSpec g = tiny_gpu();  // 2 slots
+  KernelSim ks(g, nullptr, true);
+  ks.begin_task();               // t0: 1000ns of work
+  ks.serial_ns(1000.0);
+  const auto t0 = ks.end_task();
+  ks.begin_task();               // t1: waits on t0, occupies slot 2
+  ks.dep(t0);
+  ks.serial_ns(10.0);
+  ks.end_task();
+  ks.begin_task();               // t2: independent, but both slots are busy
+  ks.serial_ns(10.0);
+  ks.end_task();
+  const KernelReport rep = ks.finish();
+  // t2 can only start when t0's slot frees at 1000 (t1 spins until
+  // 1000+prop+poll). Makespan = t1's finish = 1000 + prop + poll + 10.
+  EXPECT_DOUBLE_EQ(rep.latency_ns,
+                   1010.0 + g.atomic_propagate_ns + g.spin_poll_ns);
+}
+
+TEST(KernelSim, BandwidthRooflineDominatesWhenStreaming) {
+  GpuSpec g = tiny_gpu();
+  g.mem_bandwidth_gbps = 100.0;  // bytes per ns
+  KernelSim ks(g, nullptr, true);
+  ks.begin_task();
+  ks.stream_bytes(1000000);
+  ks.serial_ns(1.0);
+  ks.end_task();
+  const KernelReport rep = ks.finish();
+  EXPECT_DOUBLE_EQ(rep.bandwidth_ns, 10000.0);
+  EXPECT_DOUBLE_EQ(rep.ns, 10000.0);
+  EXPECT_EQ(rep.bytes, 1000000);
+}
+
+TEST(KernelSim, GatherCostsMissVsHit) {
+  GpuSpec g = tiny_gpu();
+  CacheModel cache(1 << 16, g.cache_line_bytes, 8);
+  KernelSim ks(g, &cache, true);
+  const std::uint64_t addr = 0x4000;
+  ks.begin_task();
+  ks.touch(addr, 8);  // miss
+  ks.touch(addr, 8);  // hit
+  ks.end_task();
+  const KernelReport rep = ks.finish();
+  EXPECT_DOUBLE_EQ(rep.latency_ns, g.dram_latency_ns + g.cache_hit_latency_ns);
+  EXPECT_EQ(rep.cache_misses, 1u);
+  EXPECT_EQ(rep.cache_hits, 1u);
+  EXPECT_EQ(rep.bytes, g.cache_line_bytes);  // one missed line
+}
+
+TEST(KernelSim, GatherGroupsBy32Lanes) {
+  GpuSpec g = tiny_gpu();
+  KernelSim ks(g, nullptr, true);  // no cache: every group is a DRAM access
+  std::uint64_t addrs[64];
+  for (int i = 0; i < 64; ++i) addrs[i] = static_cast<std::uint64_t>(i) * 4096;
+  ks.begin_task();
+  ks.gather(addrs, 64, 8);  // two 32-lane groups
+  ks.end_task();
+  const KernelReport rep = ks.finish();
+  EXPECT_DOUBLE_EQ(rep.latency_ns, 2 * g.dram_latency_ns);
+}
+
+TEST(KernelSim, FlopsCountAndComputeRoofline) {
+  GpuSpec g = tiny_gpu();
+  KernelSim ks(g, nullptr, false);
+  ks.begin_task();
+  ks.fma_iters(10);
+  ks.flops(5);
+  ks.end_task();
+  const KernelReport rep = ks.finish();
+  EXPECT_EQ(rep.flops, 25);
+  EXPECT_GT(rep.compute_ns, 0.0);
+}
+
+TEST(KernelSim, ReusableAfterFinish) {
+  KernelSim ks(tiny_gpu(), nullptr, true);
+  ks.begin_task();
+  ks.serial_ns(50.0);
+  ks.end_task();
+  (void)ks.finish();
+  ks.begin_task();
+  ks.serial_ns(70.0);
+  ks.end_task();
+  const KernelReport rep = ks.finish();
+  EXPECT_DOUBLE_EQ(rep.latency_ns, 70.0);
+  EXPECT_EQ(rep.tasks, 1);
+}
+
+TEST(KernelSim, DepOnFutureTaskRejected) {
+  KernelSim ks(tiny_gpu(), nullptr, true);
+  ks.begin_task();
+  EXPECT_THROW(ks.dep(0), blocktri::Error);  // task 0 has not finished registration
+}
+
+TEST(SolveReport, ComposesKernelsAndOverheads) {
+  SolveReport rep;
+  KernelReport k;
+  k.ns = 100.0;
+  k.flops = 1000;
+  k.bytes = 64;
+  rep.add_kernel_launch(k, 4000.0);
+  rep.add_kernel_grid_sync(k, 700.0);
+  EXPECT_DOUBLE_EQ(rep.ns, 100.0 + 4000.0 + 100.0 + 700.0);
+  EXPECT_EQ(rep.flops, 2000);
+  EXPECT_EQ(rep.kernel_launches, 1);
+  EXPECT_EQ(rep.grid_syncs, 1);
+  EXPECT_DOUBLE_EQ(rep.gflops(), 2000.0 / 4900.0);
+}
+
+TEST(HostSim, TwoTermRoofline) {
+  HostSpec spec;
+  spec.ops_per_ns = 2.0;
+  spec.mem_bandwidth_gbps = 10.0;
+  HostSim hs(spec);
+  hs.ops(1000);   // 500 ns op-limited
+  hs.bytes(100);  // 10 ns bandwidth-limited
+  EXPECT_DOUBLE_EQ(hs.ns(), 500.0);
+  hs.bytes(100000);  // now bandwidth dominates: 10010 bytes -> 1001 ns? no:
+  // total bytes 100100 -> 10010 ns > 500 ns.
+  EXPECT_DOUBLE_EQ(hs.ns(), 10010.0);
+  EXPECT_EQ(hs.total_ops(), 1000);
+}
+
+}  // namespace
+}  // namespace blocktri::sim

@@ -1,0 +1,231 @@
+// Tests for permutation, triangular utilities, dense oracles and Matrix
+// Market I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "gen/generators.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/mm_io.hpp"
+#include "sparse/permute.hpp"
+#include "sparse/triangular.hpp"
+
+namespace blocktri {
+namespace {
+
+TEST(Permute, MatchesDenseOracle) {
+  const auto a = gen::power_law(60, 2.0, 16, 3.0, 1);
+  Rng rng(2);
+  std::vector<index_t> perm(60);
+  for (index_t i = 0; i < 60; ++i) perm[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(perm);
+
+  const auto p = permute_symmetric(a, perm);
+  validate(p);
+  const auto da = to_dense(a);
+  const auto dp = to_dense(p);
+  for (index_t i = 0; i < 60; ++i)
+    for (index_t j = 0; j < 60; ++j)
+      EXPECT_EQ(dp[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)]) *
+                       60 +
+                   perm[static_cast<std::size_t>(j)]],
+                da[static_cast<std::size_t>(i) * 60 + j]);
+}
+
+TEST(Permute, IdentityIsNoop) {
+  const auto a = gen::grid2d(9, 7, 3);
+  std::vector<index_t> id(static_cast<std::size_t>(a.nrows));
+  for (index_t i = 0; i < a.nrows; ++i) id[static_cast<std::size_t>(i)] = i;
+  EXPECT_TRUE(equals(a, permute_symmetric(a, id)));
+}
+
+TEST(Permute, RejectsNonPermutation) {
+  const auto a = gen::diagonal(4, 1);
+  EXPECT_THROW(permute_symmetric(a, {0, 0, 1, 2}), Error);
+  EXPECT_THROW(permute_symmetric(a, {0, 1}), Error);
+}
+
+TEST(Permute, VectorRoundTrip) {
+  const std::vector<double> v = {10, 20, 30, 40};
+  const std::vector<index_t> perm = {2, 0, 3, 1};
+  const auto p = permute_vector(v, perm);
+  EXPECT_EQ(p, (std::vector<double>{20, 40, 10, 30}));
+  EXPECT_EQ(unpermute_vector(p, perm), v);
+}
+
+TEST(Triangular, ExtractionAddsMissingDiagonal) {
+  // Full (non-triangular) matrix with one missing and one zero diagonal.
+  Coo<double> coo;
+  coo.nrows = coo.ncols = 3;
+  coo.row = {0, 0, 1, 2, 2, 1};
+  coo.col = {0, 2, 0, 1, 2, 1};
+  coo.val = {5, 9, 2, 3, 0, 0};  // (2,2) and (1,1) are explicit zeros
+  const auto a = coo_to_csr(coo);
+  const auto L = lower_triangular_with_diag(a, 1.0);
+  validate(L);
+  EXPECT_TRUE(is_lower_triangular_nonsingular(L));
+  const auto d = to_dense(L);
+  EXPECT_DOUBLE_EQ(d[0], 5.0);   // kept
+  EXPECT_DOUBLE_EQ(d[4], 1.0);   // zero replaced
+  EXPECT_DOUBLE_EQ(d[8], 1.0);   // zero replaced
+  EXPECT_DOUBLE_EQ(d[2], 0.0);   // upper entry dropped
+  EXPECT_DOUBLE_EQ(d[3], 2.0);   // lower entry kept
+}
+
+TEST(Triangular, IsLowerTriangularChecks) {
+  EXPECT_TRUE(is_lower_triangular_nonsingular(gen::grid2d(5, 5, 1)));
+  // Upper entry breaks it.
+  Coo<double> coo;
+  coo.nrows = coo.ncols = 2;
+  coo.row = {0, 0, 1};
+  coo.col = {0, 1, 1};
+  coo.val = {1, 1, 1};
+  EXPECT_FALSE(is_lower_triangular_nonsingular(coo_to_csr(coo)));
+  // Missing diagonal breaks it.
+  Coo<double> coo2;
+  coo2.nrows = coo2.ncols = 2;
+  coo2.row = {0, 1};
+  coo2.col = {0, 0};
+  coo2.val = {1, 1};
+  EXPECT_FALSE(is_lower_triangular_nonsingular(coo_to_csr(coo2)));
+}
+
+TEST(Triangular, SplitDiagonal) {
+  const auto L = gen::banded(30, 4, 2.0, 5);
+  const auto split = split_diagonal(L);
+  validate(split.strict);
+  EXPECT_EQ(split.strict.nnz() + L.nrows, L.nnz());
+  for (index_t i = 0; i < L.nrows; ++i) {
+    EXPECT_NE(split.diag[static_cast<std::size_t>(i)], 0.0);
+    // No diagonal entries remain in the strict part.
+    for (offset_t k = split.strict.row_ptr[static_cast<std::size_t>(i)];
+         k < split.strict.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+      EXPECT_LT(split.strict.col_idx[static_cast<std::size_t>(k)], i);
+  }
+}
+
+TEST(Triangular, ExtractBlockMatchesDenseWindow) {
+  const auto a = gen::power_law(40, 2.0, 10, 3.0, 7);
+  const auto blk = extract_block(a, 10, 30, 5, 25);
+  validate(blk);
+  EXPECT_EQ(blk.nrows, 20);
+  EXPECT_EQ(blk.ncols, 20);
+  const auto da = to_dense(a);
+  const auto db = to_dense(blk);
+  for (index_t i = 0; i < 20; ++i)
+    for (index_t j = 0; j < 20; ++j)
+      EXPECT_EQ(db[static_cast<std::size_t>(i) * 20 + j],
+                da[static_cast<std::size_t>(i + 10) * 40 + (j + 5)]);
+}
+
+TEST(Triangular, ExtractBlockEmptyAndFull) {
+  const auto a = gen::grid2d(6, 6, 9);
+  const auto empty = extract_block(a, 3, 3, 0, 36);
+  EXPECT_EQ(empty.nrows, 0);
+  EXPECT_EQ(empty.nnz(), 0);
+  const auto full = extract_block(a, 0, 36, 0, 36);
+  EXPECT_TRUE(equals(a, full));
+}
+
+TEST(Triangular, CountBlockNnzMatchesExtraction) {
+  const auto a = gen::kkt_structure(200, 6, 3.0, 11);
+  for (const auto& [r0, r1, c0, c1] :
+       {std::tuple<index_t, index_t, index_t, index_t>{0, 100, 0, 100},
+        {50, 150, 0, 50},
+        {100, 200, 100, 200},
+        {0, 200, 0, 200}}) {
+    EXPECT_EQ(count_block_nnz(a, r0, r1, c0, c1),
+              extract_block(a, r0, r1, c0, c1).nnz());
+  }
+}
+
+TEST(Dense, LowerSolveOracle) {
+  // 3x3 hand-checked system.
+  const std::vector<double> d = {2, 0, 0, 1, 4, 0, 0, 2, 5};
+  const std::vector<double> b = {4, 9, 19};
+  const auto x = dense_lower_solve(d, 3, b);
+  EXPECT_DOUBLE_EQ(x[0], 2.0);
+  EXPECT_DOUBLE_EQ(x[1], 1.75);
+  EXPECT_DOUBLE_EQ(x[2], 3.1);
+}
+
+TEST(Dense, MatvecOracle) {
+  const std::vector<double> d = {1, 2, 3, 4, 5, 6};  // 2x3
+  const auto y = dense_matvec(d, 2, 3, {1.0, 0.0, -1.0});
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(Dense, SpyShape) {
+  const auto s = spy(gen::diagonal(8, 1), 8);
+  // 8 lines of 8 characters with a '*' diagonal.
+  EXPECT_EQ(s.size(), 72u);
+  EXPECT_EQ(s[0], '*');
+  EXPECT_EQ(s[1], '.');
+}
+
+TEST(MmIo, WriteReadRoundTrip) {
+  const auto a = gen::power_law(50, 2.2, 8, 3.0, 13);
+  std::stringstream ss;
+  write_matrix_market(ss, a);
+  const auto back = coo_to_csr(read_matrix_market<double>(ss));
+  EXPECT_TRUE(equals(a, back));
+}
+
+TEST(MmIo, SymmetricExpansion) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "% comment line\n"
+      "3 3 3\n"
+      "1 1 2.0\n"
+      "2 1 5.0\n"
+      "3 3 1.0\n");
+  const auto a = coo_to_csr(read_matrix_market<double>(ss));
+  EXPECT_EQ(a.nnz(), 4);  // off-diagonal mirrored, diagonals not duplicated
+  const auto d = to_dense(a);
+  EXPECT_DOUBLE_EQ(d[1], 5.0);
+  EXPECT_DOUBLE_EQ(d[3], 5.0);
+}
+
+TEST(MmIo, PatternEntriesGetUnitValues) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "2 2\n");
+  const auto a = coo_to_csr(read_matrix_market<double>(ss));
+  EXPECT_DOUBLE_EQ(a.val[0], 1.0);
+  EXPECT_DOUBLE_EQ(a.val[1], 1.0);
+}
+
+TEST(MmIo, RejectsGarbage) {
+  std::stringstream bad1("not a matrix market file\n");
+  EXPECT_THROW(read_matrix_market<double>(bad1), Error);
+  std::stringstream bad2(
+      "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n");
+  EXPECT_THROW(read_matrix_market<double>(bad2), Error);
+  std::stringstream bad3(
+      "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market<double>(bad3), Error);  // truncated
+  std::stringstream bad4(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market<double>(bad4), Error);  // out of bounds
+}
+
+TEST(MmIo, FileRoundTrip) {
+  const auto a = gen::grid2d(7, 9, 17);
+  const std::string path = ::testing::TempDir() + "/blocktri_io_test.mtx";
+  write_matrix_market_file(path, a);
+  const auto back = coo_to_csr(read_matrix_market_file<double>(path));
+  EXPECT_TRUE(equals(a, back));
+}
+
+TEST(MmIo, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file<double>("/nonexistent/file.mtx"),
+               Error);
+}
+
+}  // namespace
+}  // namespace blocktri

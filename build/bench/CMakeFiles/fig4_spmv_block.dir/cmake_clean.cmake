@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_spmv_block.dir/fig4_spmv_block.cpp.o"
+  "CMakeFiles/fig4_spmv_block.dir/fig4_spmv_block.cpp.o.d"
+  "fig4_spmv_block"
+  "fig4_spmv_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_spmv_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

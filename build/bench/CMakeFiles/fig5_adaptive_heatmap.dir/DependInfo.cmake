@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_adaptive_heatmap.cpp" "bench/CMakeFiles/fig5_adaptive_heatmap.dir/fig5_adaptive_heatmap.cpp.o" "gcc" "bench/CMakeFiles/fig5_adaptive_heatmap.dir/fig5_adaptive_heatmap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gen/CMakeFiles/blocktri_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/blocktri_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/spmv/CMakeFiles/blocktri_spmv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sptrsv/CMakeFiles/blocktri_sptrsv.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/blocktri_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/blocktri_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/blocktri_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/blocktri_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

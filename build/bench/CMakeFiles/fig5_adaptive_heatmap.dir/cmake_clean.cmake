@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_adaptive_heatmap.dir/fig5_adaptive_heatmap.cpp.o"
+  "CMakeFiles/fig5_adaptive_heatmap.dir/fig5_adaptive_heatmap.cpp.o.d"
+  "fig5_adaptive_heatmap"
+  "fig5_adaptive_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_adaptive_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

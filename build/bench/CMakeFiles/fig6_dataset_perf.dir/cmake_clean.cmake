@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_dataset_perf.dir/fig6_dataset_perf.cpp.o"
+  "CMakeFiles/fig6_dataset_perf.dir/fig6_dataset_perf.cpp.o.d"
+  "fig6_dataset_perf"
+  "fig6_dataset_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_dataset_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

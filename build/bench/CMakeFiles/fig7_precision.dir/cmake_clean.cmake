@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_precision.dir/fig7_precision.cpp.o"
+  "CMakeFiles/fig7_precision.dir/fig7_precision.cpp.o.d"
+  "fig7_precision"
+  "fig7_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

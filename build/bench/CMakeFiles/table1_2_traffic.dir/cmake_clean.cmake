@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_2_traffic.dir/table1_2_traffic.cpp.o"
+  "CMakeFiles/table1_2_traffic.dir/table1_2_traffic.cpp.o.d"
+  "table1_2_traffic"
+  "table1_2_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_2_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

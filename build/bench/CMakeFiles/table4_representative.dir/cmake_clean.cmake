@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_representative.dir/table4_representative.cpp.o"
+  "CMakeFiles/table4_representative.dir/table4_representative.cpp.o.d"
+  "table4_representative"
+  "table4_representative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_representative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

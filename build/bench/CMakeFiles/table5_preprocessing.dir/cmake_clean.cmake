@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_preprocessing.dir/table5_preprocessing.cpp.o"
+  "CMakeFiles/table5_preprocessing.dir/table5_preprocessing.cpp.o.d"
+  "table5_preprocessing"
+  "table5_preprocessing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_explorer.dir/adaptive_explorer.cpp.o"
+  "CMakeFiles/adaptive_explorer.dir/adaptive_explorer.cpp.o.d"
+  "adaptive_explorer"
+  "adaptive_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

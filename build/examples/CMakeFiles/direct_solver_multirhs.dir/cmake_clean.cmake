@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/direct_solver_multirhs.dir/direct_solver_multirhs.cpp.o"
+  "CMakeFiles/direct_solver_multirhs.dir/direct_solver_multirhs.cpp.o.d"
+  "direct_solver_multirhs"
+  "direct_solver_multirhs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/direct_solver_multirhs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for direct_solver_multirhs.
+# This may be replaced when dependencies are built.

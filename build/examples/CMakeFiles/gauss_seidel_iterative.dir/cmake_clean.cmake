@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gauss_seidel_iterative.dir/gauss_seidel_iterative.cpp.o"
+  "CMakeFiles/gauss_seidel_iterative.dir/gauss_seidel_iterative.cpp.o.d"
+  "gauss_seidel_iterative"
+  "gauss_seidel_iterative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gauss_seidel_iterative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/features.cpp" "src/analysis/CMakeFiles/blocktri_analysis.dir/features.cpp.o" "gcc" "src/analysis/CMakeFiles/blocktri_analysis.dir/features.cpp.o.d"
+  "/root/repo/src/analysis/levels.cpp" "src/analysis/CMakeFiles/blocktri_analysis.dir/levels.cpp.o" "gcc" "src/analysis/CMakeFiles/blocktri_analysis.dir/levels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/blocktri_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/blocktri_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

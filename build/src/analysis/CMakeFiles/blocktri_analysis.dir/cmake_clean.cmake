@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocktri_analysis.dir/features.cpp.o"
+  "CMakeFiles/blocktri_analysis.dir/features.cpp.o.d"
+  "CMakeFiles/blocktri_analysis.dir/levels.cpp.o"
+  "CMakeFiles/blocktri_analysis.dir/levels.cpp.o.d"
+  "libblocktri_analysis.a"
+  "libblocktri_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocktri_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocktri_common.dir/cli.cpp.o"
+  "CMakeFiles/blocktri_common.dir/cli.cpp.o.d"
+  "CMakeFiles/blocktri_common.dir/prefix.cpp.o"
+  "CMakeFiles/blocktri_common.dir/prefix.cpp.o.d"
+  "CMakeFiles/blocktri_common.dir/rng.cpp.o"
+  "CMakeFiles/blocktri_common.dir/rng.cpp.o.d"
+  "CMakeFiles/blocktri_common.dir/table.cpp.o"
+  "CMakeFiles/blocktri_common.dir/table.cpp.o.d"
+  "libblocktri_common.a"
+  "libblocktri_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocktri_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

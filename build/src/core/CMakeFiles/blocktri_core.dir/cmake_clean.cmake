@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocktri_core.dir/adaptive.cpp.o"
+  "CMakeFiles/blocktri_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/blocktri_core.dir/plan.cpp.o"
+  "CMakeFiles/blocktri_core.dir/plan.cpp.o.d"
+  "CMakeFiles/blocktri_core.dir/solver.cpp.o"
+  "CMakeFiles/blocktri_core.dir/solver.cpp.o.d"
+  "libblocktri_core.a"
+  "libblocktri_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocktri_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

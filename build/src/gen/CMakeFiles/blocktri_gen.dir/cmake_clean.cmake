@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocktri_gen.dir/generators.cpp.o"
+  "CMakeFiles/blocktri_gen.dir/generators.cpp.o.d"
+  "CMakeFiles/blocktri_gen.dir/suite.cpp.o"
+  "CMakeFiles/blocktri_gen.dir/suite.cpp.o.d"
+  "libblocktri_gen.a"
+  "libblocktri_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocktri_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocktri_sim.dir/cache.cpp.o"
+  "CMakeFiles/blocktri_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/blocktri_sim.dir/kernel_sim.cpp.o"
+  "CMakeFiles/blocktri_sim.dir/kernel_sim.cpp.o.d"
+  "CMakeFiles/blocktri_sim.dir/machine.cpp.o"
+  "CMakeFiles/blocktri_sim.dir/machine.cpp.o.d"
+  "libblocktri_sim.a"
+  "libblocktri_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocktri_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

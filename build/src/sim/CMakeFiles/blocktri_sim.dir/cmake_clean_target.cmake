@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libblocktri_sim.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/convert.cpp" "src/sparse/CMakeFiles/blocktri_sparse.dir/convert.cpp.o" "gcc" "src/sparse/CMakeFiles/blocktri_sparse.dir/convert.cpp.o.d"
+  "/root/repo/src/sparse/dense.cpp" "src/sparse/CMakeFiles/blocktri_sparse.dir/dense.cpp.o" "gcc" "src/sparse/CMakeFiles/blocktri_sparse.dir/dense.cpp.o.d"
+  "/root/repo/src/sparse/formats.cpp" "src/sparse/CMakeFiles/blocktri_sparse.dir/formats.cpp.o" "gcc" "src/sparse/CMakeFiles/blocktri_sparse.dir/formats.cpp.o.d"
+  "/root/repo/src/sparse/mm_io.cpp" "src/sparse/CMakeFiles/blocktri_sparse.dir/mm_io.cpp.o" "gcc" "src/sparse/CMakeFiles/blocktri_sparse.dir/mm_io.cpp.o.d"
+  "/root/repo/src/sparse/permute.cpp" "src/sparse/CMakeFiles/blocktri_sparse.dir/permute.cpp.o" "gcc" "src/sparse/CMakeFiles/blocktri_sparse.dir/permute.cpp.o.d"
+  "/root/repo/src/sparse/triangular.cpp" "src/sparse/CMakeFiles/blocktri_sparse.dir/triangular.cpp.o" "gcc" "src/sparse/CMakeFiles/blocktri_sparse.dir/triangular.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/blocktri_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocktri_sparse.dir/convert.cpp.o"
+  "CMakeFiles/blocktri_sparse.dir/convert.cpp.o.d"
+  "CMakeFiles/blocktri_sparse.dir/dense.cpp.o"
+  "CMakeFiles/blocktri_sparse.dir/dense.cpp.o.d"
+  "CMakeFiles/blocktri_sparse.dir/formats.cpp.o"
+  "CMakeFiles/blocktri_sparse.dir/formats.cpp.o.d"
+  "CMakeFiles/blocktri_sparse.dir/mm_io.cpp.o"
+  "CMakeFiles/blocktri_sparse.dir/mm_io.cpp.o.d"
+  "CMakeFiles/blocktri_sparse.dir/permute.cpp.o"
+  "CMakeFiles/blocktri_sparse.dir/permute.cpp.o.d"
+  "CMakeFiles/blocktri_sparse.dir/triangular.cpp.o"
+  "CMakeFiles/blocktri_sparse.dir/triangular.cpp.o.d"
+  "libblocktri_sparse.a"
+  "libblocktri_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocktri_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

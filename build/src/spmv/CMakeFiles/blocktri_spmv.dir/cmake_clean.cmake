@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocktri_spmv.dir/kernels.cpp.o"
+  "CMakeFiles/blocktri_spmv.dir/kernels.cpp.o.d"
+  "libblocktri_spmv.a"
+  "libblocktri_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocktri_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

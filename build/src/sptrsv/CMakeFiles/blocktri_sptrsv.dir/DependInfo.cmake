@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sptrsv/cusparse_like.cpp" "src/sptrsv/CMakeFiles/blocktri_sptrsv.dir/cusparse_like.cpp.o" "gcc" "src/sptrsv/CMakeFiles/blocktri_sptrsv.dir/cusparse_like.cpp.o.d"
+  "/root/repo/src/sptrsv/diagonal.cpp" "src/sptrsv/CMakeFiles/blocktri_sptrsv.dir/diagonal.cpp.o" "gcc" "src/sptrsv/CMakeFiles/blocktri_sptrsv.dir/diagonal.cpp.o.d"
+  "/root/repo/src/sptrsv/levelset.cpp" "src/sptrsv/CMakeFiles/blocktri_sptrsv.dir/levelset.cpp.o" "gcc" "src/sptrsv/CMakeFiles/blocktri_sptrsv.dir/levelset.cpp.o.d"
+  "/root/repo/src/sptrsv/serial.cpp" "src/sptrsv/CMakeFiles/blocktri_sptrsv.dir/serial.cpp.o" "gcc" "src/sptrsv/CMakeFiles/blocktri_sptrsv.dir/serial.cpp.o.d"
+  "/root/repo/src/sptrsv/syncfree.cpp" "src/sptrsv/CMakeFiles/blocktri_sptrsv.dir/syncfree.cpp.o" "gcc" "src/sptrsv/CMakeFiles/blocktri_sptrsv.dir/syncfree.cpp.o.d"
+  "/root/repo/src/sptrsv/upper.cpp" "src/sptrsv/CMakeFiles/blocktri_sptrsv.dir/upper.cpp.o" "gcc" "src/sptrsv/CMakeFiles/blocktri_sptrsv.dir/upper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/blocktri_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/blocktri_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/blocktri_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/blocktri_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocktri_sptrsv.dir/cusparse_like.cpp.o"
+  "CMakeFiles/blocktri_sptrsv.dir/cusparse_like.cpp.o.d"
+  "CMakeFiles/blocktri_sptrsv.dir/diagonal.cpp.o"
+  "CMakeFiles/blocktri_sptrsv.dir/diagonal.cpp.o.d"
+  "CMakeFiles/blocktri_sptrsv.dir/levelset.cpp.o"
+  "CMakeFiles/blocktri_sptrsv.dir/levelset.cpp.o.d"
+  "CMakeFiles/blocktri_sptrsv.dir/serial.cpp.o"
+  "CMakeFiles/blocktri_sptrsv.dir/serial.cpp.o.d"
+  "CMakeFiles/blocktri_sptrsv.dir/syncfree.cpp.o"
+  "CMakeFiles/blocktri_sptrsv.dir/syncfree.cpp.o.d"
+  "CMakeFiles/blocktri_sptrsv.dir/upper.cpp.o"
+  "CMakeFiles/blocktri_sptrsv.dir/upper.cpp.o.d"
+  "libblocktri_sptrsv.a"
+  "libblocktri_sptrsv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocktri_sptrsv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_ops.dir/test_sparse_ops.cpp.o"
+  "CMakeFiles/test_sparse_ops.dir/test_sparse_ops.cpp.o.d"
+  "test_sparse_ops"
+  "test_sparse_ops.pdb"
+  "test_sparse_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sptrsv.dir/test_sptrsv.cpp.o"
+  "CMakeFiles/test_sptrsv.dir/test_sptrsv.cpp.o.d"
+  "test_sptrsv"
+  "test_sptrsv.pdb"
+  "test_sptrsv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sptrsv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_formats[1]_include.cmake")
+include("/root/repo/build/tests/test_convert[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_levels[1]_include.cmake")
+include("/root/repo/build/tests/test_generators[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_spmv[1]_include.cmake")
+include("/root/repo/build/tests/test_sptrsv[1]_include.cmake")
+include("/root/repo/build/tests/test_plan[1]_include.cmake")
+include("/root/repo/build/tests/test_adaptive[1]_include.cmake")
+include("/root/repo/build/tests/test_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")

@@ -19,7 +19,11 @@ int main(int argc, char** argv) {
   if (cli.has("matrix")) {
     name = cli.get("matrix", "");
     std::printf("Reading %s...\n", name.c_str());
-    const auto coo = read_matrix_market_file<double>(name);
+    Coo<double> coo;
+    if (const Status s = try_read_matrix_market_file(name, &coo); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.to_string().c_str());
+      return 1;
+    }
     L = lower_triangular_with_diag(coo_to_csr(coo));
   } else {
     name = cli.get("suite", "kkt_power-sim");

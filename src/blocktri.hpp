@@ -16,6 +16,7 @@
 #pragma once
 
 #include "common/cli.hpp"          // IWYU pragma: export
+#include "common/status.hpp"       // IWYU pragma: export
 #include "common/rng.hpp"          // IWYU pragma: export
 #include "common/table.hpp"        // IWYU pragma: export
 #include "common/timer.hpp"        // IWYU pragma: export
@@ -37,6 +38,7 @@
 #include "sparse/formats.hpp"      // IWYU pragma: export
 #include "sparse/mm_io.hpp"        // IWYU pragma: export
 #include "sparse/permute.hpp"      // IWYU pragma: export
+#include "sparse/sanitize.hpp"     // IWYU pragma: export
 #include "sparse/triangular.hpp"   // IWYU pragma: export
 #include "spmv/kernels.hpp"        // IWYU pragma: export
 #include "sptrsv/cusparse_like.hpp" // IWYU pragma: export

@@ -1,5 +1,6 @@
-// Core scalar/index typedefs and error-checking helpers shared by every
-// blocktri module.
+// Core scalar/index typedefs shared by every blocktri module. The error
+// machinery (Status, Error, BLOCKTRI_CHECK) lives in common/status.hpp and is
+// re-exported here so existing includes keep working.
 //
 // Conventions (see DESIGN.md §5):
 //   * index_t  — row/column indices. 32-bit: the paper's dataset tops out at
@@ -11,51 +12,12 @@
 #pragma once
 
 #include <cstdint>
-#include <sstream>
-#include <stdexcept>
-#include <string>
+
+#include "common/status.hpp"  // IWYU pragma: export
 
 namespace blocktri {
 
 using index_t = std::int32_t;
 using offset_t = std::int64_t;
 
-/// Exception thrown by all blocktri precondition/invariant checks.
-class Error : public std::runtime_error {
- public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
-};
-
-namespace detail {
-[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
-                                             int line, const std::string& msg) {
-  std::ostringstream os;
-  os << "blocktri check failed: " << expr << " at " << file << ':' << line;
-  if (!msg.empty()) os << " — " << msg;
-  throw Error(os.str());
-}
-}  // namespace detail
-
 }  // namespace blocktri
-
-/// Precondition/invariant check that is always on (cheap checks only; hot
-/// loops use BLOCKTRI_DCHECK below). Throws blocktri::Error on failure.
-#define BLOCKTRI_CHECK(expr)                                                  \
-  do {                                                                        \
-    if (!(expr))                                                              \
-      ::blocktri::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
-  } while (0)
-
-#define BLOCKTRI_CHECK_MSG(expr, msg)                                      \
-  do {                                                                     \
-    if (!(expr))                                                           \
-      ::blocktri::detail::throw_check_failure(#expr, __FILE__, __LINE__,   \
-                                              (msg));                      \
-  } while (0)
-
-/// Debug-only check, compiled out in release builds. Use in per-nonzero loops.
-#ifndef NDEBUG
-#define BLOCKTRI_DCHECK(expr) BLOCKTRI_CHECK(expr)
-#else
-#define BLOCKTRI_DCHECK(expr) ((void)0)
-#endif

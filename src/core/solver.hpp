@@ -46,6 +46,38 @@ struct BlockSolveBreakdown {
   int spmv_kernels = 0;
 };
 
+/// One engagement of the per-block fallback ladder: triangular block `block`
+/// produced non-finite output on kernel `from`, and the solve degraded to
+/// `to` (level-set first, then the serial reference).
+struct FallbackEvent {
+  index_t block = 0;
+  TriKernelKind from = TriKernelKind::kSyncFree;
+  enum class Rung { kLevelSet, kSerial } to = Rung::kLevelSet;
+};
+
+/// What solve_checked observed: the verified residual, how many refinement
+/// rounds ran, and every fallback the degradation ladder fired — benches and
+/// callers can see when and where a solve did not take the fast path.
+struct SolveReport {
+  bool residual_checked = false;
+  double residual = 0.0;   // ‖Lx−b‖∞ / (‖L‖∞‖x‖∞ + ‖b‖∞), final
+  double tolerance = 0.0;  // threshold the residual was compared against
+  int refinements = 0;     // iterative-refinement rounds applied
+  std::vector<FallbackEvent> fallbacks;
+};
+
+/// Outcome of solve_checked. `x` is populated even on kResidualTooLarge (the
+/// best solution found, with the residual in the report); on
+/// kNumericalBreakdown it holds the partial, non-finite solve for
+/// diagnosis.
+template <class T>
+struct SolveResult {
+  Status status;
+  std::vector<T> x;
+  SolveReport report;
+  bool ok() const { return status.ok(); }
+};
+
 template <class T>
 class BlockSolver {
  public:
@@ -59,14 +91,51 @@ class BlockSolver {
     TriKernelKind forced_tri = TriKernelKind::kSyncFree;
     SpmvKernelKind forced_square = SpmvKernelKind::kScalarCsr;
     ThresholdTable thresholds;
+
+    /// Robustness knobs for solve_checked. `enabled` keeps the (permuted)
+    /// matrix and per-block CSR copies around — required by the residual
+    /// check, refinement and fallback ladder; disable to reclaim the memory
+    /// when only the unchecked solve()/solve_simulated() paths are used.
+    struct VerifyOptions {
+      bool enabled = true;
+      double tolerance = 0.0;  // 0 → 100 · n · eps(T)
+      int max_refinements = 1;
+      bool fallback = true;    // degrade adaptive → level-set → serial
+    };
+    VerifyOptions verify;
+
+    /// Test-only deterministic fault hook for the fault-injection suite:
+    /// while solve_checked processes triangular block `tri_block`, the
+    /// output of its first `corrupt_attempts` solve attempts (0 = the
+    /// selected kernel, 1 = the next fallback rung, ...) is poisoned with
+    /// NaN, forcing the ladder to engage. Never set in production.
+    struct FaultInjection {
+      index_t tri_block = -1;
+      int corrupt_attempts = 0;
+    };
+    FaultInjection fault;
   };
 
   /// Preprocessing stage. `lower` must be lower triangular with a nonzero
-  /// diagonal stored last in each row.
+  /// diagonal stored last in each row; throws blocktri::Error carrying the
+  /// check_lower_triangular status otherwise.
   BlockSolver(const Csr<T>& lower, const Options& opt);
+
+  /// Non-throwing factory: validates `lower` (check_lower_triangular) and
+  /// returns the typed Status instead of throwing; on success *out owns the
+  /// solver.
+  static Status create(const Csr<T>& lower, const Options& opt,
+                       std::unique_ptr<BlockSolver<T>>* out);
 
   /// Solves L x = b (host execution only).
   std::vector<T> solve(const std::vector<T>& b) const;
+
+  /// Hardened solve: validates b (size, finiteness), runs the block solve
+  /// with the per-block fallback ladder, then verifies the normwise residual
+  /// and applies up to verify.max_refinements rounds of iterative refinement
+  /// when it exceeds the tolerance. Never throws on bad numerics — the
+  /// outcome is typed in SolveResult::status and itemised in the report.
+  SolveResult<T> solve_checked(const std::vector<T>& b) const;
 
   /// Solves and accounts simulated GPU time into `report`. `cache` carries
   /// locality across calls (pass the same cache for warm-cache measurements;
@@ -118,6 +187,7 @@ class BlockSolver {
  private:
   struct TriBlock {
     TriBlockInfo info;
+    Csr<T> csr;  // retained when verify.enabled: fallback + refinement input
     std::unique_ptr<DiagonalSolver<T>> diag;
     std::unique_ptr<LevelSetSolver<T>> levelset;
     std::unique_ptr<SyncFreeSolver<T>> syncfree;
@@ -133,10 +203,22 @@ class BlockSolver {
                 const TrsvSim* s) const;
   void exec_square(const SquareBlock& blk, const T* x, T* y,
                    const SpmvSim* s) const;
+  /// One pass over the execution steps with the fallback ladder armed.
+  /// Consumes bw (square blocks accumulate into it).
+  Status run_steps_checked(std::vector<T>& bw, std::vector<T>& xw,
+                           SolveReport* rep) const;
+  /// r = bw0 − L·xw over the retained (permuted) matrix.
+  std::vector<T> residual_vec(const std::vector<T>& xw,
+                              const std::vector<T>& bw0) const;
+  double residual_norm(const std::vector<T>& xw,
+                       const std::vector<T>& bw0) const;
+  double default_residual_tolerance() const;
 
   Options opt_;
   BlockPlan plan_;
   offset_t nnz_ = 0;
+  Csr<T> stored_;          // permuted matrix, retained when verify.enabled
+  double norm_inf_ = 0.0;  // ‖L‖∞ of stored_
   std::vector<TriBlock> tri_;
   std::vector<SquareBlock> squares_;
   std::vector<TriBlockInfo> tri_info_;

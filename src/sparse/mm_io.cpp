@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -15,96 +17,179 @@ std::string lower(std::string s) {
   return s;
 }
 
+Status bad_format(long long line, const std::string& msg) {
+  return Status(StatusCode::kBadFormat, msg + " (line " + std::to_string(line) + ")",
+                line);
+}
+
+Status parse_error(long long line, const std::string& msg) {
+  return Status(StatusCode::kParseError,
+                msg + " (line " + std::to_string(line) + ")", line);
+}
+
 struct Header {
   bool pattern = false;
-  bool symmetric = false;
+  bool symmetric = false;  // mirror off-diagonal entries
+  bool skew = false;       // ... with negated value
 };
 
-Header parse_header(const std::string& line) {
+Status parse_header(const std::string& line, Header* h) {
   std::istringstream hs(line);
   std::string banner, object, format, field, symmetry;
   hs >> banner >> object >> format >> field >> symmetry;
-  BLOCKTRI_CHECK_MSG(banner == "%%MatrixMarket",
-                     "not a MatrixMarket file: bad banner");
-  BLOCKTRI_CHECK_MSG(lower(object) == "matrix",
-                     "unsupported MatrixMarket object: " + object);
-  BLOCKTRI_CHECK_MSG(lower(format) == "coordinate",
-                     "only coordinate MatrixMarket files are supported");
-  Header h;
+  if (banner != "%%MatrixMarket")
+    return bad_format(1, "not a MatrixMarket file: bad banner");
+  if (lower(object) != "matrix")
+    return bad_format(1, "unsupported MatrixMarket object: " + object);
+  if (lower(format) != "coordinate")
+    return bad_format(1, "only coordinate MatrixMarket files are supported");
   const std::string f = lower(field);
   if (f == "pattern") {
-    h.pattern = true;
-  } else {
-    BLOCKTRI_CHECK_MSG(f == "real" || f == "integer",
-                       "unsupported MatrixMarket field: " + field);
+    h->pattern = true;
+  } else if (f != "real" && f != "integer") {
+    return bad_format(1, "unsupported MatrixMarket field: " + field);
   }
   const std::string s = lower(symmetry);
   if (s == "symmetric" || s == "skew-symmetric") {
-    h.symmetric = true;
-  } else {
-    BLOCKTRI_CHECK_MSG(s == "general",
-                       "unsupported MatrixMarket symmetry: " + symmetry);
+    h->symmetric = true;
+    h->skew = (s == "skew-symmetric");
+  } else if (s != "general") {
+    return bad_format(1, "unsupported MatrixMarket symmetry: " + symmetry);
   }
-  return h;
+  return Status::Ok();
+}
+
+// strtoll/strtod-based field scanners: unlike istream extraction they accept
+// "nan"/"inf" tokens (which we then reject as typed kNonFinite errors rather
+// than unhelpful parse failures) and let us report the offending line.
+bool scan_ll(const char*& p, long long* out) {
+  char* end = nullptr;
+  const long long v = std::strtoll(p, &end, 10);
+  if (end == p) return false;
+  p = end;
+  *out = v;
+  return true;
+}
+
+bool scan_double(const char*& p, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(p, &end);
+  if (end == p) return false;
+  p = end;
+  *out = v;
+  return true;
+}
+
+bool only_blanks(const char* p) {
+  for (; *p; ++p)
+    if (!std::isspace(static_cast<unsigned char>(*p))) return false;
+  return true;
 }
 
 }  // namespace
 
 template <class T>
-Coo<T> read_matrix_market(std::istream& in) {
+Status try_read_matrix_market(std::istream& in, Coo<T>* out) {
+  BLOCKTRI_CHECK(out != nullptr);
   std::string line;
-  BLOCKTRI_CHECK_MSG(static_cast<bool>(std::getline(in, line)),
-                     "empty MatrixMarket stream");
-  const Header h = parse_header(line);
+  long long lineno = 0;
+
+  if (!std::getline(in, line))
+    return bad_format(1, "empty MatrixMarket stream");
+  ++lineno;
+  Header h;
+  if (Status st = parse_header(line, &h); !st.ok()) return st;
 
   // Skip comments, read the size line.
   long long nrows = 0, ncols = 0, nnz = 0;
+  bool have_size = false;
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty() || line[0] == '%') continue;
-    std::istringstream ss(line);
-    BLOCKTRI_CHECK_MSG(static_cast<bool>(ss >> nrows >> ncols >> nnz),
-                       "bad MatrixMarket size line");
+    const char* p = line.c_str();
+    if (!scan_ll(p, &nrows) || !scan_ll(p, &ncols) || !scan_ll(p, &nnz) ||
+        !only_blanks(p))
+      return parse_error(lineno, "bad MatrixMarket size line");
+    have_size = true;
     break;
   }
-  BLOCKTRI_CHECK(nrows >= 0 && ncols >= 0 && nnz >= 0);
+  if (!have_size)
+    return parse_error(lineno + 1, "missing MatrixMarket size line");
+  if (nrows < 0 || ncols < 0 || nnz < 0)
+    return bad_format(lineno, "negative MatrixMarket dimensions");
 
-  Coo<T> out;
-  out.nrows = static_cast<index_t>(nrows);
-  out.ncols = static_cast<index_t>(ncols);
-  out.row.reserve(static_cast<std::size_t>(nnz));
-  out.col.reserve(static_cast<std::size_t>(nnz));
-  out.val.reserve(static_cast<std::size_t>(nnz));
+  Coo<T> coo;
+  coo.nrows = static_cast<index_t>(nrows);
+  coo.ncols = static_cast<index_t>(ncols);
+  coo.row.reserve(static_cast<std::size_t>(nnz));
+  coo.col.reserve(static_cast<std::size_t>(nnz));
+  coo.val.reserve(static_cast<std::size_t>(nnz));
   long long seen = 0;
   while (seen < nnz && std::getline(in, line)) {
+    ++lineno;
     if (line.empty() || line[0] == '%') continue;
-    std::istringstream ss(line);
-    long long r, c;
+    const char* p = line.c_str();
+    long long r = 0, c = 0;
     double v = 1.0;
-    BLOCKTRI_CHECK_MSG(static_cast<bool>(ss >> r >> c),
-                       "bad MatrixMarket entry line");
-    if (!h.pattern) BLOCKTRI_CHECK_MSG(static_cast<bool>(ss >> v),
-                                       "missing MatrixMarket value");
-    BLOCKTRI_CHECK_MSG(r >= 1 && r <= nrows && c >= 1 && c <= ncols,
-                       "MatrixMarket entry out of bounds");
-    out.row.push_back(static_cast<index_t>(r - 1));
-    out.col.push_back(static_cast<index_t>(c - 1));
-    out.val.push_back(static_cast<T>(v));
+    if (!scan_ll(p, &r) || !scan_ll(p, &c))
+      return parse_error(lineno, "bad MatrixMarket entry line");
+    if (!h.pattern && !scan_double(p, &v))
+      return parse_error(lineno, "missing or malformed MatrixMarket value");
+    if (!only_blanks(p))
+      return parse_error(lineno, "trailing garbage on MatrixMarket entry line");
+    if (r < 1 || r > nrows || c < 1 || c > ncols)
+      return Status(StatusCode::kOutOfBounds,
+                    "MatrixMarket entry (" + std::to_string(r) + ", " +
+                        std::to_string(c) + ") outside " +
+                        std::to_string(nrows) + " x " + std::to_string(ncols) +
+                        " (line " + std::to_string(lineno) + ")",
+                    lineno);
+    if (!std::isfinite(v))
+      return Status(StatusCode::kNonFinite,
+                    "non-finite MatrixMarket value (line " +
+                        std::to_string(lineno) + ")",
+                    lineno, LocationKind::kLine);
+    coo.row.push_back(static_cast<index_t>(r - 1));
+    coo.col.push_back(static_cast<index_t>(c - 1));
+    coo.val.push_back(static_cast<T>(v));
     if (h.symmetric && r != c) {
-      out.row.push_back(static_cast<index_t>(c - 1));
-      out.col.push_back(static_cast<index_t>(r - 1));
-      out.val.push_back(static_cast<T>(v));
+      // The mirrored entry of a skew-symmetric matrix is negated: a(j,i) =
+      // -a(i,j). (Plain symmetric copies the value.)
+      coo.row.push_back(static_cast<index_t>(c - 1));
+      coo.col.push_back(static_cast<index_t>(r - 1));
+      coo.val.push_back(h.skew ? static_cast<T>(-v) : static_cast<T>(v));
     }
     ++seen;
   }
-  BLOCKTRI_CHECK_MSG(seen == nnz, "MatrixMarket file truncated");
-  return out;
+  if (seen != nnz)
+    return parse_error(lineno + 1,
+                       "MatrixMarket file truncated: expected " +
+                           std::to_string(nnz) + " entries, got " +
+                           std::to_string(seen));
+  *out = std::move(coo);
+  return Status::Ok();
+}
+
+template <class T>
+Coo<T> read_matrix_market(std::istream& in) {
+  Coo<T> coo;
+  throw_if_error(try_read_matrix_market(in, &coo));
+  return coo;
+}
+
+template <class T>
+Status try_read_matrix_market_file(const std::string& path, Coo<T>* out) {
+  std::ifstream in(path);
+  if (!in.good())
+    return Status(StatusCode::kBadFormat, "cannot open " + path);
+  return try_read_matrix_market(in, out);
 }
 
 template <class T>
 Coo<T> read_matrix_market_file(const std::string& path) {
-  std::ifstream in(path);
-  BLOCKTRI_CHECK_MSG(in.good(), "cannot open " + path);
-  return read_matrix_market<T>(in);
+  Coo<T> coo;
+  throw_if_error(try_read_matrix_market_file(path, &coo));
+  return coo;
 }
 
 template <class T>
@@ -123,13 +208,18 @@ void write_matrix_market(std::ostream& out, const Csr<T>& a) {
 template <class T>
 void write_matrix_market_file(const std::string& path, const Csr<T>& a) {
   std::ofstream out(path);
-  BLOCKTRI_CHECK_MSG(out.good(), "cannot open " + path + " for writing");
+  if (!out.good())
+    throw Error(
+        Status(StatusCode::kBadFormat, "cannot open " + path + " for writing"));
   write_matrix_market(out, a);
 }
 
-#define BLOCKTRI_INSTANTIATE(T)                                      \
-  template Coo<T> read_matrix_market(std::istream&);                 \
-  template Coo<T> read_matrix_market_file(const std::string&);      \
+#define BLOCKTRI_INSTANTIATE(T)                                          \
+  template Status try_read_matrix_market(std::istream&, Coo<T>*);        \
+  template Status try_read_matrix_market_file(const std::string&,        \
+                                              Coo<T>*);                  \
+  template Coo<T> read_matrix_market(std::istream&);                     \
+  template Coo<T> read_matrix_market_file(const std::string&);           \
   template void write_matrix_market(std::ostream&, const Csr<T>&);  \
   template void write_matrix_market_file(const std::string&, const Csr<T>&);
 

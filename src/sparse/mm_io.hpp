@@ -4,8 +4,13 @@
 // the synthetic suite stands in (DESIGN.md §2).
 //
 // Supported: `%%MatrixMarket matrix coordinate (real|integer|pattern)
-// (general|symmetric)`. Pattern entries get value 1. Symmetric files are
-// expanded to both triangles.
+// (general|symmetric|skew-symmetric)`. Pattern entries get value 1.
+// Symmetric files are expanded to both triangles; skew-symmetric mirrors
+// carry the negated value.
+//
+// Errors are typed (common/status.hpp) and every parse failure reports the
+// 1-based line number it occurred on: try_read_matrix_market returns the
+// Status, read_matrix_market throws it wrapped in blocktri::Error.
 #pragma once
 
 #include <iosfwd>
@@ -15,6 +20,20 @@
 
 namespace blocktri {
 
+/// Parses a MatrixMarket coordinate stream into *out. Non-throwing: returns
+/// kBadFormat (unsupported banner/object/format/field/symmetry), kParseError
+/// (malformed or truncated size/entry lines), kOutOfBounds (entry outside
+/// the declared dimensions) or kNonFinite (NaN/Inf value), each with the
+/// 1-based line number in Status::location() and in the message.
+template <class T>
+Status try_read_matrix_market(std::istream& in, Coo<T>* out);
+
+/// File variant; adds kBadFormat when the file cannot be opened.
+template <class T>
+Status try_read_matrix_market_file(const std::string& path, Coo<T>* out);
+
+/// Throwing wrapper: returns the matrix or throws blocktri::Error carrying
+/// the Status above.
 template <class T>
 Coo<T> read_matrix_market(std::istream& in);
 

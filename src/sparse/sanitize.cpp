@@ -1,0 +1,168 @@
+#include "sparse/sanitize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+namespace blocktri {
+
+std::string SanitizeReport::summary() const {
+  if (!changed()) return "no changes";
+  std::ostringstream os;
+  const char* sep = "";
+  auto item = [&os, &sep](std::int64_t n, const char* what) {
+    if (n == 0) return;
+    os << sep << what << ' ' << n;
+    sep = ", ";
+  };
+  item(duplicates_coalesced, "coalesced duplicates:");
+  item(zeros_dropped, "dropped zeros:");
+  item(upper_dropped, "dropped upper entries:");
+  item(nonfinite_repaired, "repaired non-finite:");
+  item(diagonals_filled, "filled diagonals:");
+  return os.str();
+}
+
+template <class T>
+Status sanitize(const Coo<T>& in, const SanitizePolicy& policy, Csr<T>* out,
+                SanitizeReport* report) {
+  BLOCKTRI_CHECK(out != nullptr);
+  SanitizeReport local;
+  SanitizeReport& rep = report != nullptr ? *report : local;
+  rep = SanitizeReport{};
+
+  if (in.nrows < 0 || in.ncols < 0)
+    return Status(StatusCode::kBadFormat, "negative matrix dimensions");
+  if (in.row.size() != in.val.size() || in.col.size() != in.val.size())
+    return Status(StatusCode::kBadFormat,
+                  "COO row/col/val arrays have mismatched lengths");
+
+  // Pass 1: per-entry filtering under the policy.
+  std::vector<index_t> row, col;
+  std::vector<T> val;
+  row.reserve(in.row.size());
+  col.reserve(in.col.size());
+  val.reserve(in.val.size());
+  for (std::size_t k = 0; k < in.val.size(); ++k) {
+    const index_t r = in.row[k];
+    const index_t c = in.col[k];
+    if (r < 0 || r >= in.nrows || c < 0 || c >= in.ncols)
+      return Status(StatusCode::kOutOfBounds,
+                    "entry " + std::to_string(k) + " at (" +
+                        std::to_string(r) + ", " + std::to_string(c) +
+                        ") outside " + std::to_string(in.nrows) + " x " +
+                        std::to_string(in.ncols));
+    T v = in.val[k];
+    if (!std::isfinite(static_cast<double>(v))) {
+      switch (policy.nonfinite) {
+        case SanitizePolicy::NonFinite::kReject:
+          return Status(StatusCode::kNonFinite,
+                        "non-finite value at (" + std::to_string(r) + ", " +
+                            std::to_string(c) + ")",
+                        r);
+        case SanitizePolicy::NonFinite::kDrop:
+          ++rep.nonfinite_repaired;
+          continue;
+        case SanitizePolicy::NonFinite::kZero:
+          ++rep.nonfinite_repaired;
+          v = T(0);
+          break;
+      }
+    }
+    if (policy.strip_upper && c > r) {
+      ++rep.upper_dropped;
+      continue;
+    }
+    row.push_back(r);
+    col.push_back(c);
+    val.push_back(v);
+  }
+
+  // Pass 2: stable sort by (row, col), then coalesce runs of equal keys.
+  std::vector<std::size_t> order(val.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&row, &col](std::size_t a, std::size_t b) {
+                     return row[a] != row[b] ? row[a] < row[b]
+                                             : col[a] < col[b];
+                   });
+
+  Csr<T> result;
+  result.nrows = in.nrows;
+  result.ncols = in.ncols;
+  result.row_ptr.assign(static_cast<std::size_t>(in.nrows) + 1, 0);
+  result.col_idx.reserve(val.size());
+  result.val.reserve(val.size());
+
+  const bool square = in.nrows == in.ncols;
+  const bool fill_diag = policy.fill_missing_diagonal && square;
+  index_t cur_row = 0;
+  bool cur_has_diag = false;
+
+  auto close_rows_through = [&](index_t next_row) {
+    // Finalise rows [cur_row, next_row): fill missing diagonals and record
+    // row_ptr boundaries.
+    for (; cur_row < next_row; ++cur_row) {
+      if (fill_diag && !cur_has_diag) {
+        result.col_idx.push_back(cur_row);
+        result.val.push_back(static_cast<T>(policy.diag_fill));
+        ++rep.diagonals_filled;
+      }
+      cur_has_diag = false;
+      result.row_ptr[static_cast<std::size_t>(cur_row) + 1] =
+          static_cast<offset_t>(result.val.size());
+    }
+  };
+
+  for (std::size_t p = 0; p < order.size();) {
+    const index_t r = row[order[p]];
+    const index_t c = col[order[p]];
+    T v = val[order[p]];
+    std::size_t q = p + 1;
+    while (q < order.size() && row[order[q]] == r && col[order[q]] == c) {
+      if (!policy.coalesce_duplicates)
+        return Status(StatusCode::kBadFormat,
+                      "duplicate entry at (" + std::to_string(r) + ", " +
+                          std::to_string(c) + ")");
+      v += val[order[q]];
+      ++rep.duplicates_coalesced;
+      ++q;
+    }
+    p = q;
+    if (policy.drop_explicit_zeros && v == T(0)) {
+      ++rep.zeros_dropped;
+      continue;
+    }
+    close_rows_through(r);
+    // A filled diagonal must precede the sorted columns > r of its own row;
+    // fill before appending the first entry past the diagonal.
+    if (fill_diag && !cur_has_diag && c >= r) {
+      if (c == r) {
+        cur_has_diag = true;
+      } else {
+        result.col_idx.push_back(r);
+        result.val.push_back(static_cast<T>(policy.diag_fill));
+        ++rep.diagonals_filled;
+        cur_has_diag = true;
+      }
+    }
+    result.col_idx.push_back(c);
+    result.val.push_back(v);
+  }
+  close_rows_through(in.nrows);
+
+  *out = std::move(result);
+  return Status::Ok();
+}
+
+#define BLOCKTRI_INSTANTIATE(T)                                        \
+  template Status sanitize(const Coo<T>&, const SanitizePolicy&,       \
+                           Csr<T>*, SanitizeReport*);
+
+BLOCKTRI_INSTANTIATE(float)
+BLOCKTRI_INSTANTIATE(double)
+#undef BLOCKTRI_INSTANTIATE
+
+}  // namespace blocktri

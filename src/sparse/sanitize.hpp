@@ -1,0 +1,71 @@
+// Input sanitization for real-world matrices.
+//
+// The paper's pipeline assumes clean SuiteSparse triangles; production
+// inputs are not. This pass sits between I/O (COO) and the solver (CSR) and
+// repairs the defects that are safe to repair — duplicate entries, explicit
+// zeros, upper-triangle entries in a matrix destined for a lower solve,
+// missing diagonals — while turning the ones that are not (out-of-bounds
+// indices, NaN/Inf under the reject policy) into typed Status errors. A
+// SanitizeReport records exactly what was changed so callers can log or
+// refuse repaired inputs.
+#pragma once
+
+#include <string>
+
+#include "sparse/formats.hpp"
+
+namespace blocktri {
+
+/// What sanitize() is allowed to repair. The defaults match the common
+/// assembly convention (sum duplicates, drop stored zeros) and reject
+/// anything numerical-looking; opt in to the structural repairs when
+/// preparing a general matrix for a triangular solve.
+struct SanitizePolicy {
+  /// Sum entries with equal (row, col). When false, duplicates are a
+  /// kBadFormat error instead.
+  bool coalesce_duplicates = true;
+  /// Drop entries whose (possibly coalesced) value is exactly zero. Note a
+  /// dropped zero diagonal later counts as missing, not as a zero pivot.
+  bool drop_explicit_zeros = true;
+  /// Strip entries above the diagonal — extracting the lower triangle of a
+  /// general matrix, the paper's §4.1 dataset rule.
+  bool strip_upper = false;
+  /// Insert `diag_fill` on rows with no (surviving) diagonal entry. Only
+  /// meaningful for square matrices.
+  bool fill_missing_diagonal = false;
+  double diag_fill = 1.0;
+
+  /// NaN/Inf handling: reject with kNonFinite (default), drop the entry, or
+  /// replace its value with zero (which drop_explicit_zeros may then remove).
+  enum class NonFinite { kReject, kDrop, kZero };
+  NonFinite nonfinite = NonFinite::kReject;
+};
+
+/// Tally of every repair sanitize() performed.
+struct SanitizeReport {
+  offset_t duplicates_coalesced = 0;  // entries merged into a survivor
+  offset_t zeros_dropped = 0;
+  offset_t upper_dropped = 0;
+  offset_t nonfinite_repaired = 0;    // dropped or zeroed per policy
+  index_t diagonals_filled = 0;
+
+  bool changed() const {
+    return duplicates_coalesced || zeros_dropped || upper_dropped ||
+           nonfinite_repaired || diagonals_filled;
+  }
+  /// One-line human-readable summary, e.g.
+  /// "coalesced 3 duplicates, dropped 1 zero, filled 2 diagonals".
+  std::string summary() const;
+};
+
+/// Sanitizes `in` under `policy` into a sorted, duplicate-free CSR. Returns
+/// a non-ok Status (and leaves *out unspecified) on defects the policy does
+/// not repair: kOutOfBounds for indices outside the declared dimensions
+/// (location = entry position), kNonFinite under NonFinite::kReject
+/// (location = row), kBadFormat for duplicates when coalescing is off or for
+/// mismatched array lengths. `report` may be null.
+template <class T>
+Status sanitize(const Coo<T>& in, const SanitizePolicy& policy, Csr<T>* out,
+                SanitizeReport* report = nullptr);
+
+}  // namespace blocktri

@@ -1,6 +1,9 @@
 #include "sparse/triangular.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
 
 namespace blocktri {
 
@@ -36,18 +39,59 @@ Csr<T> lower_triangular_with_diag(const Csr<T>& a, T diag_fill) {
 }
 
 template <class T>
-bool is_lower_triangular_nonsingular(const Csr<T>& a) {
-  if (a.nrows != a.ncols) return false;
+Status check_lower_triangular(const Csr<T>& a) {
+  if (a.nrows != a.ncols)
+    return Status(StatusCode::kInvalidArgument,
+                  "matrix is not square: " + std::to_string(a.nrows) + " x " +
+                      std::to_string(a.ncols));
   for (index_t i = 0; i < a.nrows; ++i) {
     const offset_t lo = a.row_ptr[static_cast<std::size_t>(i)];
     const offset_t hi = a.row_ptr[static_cast<std::size_t>(i) + 1];
-    if (lo == hi) return false;  // empty row: no diagonal
-    // Sorted row: the diagonal, if present, is the last entry of the lower
-    // part; for a lower-triangular matrix it must be the last entry overall.
-    if (a.col_idx[static_cast<std::size_t>(hi - 1)] != i) return false;
-    if (a.val[static_cast<std::size_t>(hi - 1)] == T(0)) return false;
+    if (lo == hi)
+      return Status(StatusCode::kSingularRow,
+                    "row " + std::to_string(i) +
+                        " is empty: structurally singular",
+                    i);
+    // Sorted row: the diagonal, if present, is the last entry <= i; an entry
+    // after it sits above the diagonal.
+    const index_t last = a.col_idx[static_cast<std::size_t>(hi - 1)];
+    if (last > i)
+      return Status(StatusCode::kNotTriangular,
+                    "row " + std::to_string(i) + " has entry in column " +
+                        std::to_string(last) + " above the diagonal",
+                    i);
+    if (last != i)
+      return Status(StatusCode::kSingularRow,
+                    "row " + std::to_string(i) +
+                        " has no diagonal entry: structurally singular",
+                    i);
+    const T d = a.val[static_cast<std::size_t>(hi - 1)];
+    if (!std::isfinite(static_cast<double>(d)))
+      return Status(StatusCode::kNonFinite,
+                    "diagonal of row " + std::to_string(i) + " is not finite",
+                    i);
+    if (d == T(0) || std::fabs(static_cast<double>(d)) <
+                         static_cast<double>(std::numeric_limits<T>::min()))
+      return Status(StatusCode::kZeroPivot,
+                    "diagonal of row " + std::to_string(i) +
+                        " is zero or subnormal",
+                    i);
+    for (offset_t k = lo; k < hi - 1; ++k)
+      if (!std::isfinite(
+              static_cast<double>(a.val[static_cast<std::size_t>(k)])))
+        return Status(StatusCode::kNonFinite,
+                      "row " + std::to_string(i) + ", column " +
+                          std::to_string(
+                              a.col_idx[static_cast<std::size_t>(k)]) +
+                          " is not finite",
+                      i);
   }
-  return true;
+  return Status::Ok();
+}
+
+template <class T>
+bool is_lower_triangular_nonsingular(const Csr<T>& a) {
+  return check_lower_triangular(a).ok();
 }
 
 template <class T>
@@ -120,6 +164,7 @@ offset_t count_block_nnz(const Csr<T>& a, index_t r0, index_t r1, index_t c0,
 
 #define BLOCKTRI_INSTANTIATE(T)                                              \
   template Csr<T> lower_triangular_with_diag(const Csr<T>&, T);              \
+  template Status check_lower_triangular(const Csr<T>&);                     \
   template bool is_lower_triangular_nonsingular(const Csr<T>&);              \
   template StrictLowerSplit<T> split_diagonal(const Csr<T>&);                \
   template Csr<T> extract_block(const Csr<T>&, index_t, index_t, index_t,    \

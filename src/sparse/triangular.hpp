@@ -14,8 +14,18 @@ namespace blocktri {
 template <class T>
 Csr<T> lower_triangular_with_diag(const Csr<T>& a, T diag_fill = T(1));
 
+/// Typed verdict on whether `a` is a solvable lower triangle. Returns, in
+/// order of detection per row: kInvalidArgument (not square),
+/// kNotTriangular (entry above the diagonal), kSingularRow (row without a
+/// diagonal entry, including empty rows), kZeroPivot (diagonal present but
+/// zero or subnormal — a subnormal pivot overflows the substitution just
+/// like an exact zero), kNonFinite (NaN/Inf entry). The offending row is in
+/// Status::location().
+template <class T>
+Status check_lower_triangular(const Csr<T>& a);
+
 /// True iff every entry satisfies col <= row and every diagonal entry is
-/// present and nonzero.
+/// present, nonzero, normal and finite — check_lower_triangular().ok().
 template <class T>
 bool is_lower_triangular_nonsingular(const Csr<T>& a);
 

@@ -229,6 +229,50 @@ TEST(Check, ThrowsWithContext) {
   } catch (const Error& e) {
     EXPECT_NE(std::string(e.what()).find("context message"),
               std::string::npos);
+    // Checks are rebased on Status: the carried code is kInternal.
+    EXPECT_EQ(e.status().code(), StatusCode::kInternal);
+  }
+}
+
+TEST(Status, DefaultIsOk) {
+  const Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.location(), -1);
+  EXPECT_EQ(st.to_string(), "ok");
+  EXPECT_TRUE(Status::Ok().ok());
+}
+
+TEST(Status, ToStringCarriesCodeAndLocation) {
+  const Status row_err(StatusCode::kZeroPivot, "diagonal of row 7 is zero", 7);
+  EXPECT_FALSE(row_err.ok());
+  EXPECT_EQ(row_err.to_string(),
+            "[zero-pivot @ row 7] diagonal of row 7 is zero");
+  const Status line_err(StatusCode::kParseError, "bad entry (line 12)", 12);
+  EXPECT_EQ(line_err.to_string(), "[parse-error @ line 12] bad entry (line 12)");
+  const Status no_loc(StatusCode::kResidualTooLarge, "residual 1e-3");
+  EXPECT_EQ(no_loc.to_string(), "[residual-too-large] residual 1e-3");
+}
+
+TEST(Status, CodeNamesAreStable) {
+  EXPECT_STREQ(status_code_name(StatusCode::kOk), "ok");
+  EXPECT_STREQ(status_code_name(StatusCode::kBadFormat), "bad-format");
+  EXPECT_STREQ(status_code_name(StatusCode::kNotTriangular), "not-triangular");
+  EXPECT_STREQ(status_code_name(StatusCode::kSingularRow), "singular-row");
+  EXPECT_STREQ(status_code_name(StatusCode::kNonFinite), "non-finite");
+  EXPECT_STREQ(status_code_name(StatusCode::kNumericalBreakdown),
+               "numerical-breakdown");
+}
+
+TEST(Status, ThrowIfErrorBridgesToException) {
+  EXPECT_NO_THROW(throw_if_error(Status::Ok()));
+  try {
+    throw_if_error(Status(StatusCode::kSingularRow, "row 3 empty", 3));
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kSingularRow);
+    EXPECT_EQ(e.status().location(), 3);
+    EXPECT_EQ(std::string(e.what()), e.status().to_string());
   }
 }
 

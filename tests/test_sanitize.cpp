@@ -1,0 +1,161 @@
+// Tests for the input-sanitization pass: every policy knob, the typed
+// rejection paths, and the repair report.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "sparse/convert.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/sanitize.hpp"
+#include "sparse/triangular.hpp"
+
+namespace blocktri {
+namespace {
+
+Coo<double> messy_coo() {
+  // 3x3 with a duplicate (1,0), an explicit zero (2,1), an upper entry
+  // (0,2) and a missing diagonal on row 2.
+  Coo<double> coo;
+  coo.nrows = coo.ncols = 3;
+  auto put = [&coo](index_t r, index_t c, double v) {
+    coo.row.push_back(r);
+    coo.col.push_back(c);
+    coo.val.push_back(v);
+  };
+  put(1, 0, 2.0);
+  put(0, 0, 4.0);
+  put(0, 2, 7.0);
+  put(1, 0, 3.0);  // duplicate of (1,0)
+  put(2, 1, 0.0);  // explicit zero
+  put(1, 1, 5.0);
+  return coo;
+}
+
+TEST(Sanitize, DefaultsCoalesceAndDropZeros) {
+  Csr<double> out;
+  SanitizeReport rep;
+  ASSERT_TRUE(sanitize(messy_coo(), SanitizePolicy{}, &out, &rep).ok());
+  validate(out);
+  EXPECT_EQ(rep.duplicates_coalesced, 1);
+  EXPECT_EQ(rep.zeros_dropped, 1);
+  EXPECT_EQ(rep.upper_dropped, 0);
+  EXPECT_EQ(rep.diagonals_filled, 0);
+  EXPECT_TRUE(rep.changed());
+  const auto d = to_dense(out);
+  EXPECT_DOUBLE_EQ(d[1 * 3 + 0], 5.0);  // 2 + 3 summed
+  EXPECT_DOUBLE_EQ(d[0 * 3 + 2], 7.0);  // upper kept by default
+  EXPECT_DOUBLE_EQ(d[2 * 3 + 1], 0.0);  // zero dropped
+}
+
+TEST(Sanitize, StripUpperAndFillDiagonalYieldSolvableTriangle) {
+  SanitizePolicy policy;
+  policy.strip_upper = true;
+  policy.fill_missing_diagonal = true;
+  policy.diag_fill = 1.5;
+  Csr<double> out;
+  SanitizeReport rep;
+  ASSERT_TRUE(sanitize(messy_coo(), policy, &out, &rep).ok());
+  validate(out);
+  EXPECT_EQ(rep.upper_dropped, 1);
+  EXPECT_EQ(rep.diagonals_filled, 1);  // row 2 (its only entry was a zero)
+  EXPECT_TRUE(check_lower_triangular(out).ok());
+  const auto d = to_dense(out);
+  EXPECT_DOUBLE_EQ(d[2 * 3 + 2], 1.5);
+  EXPECT_NE(rep.summary().find("filled diagonals: 1"), std::string::npos);
+}
+
+TEST(Sanitize, FilledDiagonalStaysSortedBeforeUpperEntries) {
+  // Row 0 has entries in columns 1 and 2 but no diagonal; with upper entries
+  // kept, the filled (0,0) must land before them in the sorted CSR.
+  Coo<double> coo;
+  coo.nrows = coo.ncols = 3;
+  coo.row = {0, 0, 1, 2};
+  coo.col = {2, 1, 1, 2};
+  coo.val = {3.0, 4.0, 1.0, 1.0};
+  SanitizePolicy policy;
+  policy.fill_missing_diagonal = true;
+  Csr<double> out;
+  ASSERT_TRUE(sanitize(coo, policy, &out, nullptr).ok());
+  validate(out);  // throws on unsorted rows
+  EXPECT_EQ(out.col_idx[0], 0);
+  EXPECT_DOUBLE_EQ(out.val[0], 1.0);
+}
+
+TEST(Sanitize, DuplicatesAreAnErrorWhenCoalescingOff) {
+  SanitizePolicy policy;
+  policy.coalesce_duplicates = false;
+  Csr<double> out;
+  const Status st = sanitize(messy_coo(), policy, &out, nullptr);
+  EXPECT_EQ(st.code(), StatusCode::kBadFormat);
+  EXPECT_NE(st.message().find("duplicate"), std::string::npos);
+}
+
+TEST(Sanitize, OutOfBoundsIndexIsTyped) {
+  Coo<double> coo;
+  coo.nrows = coo.ncols = 2;
+  coo.row = {0, 3};
+  coo.col = {0, 0};
+  coo.val = {1.0, 1.0};
+  Csr<double> out;
+  EXPECT_EQ(sanitize(coo, SanitizePolicy{}, &out, nullptr).code(),
+            StatusCode::kOutOfBounds);
+  coo.row = {0, -1};
+  EXPECT_EQ(sanitize(coo, SanitizePolicy{}, &out, nullptr).code(),
+            StatusCode::kOutOfBounds);
+}
+
+TEST(Sanitize, NonFinitePolicies) {
+  Coo<double> coo;
+  coo.nrows = coo.ncols = 2;
+  coo.row = {0, 1, 1};
+  coo.col = {0, 0, 1};
+  coo.val = {1.0, std::numeric_limits<double>::quiet_NaN(), 2.0};
+
+  Csr<double> out;
+  SanitizePolicy policy;  // default: reject
+  const Status st = sanitize(coo, policy, &out, nullptr);
+  EXPECT_EQ(st.code(), StatusCode::kNonFinite);
+  EXPECT_EQ(st.location(), 1);
+
+  policy.nonfinite = SanitizePolicy::NonFinite::kDrop;
+  SanitizeReport rep;
+  ASSERT_TRUE(sanitize(coo, policy, &out, &rep).ok());
+  EXPECT_EQ(rep.nonfinite_repaired, 1);
+  EXPECT_EQ(out.nnz(), 2);
+
+  policy.nonfinite = SanitizePolicy::NonFinite::kZero;
+  policy.drop_explicit_zeros = false;
+  ASSERT_TRUE(sanitize(coo, policy, &out, &rep).ok());
+  EXPECT_EQ(out.nnz(), 3);
+  for (const double v : out.val) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Sanitize, EmptyAndAllZeroInputs) {
+  Coo<double> empty;
+  empty.nrows = empty.ncols = 4;
+  Csr<double> out;
+  SanitizePolicy policy;
+  policy.fill_missing_diagonal = true;
+  SanitizeReport rep;
+  ASSERT_TRUE(sanitize(empty, policy, &out, &rep).ok());
+  validate(out);
+  EXPECT_EQ(rep.diagonals_filled, 4);
+  EXPECT_TRUE(check_lower_triangular(out).ok());
+
+  EXPECT_FALSE(rep.changed() && rep.summary() == "no changes");
+}
+
+TEST(Sanitize, MismatchedArraysRejected) {
+  Coo<double> coo;
+  coo.nrows = coo.ncols = 2;
+  coo.row = {0};
+  coo.col = {0, 1};
+  coo.val = {1.0};
+  Csr<double> out;
+  EXPECT_EQ(sanitize(coo, SanitizePolicy{}, &out, nullptr).code(),
+            StatusCode::kBadFormat);
+}
+
+}  // namespace
+}  // namespace blocktri

@@ -221,6 +221,66 @@ TEST(BlockSolver, WarmCacheIsFasterThanCold) {
   EXPECT_GT(warm.cache_hits, cold.cache_hits);
 }
 
+TEST(BlockSolver, SolveCheckedMatchesSolveAndVerifiesResidual) {
+  for (const auto& tm : test_matrices()) {
+    const auto L = tm.build();
+    const auto b = gen::random_rhs<double>(L.nrows, 401);
+    BlockSolver<double> solver(L, opts<double>(BlockScheme::kRecursive));
+    const auto res = solver.solve_checked(b);
+    ASSERT_TRUE(res.ok()) << tm.name << ": " << res.status.to_string();
+    EXPECT_TRUE(res.report.residual_checked) << tm.name;
+    EXPECT_LE(res.report.residual, res.report.tolerance) << tm.name;
+    EXPECT_TRUE(res.report.fallbacks.empty()) << tm.name;
+    EXPECT_EQ(res.report.refinements, 0) << tm.name;
+    EXPECT_TRUE(VectorsNear(res.x, solver.solve(b), default_tol<double>()))
+        << tm.name;
+  }
+}
+
+TEST(BlockSolver, SolveCheckedFloatPrecision) {
+  const auto Lf = gen::convert_values<float>(gen::grid2d(40, 25, 5));
+  const auto b = gen::random_rhs<float>(Lf.nrows, 402);
+  BlockSolver<float> solver(Lf, opts<float>(BlockScheme::kRecursive));
+  const auto res = solver.solve_checked(b);
+  ASSERT_TRUE(res.ok()) << res.status.to_string();
+  EXPECT_LE(res.report.residual, res.report.tolerance);
+}
+
+TEST(BlockSolver, SolveCheckedRequiresVerifyEnabled) {
+  const auto L = gen::diagonal(10, 1);
+  auto o = opts<double>(BlockScheme::kRecursive);
+  o.verify.enabled = false;  // memory-lean mode: no retained matrices
+  BlockSolver<double> solver(L, o);
+  const auto res = solver.solve_checked(gen::random_rhs<double>(10, 403));
+  EXPECT_EQ(res.status.code(), StatusCode::kInvalidArgument);
+  // The unchecked path still works.
+  EXPECT_EQ(solver.solve(gen::random_rhs<double>(10, 403)).size(), 10u);
+}
+
+TEST(BlockSolver, CreateFactoryReturnsTypedStatus) {
+  std::unique_ptr<BlockSolver<double>> solver;
+  ASSERT_TRUE(BlockSolver<double>::create(gen::diagonal(10, 1),
+                                          opts<double>(BlockScheme::kRecursive),
+                                          &solver)
+                  .ok());
+  ASSERT_NE(solver, nullptr);
+  EXPECT_EQ(solver->solve(std::vector<double>(10, 1.0)).size(), 10u);
+
+  Coo<double> coo;  // 2x3: not even square
+  coo.nrows = 2;
+  coo.ncols = 3;
+  coo.row = {0, 1};
+  coo.col = {0, 1};
+  coo.val = {1, 1};
+  std::unique_ptr<BlockSolver<double>> bad;
+  EXPECT_EQ(BlockSolver<double>::create(coo_to_csr(coo),
+                                        opts<double>(BlockScheme::kRecursive),
+                                        &bad)
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad, nullptr);
+}
+
 TEST(BlockSolver, DeterministicSimulation) {
   const auto L = gen::power_law(5000, 2.0, 256, 4.0, 23);
   const auto b = gen::random_rhs<double>(5000, 302);

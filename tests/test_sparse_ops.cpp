@@ -2,7 +2,9 @@
 // Market I/O.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
+#include <tuple>
 
 #include "common/rng.hpp"
 #include "gen/generators.hpp"
@@ -90,6 +92,84 @@ TEST(Triangular, IsLowerTriangularChecks) {
   coo2.col = {0, 0};
   coo2.val = {1, 1};
   EXPECT_FALSE(is_lower_triangular_nonsingular(coo_to_csr(coo2)));
+}
+
+namespace {
+
+Csr<double> csr_from_triples(index_t n,
+                             std::vector<std::tuple<index_t, index_t, double>>
+                                 entries) {
+  Coo<double> coo;
+  coo.nrows = coo.ncols = n;
+  for (const auto& [r, c, v] : entries) {
+    coo.row.push_back(r);
+    coo.col.push_back(c);
+    coo.val.push_back(v);
+  }
+  return coo_to_csr(coo);
+}
+
+}  // namespace
+
+TEST(Triangular, CheckEmptyMatrixIsVacuouslyOk) {
+  Csr<double> a;
+  a.nrows = a.ncols = 0;
+  a.row_ptr = {0};
+  EXPECT_TRUE(check_lower_triangular(a).ok());
+  EXPECT_TRUE(is_lower_triangular_nonsingular(a));
+}
+
+TEST(Triangular, CheckOneByOneZeroDiagonal) {
+  const auto a = csr_from_triples(1, {{0, 0, 0.0}});
+  // coo_to_csr keeps explicit zeros; the pivot check must reject them.
+  ASSERT_EQ(a.nnz(), 1);
+  const Status st = check_lower_triangular(a);
+  EXPECT_EQ(st.code(), StatusCode::kZeroPivot);
+  EXPECT_EQ(st.location(), 0);
+  EXPECT_FALSE(is_lower_triangular_nonsingular(a));
+}
+
+TEST(Triangular, CheckDiagonalIsLastInRowOrdering) {
+  // Sorted CSR puts the diagonal last among lower entries; an upper entry
+  // after it must be classified as not-triangular, not as a missing diagonal.
+  const auto ok = csr_from_triples(3, {{0, 0, 1}, {2, 0, 4}, {2, 2, 5},
+                                       {1, 1, 2}});
+  EXPECT_TRUE(check_lower_triangular(ok).ok());
+  const auto upper =
+      csr_from_triples(3, {{0, 0, 1}, {1, 1, 2}, {1, 2, 7}, {2, 2, 5}});
+  const Status st = check_lower_triangular(upper);
+  EXPECT_EQ(st.code(), StatusCode::kNotTriangular);
+  EXPECT_EQ(st.location(), 1);
+}
+
+TEST(Triangular, CheckExplicitZeroAndSubnormalDiagonal) {
+  const auto zero =
+      csr_from_triples(2, {{0, 0, 1}, {1, 0, 3}, {1, 1, 0.0}});
+  const Status st = check_lower_triangular(zero);
+  EXPECT_EQ(st.code(), StatusCode::kZeroPivot);
+  EXPECT_EQ(st.location(), 1);
+
+  const auto subnormal = csr_from_triples(
+      2, {{0, 0, 1}, {1, 1, std::numeric_limits<double>::denorm_min()}});
+  EXPECT_EQ(check_lower_triangular(subnormal).code(), StatusCode::kZeroPivot);
+}
+
+TEST(Triangular, CheckStructurallySingularRowReportsRow) {
+  const auto missing =
+      csr_from_triples(3, {{0, 0, 1}, {1, 0, 2}, {2, 0, 1}, {2, 2, 3}});
+  const Status st = check_lower_triangular(missing);
+  EXPECT_EQ(st.code(), StatusCode::kSingularRow);
+  EXPECT_EQ(st.location(), 1);
+  EXPECT_NE(st.to_string().find("row 1"), std::string::npos);
+}
+
+TEST(Triangular, CheckNonFiniteValue) {
+  const auto nan_offdiag = csr_from_triples(
+      2, {{0, 0, 1}, {1, 0, std::numeric_limits<double>::quiet_NaN()},
+          {1, 1, 2}});
+  const Status st = check_lower_triangular(nan_offdiag);
+  EXPECT_EQ(st.code(), StatusCode::kNonFinite);
+  EXPECT_EQ(st.location(), 1);
 }
 
 TEST(Triangular, SplitDiagonal) {
@@ -187,6 +267,68 @@ TEST(MmIo, SymmetricExpansion) {
   const auto d = to_dense(a);
   EXPECT_DOUBLE_EQ(d[1], 5.0);
   EXPECT_DOUBLE_EQ(d[3], 5.0);
+}
+
+TEST(MmIo, SkewSymmetricExpansionNegatesMirror) {
+  // Regression: the mirrored entry of a skew-symmetric file used to be
+  // pushed with +v; a(j,i) must be -a(i,j).
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "3 3 2\n"
+      "2 1 5.0\n"
+      "3 2 -4.0\n");
+  const auto a = coo_to_csr(read_matrix_market<double>(ss));
+  EXPECT_EQ(a.nnz(), 4);
+  const auto d = to_dense(a);
+  EXPECT_DOUBLE_EQ(d[1 * 3 + 0], 5.0);   // stored entry
+  EXPECT_DOUBLE_EQ(d[0 * 3 + 1], -5.0);  // mirror negated
+  EXPECT_DOUBLE_EQ(d[2 * 3 + 1], -4.0);
+  EXPECT_DOUBLE_EQ(d[1 * 3 + 2], 4.0);
+}
+
+TEST(MmIo, ParseErrorsReportLineNumbers) {
+  // Entry line 5 is malformed.
+  std::stringstream bad_entry(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% comment\n"
+      "2 2 2\n"
+      "1 1 1.0\n"
+      "2 x 1.0\n");
+  Coo<double> out;
+  Status st = try_read_matrix_market(bad_entry, &out);
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_EQ(st.location(), 5);
+  EXPECT_NE(st.message().find("line 5"), std::string::npos);
+
+  // Size line (line 3 after a comment) is malformed.
+  std::stringstream bad_size(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% comment\n"
+      "2 two 2\n");
+  st = try_read_matrix_market(bad_size, &out);
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_EQ(st.location(), 3);
+  EXPECT_NE(st.message().find("line 3"), std::string::npos);
+
+  // Header failures pin line 1.
+  std::stringstream bad_header("%%NotMatrixMarket whatever\n");
+  st = try_read_matrix_market(bad_header, &out);
+  EXPECT_EQ(st.code(), StatusCode::kBadFormat);
+  EXPECT_EQ(st.location(), 1);
+
+  // The throwing wrapper carries the same status.
+  std::stringstream bad_entry2(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "1 1 1\n"
+      "1 1\n");
+  try {
+    read_matrix_market<double>(bad_entry2);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kParseError);
+    EXPECT_EQ(e.status().location(), 3);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
 }
 
 TEST(MmIo, PatternEntriesGetUnitValues) {

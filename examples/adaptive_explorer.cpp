@@ -4,6 +4,7 @@
 //
 //   ./examples/adaptive_explorer --suite=fullchip-sim
 //   ./examples/adaptive_explorer --matrix=/path/to/matrix.mtx
+//   ./examples/adaptive_explorer --threads=4   (0 = all hardware threads)
 //   ./examples/adaptive_explorer            (default: kkt_power-sim)
 #include <cstdio>
 
@@ -40,11 +41,19 @@ int main(int argc, char** argv) {
   BlockSolver<double>::Options opt;
   opt.planner.stop_rows = static_cast<index_t>(
       cli.get_int("stop_rows", std::max<index_t>(512, L.nrows / 32)));
+  opt.threads = static_cast<int>(cli.get_int("threads", 1));
   const BlockSolver<double> solver(L, opt);
 
   std::printf("Recursive plan: %d triangular blocks, %zu squares, depth %d\n",
               solver.plan().num_tri_blocks(), solver.plan().squares.size(),
               solver.plan().depth_used);
+  // The effective count can differ from --threads: 0 means all hardware
+  // threads, and BLOCKTRI_THREADS overrides both.
+  std::printf("host threads: %d effective (requested %d)\n", solver.threads(),
+              opt.threads);
+  if (solver.threads() > 1)
+    std::printf("executor waves: %zu for %zu steps\n",
+                solver.step_waves().size(), solver.plan().steps.size());
   std::printf("nnz in squares after reordering: %s / %s\n\n",
               fmt_count(solver.nnz_in_squares()).c_str(),
               fmt_count(L.nnz()).c_str());

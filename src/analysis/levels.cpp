@@ -6,12 +6,60 @@
 
 namespace blocktri {
 
+namespace {
+
+/// Parallel grouping passes over contiguous row chunks, each with a private
+/// per-level histogram; the combine step converts counts into per-chunk
+/// starting cursors. Ascending chunks preserve the within-level ascending
+/// original-index order the reordering relies on.
+void group_levels_parallel(LevelSets& ls, index_t n, ThreadPool* pool) {
+  const auto nlevels = static_cast<std::size_t>(ls.nlevels);
+  const int nchunks = pool->size();
+  std::vector<offset_t> cursor(static_cast<std::size_t>(nchunks) * nlevels, 0);
+
+  pool->parallel_for(0, n, [&](index_t r0, index_t r1, int chunk) {
+    offset_t* counts =
+        cursor.data() + static_cast<std::size_t>(chunk) * nlevels;
+    for (index_t i = r0; i < r1; ++i)
+      ++counts[static_cast<std::size_t>(
+          ls.level_of[static_cast<std::size_t>(i)])];
+  });
+
+  ls.level_ptr.assign(nlevels + 1, 0);
+  offset_t running = 0;
+  for (std::size_t l = 0; l < nlevels; ++l) {
+    ls.level_ptr[l] = running;
+    for (int ch = 0; ch < nchunks; ++ch) {
+      offset_t& slot = cursor[static_cast<std::size_t>(ch) * nlevels + l];
+      const offset_t count = slot;
+      slot = running;
+      running += count;
+    }
+  }
+  ls.level_ptr[nlevels] = running;
+
+  ls.level_item.resize(static_cast<std::size_t>(n));
+  pool->parallel_for(0, n, [&](index_t r0, index_t r1, int chunk) {
+    offset_t* cur = cursor.data() + static_cast<std::size_t>(chunk) * nlevels;
+    for (index_t i = r0; i < r1; ++i) {
+      const auto l = static_cast<std::size_t>(
+          ls.level_of[static_cast<std::size_t>(i)]);
+      ls.level_item[static_cast<std::size_t>(cur[l]++)] = i;
+    }
+  });
+}
+
+}  // namespace
+
 LevelSets compute_level_sets(index_t n, const std::vector<offset_t>& row_ptr,
-                             const std::vector<index_t>& col_idx) {
+                             const std::vector<index_t>& col_idx,
+                             ThreadPool* pool) {
   BLOCKTRI_CHECK(row_ptr.size() == static_cast<std::size_t>(n) + 1);
   LevelSets ls;
   ls.level_of.assign(static_cast<std::size_t>(n), 0);
 
+  // Loop-carried dependence (level[i] needs level[j] for all j < i with a
+  // nonzero): inherently serial.
   index_t max_level = -1;
   for (index_t i = 0; i < n; ++i) {
     index_t lvl = 0;
@@ -28,6 +76,14 @@ LevelSets compute_level_sets(index_t n, const std::vector<offset_t>& row_ptr,
     max_level = std::max(max_level, lvl);
   }
   ls.nlevels = n == 0 ? 0 : max_level + 1;
+
+  // Parallel grouping pays off only when levels are much shorter than rows
+  // (the histogram is nchunks × nlevels); chains fall back to serial.
+  if (parallel_enabled(pool) && n >= 2 * kHostParallelMinNnz &&
+      ls.nlevels <= n / 4) {
+    group_levels_parallel(ls, n, pool);
+    return ls;
+  }
 
   ls.level_ptr.assign(static_cast<std::size_t>(ls.nlevels) + 1, 0);
   for (const index_t l : ls.level_of)

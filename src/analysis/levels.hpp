@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "sparse/formats.hpp"
 
 namespace blocktri {
@@ -35,12 +36,20 @@ struct LevelSets {
 /// present or absent; self-edges are ignored). level[i] = 1 + max over
 /// strictly-lower neighbours, so a diagonal-only matrix has one level.
 /// O(n + nnz), single pass thanks to the triangular ordering.
+///
+/// The level_of recurrence is loop-carried and stays serial; with a pool the
+/// grouping passes (per-level counting and the level_item scatter) run over
+/// contiguous row chunks with per-chunk level histograms, producing the
+/// identical LevelSets. Matrices whose level count is a large fraction of n
+/// (near-serial chains) fall back to the serial path — the histograms would
+/// cost more than they save.
 LevelSets compute_level_sets(index_t n, const std::vector<offset_t>& row_ptr,
-                             const std::vector<index_t>& col_idx);
+                             const std::vector<index_t>& col_idx,
+                             ThreadPool* pool = nullptr);
 
 template <class T>
-LevelSets compute_level_sets(const Csr<T>& lower) {
-  return compute_level_sets(lower.nrows, lower.row_ptr, lower.col_idx);
+LevelSets compute_level_sets(const Csr<T>& lower, ThreadPool* pool = nullptr) {
+  return compute_level_sets(lower.nrows, lower.row_ptr, lower.col_idx, pool);
 }
 
 /// Level-width statistics: the "Parallelism min/ave./max" columns of Table 4.

@@ -1,0 +1,121 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace blocktri {
+
+ThreadPool::ThreadPool(int threads) : nthreads_(std::max(1, threads)) {
+  workers_.reserve(static_cast<std::size_t>(nthreads_ - 1));
+  for (int t = 1; t < nthreads_; ++t)
+    workers_.emplace_back([this, t] { worker_loop(t); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::run_tasks(int tid, int ntasks,
+                           const std::function<void(int)>& fn) {
+  for (int t = tid; t < ntasks; t += nthreads_) {
+    try {
+      fn(t);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::run(int ntasks, const std::function<void(int)>& fn) {
+  if (ntasks <= 0) return;
+  if (workers_.empty() || ntasks == 1) {
+    for (int t = 0; t < ntasks; ++t) fn(t);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &fn;
+    job_ntasks_ = ntasks;
+    pending_workers_ = static_cast<int>(workers_.size());
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  run_tasks(0, ntasks, fn);  // the caller is thread 0
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [this] { return pending_workers_ == 0; });
+    job_ = nullptr;
+    err = error_;
+    error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void ThreadPool::worker_loop(int tid) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* fn = nullptr;
+    int ntasks = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      fn = job_;
+      ntasks = job_ntasks_;
+    }
+    run_tasks(tid, ntasks, *fn);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--pending_workers_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+int resolve_threads(int requested) {
+  if (const char* env = std::getenv("BLOCKTRI_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 4096)
+      return static_cast<int>(v);
+  }
+  if (requested == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return std::max(1, requested);
+}
+
+std::vector<index_t> balanced_row_partition(
+    const std::vector<offset_t>& row_ptr, index_t nrows, int nchunks) {
+  nchunks = std::max(1, nchunks);
+  std::vector<index_t> bounds(static_cast<std::size_t>(nchunks) + 1);
+  bounds[0] = 0;
+  bounds[static_cast<std::size_t>(nchunks)] = nrows;
+  if (nrows <= 0) {
+    std::fill(bounds.begin(), bounds.end(), 0);
+    bounds[static_cast<std::size_t>(nchunks)] = std::max<index_t>(nrows, 0);
+    return bounds;
+  }
+  const offset_t total = row_ptr[static_cast<std::size_t>(nrows)];
+  const offset_t base = row_ptr[0];
+  for (int c = 1; c < nchunks; ++c) {
+    const offset_t target =
+        base + (total - base) * c / nchunks;
+    const auto it = std::lower_bound(row_ptr.begin(),
+                                     row_ptr.begin() + nrows + 1, target);
+    auto r = static_cast<index_t>(it - row_ptr.begin());
+    r = std::clamp<index_t>(r, bounds[static_cast<std::size_t>(c) - 1], nrows);
+    bounds[static_cast<std::size_t>(c)] = r;
+  }
+  return bounds;
+}
+
+}  // namespace blocktri

@@ -1,0 +1,122 @@
+// Static host thread pool for the multithreaded execution backend.
+//
+// Design (DESIGN.md §8 "Host-parallel execution"):
+//   * Fixed worker count, no work stealing: task t of a run() always executes
+//     on thread t % size(), so chunk-to-thread assignment is deterministic
+//     run to run. Kernels that only partition *disjoint* output ranges
+//     (level-set SpTRSV, all SpMV kernels) are therefore bitwise
+//     reproducible at any thread count.
+//   * The calling thread participates as thread 0; a pool of size N spawns
+//     N-1 workers. size() == 1 spawns nothing and run() degenerates to a
+//     plain serial loop, so the serial paths stay byte-for-byte identical.
+//   * run() is a fork-join primitive with a full barrier at return. It is
+//     NOT reentrant: a task must never call run() on the pool executing it
+//     (the block executor enforces this by running multi-step waves with
+//     serial kernels inside).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace blocktri {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the caller is thread 0). `threads < 1`
+  /// is clamped to 1.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return nthreads_; }
+
+  /// Runs fn(task) for every task in [0, ntasks), task t on thread
+  /// t % size(), and blocks until all tasks finished (full barrier). The
+  /// first exception thrown by a task is rethrown here after the barrier.
+  void run(int ntasks, const std::function<void(int task)>& fn);
+
+  /// Splits [begin, end) into min(size(), end - begin) near-equal contiguous
+  /// chunks and invokes body(chunk_begin, chunk_end, chunk_index) for each —
+  /// the deterministic parallel-for used by the host kernels.
+  template <class Fn>
+  void parallel_for(index_t begin, index_t end, Fn&& body) {
+    const index_t len = end - begin;
+    if (len <= 0) return;
+    const auto chunks =
+        static_cast<int>(std::min<index_t>(static_cast<index_t>(nthreads_),
+                                           len));
+    if (chunks <= 1) {
+      body(begin, end, 0);
+      return;
+    }
+    run(chunks, [&](int c) {
+      const auto b = begin + static_cast<index_t>(
+          static_cast<std::int64_t>(len) * c / chunks);
+      const auto e = begin + static_cast<index_t>(
+          static_cast<std::int64_t>(len) * (c + 1) / chunks);
+      if (b < e) body(b, e, c);
+    });
+  }
+
+  /// Runs body(bounds[c], bounds[c+1], c) for every chunk of a precomputed
+  /// partition (e.g. balanced_row_partition). Empty chunks are skipped.
+  template <class Fn>
+  void run_partition(const std::vector<index_t>& bounds, Fn&& body) {
+    const auto chunks = static_cast<int>(bounds.size()) - 1;
+    if (chunks <= 0) return;
+    run(chunks, [&](int c) {
+      const index_t b = bounds[static_cast<std::size_t>(c)];
+      const index_t e = bounds[static_cast<std::size_t>(c) + 1];
+      if (b < e) body(b, e, c);
+    });
+  }
+
+ private:
+  void worker_loop(int tid);
+  void run_tasks(int tid, int ntasks, const std::function<void(int)>& fn);
+
+  int nthreads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;  // guarded by mu_
+  int job_ntasks_ = 0;                             // guarded by mu_
+  std::uint64_t epoch_ = 0;                        // guarded by mu_
+  int pending_workers_ = 0;                        // guarded by mu_
+  bool stop_ = false;                              // guarded by mu_
+  std::exception_ptr error_;                       // guarded by mu_
+};
+
+/// The effective host thread count: the BLOCKTRI_THREADS environment
+/// variable when set to a positive integer, otherwise `requested` (with 0
+/// meaning std::thread::hardware_concurrency). Always >= 1.
+int resolve_threads(int requested);
+
+/// True when `pool` would actually run anything concurrently.
+inline bool parallel_enabled(const ThreadPool* pool) {
+  return pool != nullptr && pool->size() > 1;
+}
+
+/// Work below this many nonzeros is not worth forking the pool for.
+inline constexpr offset_t kHostParallelMinNnz = 2048;
+
+/// nnz-balanced contiguous partition of the listed rows [0, nrows) into
+/// `nchunks` chunks: chunk boundaries are placed where the running nonzero
+/// count crosses multiples of nnz/nchunks, so a few heavy rows do not
+/// serialise the whole kernel on one thread. `row_ptr` must have
+/// nrows + 1 monotone entries (CSR or DCSR pointer array). Returns
+/// nchunks + 1 non-decreasing boundaries.
+std::vector<index_t> balanced_row_partition(
+    const std::vector<offset_t>& row_ptr, index_t nrows, int nchunks);
+
+}  // namespace blocktri

@@ -20,4 +20,8 @@ namespace blocktri {
 using index_t = std::int32_t;
 using offset_t = std::int64_t;
 
+/// GPU warp width assumed by every simulated kernel's cost model (32-lane
+/// gathers, warp-per-row processing, scalar-kernel divergence groups).
+inline constexpr int kWarp = 32;
+
 }  // namespace blocktri

@@ -98,8 +98,9 @@ namespace {
 template <class T>
 class RecursivePlanner {
  public:
-  RecursivePlanner(const Csr<T>& lower, const PlannerOptions& opt)
-      : opt_(opt), work_(lower) {
+  RecursivePlanner(const Csr<T>& lower, const PlannerOptions& opt,
+                   ThreadPool* pool)
+      : opt_(opt), pool_(pool), work_(lower) {
     plan_.scheme = BlockScheme::kRecursive;
     plan_.n = lower.nrows;
   }
@@ -148,24 +149,44 @@ class RecursivePlanner {
   }
 
   /// Level-orders every node range of one depth with a single global
-  /// symmetric permutation.
+  /// symmetric permutation. Nodes of one depth cover disjoint row ranges, so
+  /// their level analyses (the preprocessing hot spot) run across the pool;
+  /// each node writes only its own perm[r0, r1) slice.
   void reorder_depth(const std::vector<std::pair<index_t, index_t>>& nodes) {
     std::vector<index_t> perm(static_cast<std::size_t>(plan_.n));
     std::iota(perm.begin(), perm.end(), 0);
-    bool any = false;
-    for (const auto& [r0, r1] : nodes) {
+    const auto nnodes = static_cast<int>(nodes.size());
+    std::vector<std::int64_t> node_ops(nodes.size(), 0);
+    std::vector<std::int64_t> node_bytes(nodes.size(), 0);
+    std::vector<char> node_moved(nodes.size(), 0);
+    auto analyse_node = [&](int nd, ThreadPool* level_pool) {
+      const auto [r0, r1] = nodes[static_cast<std::size_t>(nd)];
       const Csr<T> sub = extract_block(work_, r0, r1, r0, r1);
-      const LevelSets ls = compute_level_sets(sub);
+      const LevelSets ls = compute_level_sets(
+          sub.nrows, sub.row_ptr, sub.col_idx, level_pool);
       // Level analysis pass: one visit per nonzero + per row.
-      plan_.host_ops += sub.nnz() + (r1 - r0);
-      plan_.host_bytes += sub.nnz() * static_cast<std::int64_t>(
-                              sizeof(index_t) + sizeof(T));
-      if (ls.nlevels <= 1) continue;  // already diagonal: nothing to move
+      node_ops[static_cast<std::size_t>(nd)] = sub.nnz() + (r1 - r0);
+      node_bytes[static_cast<std::size_t>(nd)] =
+          sub.nnz() * static_cast<std::int64_t>(sizeof(index_t) + sizeof(T));
+      if (ls.nlevels <= 1) return;  // already diagonal: nothing to move
       const std::vector<index_t> local = level_order_permutation(ls);
       for (index_t i = r0; i < r1; ++i)
         perm[static_cast<std::size_t>(i)] =
             r0 + local[static_cast<std::size_t>(i - r0)];
-      any = true;
+      node_moved[static_cast<std::size_t>(nd)] = 1;
+    };
+    if (parallel_enabled(pool_) && nnodes > 1) {
+      pool_->run(nnodes, [&](int nd) { analyse_node(nd, nullptr); });
+    } else {
+      // A single node (the root depths) can still use the pool inside the
+      // level analysis itself.
+      for (int nd = 0; nd < nnodes; ++nd) analyse_node(nd, pool_);
+    }
+    bool any = false;
+    for (std::size_t nd = 0; nd < nodes.size(); ++nd) {
+      plan_.host_ops += node_ops[nd];
+      plan_.host_bytes += node_bytes[nd];
+      any = any || node_moved[nd] != 0;
     }
     if (!any) return;
     work_ = permute_symmetric(work_, perm);
@@ -183,6 +204,7 @@ class RecursivePlanner {
   }
 
   const PlannerOptions& opt_;
+  ThreadPool* pool_;
   Csr<T> work_;
   std::vector<index_t> cur_of_orig_;  // empty until the first permutation
   std::vector<std::vector<std::pair<index_t, index_t>>> nodes_by_depth_;
@@ -193,16 +215,87 @@ class RecursivePlanner {
 
 template <class T>
 BlockPlan plan_recursive(const Csr<T>& lower, const PlannerOptions& opt,
-                         Csr<T>* permuted) {
+                         Csr<T>* permuted, ThreadPool* pool) {
   BLOCKTRI_CHECK(lower.nrows == lower.ncols);
   BLOCKTRI_CHECK(opt.stop_rows >= 1);
-  RecursivePlanner<T> planner(lower, opt);
+  RecursivePlanner<T> planner(lower, opt, pool);
   return planner.run(permuted);
 }
 
 template BlockPlan plan_recursive(const Csr<float>&, const PlannerOptions&,
-                                  Csr<float>*);
+                                  Csr<float>*, ThreadPool*);
 template BlockPlan plan_recursive(const Csr<double>&, const PlannerOptions&,
-                                  Csr<double>*);
+                                  Csr<double>*, ThreadPool*);
+
+std::vector<std::vector<ExecStep>> compute_step_waves(
+    const BlockPlan& plan, const std::vector<offset_t>& square_nnz) {
+  struct Access {
+    // Half-open row intervals per array; an empty interval is lo >= hi.
+    index_t x_r0 = 0, x_r1 = 0;  // x range written (tri) or read (square)
+    bool x_writes = false;
+    index_t b_r0 = 0, b_r1 = 0;  // b range read (tri) or updated (square)
+    bool b_writes = false;
+  };
+  auto access_of = [&](const ExecStep& step) {
+    Access a;
+    if (step.kind == ExecStep::Kind::kTri) {
+      const auto t = static_cast<std::size_t>(step.index);
+      a.x_r0 = plan.tri_bounds[t];
+      a.x_r1 = plan.tri_bounds[t + 1];
+      a.x_writes = true;
+      a.b_r0 = a.x_r0;
+      a.b_r1 = a.x_r1;
+      a.b_writes = false;
+    } else {
+      const SquareBlockRef& sq =
+          plan.squares[static_cast<std::size_t>(step.index)];
+      a.x_r0 = sq.c0;
+      a.x_r1 = sq.c1;
+      a.x_writes = false;
+      a.b_r0 = sq.r0;
+      a.b_r1 = sq.r1;
+      a.b_writes = true;  // y -= A·x is a read-modify-write
+    }
+    return a;
+  };
+  auto overlap = [](index_t a0, index_t a1, index_t b0, index_t b1) {
+    return std::max(a0, b0) < std::min(a1, b1);
+  };
+  auto conflict = [&](const Access& a, const Access& b) {
+    // Two steps conflict when they touch an overlapping range of the same
+    // array and at least one writes it.
+    if ((a.x_writes || b.x_writes) &&
+        overlap(a.x_r0, a.x_r1, b.x_r0, b.x_r1))
+      return true;
+    if ((a.b_writes || b.b_writes) &&
+        overlap(a.b_r0, a.b_r1, b.b_r0, b.b_r1))
+      return true;
+    return false;
+  };
+
+  std::vector<std::vector<ExecStep>> waves;
+  std::vector<Access> wave_access;
+  for (const ExecStep& step : plan.steps) {
+    if (step.kind == ExecStep::Kind::kSquare &&
+        !square_nnz.empty() &&
+        square_nnz[static_cast<std::size_t>(step.index)] == 0)
+      continue;  // empty square: a no-op, not a dependency
+    const Access a = access_of(step);
+    bool fits = !waves.empty();
+    if (fits)
+      for (const Access& w : wave_access)
+        if (conflict(a, w)) {
+          fits = false;
+          break;
+        }
+    if (!fits) {
+      waves.emplace_back();
+      wave_access.clear();
+    }
+    waves.back().push_back(step);
+    wave_access.push_back(a);
+  }
+  return waves;
+}
 
 }  // namespace blocktri

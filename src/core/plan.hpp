@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "sparse/formats.hpp"
 
 namespace blocktri {
@@ -82,12 +83,26 @@ BlockPlan plan_row(index_t n, index_t nseg);
 /// Fig. 2(c) + §3.3: recursive halving with per-node level-set reordering.
 /// Returns the plan and (through `permuted`) the reordered matrix the
 /// executor should store — recomputing the permutation application would
-/// double the preprocessing cost.
+/// double the preprocessing cost. A pool parallelises the per-node level
+/// analyses of each recursion depth (nodes of one depth cover disjoint row
+/// ranges); the resulting plan is identical to the serial one.
 template <class T>
 BlockPlan plan_recursive(const Csr<T>& lower, const PlannerOptions& opt,
-                         Csr<T>* permuted);
+                         Csr<T>* permuted, ThreadPool* pool = nullptr);
 
 /// nseg+1 near-equal boundaries over [0, n].
 std::vector<index_t> uniform_boundaries(index_t n, index_t nseg);
+
+/// Groups the plan's steps into "waves" of mutually independent steps for
+/// the multithreaded executor: steps are taken in plan order and appended to
+/// the current wave unless they conflict with a step already in it (tri
+/// reads its b range and writes its x range; a square reads its x column
+/// range and read-modify-writes its b row range). Barriers between waves
+/// make any schedule of a wave's steps equivalent to the serial order.
+/// `square_nnz[q]` (when provided, indexed like plan.squares) lets the
+/// analysis drop empty square blocks — the no-op steps that otherwise chain
+/// the two triangles of a block-diagonal matrix together.
+std::vector<std::vector<ExecStep>> compute_step_waves(
+    const BlockPlan& plan, const std::vector<offset_t>& square_nnz = {});
 
 }  // namespace blocktri

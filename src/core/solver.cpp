@@ -28,6 +28,11 @@ BlockSolver<T>::BlockSolver(const Csr<T>& lower, const Options& opt)
   throw_if_error(check_lower_triangular(lower));
   nnz_ = lower.nnz();
 
+  // The pool exists before planning so preprocessing (per-node level
+  // analyses, CSC conversions, in-degree counts) can use it too.
+  threads_ = resolve_threads(opt.threads);
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+
   // --- Partition (and, for the recursive scheme, reorder). ---
   Csr<T> stored;
   switch (opt.scheme) {
@@ -40,7 +45,7 @@ BlockSolver<T>::BlockSolver(const Csr<T>& lower, const Options& opt)
       stored = lower;
       break;
     case BlockScheme::kRecursive:
-      plan_ = plan_recursive(lower, opt.planner, &stored);
+      plan_ = plan_recursive(lower, opt.planner, &stored, pool_.get());
       break;
   }
 
@@ -84,11 +89,12 @@ BlockSolver<T>::BlockSolver(const Csr<T>& lower, const Options& opt)
         break;
       }
       case TriKernelKind::kLevelSet:
-        out.levelset = std::make_unique<LevelSetSolver<T>>(std::move(blk));
+        out.levelset =
+            std::make_unique<LevelSetSolver<T>>(std::move(blk), pool_.get());
         build_ops_ += out.info.nnz;  // level analysis in the sub-solver
         break;
       case TriKernelKind::kSyncFree:
-        out.syncfree = std::make_unique<SyncFreeSolver<T>>(blk);
+        out.syncfree = std::make_unique<SyncFreeSolver<T>>(blk, pool_.get());
         build_ops_ += 2 * out.info.nnz;  // CSC conversion + in-degrees
         build_bytes_ += 2 * out.info.nnz *
                         static_cast<std::int64_t>(sizeof(index_t) + sizeof(T));
@@ -125,6 +131,15 @@ BlockSolver<T>::BlockSolver(const Csr<T>& lower, const Options& opt)
     square_info_.push_back(out.info);
   }
 
+  // Wave analysis for the multithreaded executor; the empty-square list lets
+  // independent triangles (block-diagonal structure) share a wave.
+  if (threads_ > 1) {
+    std::vector<offset_t> square_nnz(squares_.size());
+    for (std::size_t q = 0; q < squares_.size(); ++q)
+      square_nnz[q] = squares_[q].info.nnz;
+    waves_ = compute_step_waves(plan_, square_nnz);
+  }
+
   if (opt.verify.enabled) {
     for (index_t i = 0; i < stored.nrows; ++i) {
       double s = 0.0;
@@ -147,19 +162,19 @@ BlockSolver<T>::BlockSolver(const Csr<T>& lower, const Options& opt)
 
 template <class T>
 void BlockSolver<T>::exec_tri(const TriBlock& blk, const T* b, T* x,
-                              const TrsvSim* s) const {
+                              const TrsvSim* s, ThreadPool* pool) const {
   switch (blk.info.kind) {
     case TriKernelKind::kCompletelyParallel:
-      blk.diag->solve(b, x, s);
+      blk.diag->solve(b, x, s, pool);
       return;
     case TriKernelKind::kLevelSet:
-      blk.levelset->solve(b, x, s);
+      blk.levelset->solve(b, x, s, pool);
       return;
     case TriKernelKind::kSyncFree:
-      blk.syncfree->solve(b, x, s);
+      blk.syncfree->solve(b, x, s, pool);
       return;
     case TriKernelKind::kCusparseLike:
-      blk.cusparse->solve(b, x, s);
+      blk.cusparse->solve(b, x, s);  // host path intentionally serial
       return;
   }
   BLOCKTRI_CHECK_MSG(false, "unknown triangular kernel kind");
@@ -167,22 +182,35 @@ void BlockSolver<T>::exec_tri(const TriBlock& blk, const T* b, T* x,
 
 template <class T>
 void BlockSolver<T>::exec_square(const SquareBlock& blk, const T* x, T* y,
-                                 const SpmvSim* s) const {
+                                 const SpmvSim* s, ThreadPool* pool) const {
   switch (blk.info.kind) {
     case SpmvKernelKind::kScalarCsr:
-      spmv_scalar_csr(blk.csr, x, y, s);
+      spmv_scalar_csr(blk.csr, x, y, s, pool);
       return;
     case SpmvKernelKind::kVectorCsr:
-      spmv_vector_csr(blk.csr, x, y, s);
+      spmv_vector_csr(blk.csr, x, y, s, pool);
       return;
     case SpmvKernelKind::kScalarDcsr:
-      spmv_scalar_dcsr(blk.dcsr, x, y, s);
+      spmv_scalar_dcsr(blk.dcsr, x, y, s, pool);
       return;
     case SpmvKernelKind::kVectorDcsr:
-      spmv_vector_dcsr(blk.dcsr, x, y, s);
+      spmv_vector_dcsr(blk.dcsr, x, y, s, pool);
       return;
   }
   BLOCKTRI_CHECK_MSG(false, "unknown square kernel kind");
+}
+
+template <class T>
+void BlockSolver<T>::exec_step(const ExecStep& step, T* bw, T* xw,
+                               ThreadPool* pool) const {
+  if (step.kind == ExecStep::Kind::kTri) {
+    const TriBlock& blk = tri_[static_cast<std::size_t>(step.index)];
+    exec_tri(blk, bw + blk.info.r0, xw + blk.info.r0, nullptr, pool);
+  } else {
+    const SquareBlock& blk = squares_[static_cast<std::size_t>(step.index)];
+    exec_square(blk, xw + blk.info.ref.c0, bw + blk.info.ref.r0, nullptr,
+                pool);
+  }
 }
 
 template <class T>
@@ -191,15 +219,23 @@ std::vector<T> BlockSolver<T>::solve(const std::vector<T>& b) const {
   std::vector<T> bw = permute_vector(b, plan_.new_of_old);
   std::vector<T> xw(static_cast<std::size_t>(plan_.n));
 
-  for (const ExecStep& step : plan_.steps) {
-    if (step.kind == ExecStep::Kind::kTri) {
-      const TriBlock& blk = tri_[static_cast<std::size_t>(step.index)];
-      exec_tri(blk, bw.data() + blk.info.r0, xw.data() + blk.info.r0,
-               nullptr);
+  if (pool_ == nullptr) {
+    for (const ExecStep& step : plan_.steps)
+      exec_step(step, bw.data(), xw.data(), nullptr);
+    return unpermute_vector(xw, plan_.new_of_old);
+  }
+
+  // Threaded executor: a single-step wave parallelises inside the kernel; a
+  // multi-step wave runs its (independent) steps concurrently with serial
+  // kernels inside — the fork-join pool is not reentrant.
+  for (const std::vector<ExecStep>& wave : waves_) {
+    if (wave.size() == 1) {
+      exec_step(wave[0], bw.data(), xw.data(), pool_.get());
     } else {
-      const SquareBlock& blk = squares_[static_cast<std::size_t>(step.index)];
-      exec_square(blk, xw.data() + blk.info.ref.c0,
-                  bw.data() + blk.info.ref.r0, nullptr);
+      pool_->run(static_cast<int>(wave.size()), [&](int s) {
+        exec_step(wave[static_cast<std::size_t>(s)], bw.data(), xw.data(),
+                  nullptr);
+      });
     }
   }
   return unpermute_vector(xw, plan_.new_of_old);
@@ -267,11 +303,13 @@ template <class T>
 Status BlockSolver<T>::run_steps_checked(std::vector<T>& bw,
                                          std::vector<T>& xw,
                                          SolveReport* rep) const {
+  // Steps stay sequential here — the ladder needs each block's output
+  // inspected before its dependents run — but kernels still use the pool.
   for (const ExecStep& step : plan_.steps) {
     if (step.kind != ExecStep::Kind::kTri) {
       const SquareBlock& blk = squares_[static_cast<std::size_t>(step.index)];
       exec_square(blk, xw.data() + blk.info.ref.c0,
-                  bw.data() + blk.info.ref.r0, nullptr);
+                  bw.data() + blk.info.ref.r0, nullptr, pool_.get());
       continue;
     }
     const TriBlock& blk = tri_[static_cast<std::size_t>(step.index)];
@@ -289,7 +327,7 @@ Status BlockSolver<T>::run_steps_checked(std::vector<T>& bw,
       return all_finite(xx, len);
     };
 
-    bool ok = run([&] { exec_tri(blk, bb, xx, nullptr); });
+    bool ok = run([&] { exec_tri(blk, bb, xx, nullptr, pool_.get()); });
     if (!ok && opt_.verify.fallback) {
       if (blk.info.kind != TriKernelKind::kLevelSet) {
         rep->fallbacks.push_back({step.index, blk.info.kind,
@@ -318,17 +356,26 @@ template <class T>
 std::vector<T> BlockSolver<T>::residual_vec(const std::vector<T>& xw,
                                             const std::vector<T>& bw0) const {
   std::vector<T> r = bw0;
-  for (index_t i = 0; i < stored_.nrows; ++i) {
-    double acc = 0.0;
-    for (offset_t k = stored_.row_ptr[static_cast<std::size_t>(i)];
-         k < stored_.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
-      acc += static_cast<double>(stored_.val[static_cast<std::size_t>(k)]) *
-             static_cast<double>(
-                 xw[static_cast<std::size_t>(
-                     stored_.col_idx[static_cast<std::size_t>(k)])]);
-    r[static_cast<std::size_t>(i)] =
-        static_cast<T>(static_cast<double>(bw0[static_cast<std::size_t>(i)]) -
-                       acc);
+  auto row_range = [&](index_t i0, index_t i1) {
+    for (index_t i = i0; i < i1; ++i) {
+      double acc = 0.0;
+      for (offset_t k = stored_.row_ptr[static_cast<std::size_t>(i)];
+           k < stored_.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+        acc += static_cast<double>(stored_.val[static_cast<std::size_t>(k)]) *
+               static_cast<double>(
+                   xw[static_cast<std::size_t>(
+                       stored_.col_idx[static_cast<std::size_t>(k)])]);
+      r[static_cast<std::size_t>(i)] =
+          static_cast<T>(static_cast<double>(bw0[static_cast<std::size_t>(i)]) -
+                         acc);
+    }
+  };
+  if (parallel_enabled(pool_.get()) && nnz_ >= kHostParallelMinNnz) {
+    pool_->run_partition(
+        balanced_row_partition(stored_.row_ptr, stored_.nrows, pool_->size()),
+        [&](index_t i0, index_t i1, int) { row_range(i0, i1); });
+  } else {
+    row_range(0, stored_.nrows);
   }
   return r;
 }

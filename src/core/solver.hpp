@@ -92,6 +92,16 @@ class BlockSolver {
     SpmvKernelKind forced_square = SpmvKernelKind::kScalarCsr;
     ThresholdTable thresholds;
 
+    /// Host execution threads. 1 (the default) takes the serial paths
+    /// unchanged — required by the simulator and the deterministic tests.
+    /// 0 means std::thread::hardware_concurrency. The BLOCKTRI_THREADS
+    /// environment variable, when set, overrides whatever is configured
+    /// here (see resolve_threads). With more than one thread the solver
+    /// owns a ThreadPool used for preprocessing (planning, CSC conversion,
+    /// level analyses) and for solve()/solve_checked(); a solver built with
+    /// threads > 1 must not be solved from multiple user threads at once.
+    int threads = 1;
+
     /// Robustness knobs for solve_checked. `enabled` keeps the (permuted)
     /// matrix and per-block CSR copies around — required by the residual
     /// check, refinement and fallback ladder; disable to reclaim the memory
@@ -172,6 +182,15 @@ class BlockSolver {
   index_t n() const { return plan_.n; }
   offset_t nnz() const { return nnz_; }
 
+  /// Effective host thread count after the BLOCKTRI_THREADS override.
+  int threads() const { return threads_; }
+
+  /// The executor's step waves (mutually independent steps grouped for
+  /// concurrent execution) — introspection for tests and the explorer.
+  const std::vector<std::vector<ExecStep>>& step_waves() const {
+    return waves_;
+  }
+
   /// Nonzeros that ended up in square blocks — the §3.3 claim that the
   /// reordering concentrates work into the parallel-friendly SpMV parts.
   offset_t nnz_in_squares() const;
@@ -199,10 +218,12 @@ class BlockSolver {
     Dcsr<T> dcsr;  // populated for the DCSR kernel kinds
   };
 
-  void exec_tri(const TriBlock& blk, const T* b, T* x,
-                const TrsvSim* s) const;
-  void exec_square(const SquareBlock& blk, const T* x, T* y,
-                   const SpmvSim* s) const;
+  void exec_tri(const TriBlock& blk, const T* b, T* x, const TrsvSim* s,
+                ThreadPool* pool = nullptr) const;
+  void exec_square(const SquareBlock& blk, const T* x, T* y, const SpmvSim* s,
+                   ThreadPool* pool = nullptr) const;
+  /// One ExecStep of the host solve (no simulation, no ladder).
+  void exec_step(const ExecStep& step, T* bw, T* xw, ThreadPool* pool) const;
   /// One pass over the execution steps with the fallback ladder armed.
   /// Consumes bw (square blocks accumulate into it).
   Status run_steps_checked(std::vector<T>& bw, std::vector<T>& xw,
@@ -215,6 +236,9 @@ class BlockSolver {
   double default_residual_tolerance() const;
 
   Options opt_;
+  int threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  // only when threads_ > 1
+  std::vector<std::vector<ExecStep>> waves_;
   BlockPlan plan_;
   offset_t nnz_ = 0;
   Csr<T> stored_;          // permuted matrix, retained when verify.enabled

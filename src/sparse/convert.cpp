@@ -73,8 +73,73 @@ Coo<T> csr_to_coo(const Csr<T>& a) {
   return out;
 }
 
+namespace {
+
+/// Parallel CSR→CSC: per-chunk column histograms make both the count and the
+/// scatter pass independent across contiguous row chunks. Chunk-major cursor
+/// layout keeps each chunk's writes on its own cache lines.
 template <class T>
-Csc<T> csr_to_csc(const Csr<T>& a) {
+Csc<T> csr_to_csc_parallel(const Csr<T>& a, ThreadPool* pool) {
+  Csc<T> out;
+  out.nrows = a.nrows;
+  out.ncols = a.ncols;
+  const auto ncols = static_cast<std::size_t>(a.ncols);
+  const int nchunks = pool->size();
+  const std::vector<index_t> bounds =
+      balanced_row_partition(a.row_ptr, a.nrows, nchunks);
+
+  // Pass 1: per-chunk column counts.
+  std::vector<offset_t> cursor(static_cast<std::size_t>(nchunks) * ncols, 0);
+  pool->run_partition(bounds, [&](index_t r0, index_t r1, int chunk) {
+    offset_t* counts = cursor.data() + static_cast<std::size_t>(chunk) * ncols;
+    for (offset_t k = a.row_ptr[static_cast<std::size_t>(r0)];
+         k < a.row_ptr[static_cast<std::size_t>(r1)]; ++k)
+      ++counts[a.col_idx[static_cast<std::size_t>(k)]];
+  });
+
+  // Combine: col_ptr prefix over columns, and per-chunk starting cursors
+  // (chunk ch of column c starts after all earlier chunks' entries of c).
+  out.col_ptr.assign(ncols + 1, 0);
+  offset_t running = 0;
+  for (std::size_t c = 0; c < ncols; ++c) {
+    out.col_ptr[c] = running;
+    for (int ch = 0; ch < nchunks; ++ch) {
+      offset_t& slot = cursor[static_cast<std::size_t>(ch) * ncols + c];
+      const offset_t count = slot;
+      slot = running;
+      running += count;
+    }
+  }
+  out.col_ptr[ncols] = running;
+
+  // Pass 2: scatter. Chunks are ascending row ranges, so each column's rows
+  // land sorted, exactly as in the serial conversion.
+  out.row_idx.resize(a.col_idx.size());
+  out.val.resize(a.val.size());
+  pool->run_partition(bounds, [&](index_t r0, index_t r1, int chunk) {
+    offset_t* cur = cursor.data() + static_cast<std::size_t>(chunk) * ncols;
+    for (index_t i = r0; i < r1; ++i) {
+      for (offset_t k = a.row_ptr[static_cast<std::size_t>(i)];
+           k < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+        const auto c = static_cast<std::size_t>(
+            a.col_idx[static_cast<std::size_t>(k)]);
+        const auto at = static_cast<std::size_t>(cur[c]++);
+        out.row_idx[at] = i;
+        out.val[at] = a.val[static_cast<std::size_t>(k)];
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+template <class T>
+Csc<T> csr_to_csc(const Csr<T>& a, ThreadPool* pool) {
+  if (parallel_enabled(pool) && a.nnz() >= 4 * kHostParallelMinNnz &&
+      a.ncols > 0)
+    return csr_to_csc_parallel(a, pool);
+
   Csc<T> out;
   out.nrows = a.nrows;
   out.ncols = a.ncols;
@@ -184,7 +249,7 @@ double empty_row_ratio(const Csr<T>& a) {
 #define BLOCKTRI_INSTANTIATE(T)                   \
   template Csr<T> coo_to_csr(const Coo<T>&);      \
   template Coo<T> csr_to_coo(const Csr<T>&);      \
-  template Csc<T> csr_to_csc(const Csr<T>&);      \
+  template Csc<T> csr_to_csc(const Csr<T>&, ThreadPool*); \
   template Csr<T> csc_to_csr(const Csc<T>&);      \
   template Csr<T> transpose(const Csr<T>&);       \
   template Dcsr<T> csr_to_dcsr(const Csr<T>&);    \

@@ -3,6 +3,7 @@
 // the usual assembly convention).
 #pragma once
 
+#include "common/thread_pool.hpp"
 #include "sparse/formats.hpp"
 
 namespace blocktri {
@@ -16,8 +17,12 @@ template <class T>
 Coo<T> csr_to_coo(const Csr<T>& a);
 
 /// CSR -> CSC of the same matrix (i.e. a layout change, not a transpose).
+/// With a pool (and a matrix above the parallel cutoff), the count and
+/// scatter passes are parallelised over contiguous row chunks using
+/// per-chunk column histograms; the output is identical to the serial one
+/// (within-column row order is preserved because chunks are ascending).
 template <class T>
-Csc<T> csr_to_csc(const Csr<T>& a);
+Csc<T> csr_to_csc(const Csr<T>& a, ThreadPool* pool = nullptr);
 
 /// CSC -> CSR of the same matrix.
 template <class T>

@@ -8,8 +8,6 @@ namespace blocktri {
 
 namespace {
 
-constexpr int kWarp = 32;
-
 // One-thread-per-row kernels walk val/col_idx at per-row strides, so
 // consecutive lanes read non-adjacent addresses: each 8B access occupies a
 // 32B memory sector, ~4x traffic amplification vs the coalesced streams of
@@ -74,6 +72,38 @@ void account_scalar(sim::KernelSim& ks, const std::vector<offset_t>& row_ptr,
   }
 }
 
+/// Host execution shared by all four kernels: y[row] -= Σ val·x[col] over
+/// the listed rows. With a pool, the rows are split into contiguous chunks
+/// balanced by nonzero count; each row writes only its own y entry, so the
+/// result is bitwise identical at any thread count.
+template <class T>
+void host_update(const std::vector<offset_t>& row_ptr,
+                 const std::vector<index_t>& col_idx, const std::vector<T>& val,
+                 const index_t* row_ids, index_t nrows_listed, const T* x,
+                 T* y, ThreadPool* pool) {
+  auto run_range = [&](index_t r0, index_t r1) {
+    for (index_t r = r0; r < r1; ++r) {
+      T sum = T(0);
+      for (offset_t k = row_ptr[static_cast<std::size_t>(r)];
+           k < row_ptr[static_cast<std::size_t>(r) + 1]; ++k)
+        sum += val[static_cast<std::size_t>(k)] *
+               x[col_idx[static_cast<std::size_t>(k)]];
+      const index_t row = row_ids == nullptr ? r : row_ids[r];
+      y[row] -= sum;
+    }
+  };
+  const offset_t nnz = row_ptr[static_cast<std::size_t>(nrows_listed)];
+  if (parallel_enabled(pool) && nnz >= kHostParallelMinNnz &&
+      nrows_listed >= 2) {
+    const std::vector<index_t> bounds =
+        balanced_row_partition(row_ptr, nrows_listed, pool->size());
+    pool->run_partition(bounds,
+                        [&](index_t r0, index_t r1, int) { run_range(r0, r1); });
+  } else {
+    run_range(0, nrows_listed);
+  }
+}
+
 /// Cost model shared by the vector kernels: one warp per (listed) row,
 /// gathering x in 32-lane groups and reducing with warp shuffles.
 template <class T>
@@ -121,15 +151,9 @@ std::string to_string(SpmvKernelKind k) {
 }
 
 template <class T>
-void spmv_scalar_csr(const Csr<T>& a, const T* x, T* y, const SpmvSim* s) {
-  for (index_t i = 0; i < a.nrows; ++i) {
-    T sum = T(0);
-    for (offset_t k = a.row_ptr[static_cast<std::size_t>(i)];
-         k < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
-      sum += a.val[static_cast<std::size_t>(k)] *
-             x[a.col_idx[static_cast<std::size_t>(k)]];
-    y[i] -= sum;
-  }
+void spmv_scalar_csr(const Csr<T>& a, const T* x, T* y, const SpmvSim* s,
+                     ThreadPool* pool) {
+  host_update(a.row_ptr, a.col_idx, a.val, nullptr, a.nrows, x, y, pool);
   if (s != nullptr && s->ks != nullptr) {
     account_scalar<T>(*s->ks, a.row_ptr, a.col_idx,
                       static_cast<std::size_t>(a.nrows), s->x_base, s->y_base,
@@ -138,15 +162,9 @@ void spmv_scalar_csr(const Csr<T>& a, const T* x, T* y, const SpmvSim* s) {
 }
 
 template <class T>
-void spmv_vector_csr(const Csr<T>& a, const T* x, T* y, const SpmvSim* s) {
-  for (index_t i = 0; i < a.nrows; ++i) {
-    T sum = T(0);
-    for (offset_t k = a.row_ptr[static_cast<std::size_t>(i)];
-         k < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
-      sum += a.val[static_cast<std::size_t>(k)] *
-             x[a.col_idx[static_cast<std::size_t>(k)]];
-    y[i] -= sum;
-  }
+void spmv_vector_csr(const Csr<T>& a, const T* x, T* y, const SpmvSim* s,
+                     ThreadPool* pool) {
+  host_update(a.row_ptr, a.col_idx, a.val, nullptr, a.nrows, x, y, pool);
   if (s != nullptr && s->ks != nullptr) {
     account_vector<T>(*s->ks, a.row_ptr, a.col_idx,
                       static_cast<std::size_t>(a.nrows), s->x_base, s->y_base,
@@ -155,14 +173,10 @@ void spmv_vector_csr(const Csr<T>& a, const T* x, T* y, const SpmvSim* s) {
 }
 
 template <class T>
-void spmv_scalar_dcsr(const Dcsr<T>& a, const T* x, T* y, const SpmvSim* s) {
-  for (std::size_t r = 0; r < a.row_ids.size(); ++r) {
-    T sum = T(0);
-    for (offset_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k)
-      sum += a.val[static_cast<std::size_t>(k)] *
-             x[a.col_idx[static_cast<std::size_t>(k)]];
-    y[a.row_ids[r]] -= sum;
-  }
+void spmv_scalar_dcsr(const Dcsr<T>& a, const T* x, T* y, const SpmvSim* s,
+                      ThreadPool* pool) {
+  host_update(a.row_ptr, a.col_idx, a.val, a.row_ids.data(), a.nnz_rows(), x,
+              y, pool);
   if (s != nullptr && s->ks != nullptr) {
     account_scalar<T>(*s->ks, a.row_ptr, a.col_idx, a.row_ids.size(),
                       s->x_base, s->y_base, a.row_ids.data(),
@@ -171,14 +185,10 @@ void spmv_scalar_dcsr(const Dcsr<T>& a, const T* x, T* y, const SpmvSim* s) {
 }
 
 template <class T>
-void spmv_vector_dcsr(const Dcsr<T>& a, const T* x, T* y, const SpmvSim* s) {
-  for (std::size_t r = 0; r < a.row_ids.size(); ++r) {
-    T sum = T(0);
-    for (offset_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k)
-      sum += a.val[static_cast<std::size_t>(k)] *
-             x[a.col_idx[static_cast<std::size_t>(k)]];
-    y[a.row_ids[r]] -= sum;
-  }
+void spmv_vector_dcsr(const Dcsr<T>& a, const T* x, T* y, const SpmvSim* s,
+                      ThreadPool* pool) {
+  host_update(a.row_ptr, a.col_idx, a.val, a.row_ids.data(), a.nnz_rows(), x,
+              y, pool);
   if (s != nullptr && s->ks != nullptr) {
     account_vector<T>(*s->ks, a.row_ptr, a.col_idx, a.row_ids.size(),
                       s->x_base, s->y_base, a.row_ids.data(),
@@ -188,22 +198,22 @@ void spmv_vector_dcsr(const Dcsr<T>& a, const T* x, T* y, const SpmvSim* s) {
 
 template <class T>
 void spmv_update(SpmvKernelKind kind, const Csr<T>& a, const T* x, T* y,
-                 const SpmvSim* s) {
+                 const SpmvSim* s, ThreadPool* pool) {
   switch (kind) {
     case SpmvKernelKind::kScalarCsr:
-      spmv_scalar_csr(a, x, y, s);
+      spmv_scalar_csr(a, x, y, s, pool);
       return;
     case SpmvKernelKind::kVectorCsr:
-      spmv_vector_csr(a, x, y, s);
+      spmv_vector_csr(a, x, y, s, pool);
       return;
     case SpmvKernelKind::kScalarDcsr: {
       const Dcsr<T> d = csr_to_dcsr(a);
-      spmv_scalar_dcsr(d, x, y, s);
+      spmv_scalar_dcsr(d, x, y, s, pool);
       return;
     }
     case SpmvKernelKind::kVectorDcsr: {
       const Dcsr<T> d = csr_to_dcsr(a);
-      spmv_vector_dcsr(d, x, y, s);
+      spmv_vector_dcsr(d, x, y, s, pool);
       return;
     }
   }
@@ -221,14 +231,16 @@ std::vector<T> spmv_apply(const Csr<T>& a, const std::vector<T>& x) {
 }
 
 #define BLOCKTRI_INSTANTIATE(T)                                               \
-  template void spmv_scalar_csr(const Csr<T>&, const T*, T*, const SpmvSim*); \
-  template void spmv_vector_csr(const Csr<T>&, const T*, T*, const SpmvSim*); \
+  template void spmv_scalar_csr(const Csr<T>&, const T*, T*, const SpmvSim*,  \
+                                ThreadPool*);                                 \
+  template void spmv_vector_csr(const Csr<T>&, const T*, T*, const SpmvSim*,  \
+                                ThreadPool*);                                 \
   template void spmv_scalar_dcsr(const Dcsr<T>&, const T*, T*,                \
-                                 const SpmvSim*);                             \
+                                 const SpmvSim*, ThreadPool*);                \
   template void spmv_vector_dcsr(const Dcsr<T>&, const T*, T*,                \
-                                 const SpmvSim*);                             \
+                                 const SpmvSim*, ThreadPool*);                \
   template void spmv_update(SpmvKernelKind, const Csr<T>&, const T*, T*,      \
-                            const SpmvSim*);                                  \
+                            const SpmvSim*, ThreadPool*);                     \
   template std::vector<T> spmv_apply(const Csr<T>&, const std::vector<T>&);
 
 BLOCKTRI_INSTANTIATE(float)

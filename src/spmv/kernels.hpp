@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/thread_pool.hpp"
 #include "sim/kernel_sim.hpp"
 #include "sparse/formats.hpp"
 
@@ -41,24 +42,35 @@ struct SpmvSim {
   std::uint64_t y_base = 0;
 };
 
-template <class T>
-void spmv_scalar_csr(const Csr<T>& a, const T* x, T* y, const SpmvSim* s);
+// Host execution of every kernel accepts an optional thread pool: the rows
+// (listed rows for DCSR) are partitioned into contiguous nnz-balanced chunks
+// (balanced_row_partition), one per thread. Each row writes its own y entry,
+// so the parallel result is bitwise identical to the serial one, at any
+// thread count. A null pool — or a block below kHostParallelMinNnz — takes
+// the untouched serial path.
 
 template <class T>
-void spmv_vector_csr(const Csr<T>& a, const T* x, T* y, const SpmvSim* s);
+void spmv_scalar_csr(const Csr<T>& a, const T* x, T* y, const SpmvSim* s,
+                     ThreadPool* pool = nullptr);
 
 template <class T>
-void spmv_scalar_dcsr(const Dcsr<T>& a, const T* x, T* y, const SpmvSim* s);
+void spmv_vector_csr(const Csr<T>& a, const T* x, T* y, const SpmvSim* s,
+                     ThreadPool* pool = nullptr);
 
 template <class T>
-void spmv_vector_dcsr(const Dcsr<T>& a, const T* x, T* y, const SpmvSim* s);
+void spmv_scalar_dcsr(const Dcsr<T>& a, const T* x, T* y, const SpmvSim* s,
+                      ThreadPool* pool = nullptr);
+
+template <class T>
+void spmv_vector_dcsr(const Dcsr<T>& a, const T* x, T* y, const SpmvSim* s,
+                      ThreadPool* pool = nullptr);
 
 /// Dispatch by kind on a CSR block (DCSR kinds convert on the fly — only used
 /// by the calibration harness; the production path stores DCSR blocks
 /// natively in BlockedMatrix).
 template <class T>
 void spmv_update(SpmvKernelKind kind, const Csr<T>& a, const T* x, T* y,
-                 const SpmvSim* s);
+                 const SpmvSim* s, ThreadPool* pool = nullptr);
 
 /// Plain y = A·x convenience used by examples/tests (no simulation).
 template <class T>

@@ -9,7 +9,6 @@
 namespace blocktri {
 
 namespace {
-constexpr int kWarp = 32;
 // One thread per row: val/col_idx reads are strided per lane, not coalesced
 // (same factor as the scalar SpMV kernels — see spmv/kernels.cpp).
 constexpr double kUncoalescedFactor = 4.0;

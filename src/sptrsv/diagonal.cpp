@@ -7,10 +7,6 @@
 
 namespace blocktri {
 
-namespace {
-constexpr int kWarp = 32;
-}  // namespace
-
 template <class T>
 DiagonalSolver<T>::DiagonalSolver(std::vector<T> diag)
     : diag_(std::move(diag)) {
@@ -19,10 +15,19 @@ DiagonalSolver<T>::DiagonalSolver(std::vector<T> diag)
 }
 
 template <class T>
-void DiagonalSolver<T>::solve(const T* b, T* x, const TrsvSim* s) const {
+void DiagonalSolver<T>::solve(const T* b, T* x, const TrsvSim* s,
+                              ThreadPool* pool) const {
   const index_t count = n();
   const int elem = static_cast<int>(sizeof(T));
   const bool simulate = s != nullptr && s->active();
+
+  if (!simulate && parallel_enabled(pool) && count >= kHostParallelMinNnz) {
+    pool->parallel_for(0, count, [&](index_t r0, index_t r1, int) {
+      for (index_t i = r0; i < r1; ++i)
+        x[i] = b[i] / diag_[static_cast<std::size_t>(i)];
+    });
+    return;
+  }
 
   for (index_t i = 0; i < count; ++i)
     x[i] = b[i] / diag_[static_cast<std::size_t>(i)];

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "sparse/formats.hpp"
 #include "sptrsv/sim_ctx.hpp"
 
@@ -17,7 +18,10 @@ class DiagonalSolver {
   /// `diag` is the dense diagonal of the block (all entries nonzero).
   explicit DiagonalSolver(std::vector<T> diag);
 
-  void solve(const T* b, T* x, const TrsvSim* s = nullptr) const;
+  /// Embarrassingly parallel on the host: a pool splits the range into
+  /// contiguous chunks (bitwise deterministic — disjoint writes).
+  void solve(const T* b, T* x, const TrsvSim* s = nullptr,
+             ThreadPool* pool = nullptr) const;
 
   index_t n() const { return static_cast<index_t>(diag_.size()); }
 

@@ -9,22 +9,57 @@
 namespace blocktri {
 
 namespace {
-constexpr int kWarp = 32;
 constexpr double kDivideNs = 15.0;  // fp divide at the end of each component
 }  // namespace
 
 template <class T>
-LevelSetSolver<T>::LevelSetSolver(Csr<T> lower) : a_(std::move(lower)) {
+LevelSetSolver<T>::LevelSetSolver(Csr<T> lower, ThreadPool* pool)
+    : a_(std::move(lower)) {
   BLOCKTRI_CHECK_MSG(is_lower_triangular_nonsingular(a_),
                      "LevelSetSolver requires a nonsingular lower triangle");
-  ls_ = compute_level_sets(a_);
+  ls_ = compute_level_sets(a_.nrows, a_.row_ptr, a_.col_idx, pool);
 }
 
 template <class T>
-void LevelSetSolver<T>::solve(const T* b, T* x, const TrsvSim* s) const {
+void LevelSetSolver<T>::solve(const T* b, T* x, const TrsvSim* s,
+                              ThreadPool* pool) const {
   const int elem = static_cast<int>(sizeof(T));
   const bool simulate = s != nullptr && s->active();
   std::uint64_t addrs[kWarp];
+
+  // Rows within a level write distinct x entries and read x only from
+  // earlier levels, so any per-level partition is race-free; parallel_for's
+  // deterministic chunking makes it bitwise reproducible too.
+  const bool parallel = !simulate && parallel_enabled(pool);
+  auto solve_row = [this, b, x](index_t i) {
+    const offset_t lo = a_.row_ptr[static_cast<std::size_t>(i)];
+    const offset_t hi = a_.row_ptr[static_cast<std::size_t>(i) + 1];
+    T left_sum = T(0);
+    for (offset_t k = lo; k < hi - 1; ++k)
+      left_sum += a_.val[static_cast<std::size_t>(k)] *
+                  x[a_.col_idx[static_cast<std::size_t>(k)]];
+    x[i] = (b[i] - left_sum) / a_.val[static_cast<std::size_t>(hi - 1)];
+  };
+
+  if (parallel) {
+    for (index_t lvl = 0; lvl < ls_.nlevels; ++lvl) {
+      const offset_t lo = ls_.level_ptr[static_cast<std::size_t>(lvl)];
+      const offset_t hi = ls_.level_ptr[static_cast<std::size_t>(lvl) + 1];
+      if (hi - lo < 2 * pool->size()) {
+        // Narrow level: the fork/join barrier would dominate.
+        for (offset_t p = lo; p < hi; ++p)
+          solve_row(ls_.level_item[static_cast<std::size_t>(p)]);
+        continue;
+      }
+      pool->parallel_for(
+          static_cast<index_t>(lo), static_cast<index_t>(hi),
+          [&](index_t cb, index_t ce, int) {
+            for (index_t p = cb; p < ce; ++p)
+              solve_row(ls_.level_item[static_cast<std::size_t>(p)]);
+          });  // parallel_for returns = the per-level barrier (Alg. 2 l. 20)
+    }
+    return;
+  }
 
   std::optional<sim::KernelSim> ks;
   if (simulate) ks.emplace(*s->gpu, s->cache, s->fp64);
@@ -39,11 +74,7 @@ void LevelSetSolver<T>::solve(const T* b, T* x, const TrsvSim* s) const {
       // Host execution: components within a level are independent, so the
       // sequential order here matches any parallel order numerically
       // (distinct x entries are written).
-      T left_sum = T(0);
-      for (offset_t k = lo; k < hi - 1; ++k)
-        left_sum += a_.val[static_cast<std::size_t>(k)] *
-                    x[a_.col_idx[static_cast<std::size_t>(k)]];
-      x[i] = (b[i] - left_sum) / a_.val[static_cast<std::size_t>(hi - 1)];
+      solve_row(i);
 
       if (simulate) {
         // One warp per component: gather the solved x entries of the row in

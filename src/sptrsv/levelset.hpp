@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "analysis/levels.hpp"
+#include "common/thread_pool.hpp"
 #include "sparse/formats.hpp"
 #include "sptrsv/sim_ctx.hpp"
 
@@ -20,11 +21,18 @@ class LevelSetSolver {
  public:
   /// Preprocessing (Alg. 2 lines 1–11): level analysis of the lower
   /// triangular matrix. The matrix is copied in; diagonal must be present.
-  explicit LevelSetSolver(Csr<T> lower);
+  /// A pool parallelises the level-set construction (the analysis itself);
+  /// it is not retained.
+  explicit LevelSetSolver(Csr<T> lower, ThreadPool* pool = nullptr);
 
   /// Solve phase (Alg. 2 lines 12–22). One kernel launch per level when
-  /// simulation is active.
-  void solve(const T* b, T* x, const TrsvSim* s = nullptr) const;
+  /// simulation is active. With a pool (and no simulation), the rows of each
+  /// level are solved across threads with a barrier per level — the CPU
+  /// realisation of Alg. 2's per-level kernel launches. Distinct x entries
+  /// are written by distinct rows and chunk assignment is deterministic, so
+  /// the parallel result is bitwise identical to the serial one.
+  void solve(const T* b, T* x, const TrsvSim* s = nullptr,
+             ThreadPool* pool = nullptr) const;
 
   const Csr<T>& matrix() const { return a_; }
   const LevelSets& levels() const { return ls_; }

@@ -1,7 +1,10 @@
 #include "sptrsv/syncfree.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <optional>
+#include <thread>
 
 #include "sim/kernel_sim.hpp"
 #include "sparse/convert.hpp"
@@ -9,30 +12,101 @@
 
 namespace blocktri {
 
-namespace {
-constexpr int kWarp = 32;
-}  // namespace
-
 template <class T>
-SyncFreeSolver<T>::SyncFreeSolver(const Csr<T>& lower) {
+SyncFreeSolver<T>::SyncFreeSolver(const Csr<T>& lower, ThreadPool* pool) {
   BLOCKTRI_CHECK_MSG(is_lower_triangular_nonsingular(lower),
                      "SyncFreeSolver requires a nonsingular lower triangle");
-  csc_ = csr_to_csc(lower);
+  csc_ = csr_to_csc(lower, pool);
   // Dependency edges for the simulator: component i waits for every j < i
   // with L[i,j] != 0, i.e. the strictly-lower entries of row i.
   StrictLowerSplit<T> split = split_diagonal(lower);
   strict_rows_ = std::move(split.strict);
   in_degree_.assign(static_cast<std::size_t>(lower.nrows), 0);
-  for (index_t i = 0; i < lower.nrows; ++i)
-    in_degree_[static_cast<std::size_t>(i)] =
-        static_cast<index_t>(strict_rows_.row_nnz(i));
+  auto fill_degrees = [this](index_t r0, index_t r1) {
+    for (index_t i = r0; i < r1; ++i)
+      in_degree_[static_cast<std::size_t>(i)] =
+          static_cast<index_t>(strict_rows_.row_nnz(i));
+  };
+  if (parallel_enabled(pool) && lower.nrows >= kHostParallelMinNnz) {
+    pool->parallel_for(0, lower.nrows,
+                       [&](index_t r0, index_t r1, int) {
+                         fill_degrees(r0, r1);
+                       });
+  } else {
+    fill_degrees(0, lower.nrows);
+  }
 }
 
+namespace {
+
+/// Parallel host solve: Algorithm 3 on CPU threads. Each component owns one
+/// atomic in-degree counter and one atomic left_sum accumulator; producers
+/// fetch_add the product then fetch_sub(1, release) the counter, and the
+/// consumer's acquire load of 0 pairs with every decrement in the release
+/// sequence, making all contributions visible before x_i is computed.
 template <class T>
-void SyncFreeSolver<T>::solve(const T* b, T* x, const TrsvSim* s) const {
+void syncfree_parallel(const Csc<T>& csc, const T* b, T* x,
+                       const std::vector<index_t>& in_degree,
+                       ThreadPool* pool) {
+  const index_t n = csc.ncols;
+  const std::unique_ptr<std::atomic<T>[]> left(new std::atomic<T>[
+      static_cast<std::size_t>(n)]);
+  const std::unique_ptr<std::atomic<index_t>[]> deg(new std::atomic<index_t>[
+      static_cast<std::size_t>(n)]);
+  // The pool's fork/join barrier orders this initialisation before any
+  // solving thread starts.
+  pool->parallel_for(0, n, [&](index_t r0, index_t r1, int) {
+    for (index_t i = r0; i < r1; ++i) {
+      left[i].store(T(0), std::memory_order_relaxed);
+      deg[i].store(in_degree[static_cast<std::size_t>(i)],
+                   std::memory_order_relaxed);
+    }
+  });
+
+  const int nthreads = pool->size();
+  pool->run(nthreads, [&](int tid) {
+    for (index_t i = tid; i < n; i += static_cast<index_t>(nthreads)) {
+      // Busy-wait until every dependency has published its contribution.
+      // Deadlock-free: each thread walks its components in ascending order
+      // and dependencies only point to smaller indices, so the smallest
+      // unsolved component is always runnable. yield() keeps the spin
+      // honest when threads are oversubscribed on few cores.
+      int spins = 0;
+      while (deg[i].load(std::memory_order_acquire) != 0) {
+        if (++spins > 64) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+      const offset_t clo = csc.col_ptr[static_cast<std::size_t>(i)];
+      const offset_t chi = csc.col_ptr[static_cast<std::size_t>(i) + 1];
+      const T xi = (b[i] - left[i].load(std::memory_order_relaxed)) /
+                   csc.val[static_cast<std::size_t>(clo)];
+      x[i] = xi;
+      for (offset_t k = clo + 1; k < chi; ++k) {
+        const auto row = static_cast<std::size_t>(
+            csc.row_idx[static_cast<std::size_t>(k)]);
+        left[row].fetch_add(csc.val[static_cast<std::size_t>(k)] * xi,
+                            std::memory_order_relaxed);
+        deg[row].fetch_sub(1, std::memory_order_release);
+      }
+    }
+  });
+}
+
+}  // namespace
+
+template <class T>
+void SyncFreeSolver<T>::solve(const T* b, T* x, const TrsvSim* s,
+                              ThreadPool* pool) const {
   const index_t n = csc_.ncols;
   const int elem = static_cast<int>(sizeof(T));
   const bool simulate = s != nullptr && s->active();
+
+  if (!simulate && parallel_enabled(pool) && n >= 2 * pool->size()) {
+    syncfree_parallel(csc_, b, x, in_degree_, pool);
+    return;
+  }
 
   // Host execution, faithful to Algorithm 3's data flow: a left_sum
   // accumulator per component, updated column by column. Processing

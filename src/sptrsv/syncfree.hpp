@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "sparse/formats.hpp"
 #include "sptrsv/sim_ctx.hpp"
 
@@ -26,10 +27,20 @@ template <class T>
 class SyncFreeSolver {
  public:
   /// Builds the CSC execution structure and the in-degree counts. The input
-  /// is the lower triangle in CSR (diagonal last in each row).
-  explicit SyncFreeSolver(const Csr<T>& lower);
+  /// is the lower triangle in CSR (diagonal last in each row). A pool
+  /// parallelises the CSC conversion and in-degree pass; it is not retained.
+  explicit SyncFreeSolver(const Csr<T>& lower, ThreadPool* pool = nullptr);
 
-  void solve(const T* b, T* x, const TrsvSim* s = nullptr) const;
+  /// Host solve. With a pool (and no simulation) this runs the CPU analogue
+  /// of Alg. 3: components are dealt round-robin to threads (component i to
+  /// thread i mod nthreads, mirroring the GPU's warp dispatch), each thread
+  /// spin-waits on its component's atomic in-degree counter, solves, then
+  /// pushes val·x products into the dependents' atomic left_sum slots and
+  /// decrements their counters with release ordering. Accumulation order
+  /// into left_sum is timing-dependent, so parallel results match the serial
+  /// ones to rounding (not bitwise) — the same caveat the GPU kernel has.
+  void solve(const T* b, T* x, const TrsvSim* s = nullptr,
+             ThreadPool* pool = nullptr) const;
 
   const Csc<T>& matrix_csc() const { return csc_; }
   const std::vector<index_t>& in_degree() const { return in_degree_; }

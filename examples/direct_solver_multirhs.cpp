@@ -8,6 +8,7 @@
 // report total (preprocess + k solves) simulated time.
 //
 //   ./examples/direct_solver_multirhs [--n=400000] [--rhs=64]
+#include <algorithm>
 #include <cstdio>
 
 #include "blocktri.hpp"
@@ -91,6 +92,47 @@ int main(int argc, char** argv) {
 
   std::printf("%s\n", table.to_string().c_str());
   std::printf("The blocked method pays more preprocessing but it amortises\n"
-              "across the batch — the Table 5 effect.\n");
+              "across the batch — the Table 5 effect.\n\n");
+
+  // --- Host-measured batched solve: the same amortisation, for real. ------
+  // solve_many streams each block's structure once per step for the whole
+  // panel instead of once per right-hand side; with the plan reused too, the
+  // per-RHS cost drops well below the solve-one-at-a-time workflow. (Bitwise
+  // identical to the per-column solve() results — see bench/batched_rhs for
+  // the full sweep.)
+  {
+    const index_t host_n = std::min<index_t>(n, 60000);
+    const index_t k = static_cast<index_t>(std::min(num_rhs, 16));
+    const Csr<double> Lh = gen::banded(host_n, 48, 16.0, 11);
+    std::vector<double> B;
+    B.reserve(static_cast<std::size_t>(host_n) * static_cast<std::size_t>(k));
+    for (index_t c = 0; c < k; ++c) {
+      const auto b = gen::random_rhs<double>(host_n,
+                                             300 + static_cast<unsigned>(c));
+      B.insert(B.end(), b.begin(), b.end());
+    }
+    BlockSolver<double>::Options opt;
+    opt.planner.stop_rows = std::max<index_t>(512, host_n / 16);
+    opt.verify.enabled = false;
+    Stopwatch sw;
+    const BlockSolver<double> solver(Lh, opt);
+    const double pre_ms = sw.milliseconds();
+    sw.reset();
+    std::vector<double> x;
+    for (index_t c = 0; c < k; ++c)
+      x = solver.solve(std::vector<double>(
+          B.begin() + static_cast<std::ptrdiff_t>(c) * host_n,
+          B.begin() + static_cast<std::ptrdiff_t>(c + 1) * host_n));
+    const double singles_ms = sw.milliseconds();
+    sw.reset();
+    const std::vector<double> X = solver.solve_many(B, k);
+    const double batched_ms = sw.milliseconds();
+    std::printf("Host wall-clock (n = %d, k = %d): analysis %.2f ms, "
+                "%d x solve() %.2f ms, solve_many %.2f ms\n"
+                "per-RHS with one-time analysis: %.3f ms batched vs %.3f ms "
+                "re-analysed per solve\n",
+                host_n, k, pre_ms, k, singles_ms, batched_ms,
+                (pre_ms + batched_ms) / k, pre_ms + singles_ms / k);
+  }
   return 0;
 }

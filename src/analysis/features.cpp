@@ -29,8 +29,7 @@ MatrixFeatures compute_features(const Csr<T>& a) {
     for (offset_t k = a.row_ptr[static_cast<std::size_t>(i)];
          k < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
       const index_t j = a.col_idx[static_cast<std::size_t>(k)];
-      f.bandwidth = std::max(f.bandwidth, static_cast<index_t>(std::abs(
-                                              static_cast<long>(i) - j)));
+      f.bandwidth = std::max(f.bandwidth, index_distance(i, j));
       if (j != i) diag_only = false;
     }
   }

@@ -5,6 +5,7 @@
 // power-law load-imbalance pathology (§2.2).
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "analysis/levels.hpp"
@@ -24,6 +25,16 @@ struct MatrixFeatures {
   index_t bandwidth = 0;       // max |i - j| over nonzeros
   bool diagonal_only = false;  // triangular block with perfect parallelism
 };
+
+/// |i - j| computed in 64-bit. `long` is 32-bit on LLP64 platforms, where
+/// `std::abs(long(i) - j)` overflows for index pairs spanning more than
+/// INT32_MAX rows/columns; widening each operand first keeps the difference
+/// exact for every representable index pair.
+inline index_t index_distance(index_t i, index_t j) {
+  const std::int64_t d =
+      static_cast<std::int64_t>(i) - static_cast<std::int64_t>(j);
+  return static_cast<index_t>(d < 0 ? -d : d);
+}
 
 template <class T>
 MatrixFeatures compute_features(const Csr<T>& a);

@@ -24,4 +24,11 @@ using offset_t = std::int64_t;
 /// gathers, warp-per-row processing, scalar-kernel divergence groups).
 inline constexpr int kWarp = 32;
 
+/// Column-tile width of the batched (multi-RHS) host kernels: each row visit
+/// streams the row's structure once and updates up to this many right-hand
+/// sides from a stack-resident accumulator before the next tile. Per column
+/// the floating-point operation order equals the single-RHS kernel's, so the
+/// batched results are bitwise identical to k independent solves.
+inline constexpr int kRhsTile = 8;
+
 }  // namespace blocktri

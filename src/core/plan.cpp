@@ -27,6 +27,26 @@ std::vector<index_t> uniform_boundaries(index_t n, index_t nseg) {
   return b;
 }
 
+namespace {
+
+/// More segments than rows would make uniform_boundaries repeat values,
+/// yielding empty triangular blocks and zero-area squares in the plan.
+/// Clamping keeps every segment non-empty (n == 0 still plans one empty
+/// segment so the degenerate system flows through the normal executor).
+index_t clamp_nseg(index_t n, index_t nseg) {
+  return std::max<index_t>(1, std::min(nseg, n));
+}
+
+/// Invariant after clamping: every triangular segment is non-empty (strictly
+/// increasing boundaries) except in the n == 0 single-segment plan.
+void check_segments_nonempty(const std::vector<index_t>& b, index_t n) {
+  for (std::size_t s = 0; s + 1 < b.size(); ++s)
+    BLOCKTRI_CHECK_MSG(n == 0 || b[s] < b[s + 1],
+                       "planner produced an empty triangular segment");
+}
+
+}  // namespace
+
 std::int64_t BlockPlan::b_items_updated() const {
   // Triangular solves consume each b entry once ...
   std::int64_t total = n;
@@ -42,12 +62,14 @@ std::int64_t BlockPlan::x_items_loaded() const {
 }
 
 BlockPlan plan_column(index_t n, index_t nseg) {
+  nseg = clamp_nseg(n, nseg);
   BlockPlan p;
   p.scheme = BlockScheme::kColumn;
   p.n = n;
   p.new_of_old.resize(static_cast<std::size_t>(n));
   std::iota(p.new_of_old.begin(), p.new_of_old.end(), 0);
   p.tri_bounds = uniform_boundaries(n, nseg);
+  check_segments_nonempty(p.tri_bounds, n);
   for (index_t si = 0; si < nseg; ++si) {
     p.steps.push_back({ExecStep::Kind::kTri, si});
     if (si + 1 < nseg) {
@@ -64,12 +86,14 @@ BlockPlan plan_column(index_t n, index_t nseg) {
 }
 
 BlockPlan plan_row(index_t n, index_t nseg) {
+  nseg = clamp_nseg(n, nseg);
   BlockPlan p;
   p.scheme = BlockScheme::kRow;
   p.n = n;
   p.new_of_old.resize(static_cast<std::size_t>(n));
   std::iota(p.new_of_old.begin(), p.new_of_old.end(), 0);
   p.tri_bounds = uniform_boundaries(n, nseg);
+  check_segments_nonempty(p.tri_bounds, n);
   for (index_t si = 0; si < nseg; ++si) {
     if (si > 0) {
       // The rectangle left of triangular block si: this segment's rows, all

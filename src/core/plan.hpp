@@ -73,11 +73,13 @@ struct BlockPlan {
 };
 
 /// Fig. 2(a): nseg column blocks; square si spans rows (b[si+1], n) x cols
-/// segment si. No reordering.
+/// segment si. No reordering. nseg is clamped to max(1, min(nseg, n)) so no
+/// segment is ever empty.
 BlockPlan plan_column(index_t n, index_t nseg);
 
 /// Fig. 2(b): nseg row blocks; square si spans rows segment si x cols
-/// [0, b[si]). No reordering.
+/// [0, b[si]). No reordering. nseg is clamped to max(1, min(nseg, n)) so no
+/// segment is ever empty.
 BlockPlan plan_row(index_t n, index_t nseg);
 
 /// Fig. 2(c) + §3.3: recursive halving with per-node level-set reordering.

@@ -20,6 +20,35 @@ bool all_finite(const T* v, index_t n) {
     if (!std::isfinite(static_cast<double>(v[i]))) return false;
   return true;
 }
+
+/// Column-wise permute_vector over an n × k column-major panel.
+template <class T>
+std::vector<T> permute_panel(const std::vector<T>& v,
+                             const std::vector<index_t>& new_of_old,
+                             index_t k) {
+  const std::size_t n = new_of_old.size();
+  std::vector<T> out(v.size());
+  for (index_t c = 0; c < k; ++c) {
+    const std::size_t off = static_cast<std::size_t>(c) * n;
+    for (std::size_t i = 0; i < n; ++i)
+      out[off + static_cast<std::size_t>(new_of_old[i])] = v[off + i];
+  }
+  return out;
+}
+
+template <class T>
+std::vector<T> unpermute_panel(const std::vector<T>& v,
+                               const std::vector<index_t>& new_of_old,
+                               index_t k) {
+  const std::size_t n = new_of_old.size();
+  std::vector<T> out(v.size());
+  for (index_t c = 0; c < k; ++c) {
+    const std::size_t off = static_cast<std::size_t>(c) * n;
+    for (std::size_t i = 0; i < n; ++i)
+      out[off + i] = v[off + static_cast<std::size_t>(new_of_old[i])];
+  }
+  return out;
+}
 }  // namespace
 
 template <class T>
@@ -117,6 +146,17 @@ BlockSolver<T>::BlockSolver(const Csr<T>& lower, const Options& opt)
     SquareBlock& out = squares_[q];
     out.info.ref = ref;
     out.info.nnz = blk.nnz();
+    if (blk.nnz() == 0) {
+      // Empty square: a no-op both executors skip (compute_step_waves drops
+      // it from the waves, exec_step returns early), so adaptive selection
+      // and a DCSR build would be pure waste. Mark it canonically as
+      // scalar-CSR so serial, wave and introspection paths agree.
+      out.info.kind = SpmvKernelKind::kScalarCsr;
+      out.info.empty_ratio = ref.r1 > ref.r0 ? 1.0 : 0.0;
+      out.csr = std::move(blk);
+      square_info_.push_back(out.info);
+      continue;
+    }
     const MatrixFeatures feat = compute_features(blk);
     out.info.empty_ratio = feat.empty_ratio;
     out.info.kind = opt.adaptive ? select_square_kernel(feat, opt.thresholds)
@@ -208,8 +248,69 @@ void BlockSolver<T>::exec_step(const ExecStep& step, T* bw, T* xw,
     exec_tri(blk, bw + blk.info.r0, xw + blk.info.r0, nullptr, pool);
   } else {
     const SquareBlock& blk = squares_[static_cast<std::size_t>(step.index)];
+    if (blk.info.nnz == 0) return;  // skipped, like the wave executor
     exec_square(blk, xw + blk.info.ref.c0, bw + blk.info.ref.r0, nullptr,
                 pool);
+  }
+}
+
+template <class T>
+void BlockSolver<T>::exec_tri_many(const TriBlock& blk, const T* b, T* x,
+                                   index_t k, ThreadPool* pool) const {
+  switch (blk.info.kind) {
+    case TriKernelKind::kCompletelyParallel:
+      blk.diag->solve_many(b, x, k, plan_.n, pool);
+      return;
+    case TriKernelKind::kLevelSet:
+      blk.levelset->solve_many(b, x, k, plan_.n, pool);
+      return;
+    case TriKernelKind::kSyncFree:
+      blk.syncfree->solve_many(b, x, k, plan_.n, pool);
+      return;
+    case TriKernelKind::kCusparseLike:
+      blk.cusparse->solve_many(b, x, k, plan_.n);
+      return;
+  }
+  BLOCKTRI_CHECK_MSG(false, "unknown triangular kernel kind");
+}
+
+template <class T>
+void BlockSolver<T>::exec_square_many(const SquareBlock& blk, const T* x,
+                                      T* y, index_t k, ThreadPool* pool) const {
+  switch (blk.info.kind) {
+    case SpmvKernelKind::kScalarCsr:
+      spmv_scalar_csr_many(blk.csr, x, y, k, plan_.n, plan_.n, pool);
+      return;
+    case SpmvKernelKind::kVectorCsr:
+      spmv_vector_csr_many(blk.csr, x, y, k, plan_.n, plan_.n, pool);
+      return;
+    case SpmvKernelKind::kScalarDcsr:
+      spmv_scalar_dcsr_many(blk.dcsr, x, y, k, plan_.n, plan_.n, pool);
+      return;
+    case SpmvKernelKind::kVectorDcsr:
+      spmv_vector_dcsr_many(blk.dcsr, x, y, k, plan_.n, plan_.n, pool);
+      return;
+  }
+  BLOCKTRI_CHECK_MSG(false, "unknown square kernel kind");
+}
+
+template <class T>
+void BlockSolver<T>::exec_step_many(const ExecStep& step, T* bw, T* xw,
+                                    index_t c0, index_t c1,
+                                    ThreadPool* pool) const {
+  const index_t k = c1 - c0;
+  if (k <= 0) return;
+  const std::size_t coff =
+      static_cast<std::size_t>(c0) * static_cast<std::size_t>(plan_.n);
+  if (step.kind == ExecStep::Kind::kTri) {
+    const TriBlock& blk = tri_[static_cast<std::size_t>(step.index)];
+    exec_tri_many(blk, bw + coff + blk.info.r0, xw + coff + blk.info.r0, k,
+                  pool);
+  } else {
+    const SquareBlock& blk = squares_[static_cast<std::size_t>(step.index)];
+    if (blk.info.nnz == 0) return;  // skipped, like the wave executor
+    exec_square_many(blk, xw + coff + blk.info.ref.c0,
+                     bw + coff + blk.info.ref.r0, k, pool);
   }
 }
 
@@ -239,6 +340,55 @@ std::vector<T> BlockSolver<T>::solve(const std::vector<T>& b) const {
     }
   }
   return unpermute_vector(xw, plan_.new_of_old);
+}
+
+template <class T>
+std::vector<T> BlockSolver<T>::solve_many(const std::vector<T>& B,
+                                          index_t k) const {
+  BLOCKTRI_CHECK_MSG(k >= 0, "solve_many requires k >= 0");
+  BLOCKTRI_CHECK_MSG(
+      B.size() == static_cast<std::size_t>(plan_.n) *
+                      static_cast<std::size_t>(k),
+      "solve_many panel must hold n * k entries, column-major");
+  if (k == 0) return {};
+  std::vector<T> bw = permute_panel(B, plan_.new_of_old, k);
+  std::vector<T> xw(B.size());
+
+  if (pool_ == nullptr) {
+    for (const ExecStep& step : plan_.steps)
+      exec_step_many(step, bw.data(), xw.data(), 0, k, nullptr);
+    return unpermute_panel(xw, plan_.new_of_old, k);
+  }
+
+  // Threaded executor over steps × column chunks. A wave whose steps alone
+  // can occupy the pool runs one task per step (each batched kernel serial
+  // inside — the fork-join pool is not reentrant); a narrow wave additionally
+  // splits the panel columns so idle threads get work. A single-task wave
+  // instead hands the pool to the batched kernel itself. All batched kernels
+  // are deterministic, so any shape gives the bitwise-identical panel.
+  for (const std::vector<ExecStep>& wave : waves_) {
+    const int nsteps = static_cast<int>(wave.size());
+    const int nchunks =
+        (k > 1 && nsteps < threads_)
+            ? static_cast<int>(std::min<index_t>(
+                  k, static_cast<index_t>((threads_ + nsteps - 1) / nsteps)))
+            : 1;
+    if (nsteps * nchunks == 1) {
+      exec_step_many(wave[0], bw.data(), xw.data(), 0, k, pool_.get());
+    } else {
+      pool_->run(nsteps * nchunks, [&](int t) {
+        const int s = t / nchunks;
+        const int ch = t % nchunks;
+        const index_t c0 = static_cast<index_t>(
+            static_cast<std::int64_t>(k) * ch / nchunks);
+        const index_t c1 = static_cast<index_t>(
+            static_cast<std::int64_t>(k) * (ch + 1) / nchunks);
+        exec_step_many(wave[static_cast<std::size_t>(s)], bw.data(), xw.data(),
+                       c0, c1, nullptr);
+      });
+    }
+  }
+  return unpermute_panel(xw, plan_.new_of_old, k);
 }
 
 template <class T>
@@ -308,6 +458,7 @@ Status BlockSolver<T>::run_steps_checked(std::vector<T>& bw,
   for (const ExecStep& step : plan_.steps) {
     if (step.kind != ExecStep::Kind::kTri) {
       const SquareBlock& blk = squares_[static_cast<std::size_t>(step.index)];
+      if (blk.info.nnz == 0) continue;  // skipped, like the plain executors
       exec_square(blk, xw.data() + blk.info.ref.c0,
                   bw.data() + blk.info.ref.r0, nullptr, pool_.get());
       continue;
@@ -458,6 +609,164 @@ SolveResult<T> BlockSolver<T>::solve_checked(const std::vector<T>& b) const {
                         "residual " + std::to_string(resid) +
                             " exceeds tolerance " +
                             std::to_string(res.report.tolerance));
+  return res;
+}
+
+template <class T>
+Status BlockSolver<T>::run_steps_checked_many(
+    std::vector<T>& bw, std::vector<T>& xw, index_t k,
+    std::vector<SolveReport>* reps) const {
+  const std::size_t n = static_cast<std::size_t>(plan_.n);
+  for (const ExecStep& step : plan_.steps) {
+    if (step.kind != ExecStep::Kind::kTri) {
+      const SquareBlock& blk = squares_[static_cast<std::size_t>(step.index)];
+      if (blk.info.nnz == 0) continue;  // skipped, like the plain executors
+      exec_square_many(blk, xw.data() + blk.info.ref.c0,
+                       bw.data() + blk.info.ref.r0, k, pool_.get());
+      continue;
+    }
+    const TriBlock& blk = tri_[static_cast<std::size_t>(step.index)];
+    const index_t len = blk.info.r1 - blk.info.r0;
+
+    // Attempt 0: the selected kernel, batched over the whole panel.
+    exec_tri_many(blk, bw.data() + blk.info.r0, xw.data() + blk.info.r0, k,
+                  pool_.get());
+    const bool faulted = step.index == opt_.fault.tri_block &&
+                         opt_.fault.corrupt_attempts > 0 && len > 0 &&
+                         opt_.fault.column >= 0 && opt_.fault.column < k;
+    if (faulted)
+      xw[static_cast<std::size_t>(opt_.fault.column) * n +
+         static_cast<std::size_t>(blk.info.r0)] =
+          std::numeric_limits<T>::quiet_NaN();
+
+    // A column that came out non-finite degrades alone through the
+    // single-RHS rungs; the healthy columns keep the batched result.
+    for (index_t c = 0; c < k; ++c) {
+      T* xx = xw.data() + static_cast<std::size_t>(c) * n + blk.info.r0;
+      const T* bb =
+          bw.data() + static_cast<std::size_t>(c) * n + blk.info.r0;
+      if (all_finite(xx, len)) continue;
+
+      bool ok = false;
+      if (opt_.verify.fallback) {
+        int attempt = 1;  // the batched kernel above was attempt 0
+        auto run = [&](auto&& solve_fn) {
+          solve_fn();
+          if (faulted && c == this->opt_.fault.column &&
+              attempt < this->opt_.fault.corrupt_attempts)
+            xx[0] = std::numeric_limits<T>::quiet_NaN();
+          ++attempt;
+          return all_finite(xx, len);
+        };
+        SolveReport& rep = (*reps)[static_cast<std::size_t>(c)];
+        if (blk.info.kind != TriKernelKind::kLevelSet) {
+          rep.fallbacks.push_back(
+              {step.index, blk.info.kind, FallbackEvent::Rung::kLevelSet});
+          const LevelSetSolver<T> ls(blk.csr);
+          ok = run([&] { ls.solve(bb, xx, nullptr); });
+        }
+        if (!ok) {
+          rep.fallbacks.push_back(
+              {step.index, blk.info.kind, FallbackEvent::Rung::kSerial});
+          ok = run([&] { sptrsv_serial_raw(blk.csr, bb, xx); });
+        }
+      }
+      if (!ok)
+        return Status(StatusCode::kNumericalBreakdown,
+                      "triangular block " + std::to_string(step.index) +
+                          " (rows " + std::to_string(blk.info.r0) + ".." +
+                          std::to_string(blk.info.r1) +
+                          ") produced non-finite output for panel column " +
+                          std::to_string(c) +
+                          " on every rung of the fallback ladder",
+                      static_cast<std::int64_t>(c));
+    }
+  }
+  return Status::Ok();
+}
+
+template <class T>
+SolveManyResult<T> BlockSolver<T>::solve_many_checked(const std::vector<T>& B,
+                                                      index_t k) const {
+  SolveManyResult<T> res;
+  if (!opt_.verify.enabled) {
+    res.status = Status(
+        StatusCode::kInvalidArgument,
+        "solve_many_checked requires Options::verify.enabled at build time");
+    return res;
+  }
+  const std::size_t n = static_cast<std::size_t>(plan_.n);
+  if (k < 0 || B.size() != n * static_cast<std::size_t>(k)) {
+    res.status = Status(StatusCode::kInvalidArgument,
+                        "panel has " + std::to_string(B.size()) +
+                            " entries, expected n * k = " +
+                            std::to_string(n * static_cast<std::size_t>(
+                                                   std::max<index_t>(k, 0))));
+    return res;
+  }
+  if (k == 0) return res;
+  for (std::size_t i = 0; i < B.size(); ++i) {
+    if (!std::isfinite(static_cast<double>(B[i]))) {
+      res.status =
+          Status(StatusCode::kNonFinite,
+                 "panel entry " + std::to_string(i % n) + " of column " +
+                     std::to_string(i / n) + " is not finite",
+                 static_cast<std::int64_t>(i));
+      return res;
+    }
+  }
+
+  const double tol = opt_.verify.tolerance > 0.0
+                         ? opt_.verify.tolerance
+                         : default_residual_tolerance();
+  res.reports.resize(static_cast<std::size_t>(k));
+  for (SolveReport& rep : res.reports) rep.tolerance = tol;
+
+  const std::vector<T> bw0 = permute_panel(B, plan_.new_of_old, k);
+  std::vector<T> bw = bw0;
+  std::vector<T> xw(B.size());
+  if (Status st = run_steps_checked_many(bw, xw, k, &res.reports); !st.ok()) {
+    res.status = st;
+    res.X = unpermute_panel(xw, plan_.new_of_old, k);
+    return res;
+  }
+
+  // Residual check and refinement stay per-column: each column carries its
+  // own report, and refinement solves reuse the single-RHS ladder.
+  double worst = 0.0;
+  index_t worst_col = -1;
+  for (index_t c = 0; c < k; ++c) {
+    SolveReport& rep = res.reports[static_cast<std::size_t>(c)];
+    const std::size_t off = static_cast<std::size_t>(c) * n;
+    std::vector<T> xc(xw.begin() + static_cast<std::ptrdiff_t>(off),
+                      xw.begin() + static_cast<std::ptrdiff_t>(off + n));
+    const std::vector<T> bc(bw0.begin() + static_cast<std::ptrdiff_t>(off),
+                            bw0.begin() + static_cast<std::ptrdiff_t>(off + n));
+    double resid = residual_norm(xc, bc);
+    rep.residual_checked = true;
+    for (int it = 0; it < opt_.verify.max_refinements && resid > tol; ++it) {
+      std::vector<T> rw = residual_vec(xc, bc);
+      std::vector<T> dw(n);
+      if (!run_steps_checked(rw, dw, &rep).ok()) break;
+      for (std::size_t i = 0; i < n; ++i) xc[i] += dw[i];
+      resid = residual_norm(xc, bc);
+      ++rep.refinements;
+    }
+    rep.residual = resid;
+    std::copy(xc.begin(), xc.end(),
+              xw.begin() + static_cast<std::ptrdiff_t>(off));
+    if (!(resid <= tol) && resid >= worst) {
+      worst = resid;
+      worst_col = c;
+    }
+  }
+  res.X = unpermute_panel(xw, plan_.new_of_old, k);
+  if (worst_col >= 0)
+    res.status = Status(StatusCode::kResidualTooLarge,
+                        "panel column " + std::to_string(worst_col) +
+                            " residual " + std::to_string(worst) +
+                            " exceeds tolerance " + std::to_string(tol),
+                        static_cast<std::int64_t>(worst_col));
   return res;
 }
 

@@ -78,6 +78,19 @@ struct SolveResult {
   bool ok() const { return status.ok(); }
 };
 
+/// Outcome of solve_many_checked: the solution panel (n × k, column-major)
+/// and one SolveReport per column. `status` is the worst column's outcome —
+/// Ok only when every column verified; on kResidualTooLarge /
+/// kNumericalBreakdown the per-column reports identify the offenders, and X
+/// still holds the best solution found for every column.
+template <class T>
+struct SolveManyResult {
+  Status status;
+  std::vector<T> X;                  // n × k, column-major
+  std::vector<SolveReport> reports;  // one per right-hand side
+  bool ok() const { return status.ok(); }
+};
+
 template <class T>
 class BlockSolver {
  public:
@@ -118,10 +131,13 @@ class BlockSolver {
     /// while solve_checked processes triangular block `tri_block`, the
     /// output of its first `corrupt_attempts` solve attempts (0 = the
     /// selected kernel, 1 = the next fallback rung, ...) is poisoned with
-    /// NaN, forcing the ladder to engage. Never set in production.
+    /// NaN, forcing the ladder to engage. In solve_many_checked only panel
+    /// column `column` is poisoned — the other columns must sail through
+    /// untouched. Never set in production.
     struct FaultInjection {
       index_t tri_block = -1;
       int corrupt_attempts = 0;
+      index_t column = 0;
     };
     FaultInjection fault;
   };
@@ -140,12 +156,31 @@ class BlockSolver {
   /// Solves L x = b (host execution only).
   std::vector<T> solve(const std::vector<T>& b) const;
 
+  /// Batched solve of k right-hand sides against the same plan: `B` is an
+  /// n × k column-major panel (column c occupies [c·n, (c+1)·n)) and the
+  /// returned X uses the same layout. One pass over the execution steps
+  /// solves every column per step, so the plan, per-block structures and
+  /// level sets are streamed once per step instead of once per RHS. With
+  /// threads > 1 the wave executor parallelises over steps × column chunks;
+  /// every batched kernel is deterministic, so the result is bitwise
+  /// identical to k independent solve() calls at threads = 1, at any thread
+  /// count.
+  std::vector<T> solve_many(const std::vector<T>& B, index_t k) const;
+
   /// Hardened solve: validates b (size, finiteness), runs the block solve
   /// with the per-block fallback ladder, then verifies the normwise residual
   /// and applies up to verify.max_refinements rounds of iterative refinement
   /// when it exceeds the tolerance. Never throws on bad numerics — the
   /// outcome is typed in SolveResult::status and itemised in the report.
   SolveResult<T> solve_checked(const std::vector<T>& b) const;
+
+  /// Hardened batched solve: validates the panel, runs the batched block
+  /// solve with the per-block fallback ladder engaged per column (a bad
+  /// column degrades alone — the healthy columns keep their fast batched
+  /// result), then verifies every column's normwise residual and applies
+  /// per-column iterative refinement. Requires verify.enabled.
+  SolveManyResult<T> solve_many_checked(const std::vector<T>& B,
+                                        index_t k) const;
 
   /// Solves and accounts simulated GPU time into `report`. `cache` carries
   /// locality across calls (pass the same cache for warm-cache measurements;
@@ -224,10 +259,25 @@ class BlockSolver {
                    ThreadPool* pool = nullptr) const;
   /// One ExecStep of the host solve (no simulation, no ladder).
   void exec_step(const ExecStep& step, T* bw, T* xw, ThreadPool* pool) const;
+  /// Batched counterparts (host only): b/x/y point at the block's rows in
+  /// the panel's first solved column; the leading dimension is plan_.n.
+  void exec_tri_many(const TriBlock& blk, const T* b, T* x, index_t k,
+                     ThreadPool* pool) const;
+  void exec_square_many(const SquareBlock& blk, const T* x, T* y, index_t k,
+                        ThreadPool* pool) const;
+  /// One ExecStep of the batched host solve over panel columns [c0, c1).
+  void exec_step_many(const ExecStep& step, T* bw, T* xw, index_t c0,
+                      index_t c1, ThreadPool* pool) const;
   /// One pass over the execution steps with the fallback ladder armed.
   /// Consumes bw (square blocks accumulate into it).
   Status run_steps_checked(std::vector<T>& bw, std::vector<T>& xw,
                            SolveReport* rep) const;
+  /// Batched ladder pass: the selected kernels run batched over all k
+  /// columns; columns with non-finite output degrade individually through
+  /// the single-RHS rungs, recorded in their own report.
+  Status run_steps_checked_many(std::vector<T>& bw, std::vector<T>& xw,
+                                index_t k,
+                                std::vector<SolveReport>* reps) const;
   /// r = bw0 − L·xw over the retained (permuted) matrix.
   std::vector<T> residual_vec(const std::vector<T>& xw,
                               const std::vector<T>& bw0) const;

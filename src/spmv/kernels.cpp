@@ -104,6 +104,54 @@ void host_update(const std::vector<offset_t>& row_ptr,
   }
 }
 
+/// Batched host execution shared by all four *_many kernels:
+/// y[row + c·ldy] -= Σ val·x[col + c·ldx] for every panel column c. Rows are
+/// partitioned exactly like host_update (nnz-balanced contiguous chunks) and
+/// each row owns its y entries in every column, so the result is bitwise
+/// identical at any thread count; per column the accumulation order equals
+/// the single-RHS kernel's.
+template <class T>
+void host_update_many(const std::vector<offset_t>& row_ptr,
+                      const std::vector<index_t>& col_idx,
+                      const std::vector<T>& val, const index_t* row_ids,
+                      index_t nrows_listed, const T* x, T* y, index_t k,
+                      index_t ldx, index_t ldy, ThreadPool* pool) {
+  if (k <= 0 || nrows_listed <= 0) return;
+  auto run_range = [&](index_t r0, index_t r1) {
+    for (index_t r = r0; r < r1; ++r) {
+      const offset_t lo = row_ptr[static_cast<std::size_t>(r)];
+      const offset_t hi = row_ptr[static_cast<std::size_t>(r) + 1];
+      const index_t row = row_ids == nullptr ? r : row_ids[r];
+      for (index_t ct = 0; ct < k; ct += kRhsTile) {
+        const int nt = static_cast<int>(
+            ct + kRhsTile <= k ? kRhsTile : k - ct);
+        T acc[kRhsTile] = {};
+        for (offset_t p = lo; p < hi; ++p) {
+          const T v = val[static_cast<std::size_t>(p)];
+          const T* xc = x + col_idx[static_cast<std::size_t>(p)];
+          for (int c = 0; c < nt; ++c)
+            acc[c] += v * xc[static_cast<std::size_t>(ct + c) *
+                             static_cast<std::size_t>(ldx)];
+        }
+        for (int c = 0; c < nt; ++c)
+          y[static_cast<std::size_t>(row) +
+            static_cast<std::size_t>(ct + c) *
+                static_cast<std::size_t>(ldy)] -= acc[c];
+      }
+    }
+  };
+  const offset_t nnz = row_ptr[static_cast<std::size_t>(nrows_listed)];
+  if (parallel_enabled(pool) && nnz * k >= kHostParallelMinNnz &&
+      nrows_listed >= 2) {
+    const std::vector<index_t> bounds =
+        balanced_row_partition(row_ptr, nrows_listed, pool->size());
+    pool->run_partition(bounds,
+                        [&](index_t r0, index_t r1, int) { run_range(r0, r1); });
+  } else {
+    run_range(0, nrows_listed);
+  }
+}
+
 /// Cost model shared by the vector kernels: one warp per (listed) row,
 /// gathering x in 32-lane groups and reducing with warp shuffles.
 template <class T>
@@ -221,6 +269,58 @@ void spmv_update(SpmvKernelKind kind, const Csr<T>& a, const T* x, T* y,
 }
 
 template <class T>
+void spmv_scalar_csr_many(const Csr<T>& a, const T* x, T* y, index_t k,
+                          index_t ldx, index_t ldy, ThreadPool* pool) {
+  host_update_many(a.row_ptr, a.col_idx, a.val, nullptr, a.nrows, x, y, k,
+                   ldx, ldy, pool);
+}
+
+template <class T>
+void spmv_vector_csr_many(const Csr<T>& a, const T* x, T* y, index_t k,
+                          index_t ldx, index_t ldy, ThreadPool* pool) {
+  host_update_many(a.row_ptr, a.col_idx, a.val, nullptr, a.nrows, x, y, k,
+                   ldx, ldy, pool);
+}
+
+template <class T>
+void spmv_scalar_dcsr_many(const Dcsr<T>& a, const T* x, T* y, index_t k,
+                           index_t ldx, index_t ldy, ThreadPool* pool) {
+  host_update_many(a.row_ptr, a.col_idx, a.val, a.row_ids.data(),
+                   a.nnz_rows(), x, y, k, ldx, ldy, pool);
+}
+
+template <class T>
+void spmv_vector_dcsr_many(const Dcsr<T>& a, const T* x, T* y, index_t k,
+                           index_t ldx, index_t ldy, ThreadPool* pool) {
+  host_update_many(a.row_ptr, a.col_idx, a.val, a.row_ids.data(),
+                   a.nnz_rows(), x, y, k, ldx, ldy, pool);
+}
+
+template <class T>
+void spmv_update_many(SpmvKernelKind kind, const Csr<T>& a, const T* x, T* y,
+                      index_t k, index_t ldx, index_t ldy, ThreadPool* pool) {
+  switch (kind) {
+    case SpmvKernelKind::kScalarCsr:
+      spmv_scalar_csr_many(a, x, y, k, ldx, ldy, pool);
+      return;
+    case SpmvKernelKind::kVectorCsr:
+      spmv_vector_csr_many(a, x, y, k, ldx, ldy, pool);
+      return;
+    case SpmvKernelKind::kScalarDcsr: {
+      const Dcsr<T> d = csr_to_dcsr(a);
+      spmv_scalar_dcsr_many(d, x, y, k, ldx, ldy, pool);
+      return;
+    }
+    case SpmvKernelKind::kVectorDcsr: {
+      const Dcsr<T> d = csr_to_dcsr(a);
+      spmv_vector_dcsr_many(d, x, y, k, ldx, ldy, pool);
+      return;
+    }
+  }
+  BLOCKTRI_CHECK_MSG(false, "unknown SpMV kernel kind");
+}
+
+template <class T>
 std::vector<T> spmv_apply(const Csr<T>& a, const std::vector<T>& x) {
   BLOCKTRI_CHECK(x.size() == static_cast<std::size_t>(a.ncols));
   std::vector<T> y(static_cast<std::size_t>(a.nrows), T(0));
@@ -241,6 +341,16 @@ std::vector<T> spmv_apply(const Csr<T>& a, const std::vector<T>& x) {
                                  const SpmvSim*, ThreadPool*);                \
   template void spmv_update(SpmvKernelKind, const Csr<T>&, const T*, T*,      \
                             const SpmvSim*, ThreadPool*);                     \
+  template void spmv_scalar_csr_many(const Csr<T>&, const T*, T*, index_t,    \
+                                     index_t, index_t, ThreadPool*);          \
+  template void spmv_vector_csr_many(const Csr<T>&, const T*, T*, index_t,    \
+                                     index_t, index_t, ThreadPool*);          \
+  template void spmv_scalar_dcsr_many(const Dcsr<T>&, const T*, T*, index_t,  \
+                                      index_t, index_t, ThreadPool*);         \
+  template void spmv_vector_dcsr_many(const Dcsr<T>&, const T*, T*, index_t,  \
+                                      index_t, index_t, ThreadPool*);         \
+  template void spmv_update_many(SpmvKernelKind, const Csr<T>&, const T*,     \
+                                 T*, index_t, index_t, index_t, ThreadPool*); \
   template std::vector<T> spmv_apply(const Csr<T>&, const std::vector<T>&);
 
 BLOCKTRI_INSTANTIATE(float)

@@ -72,6 +72,45 @@ template <class T>
 void spmv_update(SpmvKernelKind kind, const Csr<T>& a, const T* x, T* y,
                  const SpmvSim* s, ThreadPool* pool = nullptr);
 
+// --- Batched (multi-RHS) update kernels -------------------------------------
+//
+// SpMM-style Y ← Y − A·X over column-major panels: X has k columns with
+// leading dimension `ldx`, Y with `ldy`. Each (listed) row streams its
+// structure once and updates all k columns in kRhsTile-wide stack-accumulated
+// groups, so the CSR/DCSR arrays are read once per solve step instead of once
+// per RHS. Host only (no simulation context — the batched path is the
+// wall-clock execution backend). Every row writes only its own y entries
+// across every column, so the result is bitwise identical to k single-RHS
+// calls at any thread count.
+
+template <class T>
+void spmv_scalar_csr_many(const Csr<T>& a, const T* x, T* y, index_t k,
+                          index_t ldx, index_t ldy,
+                          ThreadPool* pool = nullptr);
+
+template <class T>
+void spmv_vector_csr_many(const Csr<T>& a, const T* x, T* y, index_t k,
+                          index_t ldx, index_t ldy,
+                          ThreadPool* pool = nullptr);
+
+template <class T>
+void spmv_scalar_dcsr_many(const Dcsr<T>& a, const T* x, T* y, index_t k,
+                           index_t ldx, index_t ldy,
+                           ThreadPool* pool = nullptr);
+
+template <class T>
+void spmv_vector_dcsr_many(const Dcsr<T>& a, const T* x, T* y, index_t k,
+                           index_t ldx, index_t ldy,
+                           ThreadPool* pool = nullptr);
+
+/// Dispatch by kind on a pre-built CSR block (DCSR kinds convert on the fly,
+/// mirroring spmv_update — production callers hold native DCSR blocks and
+/// call spmv_*_dcsr_many directly).
+template <class T>
+void spmv_update_many(SpmvKernelKind kind, const Csr<T>& a, const T* x, T* y,
+                      index_t k, index_t ldx, index_t ldy,
+                      ThreadPool* pool = nullptr);
+
 /// Plain y = A·x convenience used by examples/tests (no simulation).
 template <class T>
 std::vector<T> spmv_apply(const Csr<T>& a, const std::vector<T>& x);

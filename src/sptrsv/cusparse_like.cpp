@@ -5,6 +5,7 @@
 
 #include "sim/kernel_sim.hpp"
 #include "sparse/triangular.hpp"
+#include "sptrsv/batched.hpp"
 
 namespace blocktri {
 
@@ -34,6 +35,16 @@ CusparseLikeSolver<T>::CusparseLikeSolver(Csr<T> lower,
     }
     in_kernel += w;
   }
+}
+
+template <class T>
+void CusparseLikeSolver<T>::solve_many(const T* b, T* x, index_t k,
+                                       index_t ld) const {
+  if (k <= 0) return;
+  for (offset_t p = 0;
+       p < ls_.level_ptr[static_cast<std::size_t>(ls_.nlevels)]; ++p)
+    sptrsv_row_many(a_, ls_.level_item[static_cast<std::size_t>(p)], b, x, 0,
+                    k, ld);
 }
 
 template <class T>

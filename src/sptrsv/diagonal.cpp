@@ -15,6 +15,26 @@ DiagonalSolver<T>::DiagonalSolver(std::vector<T> diag)
 }
 
 template <class T>
+void DiagonalSolver<T>::solve_many(const T* b, T* x, index_t k, index_t ld,
+                                   ThreadPool* pool) const {
+  const index_t count = n();
+  auto rows = [this, b, x, k, ld](index_t r0, index_t r1) {
+    for (index_t i = r0; i < r1; ++i) {
+      const T d = diag_[static_cast<std::size_t>(i)];
+      for (index_t c = 0; c < k; ++c)
+        x[i + c * ld] = b[i + c * ld] / d;
+    }
+  };
+  if (parallel_enabled(pool) &&
+      static_cast<offset_t>(count) * k >= kHostParallelMinNnz && count >= 2) {
+    pool->parallel_for(0, count,
+                       [&](index_t r0, index_t r1, int) { rows(r0, r1); });
+    return;
+  }
+  rows(0, count);
+}
+
+template <class T>
 void DiagonalSolver<T>::solve(const T* b, T* x, const TrsvSim* s,
                               ThreadPool* pool) const {
   const index_t count = n();

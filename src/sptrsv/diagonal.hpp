@@ -23,6 +23,13 @@ class DiagonalSolver {
   void solve(const T* b, T* x, const TrsvSim* s = nullptr,
              ThreadPool* pool = nullptr) const;
 
+  /// Batched solve of k right-hand sides stored column-major with leading
+  /// dimension `ld` (column c of the panel starts at b + c·ld): the diagonal
+  /// is streamed once and divides all k columns per row. Host only; bitwise
+  /// identical to k single solves at any thread count (disjoint writes).
+  void solve_many(const T* b, T* x, index_t k, index_t ld,
+                  ThreadPool* pool = nullptr) const;
+
   index_t n() const { return static_cast<index_t>(diag_.size()); }
 
  private:

@@ -5,6 +5,7 @@
 
 #include "sim/kernel_sim.hpp"
 #include "sparse/triangular.hpp"
+#include "sptrsv/batched.hpp"
 
 namespace blocktri {
 
@@ -18,6 +19,40 @@ LevelSetSolver<T>::LevelSetSolver(Csr<T> lower, ThreadPool* pool)
   BLOCKTRI_CHECK_MSG(is_lower_triangular_nonsingular(a_),
                      "LevelSetSolver requires a nonsingular lower triangle");
   ls_ = compute_level_sets(a_.nrows, a_.row_ptr, a_.col_idx, pool);
+}
+
+template <class T>
+void LevelSetSolver<T>::solve_many(const T* b, T* x, index_t k, index_t ld,
+                                   ThreadPool* pool) const {
+  if (k <= 0) return;
+  const bool parallel = parallel_enabled(pool);
+  for (index_t lvl = 0; lvl < ls_.nlevels; ++lvl) {
+    const offset_t lo = ls_.level_ptr[static_cast<std::size_t>(lvl)];
+    const offset_t hi = ls_.level_ptr[static_cast<std::size_t>(lvl) + 1];
+    if (parallel && hi - lo >= 2 * pool->size()) {
+      // Wide level: split the rows (each row owns its x entries in every
+      // column), barrier at return.
+      pool->parallel_for(
+          static_cast<index_t>(lo), static_cast<index_t>(hi),
+          [&](index_t cb, index_t ce, int) {
+            for (index_t p = cb; p < ce; ++p)
+              sptrsv_row_many(a_, ls_.level_item[static_cast<std::size_t>(p)],
+                              b, x, 0, k, ld);
+          });
+    } else if (parallel && k >= 2 * pool->size()) {
+      // Narrow level, many columns: split the columns instead; each chunk
+      // walks the level's rows serially over its own column range.
+      pool->parallel_for(0, k, [&](index_t c0, index_t c1, int) {
+        for (offset_t p = lo; p < hi; ++p)
+          sptrsv_row_many(a_, ls_.level_item[static_cast<std::size_t>(p)], b,
+                          x, c0, c1, ld);
+      });
+    } else {
+      for (offset_t p = lo; p < hi; ++p)
+        sptrsv_row_many(a_, ls_.level_item[static_cast<std::size_t>(p)], b, x,
+                        0, k, ld);
+    }
+  }
 }
 
 template <class T>

@@ -34,6 +34,16 @@ class LevelSetSolver {
   void solve(const T* b, T* x, const TrsvSim* s = nullptr,
              ThreadPool* pool = nullptr) const;
 
+  /// Batched solve of k right-hand sides (column-major panel, leading
+  /// dimension `ld`): every row visit streams the row's structure once and
+  /// updates all k columns in kRhsTile-wide groups. Host only. A pool splits
+  /// a level's rows (wide levels) or the columns (narrow levels, many
+  /// columns); both partitions write disjoint x entries with the single-RHS
+  /// operation order per column, so the result is bitwise identical to k
+  /// independent serial solves at any thread count.
+  void solve_many(const T* b, T* x, index_t k, index_t ld,
+                  ThreadPool* pool = nullptr) const;
+
   const Csr<T>& matrix() const { return a_; }
   const LevelSets& levels() const { return ls_; }
 

@@ -96,6 +96,62 @@ void syncfree_parallel(const Csc<T>& csc, const T* b, T* x,
 
 }  // namespace
 
+namespace {
+
+/// Serial batched solve over panel columns [c0, c1): ascending column order
+/// of Alg. 3's linearisation, one kRhsTile-wide accumulator panel reused per
+/// tile so the CSC structure is streamed once per tile instead of once per
+/// RHS.
+template <class T>
+void syncfree_columns_many(const Csc<T>& csc, const T* b, T* x, index_t c0,
+                           index_t c1, index_t ld) {
+  const index_t n = csc.ncols;
+  const auto nu = static_cast<std::size_t>(n);
+  std::vector<T> left(nu * static_cast<std::size_t>(
+                               std::min<index_t>(kRhsTile, c1 - c0)));
+  for (index_t ct = c0; ct < c1; ct += kRhsTile) {
+    const int nt = static_cast<int>(
+        ct + kRhsTile <= c1 ? kRhsTile : c1 - ct);
+    std::fill(left.begin(),
+              left.begin() + static_cast<std::ptrdiff_t>(nu) * nt, T(0));
+    for (index_t i = 0; i < n; ++i) {
+      const offset_t clo = csc.col_ptr[static_cast<std::size_t>(i)];
+      const offset_t chi = csc.col_ptr[static_cast<std::size_t>(i) + 1];
+      const T d = csc.val[static_cast<std::size_t>(clo)];
+      T xi[kRhsTile];
+      for (int c = 0; c < nt; ++c) {
+        const std::size_t off = static_cast<std::size_t>(i) +
+                                static_cast<std::size_t>(ct + c) *
+                                    static_cast<std::size_t>(ld);
+        xi[c] = (b[off] - left[static_cast<std::size_t>(i) + nu * c]) / d;
+        x[off] = xi[c];
+      }
+      for (offset_t p = clo + 1; p < chi; ++p) {
+        const auto row = static_cast<std::size_t>(
+            csc.row_idx[static_cast<std::size_t>(p)]);
+        const T v = csc.val[static_cast<std::size_t>(p)];
+        for (int c = 0; c < nt; ++c) left[row + nu * c] += v * xi[c];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <class T>
+void SyncFreeSolver<T>::solve_many(const T* b, T* x, index_t k, index_t ld,
+                                   ThreadPool* pool) const {
+  if (k <= 0) return;
+  if (parallel_enabled(pool) && k >= 2 &&
+      static_cast<offset_t>(k) * csc_.nnz() >= kHostParallelMinNnz) {
+    pool->parallel_for(0, k, [&](index_t c0, index_t c1, int) {
+      syncfree_columns_many(csc_, b, x, c0, c1, ld);
+    });
+    return;
+  }
+  syncfree_columns_many(csc_, b, x, 0, k, ld);
+}
+
 template <class T>
 void SyncFreeSolver<T>::solve(const T* b, T* x, const TrsvSim* s,
                               ThreadPool* pool) const {

@@ -42,6 +42,16 @@ class SyncFreeSolver {
   void solve(const T* b, T* x, const TrsvSim* s = nullptr,
              ThreadPool* pool = nullptr) const;
 
+  /// Batched solve of k right-hand sides (column-major panel, leading
+  /// dimension `ld`): each column visit streams the CSC structure once and
+  /// pushes val·x products for all k columns. Host only. Unlike solve()'s
+  /// parallel path, the batched path never races on accumulators: a pool
+  /// splits the *columns of the panel* and every chunk runs the serial
+  /// ascending-order algorithm on its own left_sum scratch, so the result is
+  /// bitwise identical to k independent serial solves at any thread count.
+  void solve_many(const T* b, T* x, index_t k, index_t ld,
+                  ThreadPool* pool = nullptr) const;
+
   const Csc<T>& matrix_csc() const { return csc_; }
   const std::vector<index_t>& in_degree() const { return in_degree_; }
 

@@ -1,0 +1,312 @@
+// Batched multi-RHS (SpTRSM) tests. The contract under test: solve_many(B, k)
+// is BITWISE identical to k independent solve() calls on a threads = 1 solver
+// — across every scheme, every forced triangular/SpMV kernel pair, both
+// precisions and any thread count (all batched kernels are deterministic; the
+// single-RHS syncfree path at threads > 1 is the only racy kernel, which is
+// why the reference is always serial). Plus the hardened panel path:
+// solve_many_checked verifies every column and degrades a faulty column
+// through the fallback ladder without touching its healthy neighbours.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "gen/generators.hpp"
+#include "helpers.hpp"
+#include "sptrsv/serial.hpp"
+
+namespace blocktri {
+namespace {
+
+using blocktri::testing::default_tol;
+using blocktri::testing::test_matrices;
+using blocktri::testing::VectorsNear;
+
+template <class T>
+typename BlockSolver<T>::Options opts(BlockScheme scheme,
+                                      index_t stop_rows = 200,
+                                      index_t nseg = 4) {
+  typename BlockSolver<T>::Options o;
+  o.scheme = scheme;
+  o.planner.stop_rows = stop_rows;
+  o.planner.nseg = nseg;
+  return o;
+}
+
+template <class T>
+std::vector<T> panel_column(const std::vector<T>& panel, index_t n,
+                            index_t c) {
+  const auto off = static_cast<std::ptrdiff_t>(c) * n;
+  return std::vector<T>(panel.begin() + off, panel.begin() + off + n);
+}
+
+/// Bitwise equality (memcmp, so even -0.0 vs +0.0 or NaN payloads differ).
+template <class T>
+::testing::AssertionResult BitwiseEqual(const std::vector<T>& got,
+                                        const std::vector<T>& want) {
+  if (got.size() != want.size())
+    return ::testing::AssertionFailure()
+           << "size mismatch: " << got.size() << " vs " << want.size();
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (std::memcmp(&got[i], &want[i], sizeof(T)) != 0)
+      return ::testing::AssertionFailure()
+             << "entry " << i << ": got " << static_cast<double>(got[i])
+             << ", want " << static_cast<double>(want[i])
+             << " (not bitwise equal)";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Asserts solve_many on `solver` equals column-by-column solve() on `ref`
+/// (a threads = 1 solver over the same matrix and plan options) bitwise.
+template <class T>
+void expect_batched_matches(const BlockSolver<T>& solver,
+                            const BlockSolver<T>& ref, index_t k,
+                            std::uint64_t seed, const std::string& tag) {
+  const index_t n = ref.n();
+  const auto B = gen::random_rhs<T>(n * k, seed);
+  const auto X = solver.solve_many(B, k);
+  ASSERT_EQ(X.size(), B.size()) << tag;
+  for (index_t c = 0; c < k; ++c) {
+    const auto want = ref.solve(panel_column(B, n, c));
+    EXPECT_TRUE(BitwiseEqual(panel_column(X, n, c), want))
+        << tag << ", column " << c << " of " << k;
+  }
+}
+
+// --- Scheme x structural family sweep (adaptive selection) -----------------
+
+class BatchedOnMatrix
+    : public ::testing::TestWithParam<std::tuple<BlockScheme, int>> {};
+
+TEST_P(BatchedOnMatrix, BitwiseDouble) {
+  const auto [scheme, mat_idx] = GetParam();
+  const auto tm = test_matrices()[static_cast<std::size_t>(mat_idx)];
+  const auto L = tm.build();
+  const BlockSolver<double> solver(L, opts<double>(scheme));
+  expect_batched_matches(solver, solver, 5, 301, tm.name);
+}
+
+TEST_P(BatchedOnMatrix, BitwiseFloat) {
+  const auto [scheme, mat_idx] = GetParam();
+  const auto tm = test_matrices()[static_cast<std::size_t>(mat_idx)];
+  const auto Lf = gen::convert_values<float>(tm.build());
+  const BlockSolver<float> solver(Lf, opts<float>(scheme));
+  expect_batched_matches(solver, solver, 5, 302, tm.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BatchedOnMatrix,
+    ::testing::Combine(
+        ::testing::Values(BlockScheme::kColumn, BlockScheme::kRow,
+                          BlockScheme::kRecursive),
+        ::testing::Range(0, static_cast<int>(test_matrices().size()))),
+    [](const ::testing::TestParamInfo<BatchedOnMatrix::ParamType>& info) {
+      std::string s = to_string(std::get<0>(info.param));
+      std::replace(s.begin(), s.end(), '-', '_');
+      return s + "_" +
+             test_matrices()[static_cast<std::size_t>(
+                                 std::get<1>(info.param))].name;
+    });
+
+// --- Forced kernel pairs: every batched tri x SpMV family ------------------
+
+TEST(Batched, ForcedKernelPairsBitwise) {
+  const auto L = gen::kkt_structure(3000, 13, 3.0, 7);
+  for (const auto tri :
+       {TriKernelKind::kLevelSet, TriKernelKind::kSyncFree,
+        TriKernelKind::kCusparseLike}) {
+    for (const auto sq :
+         {SpmvKernelKind::kScalarCsr, SpmvKernelKind::kVectorCsr,
+          SpmvKernelKind::kScalarDcsr, SpmvKernelKind::kVectorDcsr}) {
+      auto o = opts<double>(BlockScheme::kRecursive, 300);
+      o.adaptive = false;
+      o.forced_tri = tri;
+      o.forced_square = sq;
+      const BlockSolver<double> solver(L, o);
+      expect_batched_matches(solver, solver, 3, 303,
+                             to_string(tri) + "/" + to_string(sq));
+    }
+  }
+}
+
+TEST(Batched, ForcedKernelPairFloat) {
+  const auto Lf = gen::convert_values<float>(gen::grid2d(40, 25, 5));
+  auto o = opts<float>(BlockScheme::kRecursive, 150);
+  o.adaptive = false;
+  o.forced_tri = TriKernelKind::kCusparseLike;
+  o.forced_square = SpmvKernelKind::kVectorDcsr;
+  const BlockSolver<float> solver(Lf, o);
+  expect_batched_matches(solver, solver, 4, 304, "float forced pair");
+}
+
+TEST(Batched, DiagonalKernelBitwise) {
+  const auto L = gen::diagonal(257, 1);
+  const BlockSolver<double> solver(L, opts<double>(BlockScheme::kRecursive));
+  // The adaptive selector must have picked the completely-parallel kernel —
+  // otherwise this test is not covering the batched diagonal path.
+  ASSERT_FALSE(solver.tri_info().empty());
+  for (const auto& info : solver.tri_info())
+    EXPECT_EQ(info.kind, TriKernelKind::kCompletelyParallel);
+  expect_batched_matches(solver, solver, 4, 305, "diagonal");
+}
+
+// --- Thread sweep: k = 16 stays bitwise equal at any thread count ----------
+
+TEST(Batched, ThreadSweepK16Bitwise) {
+  const auto L = gen::grid2d(40, 25, 5);
+  for (const auto scheme : {BlockScheme::kRecursive, BlockScheme::kColumn}) {
+    const BlockSolver<double> ref(L, opts<double>(scheme, 150));
+    for (const int t : {1, 2, 4}) {
+      auto o = opts<double>(scheme, 150);
+      o.threads = t;
+      const BlockSolver<double> solver(L, o);
+      expect_batched_matches(solver, ref, 16, 306,
+                             to_string(scheme) + " threads=" +
+                                 std::to_string(t));
+    }
+  }
+}
+
+TEST(Batched, ThreadSweepFloat) {
+  const auto Lf = gen::convert_values<float>(gen::banded(800, 16, 3.0, 4));
+  const BlockSolver<float> ref(Lf, opts<float>(BlockScheme::kRecursive, 150));
+  for (const int t : {2, 4}) {
+    auto o = opts<float>(BlockScheme::kRecursive, 150);
+    o.threads = t;
+    const BlockSolver<float> solver(Lf, o);
+    expect_batched_matches(solver, ref, 16, 307,
+                           "float threads=" + std::to_string(t));
+  }
+}
+
+// --- Edge cases ------------------------------------------------------------
+
+TEST(Batched, KZeroReturnsEmptyPanel) {
+  const BlockSolver<double> solver(gen::diagonal(64, 2),
+                                   opts<double>(BlockScheme::kColumn));
+  EXPECT_TRUE(solver.solve_many({}, 0).empty());
+}
+
+TEST(Batched, KOneMatchesSolve) {
+  const auto L = gen::banded(800, 16, 3.0, 4);
+  const BlockSolver<double> solver(L, opts<double>(BlockScheme::kRow));
+  expect_batched_matches(solver, solver, 1, 308, "k=1");
+}
+
+TEST(Batched, WrongPanelSizeThrowsTyped) {
+  const BlockSolver<double> solver(gen::diagonal(64, 2),
+                                   opts<double>(BlockScheme::kColumn));
+  EXPECT_THROW(solver.solve_many(std::vector<double>(63, 1.0), 1), Error);
+  EXPECT_THROW(solver.solve_many(std::vector<double>(128, 1.0), 1), Error);
+}
+
+// --- Hardened panel path ---------------------------------------------------
+
+TEST(Batched, CheckedHealthyPanelVerifiesEveryColumn) {
+  const auto L = gen::grid2d(30, 20, 9);
+  const BlockSolver<double> solver(L, opts<double>(BlockScheme::kRecursive,
+                                                   150));
+  const index_t k = 3;
+  const auto B = gen::random_rhs<double>(L.nrows * k, 309);
+  const auto res = solver.solve_many_checked(B, k);
+  ASSERT_TRUE(res.ok()) << res.status.to_string();
+  ASSERT_EQ(res.reports.size(), static_cast<std::size_t>(k));
+  for (index_t c = 0; c < k; ++c) {
+    const auto& rep = res.reports[static_cast<std::size_t>(c)];
+    EXPECT_TRUE(rep.residual_checked);
+    EXPECT_LE(rep.residual, rep.tolerance);
+    EXPECT_TRUE(rep.fallbacks.empty());
+    EXPECT_TRUE(VectorsNear(panel_column(res.X, L.nrows, c),
+                            sptrsv_serial(L, panel_column(B, L.nrows, c)),
+                            default_tol<double>()))
+        << "column " << c;
+  }
+}
+
+TEST(Batched, CheckedRequiresVerifyEnabled) {
+  auto o = opts<double>(BlockScheme::kColumn);
+  o.verify.enabled = false;
+  const BlockSolver<double> solver(gen::diagonal(64, 2), o);
+  const auto res = solver.solve_many_checked(std::vector<double>(128, 1.0), 2);
+  EXPECT_EQ(res.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Batched, CheckedNonFinitePanelEntryTyped) {
+  const auto L = gen::banded(500, 8, 2.0, 3);
+  const BlockSolver<double> solver(L, opts<double>(BlockScheme::kRecursive));
+  auto B = gen::random_rhs<double>(L.nrows * 2, 310);
+  B[static_cast<std::size_t>(L.nrows) + 17] =
+      std::numeric_limits<double>::quiet_NaN();
+  const auto res = solver.solve_many_checked(B, 2);
+  EXPECT_EQ(res.status.code(), StatusCode::kNonFinite);
+  EXPECT_EQ(res.status.location(),
+            static_cast<std::int64_t>(L.nrows) + 17);
+  EXPECT_NE(res.status.message().find("column 1"), std::string::npos);
+}
+
+template <class T>
+typename BlockSolver<T>::Options ladder_options(int corrupt_attempts,
+                                                index_t column) {
+  typename BlockSolver<T>::Options o;
+  o.planner.stop_rows = 64;   // several triangular blocks
+  o.adaptive = false;         // pin the primary kernel for determinism
+  o.forced_tri = TriKernelKind::kSyncFree;
+  o.fault.tri_block = 0;
+  o.fault.corrupt_attempts = corrupt_attempts;
+  o.fault.column = column;
+  return o;
+}
+
+TEST(Batched, CheckedFaultOnOneColumnDegradesAlone) {
+  const auto L = gen::grid2d(30, 20, 9);
+  const index_t k = 3;
+  const auto B = gen::random_rhs<double>(L.nrows * k, 311);
+  const BlockSolver<double> solver(L, ladder_options<double>(1, 1));
+  const auto res = solver.solve_many_checked(B, k);
+  ASSERT_TRUE(res.ok()) << res.status.to_string();
+  ASSERT_EQ(res.reports.size(), static_cast<std::size_t>(k));
+  // Only the poisoned column engaged the ladder.
+  ASSERT_EQ(res.reports[1].fallbacks.size(), 1u);
+  EXPECT_EQ(res.reports[1].fallbacks[0].block, 0);
+  EXPECT_EQ(res.reports[1].fallbacks[0].from, TriKernelKind::kSyncFree);
+  EXPECT_EQ(res.reports[1].fallbacks[0].to, FallbackEvent::Rung::kLevelSet);
+  EXPECT_TRUE(res.reports[0].fallbacks.empty());
+  EXPECT_TRUE(res.reports[2].fallbacks.empty());
+  // Every column — the degraded one included — is still correct.
+  for (index_t c = 0; c < k; ++c)
+    EXPECT_TRUE(VectorsNear(panel_column(res.X, L.nrows, c),
+                            sptrsv_serial(L, panel_column(B, L.nrows, c)),
+                            default_tol<double>()))
+        << "column " << c;
+}
+
+TEST(Batched, CheckedFaultDegradesToSerialRung) {
+  const auto L = gen::grid2d(30, 20, 9);
+  const index_t k = 2;
+  const auto B = gen::random_rhs<double>(L.nrows * k, 312);
+  const BlockSolver<double> solver(L, ladder_options<double>(2, 0));
+  const auto res = solver.solve_many_checked(B, k);
+  ASSERT_TRUE(res.ok()) << res.status.to_string();
+  ASSERT_EQ(res.reports[0].fallbacks.size(), 2u);
+  EXPECT_EQ(res.reports[0].fallbacks[0].to, FallbackEvent::Rung::kLevelSet);
+  EXPECT_EQ(res.reports[0].fallbacks[1].to, FallbackEvent::Rung::kSerial);
+  EXPECT_TRUE(res.reports[1].fallbacks.empty());
+}
+
+TEST(Batched, CheckedLadderExhaustionNamesTheColumn) {
+  const auto L = gen::grid2d(30, 20, 9);
+  const index_t k = 3;
+  const auto B = gen::random_rhs<double>(L.nrows * k, 313);
+  const BlockSolver<double> solver(L, ladder_options<double>(3, 2));
+  const auto res = solver.solve_many_checked(B, k);
+  EXPECT_EQ(res.status.code(), StatusCode::kNumericalBreakdown);
+  EXPECT_EQ(res.status.location(), 2);
+  EXPECT_NE(res.status.message().find("column 2"), std::string::npos);
+  EXPECT_EQ(res.reports[2].fallbacks.size(), 2u);  // both rungs were tried
+}
+
+}  // namespace
+}  // namespace blocktri

@@ -250,6 +250,28 @@ TEST(Generators, TopologicalShuffleIsEquivalentSystem) {
   EXPECT_FALSE(sorted);
 }
 
+// Regression: bandwidth used std::abs(long(i) - j), which overflows on LLP64
+// platforms (32-bit long) for index pairs spanning more than INT32_MAX.
+// index_distance widens both operands to 64 bits first.
+TEST(Features, IndexDistanceExactAtInt32Extremes) {
+  EXPECT_EQ(index_distance(0, 2147483646), 2147483646);
+  EXPECT_EQ(index_distance(2147483646, 0), 2147483646);
+  EXPECT_EQ(index_distance(2147483646, 2147483646), 0);
+  EXPECT_EQ(index_distance(1, 2147483646), 2147483645);
+}
+
+TEST(Features, BandwidthExactAtInt32Extremes) {
+  // A 1 x INT32_MAX matrix with one entry in the last column: the widest
+  // |i - j| a 32-bit index space can express.
+  Csr<double> a;
+  a.nrows = 1;
+  a.ncols = 2147483647;
+  a.row_ptr = {0, 1};
+  a.col_idx = {2147483646};
+  a.val = {1.0};
+  EXPECT_EQ(compute_features(a).bandwidth, 2147483646);
+}
+
 TEST(Generators, TopologicalShuffleDeterministic) {
   const auto L = gen::power_law(500, 2.2, 64, 4.0, 3);
   EXPECT_TRUE(equals(gen::random_topological_shuffle(L, 9),

@@ -2,6 +2,7 @@
 // Table 1/2 traffic closed forms, and the recursive reordering invariants.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
@@ -235,6 +236,47 @@ TEST(Plan, TinyMatrixSingleLeaf) {
   EXPECT_TRUE(p.squares.empty());
   ASSERT_EQ(p.steps.size(), 1u);
 }
+
+// Regression: nseg > n used to replicate boundary values, planning empty
+// triangular segments and zero-area squares. Both planners now clamp nseg to
+// max(1, min(nseg, n)).
+class PlanNsegClamp : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(PlanNsegClamp, ColumnSchemeSegmentsNeverEmpty) {
+  const index_t n = GetParam();
+  const auto p = plan_column(n, 4);
+  const auto expected_segs = std::max<index_t>(1, std::min<index_t>(4, n));
+  EXPECT_EQ(p.num_tri_blocks(), expected_segs);
+  ASSERT_EQ(p.tri_bounds.size(), static_cast<std::size_t>(expected_segs) + 1);
+  for (std::size_t s = 0; s + 1 < p.tri_bounds.size(); ++s) {
+    if (n > 0) EXPECT_LT(p.tri_bounds[s], p.tri_bounds[s + 1]);
+  }
+  for (const auto& sq : p.squares) {
+    EXPECT_LT(sq.r0, sq.r1);
+    EXPECT_LT(sq.c0, sq.c1);
+  }
+}
+
+TEST_P(PlanNsegClamp, RowSchemeSegmentsNeverEmpty) {
+  const index_t n = GetParam();
+  const auto p = plan_row(n, 4);
+  const auto expected_segs = std::max<index_t>(1, std::min<index_t>(4, n));
+  EXPECT_EQ(p.num_tri_blocks(), expected_segs);
+  ASSERT_EQ(p.tri_bounds.size(), static_cast<std::size_t>(expected_segs) + 1);
+  for (std::size_t s = 0; s + 1 < p.tri_bounds.size(); ++s) {
+    if (n > 0) EXPECT_LT(p.tri_bounds[s], p.tri_bounds[s + 1]);
+  }
+  for (const auto& sq : p.squares) {
+    EXPECT_LT(sq.r0, sq.r1);
+    EXPECT_LT(sq.c0, sq.c1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallN, PlanNsegClamp,
+                         ::testing::Values<index_t>(0, 1, 3),
+                         [](const ::testing::TestParamInfo<index_t>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
 
 TEST(Plan, SchemeNames) {
   EXPECT_EQ(to_string(BlockScheme::kColumn), "column-block");

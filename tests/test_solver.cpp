@@ -106,11 +106,13 @@ TEST(BlockSolver, ForcedKernelsStillCorrect) {
       BlockSolver<double> solver(L, o);
       EXPECT_TRUE(VectorsNear(solver.solve(b), want, default_tol<double>()))
           << to_string(tri) << "/" << to_string(sq);
-      // Every block really uses the forced kinds.
+      // Every block really uses the forced kinds. Empty squares are exempt:
+      // they skip selection entirely and carry the canonical scalar-CSR
+      // marking (the executors never run them).
       for (const auto& info : solver.tri_info())
         EXPECT_EQ(info.kind, tri);
       for (const auto& info : solver.square_info())
-        EXPECT_EQ(info.kind, sq);
+        if (info.nnz > 0) EXPECT_EQ(info.kind, sq);
     }
   }
 }
@@ -123,6 +125,35 @@ TEST(BlockSolver, ReorderOffStillCorrect) {
   BlockSolver<double> solver(L, o);
   EXPECT_TRUE(
       VectorsNear(solver.solve(b), sptrsv_serial(L, b), default_tol<double>()));
+}
+
+TEST(BlockSolver, EmptySquareBlocksSkippedConsistently) {
+  // A diagonal matrix under the column scheme plans squares with zero
+  // nonzeros. They must carry the canonical scalar-CSR marking (selection
+  // and DCSR conversion are skipped) and every executor — serial, waved,
+  // checked, batched — must agree they are no-ops.
+  const auto L = gen::diagonal(400, 21);
+  auto o = opts<double>(BlockScheme::kColumn, 200, 4);
+  o.threads = 2;
+  BlockSolver<double> solver(L, o);
+  ASSERT_FALSE(solver.square_info().empty());
+  for (const auto& info : solver.square_info()) {
+    EXPECT_EQ(info.nnz, 0);
+    EXPECT_EQ(info.kind, SpmvKernelKind::kScalarCsr);
+    EXPECT_EQ(info.empty_ratio, 1.0);
+  }
+  const auto b = gen::random_rhs<double>(L.nrows, 106);
+  const auto want = sptrsv_serial(L, b);
+  EXPECT_TRUE(VectorsNear(solver.solve(b), want, default_tol<double>()));
+  const auto res = solver.solve_checked(b);
+  ASSERT_TRUE(res.ok()) << res.status.to_string();
+  EXPECT_TRUE(VectorsNear(res.x, want, default_tol<double>()));
+  std::vector<double> B(b);
+  B.insert(B.end(), b.begin(), b.end());
+  const auto X = solver.solve_many(B, 2);
+  EXPECT_TRUE(VectorsNear(
+      std::vector<double>(X.begin(), X.begin() + L.nrows), want,
+      default_tol<double>()));
 }
 
 TEST(BlockSolver, MultipleRhsReusePreprocessing) {

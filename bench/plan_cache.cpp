@@ -1,0 +1,221 @@
+// Plan persistence benchmark: what does reuse of an analyzed BlockPlan buy?
+//
+// Table 5 of the paper prices preprocessing at many single-solve
+// equivalents; ISSUE 4's persistence subsystem lets a service pay it once.
+// For each partition scheme this bench measures the three ways to obtain a
+// ready solver for a pattern that has been analyzed before:
+//
+//   cold_ms      create() from scratch — full planning + level analyses
+//   load_ms      create_from_file(): deserialize + rehydrate + refresh
+//   hit_ms       create(..., &cache) on a warm PlanCache hit
+//   refresh_ms   refresh_values() on a live solver (new factorization,
+//                same pattern — the timestep-loop case)
+//
+// and reports warm/cold ratios of (create + one solve), the quantity a
+// request-serving loop sees. Acceptance (ISSUE 4): on the recursive scheme
+// the warm create+solve must come in under 0.5x the cold create+solve.
+//
+//   ./bench/plan_cache [--n=120000] [--min-ms=40] [--out=BENCH_cache.json]
+//                      [--tiny]
+//
+// --tiny is the CI smoke mode: small matrix, short timings, still
+// exercising save/load/cache-hit/refresh on every scheme and the JSON
+// writer.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "blocktri.hpp"
+
+using namespace blocktri;
+
+namespace {
+
+template <class Fn>
+double time_ms(double min_ms, Fn&& fn) {
+  fn();  // warmup
+  Stopwatch sw;
+  int reps = 0;
+  do {
+    fn();
+    ++reps;
+  } while (sw.milliseconds() < min_ms || reps < 2);
+  return sw.milliseconds() / reps;
+}
+
+struct Record {
+  std::string matrix;
+  std::string scheme;
+  double cold_ms = 0.0;
+  double save_ms = 0.0;
+  double load_ms = 0.0;
+  double hit_ms = 0.0;
+  double refresh_ms = 0.0;
+  double solve_ms = 0.0;
+  std::size_t artifact_bytes = 0;
+  double load_vs_cold = 0.0;  // (load + solve) / (cold + solve)
+  double hit_vs_cold = 0.0;   // (hit + solve) / (cold + solve)
+};
+
+void emit(std::vector<Record>* out, Record r) {
+  const double cold_total = r.cold_ms + r.solve_ms;
+  r.load_vs_cold = cold_total > 0.0 ? (r.load_ms + r.solve_ms) / cold_total
+                                    : 0.0;
+  r.hit_vs_cold = cold_total > 0.0 ? (r.hit_ms + r.solve_ms) / cold_total
+                                   : 0.0;
+  std::fprintf(stderr,
+               "  %-10s %-10s cold %8.2f ms  save %7.2f  load %7.2f  "
+               "hit %7.2f  refresh %7.2f  solve %7.2f  load/cold %5.3fx  "
+               "hit/cold %5.3fx  (%zu KiB)\n",
+               r.matrix.c_str(), r.scheme.c_str(), r.cold_ms, r.save_ms,
+               r.load_ms, r.hit_ms, r.refresh_ms, r.solve_ms, r.load_vs_cold,
+               r.hit_vs_cold, r.artifact_bytes >> 10);
+  out->push_back(r);
+}
+
+void write_json(const std::string& path, const std::vector<Record>& recs) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"plan_cache\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"records\": [\n");
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const Record& r = recs[i];
+    std::fprintf(
+        f,
+        "    {\"matrix\": \"%s\", \"scheme\": \"%s\", \"cold_ms\": %.6f, "
+        "\"save_ms\": %.6f, \"load_ms\": %.6f, \"hit_ms\": %.6f, "
+        "\"refresh_ms\": %.6f, \"solve_ms\": %.6f, \"artifact_bytes\": %zu, "
+        "\"load_vs_cold\": %.4f, \"hit_vs_cold\": %.4f}%s\n",
+        r.matrix.c_str(), r.scheme.c_str(), r.cold_ms, r.save_ms, r.load_ms,
+        r.hit_ms, r.refresh_ms, r.solve_ms, r.artifact_bytes, r.load_vs_cold,
+        r.hit_vs_cold, i + 1 == recs.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool tiny = cli.get_bool("tiny", false);
+  const double min_ms = cli.get_double("min-ms", tiny ? 2.0 : 40.0);
+  const auto n =
+      static_cast<index_t>(cli.get_int("n", tiny ? 10000 : 120000));
+  const std::string out_path = cli.get("out", "BENCH_cache.json");
+  if (const auto bad = cli.unused(); !bad.empty()) {
+    std::fprintf(stderr, "unknown flag --%s\n", bad.front().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "plan_cache: hardware_concurrency=%u\n",
+               std::thread::hardware_concurrency());
+
+  struct MatCase {
+    const char* name;
+    Csr<double> L;
+  };
+  std::vector<MatCase> mats;
+  mats.push_back({"banded", gen::banded(n, 48, 16.0, 11)});
+  mats.push_back({"rndlevels", gen::random_levels(n, n / 50, 4.0, 1.0, 8)});
+
+  struct SchemeCase {
+    const char* name;
+    BlockScheme scheme;
+  };
+  const SchemeCase schemes[] = {
+      {"recursive", BlockScheme::kRecursive},
+      {"column", BlockScheme::kColumn},
+      {"row", BlockScheme::kRow},
+  };
+
+  std::vector<Record> recs;
+  for (const MatCase& mc : mats) {
+    const Csr<double>& L = mc.L;
+    const auto b = gen::random_rhs<double>(L.nrows, 7);
+
+    // New numeric values on the fixed pattern, for the refresh case.
+    Csr<double> L2 = L;
+    for (std::size_t i = 0; i < L2.val.size(); ++i)
+      L2.val[i] *= 1.0 + 1e-3 * static_cast<double>(i % 101);
+
+    for (const SchemeCase& sc : schemes) {
+      BlockSolver<double>::Options opt;
+      opt.scheme = sc.scheme;
+      opt.planner.stop_rows = std::max<index_t>(512, n / 64);
+      opt.planner.nseg = 8;
+      opt.verify.enabled = false;
+
+      Record r;
+      r.matrix = mc.name;
+      r.scheme = sc.name;
+
+      std::unique_ptr<BlockSolver<double>> solver;
+      r.cold_ms = time_ms(min_ms, [&] {
+        solver.reset();
+        if (!BlockSolver<double>::create(L, opt, &solver).ok()) std::exit(1);
+      });
+
+      const std::string path = out_path + "." + mc.name + "." + sc.name +
+                               ".btpa";
+      r.save_ms = time_ms(min_ms, [&] {
+        if (!solver->save_artifact(path).ok()) std::exit(1);
+      });
+      r.artifact_bytes = artifact_bytes(solver->capture_artifact());
+
+      std::unique_ptr<BlockSolver<double>> warm;
+      r.load_ms = time_ms(min_ms, [&] {
+        warm.reset();
+        if (!BlockSolver<double>::create_from_file(path, L, opt, &warm).ok())
+          std::exit(1);
+      });
+
+      PlanCache<double> cache;
+      std::unique_ptr<BlockSolver<double>> tmp;
+      if (!BlockSolver<double>::create(L, opt, &tmp, &cache).ok())
+        std::exit(1);  // seed the cache (one miss)
+      r.hit_ms = time_ms(min_ms, [&] {
+        tmp.reset();
+        if (!BlockSolver<double>::create(L, opt, &tmp, &cache).ok())
+          std::exit(1);
+      });
+      if (cache.stats().hits == 0) {
+        std::fprintf(stderr, "cache never hit — bug\n");
+        return 1;
+      }
+
+      r.refresh_ms = time_ms(min_ms, [&] {
+        if (!solver->refresh_values(L2).ok()) std::exit(1);
+      });
+
+      std::vector<double> x;
+      r.solve_ms = time_ms(min_ms, [&] { x = warm->solve(b); });
+      emit(&recs, r);
+      std::remove(path.c_str());
+    }
+  }
+
+  write_json(out_path, recs);
+  std::fprintf(stderr, "wrote %s (%zu records)\n", out_path.c_str(),
+               recs.size());
+
+  // Acceptance gate (ISSUE 4): warm create+solve < 0.5x cold create+solve
+  // on the recursive scheme. Only enforced at full size — in --tiny smoke
+  // runs cold analysis is too cheap for the ratio to be meaningful.
+  if (tiny) return 0;
+  for (const Record& r : recs)
+    if (r.scheme == "recursive" && !(r.hit_vs_cold < 0.5)) {
+      std::fprintf(stderr,
+                   "ACCEPTANCE FAIL: %s recursive hit/cold = %.3f >= 0.5\n",
+                   r.matrix.c_str(), r.hit_vs_cold);
+      return 1;
+    }
+  return 0;
+}

@@ -49,6 +49,30 @@ TriangularFeatures compute_triangular_features(const Csr<T>& lower) {
   return tf;
 }
 
+namespace {
+inline void fnv1a_u64(std::uint64_t* h, std::uint64_t v) {
+  // One FNV-1a step per byte of v; fixed 8-byte width keeps the hash
+  // independent of the platform's index_t/offset_t sizes.
+  for (int b = 0; b < 8; ++b) {
+    *h ^= (v >> (8 * b)) & 0xffu;
+    *h *= 0x100000001b3ULL;
+  }
+}
+}  // namespace
+
+std::uint64_t structure_hash(index_t nrows, index_t ncols,
+                             const std::vector<offset_t>& row_ptr,
+                             const std::vector<index_t>& col_idx) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  fnv1a_u64(&h, static_cast<std::uint64_t>(nrows));
+  fnv1a_u64(&h, static_cast<std::uint64_t>(ncols));
+  for (const offset_t p : row_ptr)
+    fnv1a_u64(&h, static_cast<std::uint64_t>(p));
+  for (const index_t j : col_idx)
+    fnv1a_u64(&h, static_cast<std::uint64_t>(j));
+  return h;
+}
+
 std::string describe(const MatrixFeatures& f) {
   std::ostringstream os;
   os << f.nrows << "x" << f.ncols << ", nnz=" << f.nnz

@@ -39,6 +39,31 @@ inline index_t index_distance(index_t i, index_t j) {
 template <class T>
 MatrixFeatures compute_features(const Csr<T>& a);
 
+/// Canonical 64-bit hash of a sparsity pattern: (nrows, ncols, row_ptr,
+/// col_idx) folded through FNV-1a, values excluded. Two matrices share a
+/// hash iff (modulo the usual 2^-64 collision odds) they have identical
+/// structure — the key under which analyzed BlockPlans are persisted and
+/// cached, and the gate BlockSolver::refresh_values checks before writing
+/// new values into existing block structures.
+std::uint64_t structure_hash(index_t nrows, index_t ncols,
+                             const std::vector<offset_t>& row_ptr,
+                             const std::vector<index_t>& col_idx);
+
+template <class T>
+std::uint64_t structure_hash(const Csr<T>& a) {
+  return structure_hash(a.nrows, a.ncols, a.row_ptr, a.col_idx);
+}
+
+/// Order-dependent 64-bit combine for building composite keys (e.g. the
+/// structure hash + planner-option fingerprint of a cached plan).
+inline std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t v) {
+  // splitmix64 finalizer over seed ^ v, so combine(a, b) != combine(b, a).
+  std::uint64_t z = seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// Features of a triangular block including its level count — the SpTRSV
 /// selector's inputs.
 struct TriangularFeatures {

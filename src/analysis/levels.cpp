@@ -1,12 +1,16 @@
 #include "analysis/levels.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/prefix.hpp"
 
 namespace blocktri {
 
 namespace {
+
+std::atomic<std::uint64_t> g_level_analysis_count{0};
+
 
 /// Parallel grouping passes over contiguous row chunks, each with a private
 /// per-level histogram; the combine step converts counts into per-chunk
@@ -55,6 +59,7 @@ LevelSets compute_level_sets(index_t n, const std::vector<offset_t>& row_ptr,
                              const std::vector<index_t>& col_idx,
                              ThreadPool* pool) {
   BLOCKTRI_CHECK(row_ptr.size() == static_cast<std::size_t>(n) + 1);
+  g_level_analysis_count.fetch_add(1, std::memory_order_relaxed);
   LevelSets ls;
   ls.level_of.assign(static_cast<std::size_t>(n), 0);
 
@@ -99,6 +104,10 @@ LevelSets compute_level_sets(index_t n, const std::vector<offset_t>& row_ptr,
     }
   }
   return ls;
+}
+
+std::uint64_t level_analysis_count() {
+  return g_level_analysis_count.load(std::memory_order_relaxed);
 }
 
 ParallelismStats parallelism_stats(const LevelSets& ls) {

@@ -47,6 +47,13 @@ LevelSets compute_level_sets(index_t n, const std::vector<offset_t>& row_ptr,
                              const std::vector<index_t>& col_idx,
                              ThreadPool* pool = nullptr);
 
+/// Process-wide count of compute_level_sets invocations (atomic). Level
+/// analysis is the dominant preprocessing cost (Table 5), so the plan
+/// persistence contract — a warm PlanCache hit or a loaded artifact performs
+/// *zero* level-set analysis — is asserted by diffing this counter around the
+/// warm path (tests/test_persist.cpp).
+std::uint64_t level_analysis_count();
+
 template <class T>
 LevelSets compute_level_sets(const Csr<T>& lower, ThreadPool* pool = nullptr) {
   return compute_level_sets(lower.nrows, lower.row_ptr, lower.col_idx, pool);

@@ -28,6 +28,8 @@
 #include "core/solver.hpp"         // IWYU pragma: export
 #include "gen/generators.hpp"      // IWYU pragma: export
 #include "gen/suite.hpp"           // IWYU pragma: export
+#include "persist/artifact.hpp"    // IWYU pragma: export
+#include "persist/plan_cache.hpp"  // IWYU pragma: export
 #include "sim/cache.hpp"           // IWYU pragma: export
 #include "sim/host_sim.hpp"        // IWYU pragma: export
 #include "sim/kernel_sim.hpp"      // IWYU pragma: export

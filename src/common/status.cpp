@@ -18,6 +18,10 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kResidualTooLarge: return "residual-too-large";
     case StatusCode::kNumericalBreakdown: return "numerical-breakdown";
     case StatusCode::kInternal: return "internal";
+    case StatusCode::kVersionMismatch: return "version-mismatch";
+    case StatusCode::kChecksumMismatch: return "checksum-mismatch";
+    case StatusCode::kTruncated: return "truncated";
+    case StatusCode::kStructureMismatch: return "structure-mismatch";
   }
   return "unknown";
 }
@@ -36,9 +40,14 @@ std::string Status::to_string() const {
   const bool is_line = kind_ == LocationKind::kAuto
                            ? location_is_line(code_)
                            : kind_ == LocationKind::kLine;
+  // The persistence codes locate a byte offset in the artifact stream.
+  const bool is_byte = code_ == StatusCode::kTruncated ||
+                       code_ == StatusCode::kChecksumMismatch;
   std::ostringstream os;
   os << '[' << status_code_name(code_);
-  if (location_ >= 0) os << " @ " << (is_line ? "line " : "row ") << location_;
+  if (location_ >= 0)
+    os << " @ " << (is_byte ? "byte " : is_line ? "line " : "row ")
+       << location_;
   os << "] " << message_;
   return os.str();
 }

@@ -35,6 +35,15 @@ enum class StatusCode {
   kResidualTooLarge,     // solve finished but failed residual verification
   kNumericalBreakdown,   // all fallback rungs produced non-finite output
   kInternal,             // invariant violation (BLOCKTRI_CHECK)
+
+  // Plan-artifact persistence (src/persist). Artifacts are written by one
+  // process and read by another, possibly after partial writes or bit rot,
+  // so every defect class gets its own code:
+  kVersionMismatch,      // artifact written by an incompatible format version
+  kChecksumMismatch,     // a section's CRC32 does not match its payload
+  kTruncated,            // artifact ends mid-header or mid-section;
+                         // location = byte offset of the failed read
+  kStructureMismatch,    // plan's structure hash does not match the matrix
 };
 
 /// Stable short name for a code, e.g. "zero-pivot".

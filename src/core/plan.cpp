@@ -322,4 +322,11 @@ std::vector<std::vector<ExecStep>> compute_step_waves(
   return waves;
 }
 
+bool equals(const BlockPlan& a, const BlockPlan& b) {
+  return a.scheme == b.scheme && a.n == b.n && a.new_of_old == b.new_of_old &&
+         a.tri_bounds == b.tri_bounds && a.squares == b.squares &&
+         a.steps == b.steps && a.depth_used == b.depth_used &&
+         a.host_ops == b.host_ops && a.host_bytes == b.host_bytes;
+}
+
 }  // namespace blocktri

@@ -95,6 +95,18 @@ BlockPlan plan_recursive(const Csr<T>& lower, const PlannerOptions& opt,
 /// nseg+1 near-equal boundaries over [0, n].
 std::vector<index_t> uniform_boundaries(index_t n, index_t nseg);
 
+/// Exact equality of every plan field — the bitwise-identity checks of the
+/// plan-persistence tests compare a deserialized plan against the cold one.
+bool equals(const BlockPlan& a, const BlockPlan& b);
+
+inline bool operator==(const SquareBlockRef& a, const SquareBlockRef& b) {
+  return a.r0 == b.r0 && a.r1 == b.r1 && a.c0 == b.c0 && a.c1 == b.c1;
+}
+
+inline bool operator==(const ExecStep& a, const ExecStep& b) {
+  return a.kind == b.kind && a.index == b.index;
+}
+
 /// Groups the plan's steps into "waves" of mutually independent steps for
 /// the multithreaded executor: steps are taken in plan order and appended to
 /// the current wave unless they conflict with a step already in it (tri

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <string>
 
+#include "persist/artifact.hpp"
+#include "persist/plan_cache.hpp"
 #include "sim/kernel_sim.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/permute.hpp"
@@ -56,6 +59,7 @@ BlockSolver<T>::BlockSolver(const Csr<T>& lower, const Options& opt)
     : opt_(opt) {
   throw_if_error(check_lower_triangular(lower));
   nnz_ = lower.nnz();
+  structure_hash_ = blocktri::structure_hash(lower);
 
   // The pool exists before planning so preprocessing (per-node level
   // analyses, CSC conversions, in-degree counts) can use it too.
@@ -172,8 +176,10 @@ BlockSolver<T>::BlockSolver(const Csr<T>& lower, const Options& opt)
   }
 
   // Wave analysis for the multithreaded executor; the empty-square list lets
-  // independent triangles (block-diagonal structure) share a wave.
-  if (threads_ > 1) {
+  // independent triangles (block-diagonal structure) share a wave. Computed
+  // at every thread count so capture_artifact always has the waves — a plan
+  // captured at threads = 1 must replay bitwise at threads > 1.
+  {
     std::vector<offset_t> square_nnz(squares_.size());
     for (std::size_t q = 0; q < squares_.size(); ++q)
       square_nnz[q] = squares_[q].info.nnz;
@@ -442,10 +448,305 @@ std::vector<T> BlockSolver<T>::solve_simulated(
 
 template <class T>
 Status BlockSolver<T>::create(const Csr<T>& lower, const Options& opt,
-                              std::unique_ptr<BlockSolver<T>>* out) {
+                              std::unique_ptr<BlockSolver<T>>* out,
+                              PlanCache<T>* cache) {
   BLOCKTRI_CHECK(out != nullptr);
   if (Status st = check_lower_triangular(lower); !st.ok()) return st;
+  if (cache != nullptr) {
+    const PlanCacheKey key{blocktri::structure_hash(lower),
+                           options_fingerprint(opt)};
+    if (std::shared_ptr<const PlanArtifact<T>> art = cache->find(key)) {
+      std::unique_ptr<BlockSolver<T>> warm;
+      if (create_from_artifact(std::move(art), opt, &warm).ok() &&
+          warm->refresh_values(lower).ok()) {
+        *out = std::move(warm);
+        return Status::Ok();
+      }
+      // A mismatched entry (e.g. a hash collision) falls through to the
+      // cold build — the cache is an accelerator, never a correctness gate.
+    }
+    out->reset(new BlockSolver<T>(lower, opt));
+    cache->insert(
+        std::make_shared<PlanArtifact<T>>((*out)->capture_artifact()));
+    return Status::Ok();
+  }
   out->reset(new BlockSolver<T>(lower, opt));
+  return Status::Ok();
+}
+
+template <class T>
+std::uint64_t BlockSolver<T>::options_fingerprint(const Options& opt) {
+  const auto f64 = [](double v) {
+    std::uint64_t u = 0;
+    std::memcpy(&u, &v, sizeof u);
+    return u;
+  };
+  std::uint64_t h = 0x62706c616e763101ULL;  // "bplanv1" | fingerprint version
+  h = hash_combine(h, static_cast<std::uint64_t>(opt.scheme));
+  h = hash_combine(h, static_cast<std::uint64_t>(opt.planner.stop_rows));
+  h = hash_combine(h, static_cast<std::uint64_t>(opt.planner.max_depth));
+  h = hash_combine(h, opt.planner.reorder ? 1 : 0);
+  h = hash_combine(h, static_cast<std::uint64_t>(opt.planner.nseg));
+  h = hash_combine(h, opt.adaptive ? 1 : 0);
+  h = hash_combine(h, static_cast<std::uint64_t>(opt.forced_tri));
+  h = hash_combine(h, static_cast<std::uint64_t>(opt.forced_square));
+  h = hash_combine(h, f64(opt.thresholds.tri_nnz_row_levelset));
+  h = hash_combine(h, static_cast<std::uint64_t>(
+                          opt.thresholds.tri_nlevels_levelset));
+  h = hash_combine(h, static_cast<std::uint64_t>(
+                          opt.thresholds.tri_nlevels_unit_row));
+  h = hash_combine(h, static_cast<std::uint64_t>(
+                          opt.thresholds.tri_nlevels_cusparse));
+  h = hash_combine(h, f64(opt.thresholds.sq_nnz_row_scalar));
+  h = hash_combine(h, f64(opt.thresholds.sq_empty_scalar));
+  h = hash_combine(h, f64(opt.thresholds.sq_empty_vector));
+  // verify.enabled changes what the artifact must retain (stored matrix,
+  // per-block CSRs); the other verify knobs and all runtime-only fields
+  // (threads, tolerances, fault injection) do not affect the plan.
+  h = hash_combine(h, opt.verify.enabled ? 1 : 0);
+  return h;
+}
+
+template <class T>
+PlanArtifact<T> BlockSolver<T>::capture_artifact() const {
+  PlanArtifact<T> art;
+  art.structure = structure_hash_;
+  art.options = options_fingerprint(opt_);
+  art.plan = plan_;
+  art.waves = waves_;
+  art.nnz = nnz_;
+  art.verify_captured = opt_.verify.enabled;
+  if (art.verify_captured) {
+    art.stored = stored_;
+    art.norm_inf = norm_inf_;
+  }
+  art.build_ops = build_ops_;
+  art.build_bytes = build_bytes_;
+
+  art.tri.reserve(tri_.size());
+  for (const TriBlock& blk : tri_) {
+    TriBlockArtifact<T> t;
+    t.r0 = blk.info.r0;
+    t.r1 = blk.info.r1;
+    t.kind = blk.info.kind;
+    t.nlevels = blk.info.nlevels;
+    t.nnz = blk.info.nnz;
+    t.has_csr = art.verify_captured;
+    if (t.has_csr) t.csr = blk.csr;
+    switch (blk.info.kind) {
+      case TriKernelKind::kCompletelyParallel:
+        t.diag = blk.diag->diag();
+        break;
+      case TriKernelKind::kLevelSet:
+        t.kernel_csr = blk.levelset->matrix();
+        t.levels = blk.levelset->levels();
+        break;
+      case TriKernelKind::kSyncFree:
+        t.csc = blk.syncfree->matrix_csc();
+        t.strict_rows = blk.syncfree->strict_rows();
+        t.in_degree = blk.syncfree->in_degree();
+        break;
+      case TriKernelKind::kCusparseLike:
+        t.kernel_csr = blk.cusparse->matrix();
+        t.levels = blk.cusparse->levels();
+        t.kernel_first_level = blk.cusparse->kernel_first_levels();
+        break;
+    }
+    art.tri.push_back(std::move(t));
+  }
+
+  art.squares.reserve(squares_.size());
+  for (const SquareBlock& blk : squares_) {
+    SquareBlockArtifact<T> q;
+    q.ref = blk.info.ref;
+    q.kind = blk.info.kind;
+    q.nnz = blk.info.nnz;
+    q.empty_ratio = blk.info.empty_ratio;
+    q.csr = blk.csr;
+    q.dcsr = blk.dcsr;
+    art.squares.push_back(std::move(q));
+  }
+  return art;
+}
+
+template <class T>
+Status BlockSolver<T>::save_artifact(const std::string& path) const {
+  return blocktri::save_artifact(path, capture_artifact());
+}
+
+template <class T>
+BlockSolver<T>::BlockSolver(const PlanArtifact<T>& art, const Options& opt)
+    : opt_(opt) {
+  structure_hash_ = art.structure;
+  threads_ = resolve_threads(opt.threads);
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+
+  plan_ = art.plan;
+  waves_ = art.waves;
+  nnz_ = art.nnz;
+  build_ops_ = art.build_ops;
+  build_bytes_ = art.build_bytes;
+
+  tri_.resize(art.tri.size());
+  for (std::size_t t = 0; t < art.tri.size(); ++t) {
+    const TriBlockArtifact<T>& in = art.tri[t];
+    TriBlock& out = tri_[t];
+    out.info.r0 = in.r0;
+    out.info.r1 = in.r1;
+    out.info.kind = in.kind;
+    out.info.nlevels = in.nlevels;
+    out.info.nnz = in.nnz;
+    if (opt.verify.enabled) out.csr = in.csr;
+    switch (in.kind) {
+      case TriKernelKind::kCompletelyParallel:
+        out.diag = std::make_unique<DiagonalSolver<T>>(in.diag);
+        break;
+      case TriKernelKind::kLevelSet:
+        out.levelset =
+            std::make_unique<LevelSetSolver<T>>(in.kernel_csr, in.levels);
+        break;
+      case TriKernelKind::kSyncFree:
+        out.syncfree = std::make_unique<SyncFreeSolver<T>>(
+            in.csc, in.strict_rows, in.in_degree);
+        break;
+      case TriKernelKind::kCusparseLike:
+        out.cusparse = std::make_unique<CusparseLikeSolver<T>>(
+            in.kernel_csr, in.levels, in.kernel_first_level);
+        break;
+    }
+    tri_info_.push_back(out.info);
+  }
+
+  squares_.resize(art.squares.size());
+  for (std::size_t q = 0; q < art.squares.size(); ++q) {
+    const SquareBlockArtifact<T>& in = art.squares[q];
+    SquareBlock& out = squares_[q];
+    out.info.ref = in.ref;
+    out.info.kind = in.kind;
+    out.info.nnz = in.nnz;
+    out.info.empty_ratio = in.empty_ratio;
+    out.csr = in.csr;
+    out.dcsr = in.dcsr;
+    square_info_.push_back(out.info);
+  }
+
+  if (opt.verify.enabled) {
+    stored_ = art.stored;
+    norm_inf_ = art.norm_inf;
+  }
+
+  // Same simulated address layout as the cold constructor.
+  sim::AddressSpace as;
+  const auto n_u = static_cast<std::uint64_t>(plan_.n);
+  x_base_ = as.reserve(n_u * sizeof(T));
+  b_base_ = as.reserve(n_u * sizeof(T));
+  aux_base_ = as.reserve(n_u * (sizeof(T) + 4));
+}
+
+template <class T>
+Status BlockSolver<T>::create_from_artifact(
+    std::shared_ptr<const PlanArtifact<T>> art, const Options& opt,
+    std::unique_ptr<BlockSolver<T>>* out) {
+  BLOCKTRI_CHECK(out != nullptr);
+  if (art == nullptr)
+    return Status(StatusCode::kInvalidArgument, "artifact is null");
+  if (options_fingerprint(opt) != art->options)
+    return Status(
+        StatusCode::kInvalidArgument,
+        "options fingerprint differs from the one the artifact was captured "
+        "under (plan-affecting fields — scheme, planner, kernel selection, "
+        "thresholds, verify.enabled — must match exactly)");
+  if (Status st = validate_artifact(*art); !st.ok()) return st;
+  out->reset(new BlockSolver<T>(*art, opt));
+  return Status::Ok();
+}
+
+template <class T>
+Status BlockSolver<T>::create_from_file(const std::string& path,
+                                        const Csr<T>& lower,
+                                        const Options& opt,
+                                        std::unique_ptr<BlockSolver<T>>* out) {
+  BLOCKTRI_CHECK(out != nullptr);
+  if (Status st = check_lower_triangular(lower); !st.ok()) return st;
+  auto art = std::make_shared<PlanArtifact<T>>();
+  if (Status st = load_artifact(path, art.get()); !st.ok()) return st;
+  if (blocktri::structure_hash(lower) != art->structure)
+    return Status(StatusCode::kStructureMismatch,
+                  "artifact '" + path +
+                      "' was captured from a matrix with a different "
+                      "sparsity pattern");
+  std::unique_ptr<BlockSolver<T>> solver;
+  if (Status st = create_from_artifact(std::move(art), opt, &solver);
+      !st.ok())
+    return st;
+  if (Status st = solver->refresh_values(lower); !st.ok()) return st;
+  *out = std::move(solver);
+  return Status::Ok();
+}
+
+template <class T>
+Status BlockSolver<T>::refresh_values(const Csr<T>& lower) {
+  if (Status st = check_lower_triangular(lower); !st.ok()) return st;
+  if (lower.nrows != plan_.n || lower.nnz() != nnz_ ||
+      blocktri::structure_hash(lower) != structure_hash_)
+    return Status(StatusCode::kStructureMismatch,
+                  "refresh_values requires the exact sparsity pattern this "
+                  "solver was analyzed for");
+
+  // permute_symmetric is canonical (sorted rows), so one application of the
+  // composite permutation reproduces the cold constructor's stored matrix.
+  Csr<T> stored = permute_symmetric(lower, plan_.new_of_old);
+
+  for (TriBlock& blk : tri_) {
+    Csr<T> sub = extract_block(stored, blk.info.r0, blk.info.r1, blk.info.r0,
+                               blk.info.r1);
+    if (opt_.verify.enabled) blk.csr.val = sub.val;
+    switch (blk.info.kind) {
+      case TriKernelKind::kCompletelyParallel: {
+        StrictLowerSplit<T> split = split_diagonal(sub);
+        blk.diag->refresh_values(std::move(split.diag));
+        break;
+      }
+      case TriKernelKind::kLevelSet:
+        blk.levelset->refresh_values(sub);
+        break;
+      case TriKernelKind::kSyncFree:
+        blk.syncfree->refresh_values(sub);
+        break;
+      case TriKernelKind::kCusparseLike:
+        blk.cusparse->refresh_values(sub);
+        break;
+    }
+  }
+
+  for (SquareBlock& blk : squares_) {
+    Csr<T> sub = extract_block(stored, blk.info.ref.r0, blk.info.ref.r1,
+                               blk.info.ref.c0, blk.info.ref.c1);
+    const bool dcsr = blk.info.kind == SpmvKernelKind::kScalarDcsr ||
+                      blk.info.kind == SpmvKernelKind::kVectorDcsr;
+    if (dcsr && blk.info.nnz != 0) {
+      // csr_to_dcsr keeps values in row-major order, so the block's value
+      // stream maps 1:1 onto the DCSR value array.
+      BLOCKTRI_CHECK(sub.val.size() == blk.dcsr.val.size());
+      blk.dcsr.val = std::move(sub.val);
+    } else {
+      BLOCKTRI_CHECK(sub.val.size() == blk.csr.val.size());
+      blk.csr.val = std::move(sub.val);
+    }
+  }
+
+  if (opt_.verify.enabled) {
+    norm_inf_ = 0.0;
+    for (index_t i = 0; i < stored.nrows; ++i) {
+      double s = 0.0;
+      for (offset_t k = stored.row_ptr[static_cast<std::size_t>(i)];
+           k < stored.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+        s += std::fabs(
+            static_cast<double>(stored.val[static_cast<std::size_t>(k)]));
+      norm_inf_ = std::max(norm_inf_, s);
+    }
+    stored_ = std::move(stored);
+  }
   return Status::Ok();
 }
 

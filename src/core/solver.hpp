@@ -37,6 +37,11 @@
 
 namespace blocktri {
 
+template <class T>
+struct PlanArtifact;  // persist/artifact.hpp
+template <class T>
+class PlanCache;  // persist/plan_cache.hpp
+
 /// Time split between the triangular and SpMV parts of a blocked solve —
 /// the quantity Fig. 4 plots.
 struct BlockSolveBreakdown {
@@ -149,9 +154,58 @@ class BlockSolver {
 
   /// Non-throwing factory: validates `lower` (check_lower_triangular) and
   /// returns the typed Status instead of throwing; on success *out owns the
-  /// solver.
+  /// solver. With a `cache`, the solver is rehydrated from a cached plan
+  /// when one matches (structure hash, options fingerprint) — performing
+  /// zero level-set analysis and producing bitwise-identical solves — and a
+  /// cold build's plan is captured into the cache for the next caller.
   static Status create(const Csr<T>& lower, const Options& opt,
-                       std::unique_ptr<BlockSolver<T>>* out);
+                       std::unique_ptr<BlockSolver<T>>* out,
+                       PlanCache<T>* cache = nullptr);
+
+  // --- Plan persistence (persist/artifact.hpp, persist/plan_cache.hpp) -----
+
+  /// Snapshots everything preprocessing computed — plan, waves, kernel
+  /// selections, built block structures, verify state — as plain data.
+  PlanArtifact<T> capture_artifact() const;
+
+  /// capture_artifact() + persist::save_artifact in one call.
+  Status save_artifact(const std::string& path) const;
+
+  /// Rehydrates a solver from a (shared, immutable) artifact with zero
+  /// re-analysis. Fails with kInvalidArgument when `opt`'s plan-affecting
+  /// fields differ from those the artifact was captured under (fingerprint
+  /// mismatch — e.g. verify wanted but not captured). The artifact's numeric
+  /// values are adopted as-is; call refresh_values to install a new
+  /// factorization with the same pattern.
+  static Status create_from_artifact(
+      std::shared_ptr<const PlanArtifact<T>> art, const Options& opt,
+      std::unique_ptr<BlockSolver<T>>* out);
+
+  /// load_artifact(path) + structure check against `lower` +
+  /// create_from_artifact + refresh_values(lower): the full warm-start path.
+  /// Adds kStructureMismatch when `lower`'s pattern differs from the one the
+  /// artifact was captured from.
+  static Status create_from_file(const std::string& path, const Csr<T>& lower,
+                                 const Options& opt,
+                                 std::unique_ptr<BlockSolver<T>>* out);
+
+  /// Installs the numeric values of `lower` — which must have the exact
+  /// sparsity pattern this solver was built for (checked via the structure
+  /// hash; kStructureMismatch otherwise) — into every block structure
+  /// without re-running any analysis. After Ok, solves behave exactly as if
+  /// the solver had been cold-built from `lower`. Not thread safe with
+  /// concurrent solves on this solver.
+  Status refresh_values(const Csr<T>& lower);
+
+  /// Canonical hash of the original (unpermuted) input pattern — the
+  /// artifact/cache key (analysis/features.hpp structure_hash).
+  std::uint64_t structure_hash() const { return structure_hash_; }
+
+  /// Fingerprint of the plan-affecting Options fields (scheme, planner,
+  /// kernel selection, thresholds, verify.enabled). Runtime-only fields
+  /// (threads, tolerances, fault injection) are deliberately excluded — a
+  /// cached plan is reusable across them.
+  static std::uint64_t options_fingerprint(const Options& opt);
 
   /// Solves L x = b (host execution only).
   std::vector<T> solve(const std::vector<T>& b) const;
@@ -239,6 +293,10 @@ class BlockSolver {
   PreprocessStats preprocess_stats() const;
 
  private:
+  /// Rehydration: adopt a captured artifact instead of analyzing. The
+  /// fingerprint/verify preconditions are create_from_artifact's job.
+  BlockSolver(const PlanArtifact<T>& art, const Options& opt);
+
   struct TriBlock {
     TriBlockInfo info;
     Csr<T> csr;  // retained when verify.enabled: fallback + refinement input
@@ -286,6 +344,7 @@ class BlockSolver {
   double default_residual_tolerance() const;
 
   Options opt_;
+  std::uint64_t structure_hash_ = 0;  // of the original (unpermuted) pattern
   int threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;  // only when threads_ > 1
   std::vector<std::vector<ExecStep>> waves_;

@@ -1,0 +1,754 @@
+#include "persist/artifact.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <type_traits>
+
+namespace blocktri {
+
+namespace {
+
+// --- CRC32 (IEEE 802.3, polynomial 0xEDB88320, table-driven) --------------
+
+const std::uint32_t* crc32_table() {
+  static const auto* table = [] {
+    auto* t = new std::uint32_t[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::uint32_t crc32(const unsigned char* data, std::size_t n) {
+  const std::uint32_t* t = crc32_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) c = t[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+// --- Byte-buffer writer/reader --------------------------------------------
+//
+// Scalars and vectors of trivially-copyable scalar types are written in the
+// host's native byte order; the header's endianness tag lets a
+// foreign-endian reader reject the file instead of misreading it. Structs
+// are always encoded field by field (never memcpy'd) so padding and enum
+// representation cannot leak into the format.
+
+class Writer {
+ public:
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i32(std::int32_t v) { raw(&v, sizeof v); }
+  void i64(std::int64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+
+  template <class V>
+  void vec(const std::vector<V>& v) {
+    static_assert(std::is_arithmetic_v<V>, "field-encode structs explicitly");
+    u64(v.size());
+    if (!v.empty()) raw(v.data(), v.size() * sizeof(V));
+  }
+
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  const std::vector<unsigned char>& bytes() const { return buf_; }
+
+ private:
+  std::vector<unsigned char> buf_;
+};
+
+/// Bounds-checked reader over a byte span. The first failed read latches a
+/// kTruncated status carrying the absolute byte offset; later reads become
+/// no-ops so decode functions can check once at the end.
+class Reader {
+ public:
+  Reader(const unsigned char* data, std::size_t size, std::size_t base)
+      : data_(data), size_(size), base_(base) {}
+
+  bool u32(std::uint32_t* v) { return raw(v, sizeof *v); }
+  bool u64(std::uint64_t* v) { return raw(v, sizeof *v); }
+  bool i32(std::int32_t* v) { return raw(v, sizeof *v); }
+  bool i64(std::int64_t* v) { return raw(v, sizeof *v); }
+  bool f64(double* v) { return raw(v, sizeof *v); }
+
+  template <class V>
+  bool vec(std::vector<V>* out) {
+    static_assert(std::is_arithmetic_v<V>, "field-decode structs explicitly");
+    std::uint64_t count = 0;
+    if (!u64(&count)) return false;
+    if (count > (size_ - pos_) / sizeof(V)) return fail();
+    out->resize(static_cast<std::size_t>(count));
+    if (count != 0) return raw(out->data(), out->size() * sizeof(V));
+    return true;
+  }
+
+  bool raw(void* p, std::size_t n) {
+    if (n > size_ - pos_) return fail();
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  /// Guards resize() of struct vectors: a legitimate count of items, each at
+  /// least `min_item` encoded bytes, cannot exceed the remaining payload —
+  /// anything bigger is corruption and must not reach the allocator.
+  bool count_ok(std::uint64_t count, std::size_t min_item) {
+    if (count > (size_ - pos_) / min_item) return fail();
+    return true;
+  }
+
+  bool done() const { return pos_ == size_; }
+  std::size_t offset() const { return base_ + pos_; }
+  const Status& status() const { return status_; }
+  bool ok() const { return status_.ok(); }
+
+ private:
+  bool fail() {
+    if (status_.ok())
+      status_ = Status(StatusCode::kTruncated,
+                       "artifact ends before the encoded data does",
+                       static_cast<std::int64_t>(base_ + pos_));
+    pos_ = size_;  // poison: every later read fails too
+    return false;
+  }
+
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t base_;
+  std::size_t pos_ = 0;
+  Status status_;
+};
+
+// --- Field-by-field codecs for the composite types ------------------------
+
+template <class T>
+void put_csr(Writer& w, const Csr<T>& a) {
+  w.i32(a.nrows);
+  w.i32(a.ncols);
+  w.vec(a.row_ptr);
+  w.vec(a.col_idx);
+  w.vec(a.val);
+}
+
+template <class T>
+bool get_csr(Reader& r, Csr<T>* a) {
+  return r.i32(&a->nrows) && r.i32(&a->ncols) && r.vec(&a->row_ptr) &&
+         r.vec(&a->col_idx) && r.vec(&a->val);
+}
+
+template <class T>
+void put_csc(Writer& w, const Csc<T>& a) {
+  w.i32(a.nrows);
+  w.i32(a.ncols);
+  w.vec(a.col_ptr);
+  w.vec(a.row_idx);
+  w.vec(a.val);
+}
+
+template <class T>
+bool get_csc(Reader& r, Csc<T>* a) {
+  return r.i32(&a->nrows) && r.i32(&a->ncols) && r.vec(&a->col_ptr) &&
+         r.vec(&a->row_idx) && r.vec(&a->val);
+}
+
+template <class T>
+void put_dcsr(Writer& w, const Dcsr<T>& a) {
+  w.i32(a.nrows);
+  w.i32(a.ncols);
+  w.vec(a.row_ids);
+  w.vec(a.row_ptr);
+  w.vec(a.col_idx);
+  w.vec(a.val);
+}
+
+template <class T>
+bool get_dcsr(Reader& r, Dcsr<T>* a) {
+  return r.i32(&a->nrows) && r.i32(&a->ncols) && r.vec(&a->row_ids) &&
+         r.vec(&a->row_ptr) && r.vec(&a->col_idx) && r.vec(&a->val);
+}
+
+void put_levels(Writer& w, const LevelSets& ls) {
+  w.i32(ls.nlevels);
+  w.vec(ls.level_of);
+  w.vec(ls.level_ptr);
+  w.vec(ls.level_item);
+}
+
+bool get_levels(Reader& r, LevelSets* ls) {
+  return r.i32(&ls->nlevels) && r.vec(&ls->level_of) &&
+         r.vec(&ls->level_ptr) && r.vec(&ls->level_item);
+}
+
+// --- Section payloads ------------------------------------------------------
+
+enum : std::uint32_t {
+  kSectionPlan = 1,
+  kSectionStored = 2,
+  kSectionTri = 3,
+  kSectionSquares = 4,
+};
+
+template <class T>
+void encode_plan(Writer& w, const PlanArtifact<T>& art) {
+  const BlockPlan& p = art.plan;
+  w.u32(static_cast<std::uint32_t>(p.scheme));
+  w.i32(p.n);
+  w.vec(p.new_of_old);
+  w.vec(p.tri_bounds);
+  w.u64(p.squares.size());
+  for (const SquareBlockRef& s : p.squares) {
+    w.i32(s.r0);
+    w.i32(s.r1);
+    w.i32(s.c0);
+    w.i32(s.c1);
+  }
+  w.u64(p.steps.size());
+  for (const ExecStep& s : p.steps) {
+    w.u32(static_cast<std::uint32_t>(s.kind));
+    w.i32(s.index);
+  }
+  w.i32(p.depth_used);
+  w.i64(p.host_ops);
+  w.i64(p.host_bytes);
+
+  w.u64(art.waves.size());
+  for (const std::vector<ExecStep>& wave : art.waves) {
+    w.u64(wave.size());
+    for (const ExecStep& s : wave) {
+      w.u32(static_cast<std::uint32_t>(s.kind));
+      w.i32(s.index);
+    }
+  }
+  w.i64(art.nnz);
+  w.i64(art.build_ops);
+  w.i64(art.build_bytes);
+}
+
+bool get_step(Reader& r, ExecStep* s) {
+  std::uint32_t kind = 0;
+  if (!r.u32(&kind) || !r.i32(&s->index)) return false;
+  s->kind = static_cast<ExecStep::Kind>(kind);
+  return true;
+}
+
+template <class T>
+bool decode_plan(Reader& r, PlanArtifact<T>* art) {
+  BlockPlan& p = art->plan;
+  std::uint32_t scheme = 0;
+  if (!r.u32(&scheme)) return false;
+  p.scheme = static_cast<BlockScheme>(scheme);
+  if (!r.i32(&p.n) || !r.vec(&p.new_of_old) || !r.vec(&p.tri_bounds))
+    return false;
+  std::uint64_t count = 0;
+  if (!r.u64(&count) || !r.count_ok(count, 16)) return false;
+  p.squares.resize(static_cast<std::size_t>(count));
+  for (SquareBlockRef& s : p.squares)
+    if (!r.i32(&s.r0) || !r.i32(&s.r1) || !r.i32(&s.c0) || !r.i32(&s.c1))
+      return false;
+  if (!r.u64(&count) || !r.count_ok(count, 8)) return false;
+  p.steps.resize(static_cast<std::size_t>(count));
+  for (ExecStep& s : p.steps)
+    if (!get_step(r, &s)) return false;
+  if (!r.i32(&p.depth_used) || !r.i64(&p.host_ops) || !r.i64(&p.host_bytes))
+    return false;
+
+  if (!r.u64(&count) || !r.count_ok(count, 8)) return false;
+  art->waves.resize(static_cast<std::size_t>(count));
+  for (std::vector<ExecStep>& wave : art->waves) {
+    std::uint64_t len = 0;
+    if (!r.u64(&len) || !r.count_ok(len, 8)) return false;
+    wave.resize(static_cast<std::size_t>(len));
+    for (ExecStep& s : wave)
+      if (!get_step(r, &s)) return false;
+  }
+  return r.i64(&art->nnz) && r.i64(&art->build_ops) &&
+         r.i64(&art->build_bytes);
+}
+
+template <class T>
+void encode_stored(Writer& w, const PlanArtifact<T>& art) {
+  w.u32(art.verify_captured ? 1 : 0);
+  if (art.verify_captured) {
+    put_csr(w, art.stored);
+    w.f64(art.norm_inf);
+  }
+}
+
+template <class T>
+bool decode_stored(Reader& r, PlanArtifact<T>* art) {
+  std::uint32_t captured = 0;
+  if (!r.u32(&captured)) return false;
+  art->verify_captured = captured != 0;
+  if (!art->verify_captured) return true;
+  return get_csr(r, &art->stored) && r.f64(&art->norm_inf);
+}
+
+template <class T>
+void encode_tri(Writer& w, const PlanArtifact<T>& art) {
+  w.u64(art.tri.size());
+  for (const TriBlockArtifact<T>& t : art.tri) {
+    w.i32(t.r0);
+    w.i32(t.r1);
+    w.u32(static_cast<std::uint32_t>(t.kind));
+    w.i32(t.nlevels);
+    w.i64(t.nnz);
+    w.u32(t.has_csr ? 1 : 0);
+    if (t.has_csr) put_csr(w, t.csr);
+    switch (t.kind) {
+      case TriKernelKind::kCompletelyParallel:
+        w.vec(t.diag);
+        break;
+      case TriKernelKind::kLevelSet:
+        put_csr(w, t.kernel_csr);
+        put_levels(w, t.levels);
+        break;
+      case TriKernelKind::kSyncFree:
+        put_csc(w, t.csc);
+        put_csr(w, t.strict_rows);
+        w.vec(t.in_degree);
+        break;
+      case TriKernelKind::kCusparseLike:
+        put_csr(w, t.kernel_csr);
+        put_levels(w, t.levels);
+        w.vec(t.kernel_first_level);
+        break;
+    }
+  }
+}
+
+template <class T>
+bool decode_tri(Reader& r, PlanArtifact<T>* art) {
+  std::uint64_t count = 0;
+  if (!r.u64(&count) || !r.count_ok(count, 24)) return false;
+  art->tri.resize(static_cast<std::size_t>(count));
+  for (TriBlockArtifact<T>& t : art->tri) {
+    std::uint32_t kind = 0, has_csr = 0;
+    if (!r.i32(&t.r0) || !r.i32(&t.r1) || !r.u32(&kind) ||
+        !r.i32(&t.nlevels) || !r.i64(&t.nnz) || !r.u32(&has_csr))
+      return false;
+    t.kind = static_cast<TriKernelKind>(kind);
+    t.has_csr = has_csr != 0;
+    if (t.has_csr && !get_csr(r, &t.csr)) return false;
+    switch (t.kind) {
+      case TriKernelKind::kCompletelyParallel:
+        if (!r.vec(&t.diag)) return false;
+        break;
+      case TriKernelKind::kLevelSet:
+        if (!get_csr(r, &t.kernel_csr) || !get_levels(r, &t.levels))
+          return false;
+        break;
+      case TriKernelKind::kSyncFree:
+        if (!get_csc(r, &t.csc) || !get_csr(r, &t.strict_rows) ||
+            !r.vec(&t.in_degree))
+          return false;
+        break;
+      case TriKernelKind::kCusparseLike:
+        if (!get_csr(r, &t.kernel_csr) || !get_levels(r, &t.levels) ||
+            !r.vec(&t.kernel_first_level))
+          return false;
+        break;
+    }
+  }
+  return true;
+}
+
+template <class T>
+void encode_squares(Writer& w, const PlanArtifact<T>& art) {
+  w.u64(art.squares.size());
+  for (const SquareBlockArtifact<T>& q : art.squares) {
+    w.i32(q.ref.r0);
+    w.i32(q.ref.r1);
+    w.i32(q.ref.c0);
+    w.i32(q.ref.c1);
+    w.u32(static_cast<std::uint32_t>(q.kind));
+    w.i64(q.nnz);
+    w.f64(q.empty_ratio);
+    const bool dcsr = q.kind == SpmvKernelKind::kScalarDcsr ||
+                      q.kind == SpmvKernelKind::kVectorDcsr;
+    if (dcsr && q.nnz != 0)
+      put_dcsr(w, q.dcsr);
+    else
+      put_csr(w, q.csr);
+  }
+}
+
+template <class T>
+bool decode_squares(Reader& r, PlanArtifact<T>* art) {
+  std::uint64_t count = 0;
+  if (!r.u64(&count) || !r.count_ok(count, 36)) return false;
+  art->squares.resize(static_cast<std::size_t>(count));
+  for (SquareBlockArtifact<T>& q : art->squares) {
+    std::uint32_t kind = 0;
+    if (!r.i32(&q.ref.r0) || !r.i32(&q.ref.r1) || !r.i32(&q.ref.c0) ||
+        !r.i32(&q.ref.c1) || !r.u32(&kind) || !r.i64(&q.nnz) ||
+        !r.f64(&q.empty_ratio))
+      return false;
+    q.kind = static_cast<SpmvKernelKind>(kind);
+    const bool dcsr = q.kind == SpmvKernelKind::kScalarDcsr ||
+                      q.kind == SpmvKernelKind::kVectorDcsr;
+    if (dcsr && q.nnz != 0) {
+      if (!get_dcsr(r, &q.dcsr)) return false;
+    } else {
+      if (!get_csr(r, &q.csr)) return false;
+    }
+  }
+  return true;
+}
+
+// --- File framing -----------------------------------------------------------
+
+constexpr char kMagic[4] = {'B', 'T', 'P', 'A'};
+constexpr std::uint32_t kEndianTag = 0x01020304u;
+
+struct SectionSpec {
+  std::uint32_t id;
+  std::vector<unsigned char> payload;
+};
+
+template <class T>
+std::size_t csr_bytes(const Csr<T>& a) {
+  return a.row_ptr.size() * sizeof(offset_t) +
+         a.col_idx.size() * sizeof(index_t) + a.val.size() * sizeof(T);
+}
+
+}  // namespace
+
+template <class T>
+std::size_t artifact_bytes(const PlanArtifact<T>& art) {
+  std::size_t b = sizeof(PlanArtifact<T>);
+  b += art.plan.new_of_old.size() * sizeof(index_t);
+  b += art.plan.tri_bounds.size() * sizeof(index_t);
+  b += art.plan.squares.size() * sizeof(SquareBlockRef);
+  b += art.plan.steps.size() * sizeof(ExecStep);
+  for (const auto& wave : art.waves) b += wave.size() * sizeof(ExecStep);
+  b += csr_bytes(art.stored);
+  for (const TriBlockArtifact<T>& t : art.tri) {
+    b += sizeof(TriBlockArtifact<T>);
+    b += csr_bytes(t.csr) + csr_bytes(t.kernel_csr) + csr_bytes(t.strict_rows);
+    b += t.diag.size() * sizeof(T);
+    b += t.csc.col_ptr.size() * sizeof(offset_t) +
+         t.csc.row_idx.size() * sizeof(index_t) + t.csc.val.size() * sizeof(T);
+    b += t.levels.level_of.size() * sizeof(index_t) +
+         t.levels.level_ptr.size() * sizeof(offset_t) +
+         t.levels.level_item.size() * sizeof(index_t);
+    b += (t.kernel_first_level.size() + t.in_degree.size()) * sizeof(index_t);
+  }
+  for (const SquareBlockArtifact<T>& q : art.squares) {
+    b += sizeof(SquareBlockArtifact<T>);
+    b += csr_bytes(q.csr);
+    b += (q.dcsr.row_ids.size() + q.dcsr.col_idx.size()) * sizeof(index_t) +
+         q.dcsr.row_ptr.size() * sizeof(offset_t) +
+         q.dcsr.val.size() * sizeof(T);
+  }
+  return b;
+}
+
+template <class T>
+Status save_artifact(const std::string& path, const PlanArtifact<T>& art) {
+  if (Status st = validate_artifact(art); !st.ok()) return st;
+
+  std::vector<SectionSpec> sections;
+  {
+    Writer w;
+    encode_plan(w, art);
+    sections.push_back({kSectionPlan, w.bytes()});
+  }
+  {
+    Writer w;
+    encode_stored(w, art);
+    sections.push_back({kSectionStored, w.bytes()});
+  }
+  {
+    Writer w;
+    encode_tri(w, art);
+    sections.push_back({kSectionTri, w.bytes()});
+  }
+  {
+    Writer w;
+    encode_squares(w, art);
+    sections.push_back({kSectionSquares, w.bytes()});
+  }
+
+  Writer file;
+  file.raw(kMagic, sizeof kMagic);
+  file.u32(kArtifactFormatVersion);
+  file.u32(kEndianTag);
+  file.u32(static_cast<std::uint32_t>(sizeof(T)));
+  file.u64(art.structure);
+  file.u64(art.options);
+  file.i64(static_cast<std::int64_t>(art.plan.n));
+  file.i64(static_cast<std::int64_t>(art.nnz));
+  file.u32(static_cast<std::uint32_t>(sections.size()));
+  for (const SectionSpec& s : sections) {
+    file.u32(s.id);
+    file.u64(s.payload.size());
+    file.u32(crc32(s.payload.data(), s.payload.size()));
+    file.raw(s.payload.data(), s.payload.size());
+  }
+
+  // Write to a side file and rename into place so a crashed writer leaves
+  // either the old artifact or none — never a truncated new one.
+  const std::string tmp = path + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr)
+    return Status(StatusCode::kBadFormat,
+                  "cannot open '" + tmp + "' for writing");
+  const std::vector<unsigned char>& bytes = file.bytes();
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return Status(StatusCode::kBadFormat, "short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status(StatusCode::kBadFormat,
+                  "cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+template <class T>
+Status load_artifact(const std::string& path, PlanArtifact<T>* out) {
+  BLOCKTRI_CHECK(out != nullptr);
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr)
+    return Status(StatusCode::kBadFormat, "cannot open '" + path + "'");
+  std::vector<unsigned char> bytes;
+  {
+    unsigned char chunk[1 << 16];
+    std::size_t got = 0;
+    while ((got = std::fread(chunk, 1, sizeof chunk, f)) > 0)
+      bytes.insert(bytes.end(), chunk, chunk + got);
+    std::fclose(f);
+  }
+
+  Reader header(bytes.data(), bytes.size(), 0);
+  char magic[4] = {};
+  std::uint32_t version = 0, endian = 0, width = 0, nsections = 0;
+  PlanArtifact<T> art;
+  std::int64_t n_header = 0, nnz_header = 0;
+  if (!header.raw(magic, sizeof magic)) return header.status();
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+    return Status(StatusCode::kBadFormat,
+                  "'" + path + "' is not a blocktri plan artifact (bad magic)");
+  if (!header.u32(&version)) return header.status();
+  if (version != kArtifactFormatVersion)
+    return Status(StatusCode::kVersionMismatch,
+                  "artifact format version " + std::to_string(version) +
+                      ", this build reads version " +
+                      std::to_string(kArtifactFormatVersion));
+  if (!header.u32(&endian)) return header.status();
+  if (endian != kEndianTag)
+    return Status(StatusCode::kBadFormat,
+                  "artifact written on a foreign-endian host");
+  if (!header.u32(&width)) return header.status();
+  if (width != sizeof(T))
+    return Status(StatusCode::kBadFormat,
+                  "artifact holds " + std::to_string(width * 8) +
+                      "-bit values, loader expects " +
+                      std::to_string(sizeof(T) * 8) + "-bit");
+  if (!header.u64(&art.structure) || !header.u64(&art.options) ||
+      !header.i64(&n_header) || !header.i64(&nnz_header) ||
+      !header.u32(&nsections))
+    return header.status();
+
+  std::size_t offset = header.offset();
+  bool have[5] = {};
+  for (std::uint32_t s = 0; s < nsections; ++s) {
+    Reader frame(bytes.data() + offset, bytes.size() - offset, offset);
+    std::uint32_t id = 0, crc = 0;
+    std::uint64_t size = 0;
+    if (!frame.u32(&id) || !frame.u64(&size) || !frame.u32(&crc))
+      return frame.status();
+    const std::size_t payload_off = frame.offset();
+    if (size > bytes.size() - payload_off)
+      return Status(StatusCode::kTruncated,
+                    "section " + std::to_string(id) + " claims " +
+                        std::to_string(size) + " bytes past end of file",
+                    static_cast<std::int64_t>(payload_off));
+    const unsigned char* payload = bytes.data() + payload_off;
+    if (crc32(payload, static_cast<std::size_t>(size)) != crc)
+      return Status(StatusCode::kChecksumMismatch,
+                    "section " + std::to_string(id) +
+                        " payload does not match its CRC32",
+                    static_cast<std::int64_t>(payload_off));
+    Reader r(payload, static_cast<std::size_t>(size), payload_off);
+    bool ok = false;
+    switch (id) {
+      case kSectionPlan: ok = decode_plan(r, &art); break;
+      case kSectionStored: ok = decode_stored(r, &art); break;
+      case kSectionTri: ok = decode_tri(r, &art); break;
+      case kSectionSquares: ok = decode_squares(r, &art); break;
+      default:
+        return Status(StatusCode::kBadFormat,
+                      "unknown artifact section id " + std::to_string(id));
+    }
+    if (!ok || !r.done())
+      return r.ok() ? Status(StatusCode::kBadFormat,
+                             "section " + std::to_string(id) +
+                                 " has trailing or missing bytes")
+                    : r.status();
+    if (id <= 4) have[id] = true;
+    offset = payload_off + static_cast<std::size_t>(size);
+  }
+  for (std::uint32_t id : {kSectionPlan, kSectionStored, kSectionTri,
+                           kSectionSquares})
+    if (!have[id])
+      return Status(StatusCode::kTruncated,
+                    "artifact is missing section " + std::to_string(id),
+                    static_cast<std::int64_t>(offset));
+
+  if (art.plan.n != static_cast<index_t>(n_header) || art.nnz != nnz_header)
+    return Status(StatusCode::kBadFormat,
+                  "artifact header (n, nnz) disagrees with the plan section");
+  if (Status st = validate_artifact(art); !st.ok()) return st;
+  *out = std::move(art);
+  return Status::Ok();
+}
+
+namespace {
+Status bad(const std::string& what) {
+  return Status(StatusCode::kBadFormat, "artifact invalid: " + what);
+}
+
+template <class T>
+Status check_csr_shape(const Csr<T>& a, index_t nrows, const char* what) {
+  if (a.nrows != nrows ||
+      a.row_ptr.size() != static_cast<std::size_t>(nrows) + 1 ||
+      a.col_idx.size() != a.val.size())
+    return bad(std::string(what) + " CSR shape is inconsistent");
+  if (!a.row_ptr.empty() &&
+      (a.row_ptr.front() != 0 ||
+       a.row_ptr.back() != static_cast<offset_t>(a.val.size())))
+    return bad(std::string(what) + " CSR pointers are inconsistent");
+  return Status::Ok();
+}
+}  // namespace
+
+template <class T>
+Status validate_artifact(const PlanArtifact<T>& art) {
+  const BlockPlan& p = art.plan;
+  if (p.n < 0) return bad("negative dimension");
+  if (p.new_of_old.size() != static_cast<std::size_t>(p.n))
+    return bad("permutation length != n");
+  if (p.tri_bounds.size() < 2 || p.tri_bounds.front() != 0 ||
+      p.tri_bounds.back() != p.n)
+    return bad("triangular bounds do not cover [0, n)");
+  for (std::size_t i = 1; i < p.tri_bounds.size(); ++i)
+    if (p.tri_bounds[i] < p.tri_bounds[i - 1])
+      return bad("triangular bounds are not ascending");
+  if (art.tri.size() != p.tri_bounds.size() - 1)
+    return bad("triangular block count != plan leaves");
+  if (art.squares.size() != p.squares.size())
+    return bad("square block count != plan squares");
+  const auto ntri = static_cast<index_t>(art.tri.size());
+  const auto nsq = static_cast<index_t>(art.squares.size());
+  for (const ExecStep& s : p.steps) {
+    const index_t limit = s.kind == ExecStep::Kind::kTri ? ntri : nsq;
+    if (s.index < 0 || s.index >= limit)
+      return bad("execution step references a missing block");
+  }
+  for (const auto& wave : art.waves)
+    for (const ExecStep& s : wave) {
+      const index_t limit = s.kind == ExecStep::Kind::kTri ? ntri : nsq;
+      if (s.index < 0 || s.index >= limit)
+        return bad("wave step references a missing block");
+    }
+
+  for (std::size_t t = 0; t < art.tri.size(); ++t) {
+    const TriBlockArtifact<T>& b = art.tri[t];
+    const index_t len = b.r1 - b.r0;
+    if (b.r0 != p.tri_bounds[t] || b.r1 != p.tri_bounds[t + 1] || len < 0)
+      return bad("triangular block range disagrees with the plan");
+    if (b.has_csr != art.verify_captured)
+      return bad("per-block CSR retention disagrees with verify flag");
+    if (b.has_csr)
+      if (Status st = check_csr_shape(b.csr, len, "tri block"); !st.ok())
+        return st;
+    switch (b.kind) {
+      case TriKernelKind::kCompletelyParallel:
+        if (b.diag.size() != static_cast<std::size_t>(len))
+          return bad("diagonal block length != rows");
+        break;
+      case TriKernelKind::kLevelSet:
+      case TriKernelKind::kCusparseLike: {
+        if (Status st = check_csr_shape(b.kernel_csr, len, "tri block");
+            !st.ok())
+          return st;
+        const LevelSets& ls = b.levels;
+        if (ls.level_of.size() != static_cast<std::size_t>(len) ||
+            ls.level_item.size() != static_cast<std::size_t>(len) ||
+            ls.level_ptr.size() != static_cast<std::size_t>(ls.nlevels) + 1)
+          return bad("level analysis does not match the block");
+        if (b.kind == TriKernelKind::kCusparseLike && ls.nlevels > 0 &&
+            b.kernel_first_level.empty())
+          return bad("cusparse-like block has no merged schedule");
+        break;
+      }
+      case TriKernelKind::kSyncFree:
+        if (b.csc.nrows != len || b.csc.ncols != len ||
+            b.csc.col_ptr.size() != static_cast<std::size_t>(len) + 1 ||
+            b.csc.row_idx.size() != b.csc.val.size())
+          return bad("sync-free CSC does not match the block");
+        if (Status st = check_csr_shape(b.strict_rows, len, "strict rows");
+            !st.ok())
+          return st;
+        if (b.in_degree.size() != static_cast<std::size_t>(len))
+          return bad("in-degree length != rows");
+        break;
+      default:
+        return bad("unknown triangular kernel kind");
+    }
+  }
+
+  for (std::size_t q = 0; q < art.squares.size(); ++q) {
+    const SquareBlockArtifact<T>& b = art.squares[q];
+    const SquareBlockRef& ref = p.squares[q];
+    if (b.ref.r0 != ref.r0 || b.ref.r1 != ref.r1 || b.ref.c0 != ref.c0 ||
+        b.ref.c1 != ref.c1)
+      return bad("square block range disagrees with the plan");
+    const index_t rows = ref.r1 - ref.r0;
+    const bool dcsr = b.kind == SpmvKernelKind::kScalarDcsr ||
+                      b.kind == SpmvKernelKind::kVectorDcsr;
+    if (dcsr && b.nnz != 0) {
+      if (b.dcsr.nrows != rows ||
+          b.dcsr.row_ptr.size() != b.dcsr.row_ids.size() + 1 ||
+          b.dcsr.col_idx.size() != b.dcsr.val.size() ||
+          static_cast<offset_t>(b.dcsr.val.size()) != b.nnz)
+        return bad("square DCSR does not match the block");
+    } else {
+      if (Status st = check_csr_shape(b.csr, rows, "square block"); !st.ok())
+        return st;
+      if (static_cast<offset_t>(b.csr.val.size()) != b.nnz)
+        return bad("square CSR nnz disagrees with metadata");
+    }
+  }
+
+  if (art.verify_captured)
+    if (Status st = check_csr_shape(art.stored, p.n, "stored matrix");
+        !st.ok())
+      return st;
+  return Status::Ok();
+}
+
+#define BLOCKTRI_INSTANTIATE(T)                                             \
+  template std::size_t artifact_bytes(const PlanArtifact<T>&);              \
+  template Status save_artifact(const std::string&, const PlanArtifact<T>&); \
+  template Status load_artifact(const std::string&, PlanArtifact<T>*);      \
+  template Status validate_artifact(const PlanArtifact<T>&);
+
+BLOCKTRI_INSTANTIATE(float)
+BLOCKTRI_INSTANTIATE(double)
+#undef BLOCKTRI_INSTANTIATE
+
+}  // namespace blocktri

@@ -1,0 +1,135 @@
+// Plan persistence — serialized BlockSolver preprocessing (ISSUE 4).
+//
+// Table 5 of the paper prices recursive-block preprocessing at many
+// single-solve equivalents; in a service that solves the same sparsity
+// pattern millions of times (a factorization reused across timesteps or
+// requests), that analysis must be paid once, not per BlockSolver. A
+// PlanArtifact captures *everything* BlockSolver::create computes —
+// permutation, recursive BlockPlan (triangles, squares, step order, waves),
+// per-block kernel selections, and the built CSC/CSR/DCSR block arrays — as
+// plain data that can be
+//
+//   * saved to / loaded from a versioned binary file (save_artifact /
+//     load_artifact below, format described in DESIGN.md §10),
+//   * shared immutably between concurrent solvers through a PlanCache
+//     (persist/plan_cache.hpp),
+//   * rehydrated into a BlockSolver with zero re-analysis
+//     (BlockSolver::create_from_artifact), bitwise-identical to the cold
+//     build it was captured from.
+//
+// The artifact is keyed by the canonical structure hash of the *original*
+// (unpermuted) matrix plus a fingerprint of the plan-affecting options, so a
+// stale or mismatched artifact is rejected with a typed Status instead of
+// producing a silently wrong solve.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/levels.hpp"
+#include "common/status.hpp"
+#include "core/adaptive.hpp"
+#include "core/plan.hpp"
+#include "sparse/formats.hpp"
+#include "spmv/kernels.hpp"
+
+namespace blocktri {
+
+/// On-disk format version accepted by this build. Bumped on any layout
+/// change; load_artifact rejects other versions with kVersionMismatch.
+inline constexpr std::uint32_t kArtifactFormatVersion = 1;
+
+/// Everything preprocessing derived for one triangular leaf block. Only the
+/// fields of the selected kernel kind are populated (the rest stay empty),
+/// mirroring what the live solver holds.
+template <class T>
+struct TriBlockArtifact {
+  index_t r0 = 0, r1 = 0;
+  TriKernelKind kind = TriKernelKind::kSyncFree;
+  index_t nlevels = 0;
+  offset_t nnz = 0;
+
+  /// The block's CSR, retained iff the artifact was captured with
+  /// verify.enabled — the fallback-ladder / refinement reference.
+  bool has_csr = false;
+  Csr<T> csr;
+
+  std::vector<T> diag;                      // kCompletelyParallel
+  Csr<T> kernel_csr;                        // kLevelSet / kCusparseLike
+  LevelSets levels;                         // kLevelSet / kCusparseLike
+  std::vector<index_t> kernel_first_level;  // kCusparseLike
+  Csc<T> csc;                               // kSyncFree
+  Csr<T> strict_rows;                       // kSyncFree
+  std::vector<index_t> in_degree;           // kSyncFree
+};
+
+/// One square (SpMV) block: kernel selection plus the built storage (CSR for
+/// the CSR kernel kinds, DCSR for the DCSR kinds).
+template <class T>
+struct SquareBlockArtifact {
+  SquareBlockRef ref{};
+  SpmvKernelKind kind = SpmvKernelKind::kScalarCsr;
+  offset_t nnz = 0;
+  double empty_ratio = 0.0;
+  Csr<T> csr;
+  Dcsr<T> dcsr;
+};
+
+/// The complete, immutable result of BlockSolver preprocessing.
+template <class T>
+struct PlanArtifact {
+  /// structure_hash() of the original (unpermuted) input matrix — a loaded
+  /// plan is only accepted for a matrix with this exact pattern.
+  std::uint64_t structure = 0;
+  /// Fingerprint of the plan-affecting Options fields (scheme, planner,
+  /// adaptive/forced kernels, thresholds, verify.enabled) the artifact was
+  /// captured under; create_from_artifact requires an exact match.
+  std::uint64_t options = 0;
+
+  BlockPlan plan;
+  std::vector<std::vector<ExecStep>> waves;  // compute_step_waves output
+  offset_t nnz = 0;
+
+  bool verify_captured = false;  // stored + per-block CSRs retained
+  Csr<T> stored;                 // permuted matrix (verify_captured only)
+  double norm_inf = 0.0;         // ‖L‖∞ of stored (verify_captured only)
+
+  std::int64_t build_ops = 0;  // preprocessing cost counters (Table 5)
+  std::int64_t build_bytes = 0;
+
+  std::vector<TriBlockArtifact<T>> tri;
+  std::vector<SquareBlockArtifact<T>> squares;
+};
+
+/// Heap footprint of an artifact (all vector payloads + bookkeeping) — the
+/// byte measure PlanCache's capacity bound uses.
+template <class T>
+std::size_t artifact_bytes(const PlanArtifact<T>& art);
+
+/// Serializes `art` to `path` in the versioned binary format: a fixed header
+/// (magic, format version, endianness tag, value-type width, structure hash,
+/// options fingerprint, n, nnz) followed by CRC32-guarded sections. Returns
+/// Ok or a typed Status (kBadFormat for an unopenable/unwritable path).
+/// The write is atomic-ish: data goes to "<path>.tmp" and is renamed into
+/// place only after a successful flush, so readers never observe a torn file.
+template <class T>
+Status save_artifact(const std::string& path, const PlanArtifact<T>& art);
+
+/// Loads an artifact written by save_artifact. Every defect class maps to a
+/// typed Status: wrong magic / endianness / value width → kBadFormat, other
+/// format version → kVersionMismatch, file ends early → kTruncated (location
+/// = byte offset), section CRC32 disagrees → kChecksumMismatch (location =
+/// section's byte offset). On any failure *out is left untouched.
+template <class T>
+Status load_artifact(const std::string& path, PlanArtifact<T>* out);
+
+/// Structural sanity check of a deserialized (or hand-built) artifact:
+/// consistent plan bounds, per-block array sizes, kind-specific payloads.
+/// Returns kBadFormat describing the first inconsistency. load_artifact runs
+/// this before handing the artifact out, so a CRC-valid but semantically
+/// corrupt file is still rejected rather than crashing the executor.
+template <class T>
+Status validate_artifact(const PlanArtifact<T>& art);
+
+}  // namespace blocktri

@@ -1,0 +1,77 @@
+#include "persist/plan_cache.hpp"
+
+namespace blocktri {
+
+template <class T>
+std::shared_ptr<const PlanArtifact<T>> PlanCache<T>::find(
+    const PlanCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  ++counters_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump to most recently used
+  return it->second->art;
+}
+
+template <class T>
+std::shared_ptr<const PlanArtifact<T>> PlanCache<T>::insert(
+    std::shared_ptr<const PlanArtifact<T>> art) {
+  BLOCKTRI_CHECK(art != nullptr);
+  const PlanCacheKey key{art->structure, art->options};
+  const std::size_t bytes = artifact_bytes(*art);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = index_.find(key); it != index_.end()) {
+    // First writer wins: identical (structure, options) builds produce
+    // identical artifacts, so keep the one concurrent readers already share.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->art;
+  }
+  if (bytes > limits_.max_bytes || limits_.max_entries == 0) {
+    // Too big for the cache no matter what we evict — hand it back uncached.
+    return art;
+  }
+  evict_until_fits_locked(bytes);
+  lru_.push_front(Entry{key, art, bytes});
+  index_[key] = lru_.begin();
+  bytes_ += bytes;
+  ++counters_.inserts;
+  return art;
+}
+
+template <class T>
+void PlanCache<T>::evict_until_fits_locked(std::size_t incoming_bytes) {
+  while (!lru_.empty() && (bytes_ + incoming_bytes > limits_.max_bytes ||
+                           lru_.size() + 1 > limits_.max_entries)) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+}
+
+template <class T>
+PlanCacheStats PlanCache<T>::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanCacheStats s = counters_;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+template <class T>
+void PlanCache<T>::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+template class PlanCache<float>;
+template class PlanCache<double>;
+
+}  // namespace blocktri

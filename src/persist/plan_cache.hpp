@@ -1,0 +1,118 @@
+// In-process plan cache (ISSUE 4 layer 3).
+//
+// A service solving many systems with a handful of recurring sparsity
+// patterns should pay the BlockSolver analysis (Table 5's preprocessing
+// cost) once per pattern, not once per solver. PlanCache keys immutable
+// PlanArtifacts by (structure hash, options fingerprint) and hands them out
+// as shared_ptr<const ...>, so any number of concurrent BlockSolvers can
+// rehydrate from the same artifact while the cache evicts cold entries.
+//
+// Semantics:
+//   * Thread safe: every operation takes an internal mutex; the artifacts
+//     themselves are immutable after insert, so readers need no further
+//     locking. Entries are ref-counted — eviction never invalidates an
+//     artifact a solver still holds.
+//   * Capacity bounded in BOTH bytes (artifact_bytes of each entry) and
+//     entry count; least-recently-used entries are evicted first. An
+//     artifact larger than the byte budget is handed back to the caller
+//     uncached rather than wedging the cache.
+//   * Observable: hit / miss / eviction / insert counters plus current
+//     entries and bytes, for cache-sizing decisions and the zero-analysis
+//     warm-path tests.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "persist/artifact.hpp"
+
+namespace blocktri {
+
+/// Cache identity of a plan: the canonical structure hash of the original
+/// matrix plus the fingerprint of the plan-affecting Options. Two solvers
+/// share a cached plan iff both match.
+struct PlanCacheKey {
+  std::uint64_t structure = 0;
+  std::uint64_t options = 0;
+
+  friend bool operator==(const PlanCacheKey& a, const PlanCacheKey& b) {
+    return a.structure == b.structure && a.options == b.options;
+  }
+};
+
+struct PlanCacheKeyHash {
+  std::size_t operator()(const PlanCacheKey& k) const {
+    return static_cast<std::size_t>(
+        hash_combine(k.structure, k.options));
+  }
+};
+
+/// Point-in-time cache statistics (monotonic counters + current occupancy).
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+};
+
+template <class T>
+class PlanCache {
+ public:
+  struct Limits {
+    std::size_t max_bytes = std::size_t(256) << 20;  // 256 MiB
+    std::size_t max_entries = 64;
+  };
+
+  PlanCache() : PlanCache(Limits{}) {}
+  explicit PlanCache(Limits limits) : limits_(limits) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the cached artifact for `key` and marks it most recently used,
+  /// or nullptr (counted as a miss).
+  std::shared_ptr<const PlanArtifact<T>> find(const PlanCacheKey& key);
+
+  /// Inserts `art` under its own (structure, options) key, evicting LRU
+  /// entries until both capacity bounds hold. If an entry with the key
+  /// already exists it is kept (first writer wins — concurrent cold builds
+  /// of the same pattern produce identical artifacts) and returned. Returns
+  /// the artifact that is now authoritative for the key: the cached one, or
+  /// `art` itself when it exceeds max_bytes alone and bypasses the cache.
+  std::shared_ptr<const PlanArtifact<T>> insert(
+      std::shared_ptr<const PlanArtifact<T>> art);
+
+  PlanCacheStats stats() const;
+
+  /// Drops every entry (outstanding shared_ptrs stay valid) and resets the
+  /// occupancy, keeping the monotonic counters.
+  void clear();
+
+  const Limits& limits() const { return limits_; }
+
+ private:
+  struct Entry {
+    PlanCacheKey key;
+    std::shared_ptr<const PlanArtifact<T>> art;
+    std::size_t bytes = 0;
+  };
+
+  // Called with mu_ held.
+  void evict_until_fits_locked(std::size_t incoming_bytes);
+
+  Limits limits_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<PlanCacheKey, typename std::list<Entry>::iterator,
+                     PlanCacheKeyHash>
+      index_;
+  std::size_t bytes_ = 0;
+  PlanCacheStats counters_;
+};
+
+}  // namespace blocktri

@@ -95,13 +95,20 @@ bool equals(const Csc<T>& a, const Csc<T>& b) {
          a.row_idx == b.row_idx && a.val == b.val;
 }
 
+template <class T>
+bool equals(const Dcsr<T>& a, const Dcsr<T>& b) {
+  return a.nrows == b.nrows && a.ncols == b.ncols && a.row_ids == b.row_ids &&
+         a.row_ptr == b.row_ptr && a.col_idx == b.col_idx && a.val == b.val;
+}
+
 #define BLOCKTRI_INSTANTIATE(T)            \
   template void validate(const Csr<T>&);   \
   template void validate(const Csc<T>&);   \
   template void validate(const Dcsr<T>&);  \
   template void validate(const Coo<T>&);   \
   template bool equals(const Csr<T>&, const Csr<T>&); \
-  template bool equals(const Csc<T>&, const Csc<T>&);
+  template bool equals(const Csc<T>&, const Csc<T>&); \
+  template bool equals(const Dcsr<T>&, const Dcsr<T>&);
 
 BLOCKTRI_INSTANTIATE(float)
 BLOCKTRI_INSTANTIATE(double)

@@ -91,5 +91,7 @@ template <class T>
 bool equals(const Csr<T>& a, const Csr<T>& b);
 template <class T>
 bool equals(const Csc<T>& a, const Csc<T>& b);
+template <class T>
+bool equals(const Dcsr<T>& a, const Dcsr<T>& b);
 
 }  // namespace blocktri

@@ -38,6 +38,28 @@ CusparseLikeSolver<T>::CusparseLikeSolver(Csr<T> lower,
 }
 
 template <class T>
+CusparseLikeSolver<T>::CusparseLikeSolver(
+    Csr<T> lower, LevelSets levels, std::vector<index_t> kernel_first_level)
+    : a_(std::move(lower)),
+      ls_(std::move(levels)),
+      kernel_first_level_(std::move(kernel_first_level)) {
+  BLOCKTRI_CHECK_MSG(
+      ls_.level_of.size() == static_cast<std::size_t>(a_.nrows) &&
+          ls_.level_item.size() == static_cast<std::size_t>(a_.nrows) &&
+          ls_.level_ptr.size() == static_cast<std::size_t>(ls_.nlevels) + 1 &&
+          (ls_.nlevels == 0 || !kernel_first_level_.empty()),
+      "CusparseLikeSolver: adopted schedule does not match the matrix");
+}
+
+template <class T>
+void CusparseLikeSolver<T>::refresh_values(const Csr<T>& lower) {
+  BLOCKTRI_CHECK_MSG(lower.nrows == a_.nrows && lower.row_ptr == a_.row_ptr &&
+                         lower.col_idx == a_.col_idx,
+                     "CusparseLikeSolver::refresh_values: structure differs");
+  a_.val = lower.val;
+}
+
+template <class T>
 void CusparseLikeSolver<T>::solve_many(const T* b, T* x, index_t k,
                                        index_t ld) const {
   if (k <= 0) return;

@@ -30,6 +30,16 @@ class CusparseLikeSolver {
   explicit CusparseLikeSolver(Csr<T> lower,
                               index_t merge_component_budget = 2304);
 
+  /// Rehydration constructor for the plan-persistence subsystem: adopts a
+  /// previously computed level analysis and merged-kernel schedule instead
+  /// of re-deriving them.
+  CusparseLikeSolver(Csr<T> lower, LevelSets levels,
+                     std::vector<index_t> kernel_first_level);
+
+  /// Installs the values of `lower` — which must have the matrix's exact
+  /// sparsity structure — without touching the schedule.
+  void refresh_values(const Csr<T>& lower);
+
   void solve(const T* b, T* x, const TrsvSim* s = nullptr) const;
 
   /// Batched solve of k right-hand sides (column-major panel, leading
@@ -45,6 +55,12 @@ class CusparseLikeSolver {
   /// Number of kernel launches the merged schedule issues (<= nlevels).
   index_t num_merged_kernels() const {
     return static_cast<index_t>(kernel_first_level_.size());
+  }
+
+  /// The merged schedule itself (first level of each kernel) — captured by
+  /// the plan-persistence subsystem.
+  const std::vector<index_t>& kernel_first_levels() const {
+    return kernel_first_level_;
   }
 
  private:

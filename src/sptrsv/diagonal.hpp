@@ -32,6 +32,17 @@ class DiagonalSolver {
 
   index_t n() const { return static_cast<index_t>(diag_.size()); }
 
+  /// The dense diagonal — captured by the plan-persistence subsystem.
+  const std::vector<T>& diag() const { return diag_; }
+
+  /// Installs a new diagonal of the same length (value refresh for repeated
+  /// factorizations with a fixed pattern).
+  void refresh_values(std::vector<T> diag) {
+    BLOCKTRI_CHECK_MSG(diag.size() == diag_.size(),
+                       "DiagonalSolver::refresh_values: length differs");
+    diag_ = std::move(diag);
+  }
+
  private:
   std::vector<T> diag_;
 };

@@ -22,6 +22,24 @@ LevelSetSolver<T>::LevelSetSolver(Csr<T> lower, ThreadPool* pool)
 }
 
 template <class T>
+LevelSetSolver<T>::LevelSetSolver(Csr<T> lower, LevelSets levels)
+    : a_(std::move(lower)), ls_(std::move(levels)) {
+  BLOCKTRI_CHECK_MSG(
+      ls_.level_of.size() == static_cast<std::size_t>(a_.nrows) &&
+          ls_.level_item.size() == static_cast<std::size_t>(a_.nrows) &&
+          ls_.level_ptr.size() == static_cast<std::size_t>(ls_.nlevels) + 1,
+      "LevelSetSolver: adopted level analysis does not match the matrix");
+}
+
+template <class T>
+void LevelSetSolver<T>::refresh_values(const Csr<T>& lower) {
+  BLOCKTRI_CHECK_MSG(lower.nrows == a_.nrows && lower.row_ptr == a_.row_ptr &&
+                         lower.col_idx == a_.col_idx,
+                     "LevelSetSolver::refresh_values: structure differs");
+  a_.val = lower.val;
+}
+
+template <class T>
 void LevelSetSolver<T>::solve_many(const T* b, T* x, index_t k, index_t ld,
                                    ThreadPool* pool) const {
   if (k <= 0) return;

@@ -25,6 +25,16 @@ class LevelSetSolver {
   /// it is not retained.
   explicit LevelSetSolver(Csr<T> lower, ThreadPool* pool = nullptr);
 
+  /// Rehydration constructor for the plan-persistence subsystem: adopts a
+  /// previously computed level analysis instead of re-running it. `levels`
+  /// must be the LevelSets of `lower` (checked structurally, not recomputed).
+  LevelSetSolver(Csr<T> lower, LevelSets levels);
+
+  /// Installs the values of `lower` — which must have the matrix's exact
+  /// sparsity structure — without touching the level analysis. The hot path
+  /// for repeated factorizations with a fixed pattern.
+  void refresh_values(const Csr<T>& lower);
+
   /// Solve phase (Alg. 2 lines 12–22). One kernel launch per level when
   /// simulation is active. With a pool (and no simulation), the rows of each
   /// level are solved across threads with a barrier per level — the CPU

@@ -31,6 +31,17 @@ class SyncFreeSolver {
   /// parallelises the CSC conversion and in-degree pass; it is not retained.
   explicit SyncFreeSolver(const Csr<T>& lower, ThreadPool* pool = nullptr);
 
+  /// Rehydration constructor for the plan-persistence subsystem: adopts the
+  /// previously built CSC execution structure, strict-lower dependency rows
+  /// and in-degree counts instead of recomputing them.
+  SyncFreeSolver(Csc<T> csc, Csr<T> strict_rows,
+                 std::vector<index_t> in_degree);
+
+  /// Installs the values of `lower` — which must have the matrix's exact
+  /// sparsity structure (CSR, diagonal last in each row) — rewriting the CSC
+  /// and strict-row value arrays in place without re-deriving structure.
+  void refresh_values(const Csr<T>& lower);
+
   /// Host solve. With a pool (and no simulation) this runs the CPU analogue
   /// of Alg. 3: components are dealt round-robin to threads (component i to
   /// thread i mod nthreads, mirroring the GPU's warp dispatch), each thread
@@ -53,6 +64,7 @@ class SyncFreeSolver {
                   ThreadPool* pool = nullptr) const;
 
   const Csc<T>& matrix_csc() const { return csc_; }
+  const Csr<T>& strict_rows() const { return strict_rows_; }
   const std::vector<index_t>& in_degree() const { return in_degree_; }
 
  private:

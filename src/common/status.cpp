@@ -22,6 +22,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kChecksumMismatch: return "checksum-mismatch";
     case StatusCode::kTruncated: return "truncated";
     case StatusCode::kStructureMismatch: return "structure-mismatch";
+    case StatusCode::kIoError: return "io-error";
   }
   return "unknown";
 }

@@ -44,6 +44,8 @@ enum class StatusCode {
   kTruncated,            // artifact ends mid-header or mid-section;
                          // location = byte offset of the failed read
   kStructureMismatch,    // plan's structure hash does not match the matrix
+  kIoError,              // the OS reported a read/write error mid-stream —
+                         // distinct from kTruncated: the file may be intact
 };
 
 /// Stable short name for a code, e.g. "zero-pivot".

@@ -455,6 +455,7 @@ Status BlockSolver<T>::create(const Csr<T>& lower, const Options& opt,
   if (cache != nullptr) {
     const PlanCacheKey key{blocktri::structure_hash(lower),
                            options_fingerprint(opt)};
+    bool hit_failed = false;
     if (std::shared_ptr<const PlanArtifact<T>> art = cache->find(key)) {
       std::unique_ptr<BlockSolver<T>> warm;
       if (create_from_artifact(std::move(art), opt, &warm).ok() &&
@@ -464,10 +465,14 @@ Status BlockSolver<T>::create(const Csr<T>& lower, const Options& opt,
       }
       // A mismatched entry (e.g. a hash collision) falls through to the
       // cold build — the cache is an accelerator, never a correctness gate.
+      hit_failed = true;
     }
     out->reset(new BlockSolver<T>(lower, opt));
-    cache->insert(
-        std::make_shared<PlanArtifact<T>>((*out)->capture_artifact()));
+    // When the cached entry just failed the warm path, overwrite it: leaving
+    // it in place would make every future create() for this key pay the
+    // failed warm attempt plus a cold build forever.
+    cache->insert(std::make_shared<PlanArtifact<T>>((*out)->capture_artifact()),
+                  /*overwrite=*/hit_failed);
     return Status::Ok();
   }
   out->reset(new BlockSolver<T>(lower, opt));
@@ -657,7 +662,16 @@ Status BlockSolver<T>::create_from_artifact(
         "under (plan-affecting fields — scheme, planner, kernel selection, "
         "thresholds, verify.enabled — must match exactly)");
   if (Status st = validate_artifact(*art); !st.ok()) return st;
-  out->reset(new BlockSolver<T>(*art, opt));
+  // validate_artifact should have rejected anything the sub-solver adoption
+  // checks would trip over, but an invariant throw from artifact-derived
+  // state must still come back as a Status — this is a Status-returning
+  // entry point, and create()'s fall-back-to-cold-build contract depends on
+  // seeing the failure rather than an escaping exception.
+  try {
+    out->reset(new BlockSolver<T>(*art, opt));
+  } catch (const Error& e) {
+    return e.status();
+  }
   return Status::Ok();
 }
 
@@ -692,7 +706,20 @@ Status BlockSolver<T>::refresh_values(const Csr<T>& lower) {
     return Status(StatusCode::kStructureMismatch,
                   "refresh_values requires the exact sparsity pattern this "
                   "solver was analyzed for");
+  // Invariant checks past this point (permute_symmetric's permutation
+  // check, the sub-solvers' structure checks) throw blocktri::Error; for a
+  // solver rehydrated from an artifact they indict the artifact, not the
+  // caller, and must surface as a Status so create()'s cache-hit path can
+  // fall back to a cold build instead of unwinding out of the Status API.
+  try {
+    return refresh_values_impl(lower);
+  } catch (const Error& e) {
+    return e.status();
+  }
+}
 
+template <class T>
+Status BlockSolver<T>::refresh_values_impl(const Csr<T>& lower) {
   // permute_symmetric is canonical (sorted rows), so one application of the
   // composite permutation reproduces the cold constructor's stored matrix.
   Csr<T> stored = permute_symmetric(lower, plan_.new_of_old);

@@ -326,6 +326,9 @@ class BlockSolver {
   /// One ExecStep of the batched host solve over panel columns [c0, c1).
   void exec_step_many(const ExecStep& step, T* bw, T* xw, index_t c0,
                       index_t c1, ThreadPool* pool) const;
+  /// refresh_values body; the public wrapper maps any escaping Error back to
+  /// its Status so the warm path never throws through the Status API.
+  Status refresh_values_impl(const Csr<T>& lower);
   /// One pass over the execution steps with the fallback ladder armed.
   /// Consumes bw (square blocks accumulate into it).
   Status run_steps_checked(std::vector<T>& bw, std::vector<T>& xw,

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <type_traits>
 
+#include "common/prefix.hpp"
+
 namespace blocktri {
 
 namespace {
@@ -109,6 +111,17 @@ class Reader {
   std::size_t offset() const { return base_ + pos_; }
   const Status& status() const { return status_; }
   bool ok() const { return status_.ok(); }
+
+  /// Latches a kBadFormat status for a value that decoded cleanly but is
+  /// not a legal encoding (e.g. an out-of-range enum), then poisons the
+  /// reader like fail(). Always returns false so decoders can `return
+  /// r.corrupt(...)`.
+  bool corrupt(const std::string& what) {
+    if (status_.ok())
+      status_ = Status(StatusCode::kBadFormat, "artifact invalid: " + what);
+    pos_ = size_;
+    return false;
+  }
 
  private:
   bool fail() {
@@ -232,9 +245,15 @@ void encode_plan(Writer& w, const PlanArtifact<T>& art) {
   w.i64(art.build_bytes);
 }
 
+// Enums are encoded as u32; anything beyond the last enumerator is a
+// corrupt file, rejected at decode so a bogus value can never reach an
+// executor switch (whose default paths only fire on programmer error).
+
 bool get_step(Reader& r, ExecStep* s) {
   std::uint32_t kind = 0;
   if (!r.u32(&kind) || !r.i32(&s->index)) return false;
+  if (kind > static_cast<std::uint32_t>(ExecStep::Kind::kSquare))
+    return r.corrupt("execution step kind out of range");
   s->kind = static_cast<ExecStep::Kind>(kind);
   return true;
 }
@@ -244,6 +263,8 @@ bool decode_plan(Reader& r, PlanArtifact<T>* art) {
   BlockPlan& p = art->plan;
   std::uint32_t scheme = 0;
   if (!r.u32(&scheme)) return false;
+  if (scheme > static_cast<std::uint32_t>(BlockScheme::kRecursive))
+    return r.corrupt("block scheme out of range");
   p.scheme = static_cast<BlockScheme>(scheme);
   if (!r.i32(&p.n) || !r.vec(&p.new_of_old) || !r.vec(&p.tri_bounds))
     return false;
@@ -334,6 +355,8 @@ bool decode_tri(Reader& r, PlanArtifact<T>* art) {
     if (!r.i32(&t.r0) || !r.i32(&t.r1) || !r.u32(&kind) ||
         !r.i32(&t.nlevels) || !r.i64(&t.nnz) || !r.u32(&has_csr))
       return false;
+    if (kind > static_cast<std::uint32_t>(TriKernelKind::kCusparseLike))
+      return r.corrupt("triangular kernel kind out of range");
     t.kind = static_cast<TriKernelKind>(kind);
     t.has_csr = has_csr != 0;
     if (t.has_csr && !get_csr(r, &t.csr)) return false;
@@ -391,6 +414,8 @@ bool decode_squares(Reader& r, PlanArtifact<T>* art) {
         !r.i32(&q.ref.c1) || !r.u32(&kind) || !r.i64(&q.nnz) ||
         !r.f64(&q.empty_ratio))
       return false;
+    if (kind > static_cast<std::uint32_t>(SpmvKernelKind::kVectorDcsr))
+      return r.corrupt("square kernel kind out of range");
     q.kind = static_cast<SpmvKernelKind>(kind);
     const bool dcsr = q.kind == SpmvKernelKind::kScalarDcsr ||
                       q.kind == SpmvKernelKind::kVectorDcsr;
@@ -529,7 +554,14 @@ Status load_artifact(const std::string& path, PlanArtifact<T>* out) {
     std::size_t got = 0;
     while ((got = std::fread(chunk, 1, sizeof chunk, f)) > 0)
       bytes.insert(bytes.end(), chunk, chunk + got);
+    // fread stops on both EOF and error; only ferror distinguishes a
+    // mid-file I/O failure from a genuinely short file, and the two must
+    // not be conflated — a read error says nothing about the file's bytes.
+    const bool io_error = std::ferror(f) != 0;
     std::fclose(f);
+    if (io_error)
+      return Status(StatusCode::kIoError,
+                    "read error while loading '" + path + "'");
   }
 
   Reader header(bytes.data(), bytes.size(), 0);
@@ -621,16 +653,73 @@ Status bad(const std::string& what) {
   return Status(StatusCode::kBadFormat, "artifact invalid: " + what);
 }
 
+// The executors index with artifact contents unchecked (permute_vector
+// writes out[new_of_old[i]], spmv writes y[row_ids[r]], kernels read
+// x[col_idx[k]]), so validation must prove every stored index in-bounds —
+// a CRC-valid but crafted file has to be rejected here, not crash later.
+
+bool indices_in_range(const std::vector<index_t>& idx, index_t limit) {
+  for (const index_t v : idx)
+    if (v < 0 || v >= limit) return false;
+  return true;
+}
+
+/// front == 0, monotonically non-decreasing, back == nnz — the shape every
+/// compressed pointer array (row_ptr / col_ptr / level_ptr) must have for
+/// `ptr[i]..ptr[i+1]` loops to stay inside the payload arrays.
+bool ptr_consistent(const std::vector<offset_t>& ptr, std::size_t nnz) {
+  if (ptr.empty() || ptr.front() != 0 ||
+      ptr.back() != static_cast<offset_t>(nnz))
+    return false;
+  for (std::size_t i = 1; i < ptr.size(); ++i)
+    if (ptr[i] < ptr[i - 1]) return false;
+  return true;
+}
+
 template <class T>
-Status check_csr_shape(const Csr<T>& a, index_t nrows, const char* what) {
-  if (a.nrows != nrows ||
+Status check_csr_shape(const Csr<T>& a, index_t nrows, index_t ncols,
+                       const char* what) {
+  if (a.nrows != nrows || a.ncols != ncols ||
       a.row_ptr.size() != static_cast<std::size_t>(nrows) + 1 ||
       a.col_idx.size() != a.val.size())
     return bad(std::string(what) + " CSR shape is inconsistent");
-  if (!a.row_ptr.empty() &&
-      (a.row_ptr.front() != 0 ||
-       a.row_ptr.back() != static_cast<offset_t>(a.val.size())))
+  if (!ptr_consistent(a.row_ptr, a.val.size()))
     return bad(std::string(what) + " CSR pointers are inconsistent");
+  if (!indices_in_range(a.col_idx, ncols))
+    return bad(std::string(what) + " CSR column index out of range");
+  return Status::Ok();
+}
+
+/// A triangular kernel CSR additionally needs every row non-empty with the
+/// diagonal as its last entry and nothing above the diagonal — the solvers
+/// divide by val[row_ptr[i+1] - 1] and gather x from the preceding entries.
+template <class T>
+Status check_tri_csr(const Csr<T>& a, const char* what) {
+  for (index_t i = 0; i < a.nrows; ++i) {
+    const offset_t lo = a.row_ptr[static_cast<std::size_t>(i)];
+    const offset_t hi = a.row_ptr[static_cast<std::size_t>(i) + 1];
+    if (hi <= lo ||
+        a.col_idx[static_cast<std::size_t>(hi) - 1] != i)
+      return bad(std::string(what) + " row lacks a trailing diagonal entry");
+    for (offset_t k = lo; k < hi; ++k)
+      if (a.col_idx[static_cast<std::size_t>(k)] > i)
+        return bad(std::string(what) + " has an entry above the diagonal");
+  }
+  return Status::Ok();
+}
+
+Status check_level_sets(const LevelSets& ls, index_t len, const char* what) {
+  if (ls.nlevels < 0 ||
+      ls.level_of.size() != static_cast<std::size_t>(len) ||
+      ls.level_item.size() != static_cast<std::size_t>(len) ||
+      ls.level_ptr.size() != static_cast<std::size_t>(ls.nlevels) + 1)
+    return bad(std::string(what) + " level analysis does not match the block");
+  if (!ptr_consistent(ls.level_ptr, static_cast<std::size_t>(len)))
+    return bad(std::string(what) + " level pointers do not cover the block");
+  if (!indices_in_range(ls.level_item, len))
+    return bad(std::string(what) + " level item out of range");
+  if (!indices_in_range(ls.level_of, ls.nlevels))
+    return bad(std::string(what) + " level assignment out of range");
   return Status::Ok();
 }
 }  // namespace
@@ -639,8 +728,13 @@ template <class T>
 Status validate_artifact(const PlanArtifact<T>& art) {
   const BlockPlan& p = art.plan;
   if (p.n < 0) return bad("negative dimension");
+  if (static_cast<std::uint32_t>(p.scheme) >
+      static_cast<std::uint32_t>(BlockScheme::kRecursive))
+    return bad("block scheme out of range");
   if (p.new_of_old.size() != static_cast<std::size_t>(p.n))
     return bad("permutation length != n");
+  if (!is_permutation_of_iota(p.new_of_old))
+    return bad("new_of_old is not a permutation of [0, n)");
   if (p.tri_bounds.size() < 2 || p.tri_bounds.front() != 0 ||
       p.tri_bounds.back() != p.n)
     return bad("triangular bounds do not cover [0, n)");
@@ -653,17 +747,19 @@ Status validate_artifact(const PlanArtifact<T>& art) {
     return bad("square block count != plan squares");
   const auto ntri = static_cast<index_t>(art.tri.size());
   const auto nsq = static_cast<index_t>(art.squares.size());
-  for (const ExecStep& s : p.steps) {
+  const auto check_step = [&](const ExecStep& s) {
+    if (s.kind != ExecStep::Kind::kTri && s.kind != ExecStep::Kind::kSquare)
+      return bad("execution step kind out of range");
     const index_t limit = s.kind == ExecStep::Kind::kTri ? ntri : nsq;
     if (s.index < 0 || s.index >= limit)
       return bad("execution step references a missing block");
-  }
+    return Status::Ok();
+  };
+  for (const ExecStep& s : p.steps)
+    if (Status st = check_step(s); !st.ok()) return st;
   for (const auto& wave : art.waves)
-    for (const ExecStep& s : wave) {
-      const index_t limit = s.kind == ExecStep::Kind::kTri ? ntri : nsq;
-      if (s.index < 0 || s.index >= limit)
-        return bad("wave step references a missing block");
-    }
+    for (const ExecStep& s : wave)
+      if (Status st = check_step(s); !st.ok()) return st;
 
   for (std::size_t t = 0; t < art.tri.size(); ++t) {
     const TriBlockArtifact<T>& b = art.tri[t];
@@ -672,9 +768,14 @@ Status validate_artifact(const PlanArtifact<T>& art) {
       return bad("triangular block range disagrees with the plan");
     if (b.has_csr != art.verify_captured)
       return bad("per-block CSR retention disagrees with verify flag");
-    if (b.has_csr)
-      if (Status st = check_csr_shape(b.csr, len, "tri block"); !st.ok())
+    if (b.has_csr) {
+      // The fallback ladder feeds this CSR straight into the level-set and
+      // serial solvers, so it must be a well-formed lower triangle itself.
+      if (Status st = check_csr_shape(b.csr, len, len, "tri block");
+          !st.ok())
         return st;
+      if (Status st = check_tri_csr(b.csr, "tri block"); !st.ok()) return st;
+    }
     switch (b.kind) {
       case TriKernelKind::kCompletelyParallel:
         if (b.diag.size() != static_cast<std::size_t>(len))
@@ -682,30 +783,63 @@ Status validate_artifact(const PlanArtifact<T>& art) {
         break;
       case TriKernelKind::kLevelSet:
       case TriKernelKind::kCusparseLike: {
-        if (Status st = check_csr_shape(b.kernel_csr, len, "tri block");
+        if (Status st = check_csr_shape(b.kernel_csr, len, len, "tri block");
             !st.ok())
           return st;
-        const LevelSets& ls = b.levels;
-        if (ls.level_of.size() != static_cast<std::size_t>(len) ||
-            ls.level_item.size() != static_cast<std::size_t>(len) ||
-            ls.level_ptr.size() != static_cast<std::size_t>(ls.nlevels) + 1)
-          return bad("level analysis does not match the block");
-        if (b.kind == TriKernelKind::kCusparseLike && ls.nlevels > 0 &&
-            b.kernel_first_level.empty())
-          return bad("cusparse-like block has no merged schedule");
+        if (Status st = check_tri_csr(b.kernel_csr, "tri block"); !st.ok())
+          return st;
+        if (Status st = check_level_sets(b.levels, len, "tri block");
+            !st.ok())
+          return st;
+        if (b.kind == TriKernelKind::kCusparseLike) {
+          if (b.levels.nlevels > 0 && b.kernel_first_level.empty())
+            return bad("cusparse-like block has no merged schedule");
+          if (!indices_in_range(b.kernel_first_level, b.levels.nlevels))
+            return bad("cusparse-like merged schedule level out of range");
+        }
         break;
       }
-      case TriKernelKind::kSyncFree:
+      case TriKernelKind::kSyncFree: {
         if (b.csc.nrows != len || b.csc.ncols != len ||
             b.csc.col_ptr.size() != static_cast<std::size_t>(len) + 1 ||
             b.csc.row_idx.size() != b.csc.val.size())
           return bad("sync-free CSC does not match the block");
-        if (Status st = check_csr_shape(b.strict_rows, len, "strict rows");
+        if (!ptr_consistent(b.csc.col_ptr, b.csc.val.size()))
+          return bad("sync-free CSC pointers are inconsistent");
+        if (!indices_in_range(b.csc.row_idx, len))
+          return bad("sync-free CSC row index out of range");
+        // The kernel divides by the first entry of each column (the
+        // diagonal) and expects everything below it strictly lower — also
+        // what makes the busy-wait scheme deadlock-free (dependencies only
+        // point at earlier components).
+        for (index_t j = 0; j < len; ++j) {
+          const offset_t lo = b.csc.col_ptr[static_cast<std::size_t>(j)];
+          const offset_t hi = b.csc.col_ptr[static_cast<std::size_t>(j) + 1];
+          if (hi <= lo || b.csc.row_idx[static_cast<std::size_t>(lo)] != j)
+            return bad("sync-free CSC column lacks a leading diagonal entry");
+          for (offset_t k = lo + 1; k < hi; ++k)
+            if (b.csc.row_idx[static_cast<std::size_t>(k)] <= j)
+              return bad("sync-free CSC column is not strictly lower");
+        }
+        if (Status st = check_csr_shape(b.strict_rows, len, len,
+                                        "strict rows");
             !st.ok())
           return st;
         if (b.in_degree.size() != static_cast<std::size_t>(len))
           return bad("in-degree length != rows");
+        for (index_t i = 0; i < len; ++i) {
+          for (offset_t k =
+                   b.strict_rows.row_ptr[static_cast<std::size_t>(i)];
+               k < b.strict_rows.row_ptr[static_cast<std::size_t>(i) + 1];
+               ++k)
+            if (b.strict_rows.col_idx[static_cast<std::size_t>(k)] >= i)
+              return bad("strict rows are not strictly lower");
+          if (b.in_degree[static_cast<std::size_t>(i)] !=
+              static_cast<index_t>(b.strict_rows.row_nnz(i)))
+            return bad("in-degree disagrees with the strict rows");
+        }
         break;
+      }
       default:
         return bad("unknown triangular kernel kind");
     }
@@ -717,27 +851,44 @@ Status validate_artifact(const PlanArtifact<T>& art) {
     if (b.ref.r0 != ref.r0 || b.ref.r1 != ref.r1 || b.ref.c0 != ref.c0 ||
         b.ref.c1 != ref.c1)
       return bad("square block range disagrees with the plan");
+    if (ref.r0 < 0 || ref.r0 > ref.r1 || ref.r1 > p.n || ref.c0 < 0 ||
+        ref.c0 > ref.c1 || ref.c1 > p.n)
+      return bad("square block range is outside the matrix");
+    if (static_cast<std::uint32_t>(b.kind) >
+        static_cast<std::uint32_t>(SpmvKernelKind::kVectorDcsr))
+      return bad("unknown square kernel kind");
     const index_t rows = ref.r1 - ref.r0;
+    const index_t cols = ref.c1 - ref.c0;
     const bool dcsr = b.kind == SpmvKernelKind::kScalarDcsr ||
                       b.kind == SpmvKernelKind::kVectorDcsr;
     if (dcsr && b.nnz != 0) {
-      if (b.dcsr.nrows != rows ||
+      if (b.dcsr.nrows != rows || b.dcsr.ncols != cols ||
           b.dcsr.row_ptr.size() != b.dcsr.row_ids.size() + 1 ||
           b.dcsr.col_idx.size() != b.dcsr.val.size() ||
           static_cast<offset_t>(b.dcsr.val.size()) != b.nnz)
         return bad("square DCSR does not match the block");
+      if (!ptr_consistent(b.dcsr.row_ptr, b.dcsr.val.size()))
+        return bad("square DCSR pointers are inconsistent");
+      if (!indices_in_range(b.dcsr.row_ids, rows))
+        return bad("square DCSR row id out of range");
+      if (!indices_in_range(b.dcsr.col_idx, cols))
+        return bad("square DCSR column index out of range");
     } else {
-      if (Status st = check_csr_shape(b.csr, rows, "square block"); !st.ok())
+      if (Status st = check_csr_shape(b.csr, rows, cols, "square block");
+          !st.ok())
         return st;
       if (static_cast<offset_t>(b.csr.val.size()) != b.nnz)
         return bad("square CSR nnz disagrees with metadata");
     }
   }
 
-  if (art.verify_captured)
-    if (Status st = check_csr_shape(art.stored, p.n, "stored matrix");
+  if (art.verify_captured) {
+    if (Status st = check_csr_shape(art.stored, p.n, p.n, "stored matrix");
         !st.ok())
       return st;
+    if (Status st = check_tri_csr(art.stored, "stored matrix"); !st.ok())
+      return st;
+  }
   return Status::Ok();
 }
 

@@ -120,15 +120,25 @@ Status save_artifact(const std::string& path, const PlanArtifact<T>& art);
 /// typed Status: wrong magic / endianness / value width → kBadFormat, other
 /// format version → kVersionMismatch, file ends early → kTruncated (location
 /// = byte offset), section CRC32 disagrees → kChecksumMismatch (location =
-/// section's byte offset). On any failure *out is left untouched.
+/// section's byte offset), the OS reports a read error mid-stream →
+/// kIoError (naming the path — distinct from kTruncated: the file may be
+/// intact). On any failure *out is left untouched.
 template <class T>
 Status load_artifact(const std::string& path, PlanArtifact<T>* out);
 
-/// Structural sanity check of a deserialized (or hand-built) artifact:
-/// consistent plan bounds, per-block array sizes, kind-specific payloads.
-/// Returns kBadFormat describing the first inconsistency. load_artifact runs
-/// this before handing the artifact out, so a CRC-valid but semantically
-/// corrupt file is still rejected rather than crashing the executor.
+/// Deep semantic check of a deserialized (or hand-built) artifact. The
+/// executors index with artifact contents unchecked — permute_vector writes
+/// out[new_of_old[i]], the DCSR spmv writes y[row_ids[r]], kernels read
+/// x[col_idx[k]], the sync-free busy-wait counts down in_degree — so beyond
+/// consistent plan bounds and array sizes this proves every stored index
+/// in-bounds and every kernel precondition (pointer arrays monotone and
+/// covering, new_of_old a permutation of [0, n), triangular CSRs non-empty
+/// rows with a trailing diagonal, sync-free columns diagonal-first and
+/// strictly lower with in_degree matching the strict rows, enum values in
+/// range). Returns kBadFormat describing the first violation. load_artifact
+/// runs this before handing the artifact out, so a CRC-valid but crafted or
+/// semantically corrupt file is rejected here rather than corrupting memory
+/// at solve time.
 template <class T>
 Status validate_artifact(const PlanArtifact<T>& art);
 

@@ -18,17 +18,26 @@ std::shared_ptr<const PlanArtifact<T>> PlanCache<T>::find(
 
 template <class T>
 std::shared_ptr<const PlanArtifact<T>> PlanCache<T>::insert(
-    std::shared_ptr<const PlanArtifact<T>> art) {
+    std::shared_ptr<const PlanArtifact<T>> art, bool overwrite) {
   BLOCKTRI_CHECK(art != nullptr);
   const PlanCacheKey key{art->structure, art->options};
   const std::size_t bytes = artifact_bytes(*art);
 
   std::lock_guard<std::mutex> lock(mu_);
   if (auto it = index_.find(key); it != index_.end()) {
-    // First writer wins: identical (structure, options) builds produce
-    // identical artifacts, so keep the one concurrent readers already share.
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->art;
+    if (!overwrite) {
+      // First writer wins: identical (structure, options) builds produce
+      // identical artifacts, so keep the one concurrent readers already
+      // share.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->art;
+    }
+    // The caller vouches the cached entry is bad (it failed the warm path);
+    // drop it so the replacement below becomes authoritative. Readers still
+    // holding the old shared_ptr are unaffected.
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
   }
   if (bytes > limits_.max_bytes || limits_.max_entries == 0) {
     // Too big for the cache no matter what we evict — hand it back uncached.

@@ -81,11 +81,15 @@ class PlanCache {
   /// Inserts `art` under its own (structure, options) key, evicting LRU
   /// entries until both capacity bounds hold. If an entry with the key
   /// already exists it is kept (first writer wins — concurrent cold builds
-  /// of the same pattern produce identical artifacts) and returned. Returns
-  /// the artifact that is now authoritative for the key: the cached one, or
-  /// `art` itself when it exceeds max_bytes alone and bypasses the cache.
+  /// of the same pattern produce identical artifacts) and returned, unless
+  /// `overwrite` is set, in which case `art` replaces it (outstanding
+  /// shared_ptrs to the old artifact stay valid). Pass overwrite = true when
+  /// the cached entry is known bad — e.g. a cached artifact that failed the
+  /// warm rehydration path and forced a cold rebuild. Returns the artifact
+  /// that is now authoritative for the key: the cached one, or `art` itself
+  /// when it exceeds max_bytes alone and bypasses the cache.
   std::shared_ptr<const PlanArtifact<T>> insert(
-      std::shared_ptr<const PlanArtifact<T>> art);
+      std::shared_ptr<const PlanArtifact<T>> art, bool overwrite = false);
 
   PlanCacheStats stats() const;
 

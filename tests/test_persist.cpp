@@ -484,6 +484,66 @@ TEST(PlanCacheTest, SharedArtifactFirstWriterWins) {
   EXPECT_TRUE(equals(a1->plan, s->plan())); // outstanding refs stay valid
 }
 
+TEST(PlanCacheTest, OverwriteInsertReplacesEntry) {
+  PlanCache<double> cache;
+  const Csr<double> L = fixture<double>(0);
+  auto opt = small_block_options<double>();
+  std::unique_ptr<BlockSolver<double>> s;
+  ASSERT_TRUE(BlockSolver<double>::create(L, opt, &s, &cache).ok());
+  const PlanCacheKey key{s->structure_hash(),
+                         BlockSolver<double>::options_fingerprint(opt)};
+  auto original = cache.find(key);
+  ASSERT_NE(original, nullptr);
+
+  auto replacement =
+      std::make_shared<PlanArtifact<double>>(s->capture_artifact());
+  auto kept = cache.insert(replacement);  // default: first writer wins
+  EXPECT_EQ(kept.get(), original.get());
+
+  kept = cache.insert(replacement, /*overwrite=*/true);
+  EXPECT_EQ(kept.get(), replacement.get());
+  EXPECT_EQ(cache.find(key).get(), replacement.get());
+  EXPECT_EQ(cache.stats().entries, 1u);  // replaced in place, not duplicated
+  EXPECT_TRUE(equals(original->plan, s->plan()));  // old refs stay valid
+}
+
+// The REVIEW-identified failure mode: a cached artifact under the right key
+// whose contents fail the warm path (the hash-collision / corruption case)
+// must be REPLACED by the cold rebuild, not kept — otherwise every future
+// create() for that key pays the failed warm attempt plus a cold build
+// forever.
+TEST(PlanCacheTest, CreateReplacesEntryThatFailsWarmPath) {
+  PlanCache<double> cache;
+  const Csr<double> L = fixture<double>(0);
+  auto opt = small_block_options<double>();
+  std::unique_ptr<BlockSolver<double>> s;
+  ASSERT_TRUE(BlockSolver<double>::create(L, opt, &s).ok());
+
+  // Poison the cache: right key, contents that fail validation on the hit.
+  auto bad = std::make_shared<PlanArtifact<double>>(s->capture_artifact());
+  ASSERT_GE(bad->plan.n, 2);
+  bad->plan.new_of_old[0] = bad->plan.new_of_old[1];
+  cache.insert(bad);
+  const PlanCacheKey key{s->structure_hash(),
+                         BlockSolver<double>::options_fingerprint(opt)};
+  ASSERT_EQ(cache.find(key).get(), bad.get());
+
+  // The hit fails, create falls back to the cold build and still succeeds —
+  // and the broken entry is replaced by the freshly captured artifact.
+  std::unique_ptr<BlockSolver<double>> s2;
+  ASSERT_TRUE(BlockSolver<double>::create(L, opt, &s2, &cache).ok());
+  auto now = cache.find(key);
+  ASSERT_NE(now, nullptr);
+  EXPECT_NE(now.get(), bad.get());
+  ASSERT_TRUE(validate_artifact(*now).ok());
+
+  // A third create is a clean warm hit producing the reference solution.
+  std::unique_ptr<BlockSolver<double>> s3;
+  ASSERT_TRUE(BlockSolver<double>::create(L, opt, &s3, &cache).ok());
+  const auto b = gen::random_rhs<double>(L.nrows, 13);
+  EXPECT_EQ(s->solve(b), s3->solve(b));
+}
+
 // Concurrent creates against one cache: must be data-race free (TSan lane)
 // and every solver must produce the reference solution.
 TEST(PlanCacheTest, ConcurrentCreateAndSolve) {
@@ -660,6 +720,152 @@ TEST_F(PersistFault, MissingFile) {
 
 TEST_F(PersistFault, EmptyFile) {
   EXPECT_EQ(load_mutated("").code(), StatusCode::kTruncated);
+}
+
+TEST_F(PersistFault, ReadErrorIsIoErrorNotTruncated) {
+  // fopen("rb") on a directory succeeds on Linux but the first fread fails
+  // with EISDIR and sets ferror — the mid-stream I/O failure class that must
+  // surface as kIoError (naming the path), not masquerade as a short file.
+  PlanArtifact<double> art;
+  const Status st = load_artifact(::testing::TempDir(), &art);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.message().find(::testing::TempDir()), std::string::npos);
+}
+
+// --- Semantic corruption: CRC-valid but hostile contents --------------------
+//
+// The executors index with artifact contents unchecked (permute_vector
+// writes out[new_of_old[i]], spmv writes y[row_ids[r]], kernels read
+// x[col_idx[k]], the sync-free busy-wait counts down in_degree), so
+// validate_artifact must prove every stored index in-bounds and every
+// invariant the kernels assume. Each test corrupts ONE field of a
+// legitimately captured artifact and expects the typed kBadFormat rejection
+// from both validate_artifact and the rehydration entry point — never a
+// crash, never a silently wrong solver.
+
+class PersistSemantic : public ::testing::Test {
+ protected:
+  PlanArtifact<double> capture(TriKernelKind tri, SpmvKernelKind sq) {
+    L_ = fixture<double>(0);
+    opt_ = small_block_options<double>();
+    opt_.adaptive = false;
+    opt_.forced_tri = tri;
+    opt_.forced_square = sq;
+    std::unique_ptr<BlockSolver<double>> s;
+    EXPECT_TRUE(BlockSolver<double>::create(L_, opt_, &s).ok());
+    return s->capture_artifact();
+  }
+
+  void expect_rejected(PlanArtifact<double> art, const char* why) {
+    EXPECT_EQ(validate_artifact(art).code(), StatusCode::kBadFormat) << why;
+    std::unique_ptr<BlockSolver<double>> s;
+    EXPECT_EQ(BlockSolver<double>::create_from_artifact(
+                  std::make_shared<PlanArtifact<double>>(std::move(art)),
+                  opt_, &s)
+                  .code(),
+              StatusCode::kBadFormat)
+        << why;
+  }
+
+  Csr<double> L_;
+  BlockSolver<double>::Options opt_;
+};
+
+TEST_F(PersistSemantic, NonBijectivePermutation) {
+  auto art = capture(TriKernelKind::kSyncFree, SpmvKernelKind::kScalarCsr);
+  ASSERT_GE(art.plan.n, 2);
+  art.plan.new_of_old[0] = art.plan.new_of_old[1];  // duplicate target
+  expect_rejected(std::move(art), "duplicate permutation target");
+}
+
+TEST_F(PersistSemantic, PermutationTargetOutOfRange) {
+  auto art = capture(TriKernelKind::kSyncFree, SpmvKernelKind::kScalarCsr);
+  ASSERT_GE(art.plan.n, 1);
+  art.plan.new_of_old[0] = art.plan.n;  // permute_vector would write out[n]
+  expect_rejected(std::move(art), "permutation target out of range");
+}
+
+TEST_F(PersistSemantic, SquareCsrColumnOutOfRange) {
+  auto art = capture(TriKernelKind::kSyncFree, SpmvKernelKind::kScalarCsr);
+  for (auto& b : art.squares) {
+    if (b.csr.col_idx.empty()) continue;
+    b.csr.col_idx[0] = b.csr.ncols;  // kernels would read x[ncols]
+    expect_rejected(std::move(art), "square CSR column out of range");
+    return;
+  }
+  GTEST_SKIP() << "fixture produced no non-empty CSR square";
+}
+
+TEST_F(PersistSemantic, DcsrRowIdOutOfRange) {
+  auto art = capture(TriKernelKind::kSyncFree, SpmvKernelKind::kVectorDcsr);
+  for (auto& b : art.squares) {
+    if (b.dcsr.row_ids.empty()) continue;
+    b.dcsr.row_ids[0] = b.dcsr.nrows;  // spmv would write y[nrows]
+    expect_rejected(std::move(art), "DCSR row id out of range");
+    return;
+  }
+  GTEST_SKIP() << "fixture produced no non-empty DCSR square";
+}
+
+TEST_F(PersistSemantic, LevelItemOutOfRange) {
+  auto art = capture(TriKernelKind::kLevelSet, SpmvKernelKind::kScalarCsr);
+  for (auto& b : art.tri) {
+    if (b.kind != TriKernelKind::kLevelSet || b.levels.level_item.empty())
+      continue;
+    b.levels.level_item[0] = b.r1 - b.r0;  // solver reads rows[len]
+    expect_rejected(std::move(art), "level item out of range");
+    return;
+  }
+  GTEST_SKIP() << "fixture produced no level-set block";
+}
+
+TEST_F(PersistSemantic, SyncFreeInDegreeMismatch) {
+  auto art = capture(TriKernelKind::kSyncFree, SpmvKernelKind::kScalarCsr);
+  for (auto& b : art.tri) {
+    if (b.kind != TriKernelKind::kSyncFree || b.in_degree.empty()) continue;
+    ++b.in_degree[0];  // busy-wait would never see the count reach zero
+    expect_rejected(std::move(art), "in-degree disagrees with strict rows");
+    return;
+  }
+  GTEST_SKIP() << "fixture produced no sync-free block";
+}
+
+TEST_F(PersistSemantic, GarbageStepKind) {
+  auto art = capture(TriKernelKind::kSyncFree, SpmvKernelKind::kScalarCsr);
+  ASSERT_FALSE(art.plan.steps.empty());
+  art.plan.steps[0].kind = static_cast<ExecStep::Kind>(7);
+  expect_rejected(std::move(art), "execution step kind out of range");
+}
+
+TEST_F(PersistSemantic, StepIndexOutOfRange) {
+  auto art = capture(TriKernelKind::kSyncFree, SpmvKernelKind::kScalarCsr);
+  ASSERT_FALSE(art.plan.steps.empty());
+  art.plan.steps[0].index = index_t{1} << 20;
+  expect_rejected(std::move(art), "execution step index out of range");
+}
+
+TEST_F(PersistSemantic, GarbageSquareKernelKind) {
+  auto art = capture(TriKernelKind::kSyncFree, SpmvKernelKind::kScalarCsr);
+  if (art.squares.empty()) GTEST_SKIP() << "fixture produced no squares";
+  art.squares[0].kind = static_cast<SpmvKernelKind>(99);
+  expect_rejected(std::move(art), "square kernel kind out of range");
+}
+
+TEST_F(PersistSemantic, GarbageScheme) {
+  auto art = capture(TriKernelKind::kSyncFree, SpmvKernelKind::kScalarCsr);
+  art.plan.scheme = static_cast<BlockScheme>(42);
+  expect_rejected(std::move(art), "block scheme out of range");
+}
+
+TEST_F(PersistSemantic, SaveRefusesCorruptArtifact) {
+  auto art = capture(TriKernelKind::kSyncFree, SpmvKernelKind::kScalarCsr);
+  ASSERT_GE(art.plan.n, 2);
+  art.plan.new_of_old[0] = art.plan.new_of_old[1];
+  const std::string path = artifact_path("refuse_corrupt");
+  EXPECT_EQ(save_artifact(path, art).code(), StatusCode::kBadFormat);
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_FALSE(is.good());  // nothing written
 }
 
 // --- Misc ------------------------------------------------------------------

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "blocktri.hpp"
+#include "common/simd.hpp"
 
 namespace blocktri {
 namespace {
@@ -14,6 +15,21 @@ const Csr<double>& test_matrix() {
   static const Csr<double> L = gen::kkt_structure(200000, 17, 4.0, 42);
   return L;
 }
+
+const Dcsr<double>& test_matrix_dcsr() {
+  static const Dcsr<double> D = csr_to_dcsr(test_matrix());
+  return D;
+}
+
+/// Forces a simd lowering for the duration of one benchmark run; range(0)
+/// selects the Path (0 strict, 1 blocked-scalar, 2 vector).
+struct PathScope {
+  explicit PathScope(benchmark::State& state) {
+    simd::force_path(static_cast<simd::Path>(state.range(0)));
+    state.SetLabel(simd::to_string(simd::active_path()));
+  }
+  ~PathScope() { simd::clear_forced_path(); }
+};
 
 void BM_SpmvScalarCsr(benchmark::State& state) {
   const auto& L = test_matrix();
@@ -38,6 +54,57 @@ void BM_SpmvVectorCsr(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * L.nnz());
 }
 BENCHMARK(BM_SpmvVectorCsr);
+
+void BM_SpmvScalarDcsr(benchmark::State& state) {
+  const auto& D = test_matrix_dcsr();
+  const auto x = gen::random_rhs<double>(D.ncols, 1);
+  auto y = gen::random_rhs<double>(D.nrows, 2);
+  for (auto _ : state) {
+    spmv_scalar_dcsr(D, x.data(), y.data(), nullptr);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * D.nnz());
+}
+BENCHMARK(BM_SpmvScalarDcsr);
+
+void BM_SpmvVectorDcsr(benchmark::State& state) {
+  const auto& D = test_matrix_dcsr();
+  const auto x = gen::random_rhs<double>(D.ncols, 1);
+  auto y = gen::random_rhs<double>(D.nrows, 2);
+  for (auto _ : state) {
+    spmv_vector_dcsr(D, x.data(), y.data(), nullptr);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * D.nnz());
+}
+BENCHMARK(BM_SpmvVectorDcsr);
+
+// SIMD-vs-scalar sweep: the same host kernels under each forced lowering.
+void BM_SpmvCsrPath(benchmark::State& state) {
+  PathScope ps(state);
+  const auto& L = test_matrix();
+  const auto x = gen::random_rhs<double>(L.ncols, 1);
+  auto y = gen::random_rhs<double>(L.nrows, 2);
+  for (auto _ : state) {
+    spmv_scalar_csr(L, x.data(), y.data(), nullptr);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * L.nnz());
+}
+BENCHMARK(BM_SpmvCsrPath)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SpmvDcsrPath(benchmark::State& state) {
+  PathScope ps(state);
+  const auto& D = test_matrix_dcsr();
+  const auto x = gen::random_rhs<double>(D.ncols, 1);
+  auto y = gen::random_rhs<double>(D.nrows, 2);
+  for (auto _ : state) {
+    spmv_scalar_dcsr(D, x.data(), y.data(), nullptr);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * D.nnz());
+}
+BENCHMARK(BM_SpmvDcsrPath)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_SptrsvSerial(benchmark::State& state) {
   const auto& L = test_matrix();
@@ -109,6 +176,23 @@ void BM_BlockSolverSolveHost(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * L.nnz());
 }
 BENCHMARK(BM_BlockSolverSolveHost);
+
+void BM_BlockSolverSolveWarmPath(benchmark::State& state) {
+  PathScope ps(state);
+  const auto& L = test_matrix();
+  BlockSolver<double>::Options opt;
+  opt.planner.stop_rows = 5760;
+  const BlockSolver<double> solver(L, opt);
+  const auto b = gen::random_rhs<double>(L.nrows, 5);
+  std::vector<double> x(b.size());
+  solver.solve(b.data(), x.data());  // warm the workspace
+  for (auto _ : state) {
+    solver.solve(b.data(), x.data());
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * L.nnz());
+}
+BENCHMARK(BM_BlockSolverSolveWarmPath)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_CacheModelProbe(benchmark::State& state) {
   sim::CacheModel cache(6u << 20, 128, 8);

@@ -24,19 +24,25 @@ bool all_finite(const T* v, index_t n) {
   return true;
 }
 
-/// Column-wise permute_vector over an n × k column-major panel.
+/// Fused entry permutation: scatters the caller's rhs straight into the
+/// permuted workspace in one pass (the old path materialised a permuted
+/// vector and copied it).
 template <class T>
-std::vector<T> permute_panel(const std::vector<T>& v,
-                             const std::vector<index_t>& new_of_old,
-                             index_t k) {
+void scatter_permuted(const T* src, const std::vector<index_t>& new_of_old,
+                      T* dst) {
   const std::size_t n = new_of_old.size();
-  std::vector<T> out(v.size());
-  for (index_t c = 0; c < k; ++c) {
-    const std::size_t off = static_cast<std::size_t>(c) * n;
-    for (std::size_t i = 0; i < n; ++i)
-      out[off + static_cast<std::size_t>(new_of_old[i])] = v[off + i];
-  }
-  return out;
+  for (std::size_t i = 0; i < n; ++i)
+    dst[static_cast<std::size_t>(new_of_old[i])] = src[i];
+}
+
+/// Fused exit permutation: gathers the permuted solution into the caller's
+/// storage in one pass.
+template <class T>
+void gather_permuted(const T* src, const std::vector<index_t>& new_of_old,
+                     T* dst) {
+  const std::size_t n = new_of_old.size();
+  for (std::size_t i = 0; i < n; ++i)
+    dst[i] = src[static_cast<std::size_t>(new_of_old[i])];
 }
 
 template <class T>
@@ -204,6 +210,8 @@ BlockSolver<T>::BlockSolver(const Csr<T>& lower, const Options& opt)
   x_base_ = as.reserve(n_u * sizeof(T));
   b_base_ = as.reserve(n_u * sizeof(T));
   aux_base_ = as.reserve(n_u * (sizeof(T) + 4));
+
+  size_tri_scratch();
 }
 
 template <class T>
@@ -217,7 +225,13 @@ void BlockSolver<T>::exec_tri(const TriBlock& blk, const T* b, T* x,
       blk.levelset->solve(b, x, s, pool);
       return;
     case TriKernelKind::kSyncFree:
-      blk.syncfree->solve(b, x, s, pool);
+      // Only the serial executor may lend the solver-level scratch: with a
+      // pool, steps of a wave run concurrently and would race on it (each
+      // syncfree solve then falls back to its own accumulator).
+      blk.syncfree->solve(b, x, s, pool,
+                          pool_ == nullptr && !ws_.tri_scratch.empty()
+                              ? ws_.tri_scratch.data()
+                              : nullptr);
       return;
     case TriKernelKind::kCusparseLike:
       blk.cusparse->solve(b, x, s);  // host path intentionally serial
@@ -271,7 +285,11 @@ void BlockSolver<T>::exec_tri_many(const TriBlock& blk, const T* b, T* x,
       blk.levelset->solve_many(b, x, k, plan_.n, pool);
       return;
     case TriKernelKind::kSyncFree:
-      blk.syncfree->solve_many(b, x, k, plan_.n, pool);
+      // Same scratch-lending rule as exec_tri (see the comment there).
+      blk.syncfree->solve_many(b, x, k, plan_.n, pool,
+                               pool_ == nullptr && !ws_.tri_scratch.empty()
+                                   ? ws_.tri_scratch.data()
+                                   : nullptr);
       return;
     case TriKernelKind::kCusparseLike:
       blk.cusparse->solve_many(b, x, k, plan_.n);
@@ -323,29 +341,41 @@ void BlockSolver<T>::exec_step_many(const ExecStep& step, T* bw, T* xw,
 template <class T>
 std::vector<T> BlockSolver<T>::solve(const std::vector<T>& b) const {
   BLOCKTRI_CHECK(b.size() == static_cast<std::size_t>(plan_.n));
-  std::vector<T> bw = permute_vector(b, plan_.new_of_old);
-  std::vector<T> xw(static_cast<std::size_t>(plan_.n));
+  std::vector<T> x(b.size());
+  solve(b.data(), x.data());
+  return x;
+}
+
+template <class T>
+void BlockSolver<T>::solve(const T* b, T* x) const {
+  const std::size_t n = static_cast<std::size_t>(plan_.n);
+  // resize() never shrinks capacity, so after the first solve of each shape
+  // these are no-ops and the whole path is allocation free.
+  ws_.bw.resize(n);
+  ws_.xw.resize(n);
+  T* bw = ws_.bw.data();
+  T* xw = ws_.xw.data();
+  scatter_permuted(b, plan_.new_of_old, bw);
+  // No zero fill of xw: the triangular blocks tile the diagonal, so every
+  // entry is written before anything reads it.
 
   if (pool_ == nullptr) {
-    for (const ExecStep& step : plan_.steps)
-      exec_step(step, bw.data(), xw.data(), nullptr);
-    return unpermute_vector(xw, plan_.new_of_old);
-  }
-
-  // Threaded executor: a single-step wave parallelises inside the kernel; a
-  // multi-step wave runs its (independent) steps concurrently with serial
-  // kernels inside — the fork-join pool is not reentrant.
-  for (const std::vector<ExecStep>& wave : waves_) {
-    if (wave.size() == 1) {
-      exec_step(wave[0], bw.data(), xw.data(), pool_.get());
-    } else {
-      pool_->run(static_cast<int>(wave.size()), [&](int s) {
-        exec_step(wave[static_cast<std::size_t>(s)], bw.data(), xw.data(),
-                  nullptr);
-      });
+    for (const ExecStep& step : plan_.steps) exec_step(step, bw, xw, nullptr);
+  } else {
+    // Threaded executor: a single-step wave parallelises inside the kernel;
+    // a multi-step wave runs its (independent) steps concurrently with
+    // serial kernels inside — the fork-join pool is not reentrant.
+    for (const std::vector<ExecStep>& wave : waves_) {
+      if (wave.size() == 1) {
+        exec_step(wave[0], bw, xw, pool_.get());
+      } else {
+        pool_->run(static_cast<int>(wave.size()), [&](int s) {
+          exec_step(wave[static_cast<std::size_t>(s)], bw, xw, nullptr);
+        });
+      }
     }
   }
-  return unpermute_vector(xw, plan_.new_of_old);
+  gather_permuted(xw, plan_.new_of_old, x);
 }
 
 template <class T>
@@ -357,44 +387,61 @@ std::vector<T> BlockSolver<T>::solve_many(const std::vector<T>& B,
                       static_cast<std::size_t>(k),
       "solve_many panel must hold n * k entries, column-major");
   if (k == 0) return {};
-  std::vector<T> bw = permute_panel(B, plan_.new_of_old, k);
-  std::vector<T> xw(B.size());
+  std::vector<T> X(B.size());
+  solve_many(B.data(), X.data(), k);
+  return X;
+}
+
+template <class T>
+void BlockSolver<T>::solve_many(const T* B, T* X, index_t k) const {
+  if (k <= 0) return;
+  const std::size_t n = static_cast<std::size_t>(plan_.n);
+  const std::size_t total = n * static_cast<std::size_t>(k);
+  ws_.bw.resize(total);
+  ws_.xw.resize(total);
+  T* bw = ws_.bw.data();
+  T* xw = ws_.xw.data();
+  for (index_t c = 0; c < k; ++c)
+    scatter_permuted(B + static_cast<std::size_t>(c) * n, plan_.new_of_old,
+                     bw + static_cast<std::size_t>(c) * n);
 
   if (pool_ == nullptr) {
     for (const ExecStep& step : plan_.steps)
-      exec_step_many(step, bw.data(), xw.data(), 0, k, nullptr);
-    return unpermute_panel(xw, plan_.new_of_old, k);
-  }
-
-  // Threaded executor over steps × column chunks. A wave whose steps alone
-  // can occupy the pool runs one task per step (each batched kernel serial
-  // inside — the fork-join pool is not reentrant); a narrow wave additionally
-  // splits the panel columns so idle threads get work. A single-task wave
-  // instead hands the pool to the batched kernel itself. All batched kernels
-  // are deterministic, so any shape gives the bitwise-identical panel.
-  for (const std::vector<ExecStep>& wave : waves_) {
-    const int nsteps = static_cast<int>(wave.size());
-    const int nchunks =
-        (k > 1 && nsteps < threads_)
-            ? static_cast<int>(std::min<index_t>(
-                  k, static_cast<index_t>((threads_ + nsteps - 1) / nsteps)))
-            : 1;
-    if (nsteps * nchunks == 1) {
-      exec_step_many(wave[0], bw.data(), xw.data(), 0, k, pool_.get());
-    } else {
-      pool_->run(nsteps * nchunks, [&](int t) {
-        const int s = t / nchunks;
-        const int ch = t % nchunks;
-        const index_t c0 = static_cast<index_t>(
-            static_cast<std::int64_t>(k) * ch / nchunks);
-        const index_t c1 = static_cast<index_t>(
-            static_cast<std::int64_t>(k) * (ch + 1) / nchunks);
-        exec_step_many(wave[static_cast<std::size_t>(s)], bw.data(), xw.data(),
-                       c0, c1, nullptr);
-      });
+      exec_step_many(step, bw, xw, 0, k, nullptr);
+  } else {
+    // Threaded executor over steps × column chunks. A wave whose steps alone
+    // can occupy the pool runs one task per step (each batched kernel serial
+    // inside — the fork-join pool is not reentrant); a narrow wave
+    // additionally splits the panel columns so idle threads get work. A
+    // single-task wave instead hands the pool to the batched kernel itself.
+    // All batched kernels are deterministic, so any shape gives the
+    // bitwise-identical panel.
+    for (const std::vector<ExecStep>& wave : waves_) {
+      const int nsteps = static_cast<int>(wave.size());
+      const int nchunks =
+          (k > 1 && nsteps < threads_)
+              ? static_cast<int>(std::min<index_t>(
+                    k, static_cast<index_t>((threads_ + nsteps - 1) / nsteps)))
+              : 1;
+      if (nsteps * nchunks == 1) {
+        exec_step_many(wave[0], bw, xw, 0, k, pool_.get());
+      } else {
+        pool_->run(nsteps * nchunks, [&](int t) {
+          const int s = t / nchunks;
+          const int ch = t % nchunks;
+          const index_t c0 = static_cast<index_t>(
+              static_cast<std::int64_t>(k) * ch / nchunks);
+          const index_t c1 = static_cast<index_t>(
+              static_cast<std::int64_t>(k) * (ch + 1) / nchunks);
+          exec_step_many(wave[static_cast<std::size_t>(s)], bw, xw, c0, c1,
+                         nullptr);
+        });
+      }
     }
   }
-  return unpermute_panel(xw, plan_.new_of_old, k);
+  for (index_t c = 0; c < k; ++c)
+    gather_permuted(xw + static_cast<std::size_t>(c) * n, plan_.new_of_old,
+                    X + static_cast<std::size_t>(c) * n);
 }
 
 template <class T>
@@ -646,6 +693,8 @@ BlockSolver<T>::BlockSolver(const PlanArtifact<T>& art, const Options& opt)
   x_base_ = as.reserve(n_u * sizeof(T));
   b_base_ = as.reserve(n_u * sizeof(T));
   aux_base_ = as.reserve(n_u * (sizeof(T) + 4));
+
+  size_tri_scratch();
 }
 
 template <class T>
@@ -832,9 +881,7 @@ Status BlockSolver<T>::run_steps_checked(std::vector<T>& bw,
 }
 
 template <class T>
-std::vector<T> BlockSolver<T>::residual_vec(const std::vector<T>& xw,
-                                            const std::vector<T>& bw0) const {
-  std::vector<T> r = bw0;
+void BlockSolver<T>::residual_into(const T* xw, const T* bw0, T* r) const {
   auto row_range = [&](index_t i0, index_t i1) {
     for (index_t i = i0; i < i1; ++i) {
       double acc = 0.0;
@@ -856,21 +903,62 @@ std::vector<T> BlockSolver<T>::residual_vec(const std::vector<T>& xw,
   } else {
     row_range(0, stored_.nrows);
   }
-  return r;
 }
 
 template <class T>
-double BlockSolver<T>::residual_norm(const std::vector<T>& xw,
-                                     const std::vector<T>& bw0) const {
-  const std::vector<T> r = residual_vec(xw, bw0);
+double BlockSolver<T>::residual_norm(const T* xw, const T* bw0) const {
+  const std::size_t n = static_cast<std::size_t>(plan_.n);
+  ws_.rw.resize(n);
+  residual_into(xw, bw0, ws_.rw.data());
   double rmax = 0.0, xmax = 0.0, bmax = 0.0;
-  for (const T v : r) rmax = std::max(rmax, std::fabs(static_cast<double>(v)));
-  for (const T v : xw) xmax = std::max(xmax, std::fabs(static_cast<double>(v)));
-  for (const T v : bw0)
-    bmax = std::max(bmax, std::fabs(static_cast<double>(v)));
+  for (std::size_t i = 0; i < n; ++i) {
+    rmax = std::max(rmax, std::fabs(static_cast<double>(ws_.rw[i])));
+    xmax = std::max(xmax, std::fabs(static_cast<double>(xw[i])));
+    bmax = std::max(bmax, std::fabs(static_cast<double>(bw0[i])));
+  }
   const double denom = norm_inf_ * xmax + bmax;
   if (denom == 0.0) return rmax == 0.0 ? 0.0 : rmax;
   return rmax / denom;
+}
+
+template <class T>
+void BlockSolver<T>::size_tri_scratch() const {
+  index_t longest = 0;
+  for (const TriBlock& blk : tri_)
+    if (blk.info.kind == TriKernelKind::kSyncFree)
+      longest = std::max(longest, blk.info.r1 - blk.info.r0);
+  // kRhsTile columns is syncfree's per-visit panel width, so this one buffer
+  // covers both the single-RHS and the batched serial accumulators.
+  ws_.tri_scratch.resize(static_cast<std::size_t>(longest) *
+                         static_cast<std::size_t>(kRhsTile));
+}
+
+template <class T>
+void BlockSolver<T>::accumulate_op_stats(SolveReport* rep) const {
+  const auto idx_val =
+      static_cast<std::int64_t>(sizeof(index_t) + sizeof(T));
+  const auto row_overhead =
+      static_cast<std::int64_t>(sizeof(offset_t) + 2 * sizeof(T));
+  for (const TriBlock& blk : tri_) {
+    rep->flops += 2 * static_cast<std::int64_t>(blk.info.nnz);
+    rep->bytes += static_cast<std::int64_t>(blk.info.nnz) * idx_val +
+                  static_cast<std::int64_t>(blk.info.r1 - blk.info.r0) *
+                      row_overhead;
+    if (blk.info.kind == TriKernelKind::kLevelSet &&
+        blk.levelset != nullptr) {
+      const index_t groups = blk.levelset->exec_groups();
+      rep->levels_executed += groups;
+      rep->levels_merged += blk.info.nlevels - groups;
+    }
+  }
+  for (const SquareBlock& blk : squares_) {
+    if (blk.info.nnz == 0) continue;
+    rep->flops += 2 * static_cast<std::int64_t>(blk.info.nnz);
+    rep->bytes += static_cast<std::int64_t>(blk.info.nnz) * idx_val +
+                  static_cast<std::int64_t>(blk.info.ref.r1 -
+                                            blk.info.ref.r0) *
+                      row_overhead;
+  }
 }
 
 template <class T>
@@ -906,32 +994,45 @@ SolveResult<T> BlockSolver<T>::solve_checked(const std::vector<T>& b) const {
   res.report.tolerance = opt_.verify.tolerance > 0.0
                              ? opt_.verify.tolerance
                              : default_residual_tolerance();
-  const std::vector<T> bw0 = permute_vector(b, plan_.new_of_old);
-  std::vector<T> bw = bw0;
-  std::vector<T> xw(static_cast<std::size_t>(plan_.n));
-  if (Status st = run_steps_checked(bw, xw, &res.report); !st.ok()) {
+  if (opt_.collect_stats) accumulate_op_stats(&res.report);
+  const std::size_t n = static_cast<std::size_t>(plan_.n);
+  ws_.bw0.resize(n);
+  ws_.bw.resize(n);
+  ws_.xw.resize(n);
+  // One fused scatter produces the pristine permuted rhs; the solve input is
+  // a plain copy of it — the residual and refinement rounds below reuse
+  // ws_.bw0 instead of re-permuting b each time.
+  scatter_permuted(b.data(), plan_.new_of_old, ws_.bw0.data());
+  std::copy(ws_.bw0.begin(), ws_.bw0.end(), ws_.bw.begin());
+  // On breakdown the partial solution is returned for diagnosis; zeroing the
+  // reused workspace keeps its untouched rows at 0 as a fresh vector had.
+  std::fill(ws_.xw.begin(), ws_.xw.end(), T(0));
+  if (Status st = run_steps_checked(ws_.bw, ws_.xw, &res.report); !st.ok()) {
     res.status = st;
-    res.x = unpermute_vector(xw, plan_.new_of_old);
+    res.x.resize(n);
+    gather_permuted(ws_.xw.data(), plan_.new_of_old, res.x.data());
     return res;
   }
 
   // Normwise residual in the permuted space; permutations preserve max
   // norms, so this equals the residual of the user-facing system.
-  double resid = residual_norm(xw, bw0);
+  double resid = residual_norm(ws_.xw.data(), ws_.bw0.data());
   res.report.residual_checked = true;
   for (int it = 0;
        it < opt_.verify.max_refinements && resid > res.report.tolerance;
        ++it) {
     // One round of iterative refinement: solve L d = b − L x, x += d.
-    std::vector<T> rw = residual_vec(xw, bw0);
-    std::vector<T> dw(static_cast<std::size_t>(plan_.n));
-    if (!run_steps_checked(rw, dw, &res.report).ok()) break;
-    for (std::size_t i = 0; i < xw.size(); ++i) xw[i] += dw[i];
-    resid = residual_norm(xw, bw0);
+    ws_.rw.resize(n);
+    ws_.dw.resize(n);
+    residual_into(ws_.xw.data(), ws_.bw0.data(), ws_.rw.data());
+    if (!run_steps_checked(ws_.rw, ws_.dw, &res.report).ok()) break;
+    for (std::size_t i = 0; i < n; ++i) ws_.xw[i] += ws_.dw[i];
+    resid = residual_norm(ws_.xw.data(), ws_.bw0.data());
     ++res.report.refinements;
   }
   res.report.residual = resid;
-  res.x = unpermute_vector(xw, plan_.new_of_old);
+  res.x.resize(n);
+  gather_permuted(ws_.xw.data(), plan_.new_of_old, res.x.data());
   if (!(resid <= res.report.tolerance))
     res.status = Status(StatusCode::kResidualTooLarge,
                         "residual " + std::to_string(resid) +
@@ -1049,13 +1150,27 @@ SolveManyResult<T> BlockSolver<T>::solve_many_checked(const std::vector<T>& B,
                          : default_residual_tolerance();
   res.reports.resize(static_cast<std::size_t>(k));
   for (SolveReport& rep : res.reports) rep.tolerance = tol;
+  if (opt_.collect_stats)
+    for (SolveReport& rep : res.reports) accumulate_op_stats(&rep);
 
-  const std::vector<T> bw0 = permute_panel(B, plan_.new_of_old, k);
-  std::vector<T> bw = bw0;
-  std::vector<T> xw(B.size());
-  if (Status st = run_steps_checked_many(bw, xw, k, &res.reports); !st.ok()) {
+  const std::size_t total = n * static_cast<std::size_t>(k);
+  ws_.bw0.resize(total);
+  ws_.bw.resize(total);
+  ws_.xw.resize(total);
+  // Fused per-column scatter into the pristine permuted panel; the solve
+  // input is a copy of it, and the per-column residuals below read ws_.bw0
+  // directly instead of re-permuting B.
+  for (index_t c = 0; c < k; ++c)
+    scatter_permuted(B.data() + static_cast<std::size_t>(c) * n,
+                     plan_.new_of_old,
+                     ws_.bw0.data() + static_cast<std::size_t>(c) * n);
+  std::copy(ws_.bw0.begin(), ws_.bw0.end(), ws_.bw.begin());
+  // Same partial-solution contract as solve_checked: untouched rows read 0.
+  std::fill(ws_.xw.begin(), ws_.xw.end(), T(0));
+  if (Status st = run_steps_checked_many(ws_.bw, ws_.xw, k, &res.reports);
+      !st.ok()) {
     res.status = st;
-    res.X = unpermute_panel(xw, plan_.new_of_old, k);
+    res.X = unpermute_panel(ws_.xw, plan_.new_of_old, k);
     return res;
   }
 
@@ -1063,32 +1178,37 @@ SolveManyResult<T> BlockSolver<T>::solve_many_checked(const std::vector<T>& B,
   // own report, and refinement solves reuse the single-RHS ladder.
   double worst = 0.0;
   index_t worst_col = -1;
+  ws_.xc.resize(n);
+  ws_.bc.resize(n);
   for (index_t c = 0; c < k; ++c) {
     SolveReport& rep = res.reports[static_cast<std::size_t>(c)];
     const std::size_t off = static_cast<std::size_t>(c) * n;
-    std::vector<T> xc(xw.begin() + static_cast<std::ptrdiff_t>(off),
-                      xw.begin() + static_cast<std::ptrdiff_t>(off + n));
-    const std::vector<T> bc(bw0.begin() + static_cast<std::ptrdiff_t>(off),
-                            bw0.begin() + static_cast<std::ptrdiff_t>(off + n));
-    double resid = residual_norm(xc, bc);
+    std::copy(ws_.xw.begin() + static_cast<std::ptrdiff_t>(off),
+              ws_.xw.begin() + static_cast<std::ptrdiff_t>(off + n),
+              ws_.xc.begin());
+    std::copy(ws_.bw0.begin() + static_cast<std::ptrdiff_t>(off),
+              ws_.bw0.begin() + static_cast<std::ptrdiff_t>(off + n),
+              ws_.bc.begin());
+    double resid = residual_norm(ws_.xc.data(), ws_.bc.data());
     rep.residual_checked = true;
     for (int it = 0; it < opt_.verify.max_refinements && resid > tol; ++it) {
-      std::vector<T> rw = residual_vec(xc, bc);
-      std::vector<T> dw(n);
-      if (!run_steps_checked(rw, dw, &rep).ok()) break;
-      for (std::size_t i = 0; i < n; ++i) xc[i] += dw[i];
-      resid = residual_norm(xc, bc);
+      ws_.rw.resize(n);
+      ws_.dw.resize(n);
+      residual_into(ws_.xc.data(), ws_.bc.data(), ws_.rw.data());
+      if (!run_steps_checked(ws_.rw, ws_.dw, &rep).ok()) break;
+      for (std::size_t i = 0; i < n; ++i) ws_.xc[i] += ws_.dw[i];
+      resid = residual_norm(ws_.xc.data(), ws_.bc.data());
       ++rep.refinements;
     }
     rep.residual = resid;
-    std::copy(xc.begin(), xc.end(),
-              xw.begin() + static_cast<std::ptrdiff_t>(off));
+    std::copy(ws_.xc.begin(), ws_.xc.end(),
+              ws_.xw.begin() + static_cast<std::ptrdiff_t>(off));
     if (!(resid <= tol) && resid >= worst) {
       worst = resid;
       worst_col = c;
     }
   }
-  res.X = unpermute_panel(xw, plan_.new_of_old, k);
+  res.X = unpermute_panel(ws_.xw, plan_.new_of_old, k);
   if (worst_col >= 0)
     res.status = Status(StatusCode::kResidualTooLarge,
                         "panel column " + std::to_string(worst_col) +

@@ -63,12 +63,22 @@ struct FallbackEvent {
 /// What solve_checked observed: the verified residual, how many refinement
 /// rounds ran, and every fallback the degradation ladder fired — benches and
 /// callers can see when and where a solve did not take the fast path.
+///
+/// The operation counters (flops, bytes, levels) are filled only when
+/// Options::collect_stats is set: they expose the arithmetic intensity per
+/// solve (2 flops per nonzero, structure + value bytes streamed) and how much
+/// per-level overhead the level-merge optimisation removed. They count the
+/// first ladder attempt of each block, not refinement/fallback re-runs.
 struct SolveReport {
   bool residual_checked = false;
   double residual = 0.0;   // ‖Lx−b‖∞ / (‖L‖∞‖x‖∞ + ‖b‖∞), final
   double tolerance = 0.0;  // threshold the residual was compared against
   int refinements = 0;     // iterative-refinement rounds applied
   std::vector<FallbackEvent> fallbacks;
+  std::int64_t flops = 0;        // 2 per nonzero touched (+1 divide per row)
+  std::int64_t bytes = 0;        // structure + value bytes streamed
+  index_t levels_executed = 0;   // level-set groups actually run
+  index_t levels_merged = 0;     // levels folded away by group merging
 };
 
 /// Outcome of solve_checked. `x` is populated even on kResidualTooLarge (the
@@ -119,6 +129,13 @@ class BlockSolver {
     /// level analyses) and for solve()/solve_checked(); a solver built with
     /// threads > 1 must not be solved from multiple user threads at once.
     int threads = 1;
+
+    /// Fill the SolveReport operation counters (flops, bytes, levels
+    /// executed/merged) during solve_checked/solve_many_checked. Off by
+    /// default — the increments are cheap but not free, and most callers
+    /// only want the residual machinery. Runtime-only: not part of the
+    /// options fingerprint, so cached plans are reusable across it.
+    bool collect_stats = false;
 
     /// Robustness knobs for solve_checked. `enabled` keeps the (permuted)
     /// matrix and per-block CSR copies around — required by the residual
@@ -209,6 +226,21 @@ class BlockSolver {
 
   /// Solves L x = b (host execution only).
   std::vector<T> solve(const std::vector<T>& b) const;
+
+  /// Allocation-free solve into caller storage: `b` and `x` are length-n
+  /// arrays (they may not alias). The entry/exit permutations run as single
+  /// fused scatter/gather passes over the solver's reusable workspace, so
+  /// after the first (warm-up) call this path performs zero heap
+  /// allocations — the serving fast path, enforced by tests/test_alloc.cpp.
+  /// The workspace makes every solve entry point non-reentrant: one solver
+  /// must not be solved from multiple user threads at once, at any thread
+  /// count.
+  void solve(const T* b, T* x) const;
+
+  /// Allocation-free batched solve into caller storage: `B` and `X` are
+  /// n × k column-major panels. Same workspace/warm-up contract as the
+  /// raw-pointer solve().
+  void solve_many(const T* B, T* X, index_t k) const;
 
   /// Batched solve of k right-hand sides against the same plan: `B` is an
   /// n × k column-major panel (column c occupies [c·n, (c+1)·n)) and the
@@ -339,12 +371,18 @@ class BlockSolver {
   Status run_steps_checked_many(std::vector<T>& bw, std::vector<T>& xw,
                                 index_t k,
                                 std::vector<SolveReport>* reps) const;
-  /// r = bw0 − L·xw over the retained (permuted) matrix.
-  std::vector<T> residual_vec(const std::vector<T>& xw,
-                              const std::vector<T>& bw0) const;
-  double residual_norm(const std::vector<T>& xw,
-                       const std::vector<T>& bw0) const;
+  /// r = bw0 − L·xw over the retained (permuted) matrix (length-n arrays;
+  /// r may not alias xw/bw0).
+  void residual_into(const T* xw, const T* bw0, T* r) const;
+  double residual_norm(const T* xw, const T* bw0) const;
   double default_residual_tolerance() const;
+  /// Adds the per-solve operation counters (Options::collect_stats) — flops
+  /// and bytes from the block nnz, level-merge savings from the level-set
+  /// blocks' execution groups.
+  void accumulate_op_stats(SolveReport* rep) const;
+  /// Sizes ws_.tri_scratch for the largest syncfree block × kRhsTile; called
+  /// at the end of both constructors so warm solves never grow it.
+  void size_tri_scratch() const;
 
   Options opt_;
   std::uint64_t structure_hash_ = 0;  // of the original (unpermuted) pattern
@@ -363,6 +401,22 @@ class BlockSolver {
   std::int64_t build_bytes_ = 0;
   // Simulated address layout: x, b and the per-solve scratch region.
   std::uint64_t x_base_ = 0, b_base_ = 0, aux_base_ = 0;
+
+  /// Reusable buffers backing the allocation-free solve paths. Vectors only
+  /// ever grow (resize never shrinks capacity), so after the first solve of
+  /// each shape every entry point runs without heap traffic. Mutable because
+  /// solving is logically const; the shared workspace is what makes all
+  /// solve entry points on one solver non-reentrant.
+  struct SolveWorkspace {
+    std::vector<T> bw;           // permuted rhs (n, or n·k for panels)
+    std::vector<T> xw;           // permuted solution (n, or n·k)
+    std::vector<T> bw0;          // checked paths: pristine permuted rhs
+    std::vector<T> rw;           // refinement residual
+    std::vector<T> dw;           // refinement correction
+    std::vector<T> xc, bc;       // solve_many_checked per-column staging
+    std::vector<T> tri_scratch;  // syncfree serial left_sum (× kRhsTile)
+  };
+  mutable SolveWorkspace ws_;
 };
 
 }  // namespace blocktri

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/simd.hpp"
 #include "sparse/convert.hpp"
 
 namespace blocktri {
@@ -82,15 +83,8 @@ void host_update(const std::vector<offset_t>& row_ptr,
                  const index_t* row_ids, index_t nrows_listed, const T* x,
                  T* y, ThreadPool* pool) {
   auto run_range = [&](index_t r0, index_t r1) {
-    for (index_t r = r0; r < r1; ++r) {
-      T sum = T(0);
-      for (offset_t k = row_ptr[static_cast<std::size_t>(r)];
-           k < row_ptr[static_cast<std::size_t>(r) + 1]; ++k)
-        sum += val[static_cast<std::size_t>(k)] *
-               x[col_idx[static_cast<std::size_t>(k)]];
-      const index_t row = row_ids == nullptr ? r : row_ids[r];
-      y[row] -= sum;
-    }
+    simd::spmv_update_rows(row_ptr.data(), col_idx.data(), val.data(), row_ids,
+                           r0, r1, x, y);
   };
   const offset_t nnz = row_ptr[static_cast<std::size_t>(nrows_listed)];
   if (parallel_enabled(pool) && nnz >= kHostParallelMinNnz &&
@@ -118,27 +112,8 @@ void host_update_many(const std::vector<offset_t>& row_ptr,
                       index_t ldx, index_t ldy, ThreadPool* pool) {
   if (k <= 0 || nrows_listed <= 0) return;
   auto run_range = [&](index_t r0, index_t r1) {
-    for (index_t r = r0; r < r1; ++r) {
-      const offset_t lo = row_ptr[static_cast<std::size_t>(r)];
-      const offset_t hi = row_ptr[static_cast<std::size_t>(r) + 1];
-      const index_t row = row_ids == nullptr ? r : row_ids[r];
-      for (index_t ct = 0; ct < k; ct += kRhsTile) {
-        const int nt = static_cast<int>(
-            ct + kRhsTile <= k ? kRhsTile : k - ct);
-        T acc[kRhsTile] = {};
-        for (offset_t p = lo; p < hi; ++p) {
-          const T v = val[static_cast<std::size_t>(p)];
-          const T* xc = x + col_idx[static_cast<std::size_t>(p)];
-          for (int c = 0; c < nt; ++c)
-            acc[c] += v * xc[static_cast<std::size_t>(ct + c) *
-                             static_cast<std::size_t>(ldx)];
-        }
-        for (int c = 0; c < nt; ++c)
-          y[static_cast<std::size_t>(row) +
-            static_cast<std::size_t>(ct + c) *
-                static_cast<std::size_t>(ldy)] -= acc[c];
-      }
-    }
+    simd::spmv_update_rows_many(row_ptr.data(), col_idx.data(), val.data(),
+                                row_ids, r0, r1, x, y, 0, k, ldx, ldy);
   };
   const offset_t nnz = row_ptr[static_cast<std::size_t>(nrows_listed)];
   if (parallel_enabled(pool) && nnz * k >= kHostParallelMinNnz &&

@@ -4,11 +4,12 @@
 // and solve every right-hand side of a column-major panel at that visit,
 // instead of re-walking the structure once per RHS. Columns are processed in
 // kRhsTile-wide groups accumulated on the stack; within one column the
-// floating-point operation order is exactly the single-RHS kernel's
-// (ascending nonzero order, then one divide), so batched results are bitwise
-// identical to k independent serial solves.
+// floating-point operation order is exactly the single-RHS kernel's (the
+// canonical order of common/simd.hpp, shared by every path), so batched
+// results are bitwise identical to k independent serial solves.
 #pragma once
 
+#include "common/simd.hpp"
 #include "sparse/formats.hpp"
 
 namespace blocktri {
@@ -19,27 +20,8 @@ namespace blocktri {
 template <class T>
 inline void sptrsv_row_many(const Csr<T>& a, index_t i, const T* b, T* x,
                             index_t c0, index_t c1, index_t ld) {
-  const offset_t lo = a.row_ptr[static_cast<std::size_t>(i)];
-  const offset_t hi = a.row_ptr[static_cast<std::size_t>(i) + 1];
-  const T d = a.val[static_cast<std::size_t>(hi - 1)];
-  for (index_t ct = c0; ct < c1; ct += kRhsTile) {
-    const int nt = static_cast<int>(
-        ct + kRhsTile <= c1 ? kRhsTile : c1 - ct);
-    T acc[kRhsTile] = {};
-    for (offset_t p = lo; p < hi - 1; ++p) {
-      const T v = a.val[static_cast<std::size_t>(p)];
-      const T* xc = x + a.col_idx[static_cast<std::size_t>(p)];
-      for (int c = 0; c < nt; ++c)
-        acc[c] += v * xc[static_cast<std::size_t>((ct + c)) *
-                         static_cast<std::size_t>(ld)];
-    }
-    for (int c = 0; c < nt; ++c) {
-      const std::size_t off = static_cast<std::size_t>(i) +
-                              static_cast<std::size_t>(ct + c) *
-                                  static_cast<std::size_t>(ld);
-      x[off] = (b[off] - acc[c]) / d;
-    }
-  }
+  simd::sptrsv_rows_many(a.row_ptr.data(), a.col_idx.data(), a.val.data(), &i,
+                         0, 1, b, x, c0, c1, ld);
 }
 
 }  // namespace blocktri

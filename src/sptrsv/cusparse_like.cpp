@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "common/simd.hpp"
 #include "sim/kernel_sim.hpp"
 #include "sparse/triangular.hpp"
 #include "sptrsv/batched.hpp"
@@ -63,10 +64,13 @@ template <class T>
 void CusparseLikeSolver<T>::solve_many(const T* b, T* x, index_t k,
                                        index_t ld) const {
   if (k <= 0) return;
-  for (offset_t p = 0;
-       p < ls_.level_ptr[static_cast<std::size_t>(ls_.nlevels)]; ++p)
-    sptrsv_row_many(a_, ls_.level_item[static_cast<std::size_t>(p)], b, x, 0,
-                    k, ld);
+  // One flat pass over the level-ordered item list — in-order processing
+  // satisfies every dependency, and the barriers only matter to the cost
+  // model, not to host execution.
+  simd::sptrsv_rows_many(a_.row_ptr.data(), a_.col_idx.data(), a_.val.data(),
+                         ls_.level_item.data(), 0,
+                         ls_.level_ptr[static_cast<std::size_t>(ls_.nlevels)],
+                         b, x, 0, k, ld);
 }
 
 template <class T>
@@ -75,8 +79,18 @@ void CusparseLikeSolver<T>::solve(const T* b, T* x, const TrsvSim* s) const {
   const bool simulate = s != nullptr && s->active();
   std::uint64_t addrs[kWarp];
 
+  if (!simulate) {
+    // Host execution: one flat in-order pass over the level-ordered items
+    // (the per-level structure only matters to the simulated cost model).
+    simd::sptrsv_rows(a_.row_ptr.data(), a_.col_idx.data(), a_.val.data(),
+                      ls_.level_item.data(), 0,
+                      ls_.level_ptr[static_cast<std::size_t>(ls_.nlevels)], b,
+                      x);
+    return;
+  }
+
   std::optional<sim::KernelSim> ks;
-  if (simulate) ks.emplace(*s->gpu, s->cache, s->fp64);
+  ks.emplace(*s->gpu, s->cache, s->fp64);
 
   std::size_t next_kernel = 0;
   for (index_t lvl = 0; lvl < ls_.nlevels; ++lvl) {
@@ -88,17 +102,10 @@ void CusparseLikeSolver<T>::solve(const T* b, T* x, const TrsvSim* s) const {
     const offset_t lvl_lo = ls_.level_ptr[static_cast<std::size_t>(lvl)];
     const offset_t lvl_hi = ls_.level_ptr[static_cast<std::size_t>(lvl) + 1];
 
-    // Host execution (components within a level are independent).
-    for (offset_t p = lvl_lo; p < lvl_hi; ++p) {
-      const index_t i = ls_.level_item[static_cast<std::size_t>(p)];
-      const offset_t lo = a_.row_ptr[static_cast<std::size_t>(i)];
-      const offset_t hi = a_.row_ptr[static_cast<std::size_t>(i) + 1];
-      T left_sum = T(0);
-      for (offset_t k = lo; k < hi - 1; ++k)
-        left_sum += a_.val[static_cast<std::size_t>(k)] *
-                    x[a_.col_idx[static_cast<std::size_t>(k)]];
-      x[i] = (b[i] - left_sum) / a_.val[static_cast<std::size_t>(hi - 1)];
-    }
+    // Host execution (same order and simd path as the non-simulated branch,
+    // so simulated solves stay bitwise identical to host solves).
+    simd::sptrsv_rows(a_.row_ptr.data(), a_.col_idx.data(), a_.val.data(),
+                      ls_.level_item.data(), lvl_lo, lvl_hi, b, x);
 
     if (simulate) {
       // Cost model: ONE THREAD per component (Naumov's csrsv-style kernel),

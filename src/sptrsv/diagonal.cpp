@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "common/simd.hpp"
 #include "sim/kernel_sim.hpp"
 
 namespace blocktri {
@@ -19,11 +20,11 @@ void DiagonalSolver<T>::solve_many(const T* b, T* x, index_t k, index_t ld,
                                    ThreadPool* pool) const {
   const index_t count = n();
   auto rows = [this, b, x, k, ld](index_t r0, index_t r1) {
-    for (index_t i = r0; i < r1; ++i) {
-      const T d = diag_[static_cast<std::size_t>(i)];
-      for (index_t c = 0; c < k; ++c)
-        x[i + c * ld] = b[i + c * ld] / d;
-    }
+    // Element-wise divides — column order is irrelevant, so each column runs
+    // through the vectorised div_rows on its contiguous row range.
+    for (index_t c = 0; c < k; ++c)
+      simd::div_rows(b + r0 + c * ld, diag_.data() + r0, x + r0 + c * ld,
+                     r1 - r0);
   };
   if (parallel_enabled(pool) &&
       static_cast<offset_t>(count) * k >= kHostParallelMinNnz && count >= 2) {
@@ -43,14 +44,12 @@ void DiagonalSolver<T>::solve(const T* b, T* x, const TrsvSim* s,
 
   if (!simulate && parallel_enabled(pool) && count >= kHostParallelMinNnz) {
     pool->parallel_for(0, count, [&](index_t r0, index_t r1, int) {
-      for (index_t i = r0; i < r1; ++i)
-        x[i] = b[i] / diag_[static_cast<std::size_t>(i)];
+      simd::div_rows(b + r0, diag_.data() + r0, x + r0, r1 - r0);
     });
     return;
   }
 
-  for (index_t i = 0; i < count; ++i)
-    x[i] = b[i] / diag_[static_cast<std::size_t>(i)];
+  simd::div_rows(b, diag_.data(), x, count);
 
   if (!simulate) return;
   std::optional<sim::KernelSim> ks;

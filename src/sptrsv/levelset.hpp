@@ -5,6 +5,15 @@
 //
 // This is also the "level-set" kernel of the adaptive selector (§3.4): the
 // paper finds it best for blocks with few levels and short rows (Fig. 5a).
+//
+// Host execution detail: long runs of tiny levels (the common shape for
+// strongly sequential blocks) are merged into execution groups at
+// construction. A merged group is solved as one flat pass in level order —
+// dependencies inside a group only ever point at earlier items — which
+// removes the per-level loop/barrier overhead without changing any
+// floating-point operation or its order. Merging is a host execution detail:
+// it is recomputed from the level analysis on every construction (including
+// plan rehydration) and never persisted.
 #pragma once
 
 #include <vector>
@@ -15,6 +24,11 @@
 #include "sptrsv/sim_ctx.hpp"
 
 namespace blocktri {
+
+/// Levels at most this wide are candidates for merging into one execution
+/// group; wider levels stay their own group so the parallel path can still
+/// split their rows.
+inline constexpr offset_t kLevelMergeMaxWidth = 16;
 
 template <class T>
 class LevelSetSolver {
@@ -57,9 +71,21 @@ class LevelSetSolver {
   const Csr<T>& matrix() const { return a_; }
   const LevelSets& levels() const { return ls_; }
 
+  /// Number of execution groups after merging tiny adjacent levels
+  /// (== nlevels when merging is disabled or nothing merged). Feeds the
+  /// SolveReport levels_executed/levels_merged counters.
+  index_t exec_groups() const {
+    return static_cast<index_t>(group_lvl_.size()) - 1;
+  }
+
  private:
+  void compute_exec_groups();
+
   Csr<T> a_;
   LevelSets ls_;
+  // Level-index boundaries of the execution groups: group g covers levels
+  // [group_lvl_[g], group_lvl_[g+1]). Derived, never persisted.
+  std::vector<index_t> group_lvl_;
 };
 
 }  // namespace blocktri

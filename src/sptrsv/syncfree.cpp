@@ -150,16 +150,20 @@ namespace {
 /// RHS.
 template <class T>
 void syncfree_columns_many(const Csc<T>& csc, const T* b, T* x, index_t c0,
-                           index_t c1, index_t ld) {
+                           index_t c1, index_t ld, T* scratch) {
   const index_t n = csc.ncols;
   const auto nu = static_cast<std::size_t>(n);
-  std::vector<T> left(nu * static_cast<std::size_t>(
-                               std::min<index_t>(kRhsTile, c1 - c0)));
+  std::vector<T> local;
+  T* left_buf = scratch;
+  if (left_buf == nullptr) {
+    local.resize(nu * static_cast<std::size_t>(
+                          std::min<index_t>(kRhsTile, c1 - c0)));
+    left_buf = local.data();
+  }
   for (index_t ct = c0; ct < c1; ct += kRhsTile) {
     const int nt = static_cast<int>(
         ct + kRhsTile <= c1 ? kRhsTile : c1 - ct);
-    std::fill(left.begin(),
-              left.begin() + static_cast<std::ptrdiff_t>(nu) * nt, T(0));
+    std::fill(left_buf, left_buf + nu * static_cast<std::size_t>(nt), T(0));
     for (index_t i = 0; i < n; ++i) {
       const offset_t clo = csc.col_ptr[static_cast<std::size_t>(i)];
       const offset_t chi = csc.col_ptr[static_cast<std::size_t>(i) + 1];
@@ -169,14 +173,14 @@ void syncfree_columns_many(const Csc<T>& csc, const T* b, T* x, index_t c0,
         const std::size_t off = static_cast<std::size_t>(i) +
                                 static_cast<std::size_t>(ct + c) *
                                     static_cast<std::size_t>(ld);
-        xi[c] = (b[off] - left[static_cast<std::size_t>(i) + nu * c]) / d;
+        xi[c] = (b[off] - left_buf[static_cast<std::size_t>(i) + nu * c]) / d;
         x[off] = xi[c];
       }
       for (offset_t p = clo + 1; p < chi; ++p) {
         const auto row = static_cast<std::size_t>(
             csc.row_idx[static_cast<std::size_t>(p)]);
         const T v = csc.val[static_cast<std::size_t>(p)];
-        for (int c = 0; c < nt; ++c) left[row + nu * c] += v * xi[c];
+        for (int c = 0; c < nt; ++c) left_buf[row + nu * c] += v * xi[c];
       }
     }
   }
@@ -186,21 +190,23 @@ void syncfree_columns_many(const Csc<T>& csc, const T* b, T* x, index_t c0,
 
 template <class T>
 void SyncFreeSolver<T>::solve_many(const T* b, T* x, index_t k, index_t ld,
-                                   ThreadPool* pool) const {
+                                   ThreadPool* pool, T* scratch) const {
   if (k <= 0) return;
   if (parallel_enabled(pool) && k >= 2 &&
       static_cast<offset_t>(k) * csc_.nnz() >= kHostParallelMinNnz) {
+    // Column chunks run concurrently, each needing its own accumulator
+    // panel — the shared scratch would race, so chunks allocate locally.
     pool->parallel_for(0, k, [&](index_t c0, index_t c1, int) {
-      syncfree_columns_many(csc_, b, x, c0, c1, ld);
+      syncfree_columns_many(csc_, b, x, c0, c1, ld, static_cast<T*>(nullptr));
     });
     return;
   }
-  syncfree_columns_many(csc_, b, x, 0, k, ld);
+  syncfree_columns_many(csc_, b, x, 0, k, ld, scratch);
 }
 
 template <class T>
 void SyncFreeSolver<T>::solve(const T* b, T* x, const TrsvSim* s,
-                              ThreadPool* pool) const {
+                              ThreadPool* pool, T* scratch) const {
   const index_t n = csc_.ncols;
   const int elem = static_cast<int>(sizeof(T));
   const bool simulate = s != nullptr && s->active();
@@ -214,7 +220,14 @@ void SyncFreeSolver<T>::solve(const T* b, T* x, const TrsvSim* s,
   // accumulator per component, updated column by column. Processing
   // components in ascending order is a valid linearisation of the
   // dependency partial order (the matrix is lower triangular).
-  std::vector<T> left_sum(static_cast<std::size_t>(n), T(0));
+  std::vector<T> left_local;
+  T* left_sum = scratch;
+  if (left_sum == nullptr) {
+    left_local.assign(static_cast<std::size_t>(n), T(0));
+    left_sum = left_local.data();
+  } else {
+    std::fill(left_sum, left_sum + n, T(0));
+  }
 
   std::optional<sim::KernelSim> ks;
   if (simulate) ks.emplace(*s->gpu, s->cache, s->fp64);

@@ -50,8 +50,12 @@ class SyncFreeSolver {
   /// decrements their counters with release ordering. Accumulation order
   /// into left_sum is timing-dependent, so parallel results match the serial
   /// ones to rounding (not bitwise) — the same caveat the GPU kernel has.
+  ///
+  /// `scratch` (≥ n elements) lets the caller provide the serial path's
+  /// left_sum accumulator so warm solves allocate nothing; nullptr falls back
+  /// to a local vector. The parallel path ignores it (it needs atomics).
   void solve(const T* b, T* x, const TrsvSim* s = nullptr,
-             ThreadPool* pool = nullptr) const;
+             ThreadPool* pool = nullptr, T* scratch = nullptr) const;
 
   /// Batched solve of k right-hand sides (column-major panel, leading
   /// dimension `ld`): each column visit streams the CSC structure once and
@@ -60,8 +64,12 @@ class SyncFreeSolver {
   /// splits the *columns of the panel* and every chunk runs the serial
   /// ascending-order algorithm on its own left_sum scratch, so the result is
   /// bitwise identical to k independent serial solves at any thread count.
+  ///
+  /// `scratch` (≥ n·min(kRhsTile, k) elements) plays solve()'s role for the
+  /// serial path's accumulator panel; the parallel column-split ignores it
+  /// (each chunk needs its own panel and allocates locally).
   void solve_many(const T* b, T* x, index_t k, index_t ld,
-                  ThreadPool* pool = nullptr) const;
+                  ThreadPool* pool = nullptr, T* scratch = nullptr) const;
 
   const Csc<T>& matrix_csc() const { return csc_; }
   const Csr<T>& strict_rows() const { return strict_rows_; }

@@ -58,6 +58,10 @@ struct Record {
   std::size_t artifact_bytes = 0;
   double load_vs_cold = 0.0;  // (load + solve) / (cold + solve)
   double hit_vs_cold = 0.0;   // (hit + solve) / (cold + solve)
+  // Resilience counters from the warm path's PlanCache (ISSUE 6): all zero
+  // on a healthy run — nonzero values flag quarantined patterns, artifact
+  // loads that needed transient-I/O retries, or workspace-lease contention.
+  PlanCacheStats cache_stats;
 };
 
 void emit(std::vector<Record>* out, Record r) {
@@ -73,6 +77,17 @@ void emit(std::vector<Record>* out, Record r) {
                r.matrix.c_str(), r.scheme.c_str(), r.cold_ms, r.save_ms,
                r.load_ms, r.hit_ms, r.refresh_ms, r.solve_ms, r.load_vs_cold,
                r.hit_vs_cold, r.artifact_bytes >> 10);
+  const PlanCacheStats& cs = r.cache_stats;
+  std::fprintf(stderr,
+               "  %-10s %-10s cache hits %llu  misses %llu  quarantined %llu  "
+               "retry_successes %llu  lease_waits %llu  tombstones %zu\n",
+               r.matrix.c_str(), r.scheme.c_str(),
+               static_cast<unsigned long long>(cs.hits),
+               static_cast<unsigned long long>(cs.misses),
+               static_cast<unsigned long long>(cs.quarantined),
+               static_cast<unsigned long long>(cs.retry_successes),
+               static_cast<unsigned long long>(cs.lease_waits),
+               cs.tombstones);
   out->push_back(r);
 }
 
@@ -93,10 +108,16 @@ void write_json(const std::string& path, const std::vector<Record>& recs) {
         "    {\"matrix\": \"%s\", \"scheme\": \"%s\", \"cold_ms\": %.6f, "
         "\"save_ms\": %.6f, \"load_ms\": %.6f, \"hit_ms\": %.6f, "
         "\"refresh_ms\": %.6f, \"solve_ms\": %.6f, \"artifact_bytes\": %zu, "
-        "\"load_vs_cold\": %.4f, \"hit_vs_cold\": %.4f}%s\n",
+        "\"load_vs_cold\": %.4f, \"hit_vs_cold\": %.4f, "
+        "\"cache_quarantined\": %llu, \"cache_retry_successes\": %llu, "
+        "\"cache_lease_waits\": %llu, \"cache_tombstones\": %zu}%s\n",
         r.matrix.c_str(), r.scheme.c_str(), r.cold_ms, r.save_ms, r.load_ms,
         r.hit_ms, r.refresh_ms, r.solve_ms, r.artifact_bytes, r.load_vs_cold,
-        r.hit_vs_cold, i + 1 == recs.size() ? "" : ",");
+        r.hit_vs_cold,
+        static_cast<unsigned long long>(r.cache_stats.quarantined),
+        static_cast<unsigned long long>(r.cache_stats.retry_successes),
+        static_cast<unsigned long long>(r.cache_stats.lease_waits),
+        r.cache_stats.tombstones, i + 1 == recs.size() ? "" : ",");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -190,6 +211,10 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "cache never hit — bug\n");
         return 1;
       }
+      // Fold the warm solver's lease telemetry into the cache, then snapshot
+      // the whole resilience surface for the record.
+      cache.note_lease_waits(tmp->workspace_stats().lease_waits);
+      r.cache_stats = cache.stats();
 
       r.refresh_ms = time_ms(min_ms, [&] {
         if (!solver->refresh_values(L2).ok()) std::exit(1);

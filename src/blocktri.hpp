@@ -15,11 +15,13 @@
 // See README.md for the module map and examples/ for runnable programs.
 #pragma once
 
-#include "common/cli.hpp"          // IWYU pragma: export
-#include "common/status.hpp"       // IWYU pragma: export
-#include "common/rng.hpp"          // IWYU pragma: export
-#include "common/table.hpp"        // IWYU pragma: export
-#include "common/timer.hpp"        // IWYU pragma: export
+#include "common/cli.hpp"            // IWYU pragma: export
+#include "common/deadline.hpp"       // IWYU pragma: export
+#include "common/status.hpp"         // IWYU pragma: export
+#include "common/rng.hpp"            // IWYU pragma: export
+#include "common/table.hpp"          // IWYU pragma: export
+#include "common/timer.hpp"          // IWYU pragma: export
+#include "common/workspace_pool.hpp" // IWYU pragma: export
 
 #include "analysis/features.hpp"   // IWYU pragma: export
 #include "analysis/levels.hpp"     // IWYU pragma: export

@@ -42,9 +42,20 @@ Path resolve_default_path() {
 // test/bench override TSan-clean without imposing ordering on the hot path.
 std::atomic<int> g_forced{-1};
 
+// Per-thread override, consulted before g_forced: the degradation ladder
+// demotes the path for one retry attempt on one thread while concurrent
+// solves on other threads keep their own (or the global) selection.
+thread_local int t_forced = -1;
+
+Path clamp_to_isa(Path p) {
+  if (p == Path::kVector && !cpu_has_vector_isa()) return Path::kBlockedScalar;
+  return p;
+}
+
 }  // namespace
 
 Path active_path() {
+  if (t_forced >= 0) return static_cast<Path>(t_forced);
   const int forced = g_forced.load(std::memory_order_relaxed);
   if (forced >= 0) return static_cast<Path>(forced);
   static const Path def = resolve_default_path();
@@ -52,11 +63,22 @@ Path active_path() {
 }
 
 void force_path(Path p) {
-  if (p == Path::kVector && !cpu_has_vector_isa()) p = Path::kBlockedScalar;
-  g_forced.store(static_cast<int>(p), std::memory_order_relaxed);
+  g_forced.store(static_cast<int>(clamp_to_isa(p)), std::memory_order_relaxed);
 }
 
 void clear_forced_path() { g_forced.store(-1, std::memory_order_relaxed); }
+
+void force_path_this_thread(Path p) {
+  t_forced = static_cast<int>(clamp_to_isa(p));
+}
+
+void clear_forced_path_this_thread() { t_forced = -1; }
+
+ScopedPathOverride::ScopedPathOverride(Path p) : prev_(t_forced) {
+  force_path_this_thread(p);
+}
+
+ScopedPathOverride::~ScopedPathOverride() { t_forced = prev_; }
 
 bool vector_isa_available() {
   static const bool avail = cpu_has_vector_isa();

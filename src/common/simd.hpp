@@ -53,6 +53,27 @@ Path active_path();
 void force_path(Path p);
 void clear_forced_path();
 
+/// Thread-local override — consulted before the process-global force_path()
+/// state. This is how the degradation ladder demotes one retry attempt
+/// (vector → blocked → strict) without perturbing solves running
+/// concurrently on other threads. Demoted attempts execute serially on the
+/// calling thread, so a thread-local override covers every kernel they run.
+void force_path_this_thread(Path p);
+void clear_forced_path_this_thread();
+
+/// RAII scope for the thread-local override; restores the previous
+/// thread-local state (including "none") on destruction.
+class ScopedPathOverride {
+ public:
+  explicit ScopedPathOverride(Path p);
+  ~ScopedPathOverride();
+  ScopedPathOverride(const ScopedPathOverride&) = delete;
+  ScopedPathOverride& operator=(const ScopedPathOverride&) = delete;
+
+ private:
+  int prev_;  // -1 = no previous thread-local override
+};
+
 /// True when a vector lowering is compiled in and the CPU supports it.
 bool vector_isa_available();
 /// "avx2", "neon" or "none" — for bench/report labelling.

@@ -23,6 +23,11 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kTruncated: return "truncated";
     case StatusCode::kStructureMismatch: return "structure-mismatch";
     case StatusCode::kIoError: return "io-error";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
+    case StatusCode::kReentrantSolve: return "reentrant-solve";
+    case StatusCode::kPoolExhausted: return "pool-exhausted";
+    case StatusCode::kSpinTimeout: return "spin-timeout";
   }
   return "unknown";
 }

@@ -46,6 +46,18 @@ enum class StatusCode {
   kStructureMismatch,    // plan's structure hash does not match the matrix
   kIoError,              // the OS reported a read/write error mid-stream —
                          // distinct from kTruncated: the file may be intact
+
+  // Solve-session resilience (common/deadline.hpp, core/solver.hpp). A solve
+  // bounded in time or shared between callers can end for reasons that are
+  // neither a caller error nor bad numerics:
+  kCancelled,            // the caller's CancelToken fired mid-solve
+  kDeadlineExceeded,     // the caller's Deadline expired mid-solve
+  kReentrantSolve,       // strict-reentrancy mode: a solve overlapped another
+                         // on the same solver
+  kPoolExhausted,        // every leased workspace is in use and the session
+                         // is configured to fail rather than block
+  kSpinTimeout,          // a sync-free busy-wait exceeded its bounded spin
+                         // budget (corrupt or cyclic in-degree counters)
 };
 
 /// Stable short name for a code, e.g. "zero-pivot".

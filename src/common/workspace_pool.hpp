@@ -1,0 +1,173 @@
+// Bounded pool of leased per-call workspaces.
+//
+// PR 5 left every BlockSolver entry point non-reentrant: one shared
+// SolveWorkspace meant two threads solving on the same warm solver silently
+// raced on its buffers. The pool replaces the single workspace with leases —
+// each solve call acquires a workspace for its duration and returns it on
+// exit — which makes the entry points reentrant and doubles as the service
+// layer's backpressure primitive: the pool is bounded, and when every
+// workspace is out a new caller either blocks until one frees (admission
+// control) or fails fast with kPoolExhausted (load shedding).
+//
+// Semantics:
+//   * Never-shrinking: workspaces are created on demand up to `capacity` and
+//     kept for the process lifetime. A released workspace keeps its grown
+//     buffers, so the LIFO free list hands the warmest workspace to the next
+//     caller and the zero-allocation warm-path contract survives — after one
+//     warm-up solve per shape, acquire/release is a mutex and a pointer swap
+//     (the free list's backing storage is reserved up front).
+//   * Lease is RAII: it returns the workspace on destruction, so early
+//     returns and exceptions cannot leak a slot.
+//   * Stats are cheap monotonic counters under the same mutex — the service
+//     layer reads them to size the pool (see DESIGN.md §12).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace blocktri {
+
+/// Point-in-time pool statistics (all monotonic except in_use).
+struct WorkspacePoolStats {
+  std::uint64_t created = 0;      // workspaces built so far (<= capacity)
+  std::uint64_t leases = 0;       // successful acquisitions
+  std::uint64_t lease_waits = 0;  // acquisitions that had to block
+  std::uint64_t exhausted = 0;    // failing-mode acquisitions denied
+  int in_use = 0;                 // currently leased
+};
+
+template <class W>
+class WorkspacePool {
+ public:
+  struct Options {
+    /// Hard cap on workspaces ever created (the backpressure bound). < 1 is
+    /// clamped to 1.
+    int capacity = 8;
+    /// true: acquire() blocks until a workspace frees (admission control);
+    /// false: acquire() fails fast with an empty lease (load shedding).
+    bool block_when_exhausted = true;
+  };
+
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& o) noexcept : pool_(o.pool_), w_(o.w_) {
+      o.pool_ = nullptr;
+      o.w_ = nullptr;
+    }
+    Lease& operator=(Lease&& o) noexcept {
+      if (this != &o) {
+        release();
+        pool_ = o.pool_;
+        w_ = o.w_;
+        o.pool_ = nullptr;
+        o.w_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    explicit operator bool() const { return w_ != nullptr; }
+    W* get() const { return w_; }
+    W& operator*() const { return *w_; }
+    W* operator->() const { return w_; }
+
+    /// Returns the workspace early (destruction does the same).
+    void release() {
+      if (w_ != nullptr) {
+        pool_->put_back(w_);
+        pool_ = nullptr;
+        w_ = nullptr;
+      }
+    }
+
+   private:
+    friend class WorkspacePool;
+    Lease(WorkspacePool* pool, W* w) : pool_(pool), w_(w) {}
+    WorkspacePool* pool_ = nullptr;
+    W* w_ = nullptr;
+  };
+
+  explicit WorkspacePool(Options opt = {}) : opt_(opt) {
+    if (opt_.capacity < 1) opt_.capacity = 1;
+    const auto cap = static_cast<std::size_t>(opt_.capacity);
+    // Reserved up front so warm acquire/release never allocates.
+    all_.reserve(cap);
+    free_.reserve(cap);
+  }
+
+  WorkspacePool(const WorkspacePool&) = delete;
+  WorkspacePool& operator=(const WorkspacePool&) = delete;
+
+  /// Acquires a workspace, creating one (and running `init_new` on it) when
+  /// the free list is empty and the pool is under capacity. At capacity:
+  /// blocks until a lease returns (block_when_exhausted) or returns an empty
+  /// Lease (the caller maps it to kPoolExhausted).
+  template <class Init>
+  Lease acquire(const Init& init_new) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (!free_.empty()) {
+        W* w = free_.back();
+        free_.pop_back();  // LIFO: the warmest workspace goes out first
+        ++stats_.leases;
+        ++stats_.in_use;
+        return Lease(this, w);
+      }
+      if (all_.size() < static_cast<std::size_t>(opt_.capacity)) {
+        all_.push_back(std::make_unique<W>());
+        W* w = all_.back().get();
+        ++stats_.created;
+        ++stats_.leases;
+        ++stats_.in_use;
+        lock.unlock();
+        init_new(*w);  // sizing work happens outside the lock
+        return Lease(this, w);
+      }
+      if (!opt_.block_when_exhausted) {
+        ++stats_.exhausted;
+        return Lease();
+      }
+      ++stats_.lease_waits;
+      cv_.wait(lock, [this] { return !free_.empty(); });
+    }
+  }
+
+  Lease acquire() {
+    return acquire([](W&) {});
+  }
+
+  WorkspacePoolStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  int capacity() const { return opt_.capacity; }
+  bool blocking() const { return opt_.block_when_exhausted; }
+
+ private:
+  void put_back(W* w) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      free_.push_back(w);
+      --stats_.in_use;
+    }
+    cv_.notify_one();
+  }
+
+  Options opt_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<W>> all_;  // owns every workspace ever created
+  std::vector<W*> free_;                 // LIFO free list
+  WorkspacePoolStats stats_;
+};
+
+}  // namespace blocktri

@@ -1,11 +1,16 @@
 #include "core/solver.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <optional>
 #include <string>
+#include <thread>
 
+#include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "persist/artifact.hpp"
 #include "persist/plan_cache.hpp"
 #include "sim/kernel_sim.hpp"
@@ -57,6 +62,43 @@ std::vector<T> unpermute_panel(const std::vector<T>& v,
       out[off + i] = v[off + static_cast<std::size_t>(new_of_old[i])];
   }
   return out;
+}
+
+/// Decrements the solver's in-flight counter on scope exit, so early returns
+/// and exceptions cannot leave the strict-reentrancy guard stuck.
+struct InFlightGuard {
+  std::atomic<int>* counter;
+  ~InFlightGuard() { counter->fetch_sub(1, std::memory_order_relaxed); }
+};
+
+/// One rung of the whole-solve degradation ladder: which executor pool the
+/// attempt may use and which SIMD lowering it forces (-1 = leave the active
+/// path alone). `entered_by` describes the demotion that leads *into* this
+/// rung, recorded as a DegradeEvent when the ladder steps down.
+struct LadderRung {
+  bool use_pool = false;
+  int forced_path = -1;
+  DegradeEvent::Kind entered_by = DegradeEvent::Kind::kParallelToSerial;
+};
+
+/// Builds the rung list for one checked solve: the configured executor
+/// first, then serial, then the demoted SIMD lowerings (each rung strictly
+/// more conservative than the one before). Rungs that would not change
+/// anything are skipped.
+inline std::vector<LadderRung> build_ladder(bool have_pool, bool fallback) {
+  std::vector<LadderRung> rungs;
+  rungs.push_back({have_pool, -1, DegradeEvent::Kind::kParallelToSerial});
+  if (!fallback) return rungs;
+  if (have_pool)
+    rungs.push_back({false, -1, DegradeEvent::Kind::kParallelToSerial});
+  const simd::Path active = simd::active_path();
+  if (active == simd::Path::kVector)
+    rungs.push_back({false, static_cast<int>(simd::Path::kBlockedScalar),
+                     DegradeEvent::Kind::kVectorToBlocked});
+  if (active != simd::Path::kStrictScalar)
+    rungs.push_back({false, static_cast<int>(simd::Path::kStrictScalar),
+                     DegradeEvent::Kind::kBlockedToStrict});
+  return rungs;
 }
 }  // namespace
 
@@ -212,29 +254,40 @@ BlockSolver<T>::BlockSolver(const Csr<T>& lower, const Options& opt)
   aux_base_ = as.reserve(n_u * (sizeof(T) + 4));
 
   size_tri_scratch();
+  ws_pool_ = std::make_unique<WorkspacePool<SolveWorkspace>>(
+      typename WorkspacePool<SolveWorkspace>::Options{
+          opt_.session.max_workspaces, opt_.session.block_when_exhausted});
+
+  // Deterministic fault hook: a poisoned in-degree counter makes the
+  // sync-free parallel spin-wait undrainable, exercising the bounded-spin
+  // timeout (the serial and batched paths never consult the counters).
+  if (opt_.fault.stuck_spin && opt_.fault.tri_block >= 0 &&
+      opt_.fault.tri_block < static_cast<index_t>(tri_.size())) {
+    TriBlock& blk = tri_[static_cast<std::size_t>(opt_.fault.tri_block)];
+    if (blk.syncfree != nullptr)
+      blk.syncfree->poison_in_degree_for_testing(0, 1);
+  }
 }
 
 template <class T>
 void BlockSolver<T>::exec_tri(const TriBlock& blk, const T* b, T* x,
-                              const TrsvSim* s, ThreadPool* pool) const {
+                              const TrsvSim* s, ThreadPool* pool,
+                              T* tri_scratch, const ExecControl* ctl) const {
   switch (blk.info.kind) {
     case TriKernelKind::kCompletelyParallel:
-      blk.diag->solve(b, x, s, pool);
-      return;
-    case TriKernelKind::kLevelSet:
-      blk.levelset->solve(b, x, s, pool);
+      blk.diag->solve(b, x, s, pool, ctl);
       return;
     case TriKernelKind::kSyncFree:
-      // Only the serial executor may lend the solver-level scratch: with a
-      // pool, steps of a wave run concurrently and would race on it (each
-      // syncfree solve then falls back to its own accumulator).
-      blk.syncfree->solve(b, x, s, pool,
-                          pool_ == nullptr && !ws_.tri_scratch.empty()
-                              ? ws_.tri_scratch.data()
-                              : nullptr);
+      // `tri_scratch` is lent only by serial per-call executors (see the
+      // declaration comment): concurrent wave steps share one workspace and
+      // would race on it (the kernel then falls back to a local accumulator).
+      blk.syncfree->solve(b, x, s, pool, tri_scratch, ctl);
+      return;
+    case TriKernelKind::kLevelSet:
+      blk.levelset->solve(b, x, s, pool, ctl);
       return;
     case TriKernelKind::kCusparseLike:
-      blk.cusparse->solve(b, x, s);  // host path intentionally serial
+      blk.cusparse->solve(b, x, s, ctl);  // host path intentionally serial
       return;
   }
   BLOCKTRI_CHECK_MSG(false, "unknown triangular kernel kind");
@@ -262,10 +315,12 @@ void BlockSolver<T>::exec_square(const SquareBlock& blk, const T* x, T* y,
 
 template <class T>
 void BlockSolver<T>::exec_step(const ExecStep& step, T* bw, T* xw,
-                               ThreadPool* pool) const {
+                               ThreadPool* pool, T* tri_scratch,
+                               const ExecControl* ctl) const {
   if (step.kind == ExecStep::Kind::kTri) {
     const TriBlock& blk = tri_[static_cast<std::size_t>(step.index)];
-    exec_tri(blk, bw + blk.info.r0, xw + blk.info.r0, nullptr, pool);
+    exec_tri(blk, bw + blk.info.r0, xw + blk.info.r0, nullptr, pool,
+             tri_scratch, ctl);
   } else {
     const SquareBlock& blk = squares_[static_cast<std::size_t>(step.index)];
     if (blk.info.nnz == 0) return;  // skipped, like the wave executor
@@ -276,23 +331,21 @@ void BlockSolver<T>::exec_step(const ExecStep& step, T* bw, T* xw,
 
 template <class T>
 void BlockSolver<T>::exec_tri_many(const TriBlock& blk, const T* b, T* x,
-                                   index_t k, ThreadPool* pool) const {
+                                   index_t k, ThreadPool* pool, T* tri_scratch,
+                                   const ExecControl* ctl) const {
   switch (blk.info.kind) {
     case TriKernelKind::kCompletelyParallel:
-      blk.diag->solve_many(b, x, k, plan_.n, pool);
+      blk.diag->solve_many(b, x, k, plan_.n, pool, ctl);
       return;
     case TriKernelKind::kLevelSet:
-      blk.levelset->solve_many(b, x, k, plan_.n, pool);
+      blk.levelset->solve_many(b, x, k, plan_.n, pool, ctl);
       return;
     case TriKernelKind::kSyncFree:
       // Same scratch-lending rule as exec_tri (see the comment there).
-      blk.syncfree->solve_many(b, x, k, plan_.n, pool,
-                               pool_ == nullptr && !ws_.tri_scratch.empty()
-                                   ? ws_.tri_scratch.data()
-                                   : nullptr);
+      blk.syncfree->solve_many(b, x, k, plan_.n, pool, tri_scratch, ctl);
       return;
     case TriKernelKind::kCusparseLike:
-      blk.cusparse->solve_many(b, x, k, plan_.n);
+      blk.cusparse->solve_many(b, x, k, plan_.n, ctl);
       return;
   }
   BLOCKTRI_CHECK_MSG(false, "unknown triangular kernel kind");
@@ -320,8 +373,9 @@ void BlockSolver<T>::exec_square_many(const SquareBlock& blk, const T* x,
 
 template <class T>
 void BlockSolver<T>::exec_step_many(const ExecStep& step, T* bw, T* xw,
-                                    index_t c0, index_t c1,
-                                    ThreadPool* pool) const {
+                                    index_t c0, index_t c1, ThreadPool* pool,
+                                    T* tri_scratch,
+                                    const ExecControl* ctl) const {
   const index_t k = c1 - c0;
   if (k <= 0) return;
   const std::size_t coff =
@@ -329,7 +383,7 @@ void BlockSolver<T>::exec_step_many(const ExecStep& step, T* bw, T* xw,
   if (step.kind == ExecStep::Kind::kTri) {
     const TriBlock& blk = tri_[static_cast<std::size_t>(step.index)];
     exec_tri_many(blk, bw + coff + blk.info.r0, xw + coff + blk.info.r0, k,
-                  pool);
+                  pool, tri_scratch, ctl);
   } else {
     const SquareBlock& blk = squares_[static_cast<std::size_t>(step.index)];
     if (blk.info.nnz == 0) return;  // skipped, like the wave executor
@@ -347,35 +401,107 @@ std::vector<T> BlockSolver<T>::solve(const std::vector<T>& b) const {
 }
 
 template <class T>
+auto BlockSolver<T>::acquire_workspace() const ->
+    typename WorkspacePool<SolveWorkspace>::Lease {
+  return ws_pool_->acquire([this](SolveWorkspace& w) {
+    // A freshly created workspace gets its sync-free scratch sized once;
+    // every other buffer grows on first use and never shrinks.
+    w.tri_scratch.resize(tri_scratch_len_);
+  });
+}
+
+template <class T>
+Status BlockSolver<T>::pool_exhausted_status() const {
+  return Status(StatusCode::kPoolExhausted,
+                "all " + std::to_string(ws_pool_->capacity()) +
+                    " solve workspaces are leased and "
+                    "Options::session.block_when_exhausted is false");
+}
+
+template <class T>
 void BlockSolver<T>::solve(const T* b, T* x) const {
+  // The legacy entry point cannot report: session faults (pool exhaustion in
+  // failing mode, strict-reentrancy violations, spin timeouts) surface as
+  // thrown blocktri::Error. Default controls are unarmed, so a healthy solve
+  // behaves exactly as before.
+  throw_if_error(solve(b, x, SolveControls{}, nullptr));
+}
+
+template <class T>
+Status BlockSolver<T>::solve(const T* b, T* x, const SolveControls& controls,
+                             SolveReport* rep) const {
+  const int prev = in_flight_.fetch_add(1, std::memory_order_relaxed);
+  InFlightGuard in_flight_guard{&in_flight_};
+  if (prev > 0 && opt_.session.strict_reentrancy)
+    return Status(StatusCode::kReentrantSolve,
+                  "another solve is in flight on this solver and "
+                  "Options::session.strict_reentrancy is set");
+  const ExecControl ctl(controls);
+  SolveReport local_rep;
+  SolveReport* r = rep != nullptr ? rep : &local_rep;
+  r->steps_total = static_cast<index_t>(plan_.steps.size());
+  r->steps_completed = 0;
+  if (!ctl.check()) return ctl.to_status("before the solve started");
+
+  auto lease = acquire_workspace();
+  if (!lease) return pool_exhausted_status();
+  SolveWorkspace& ws = *lease;
+  if (opt_.fault.hold_lease_ms > 0)
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(opt_.fault.hold_lease_ms));
+
   const std::size_t n = static_cast<std::size_t>(plan_.n);
   // resize() never shrinks capacity, so after the first solve of each shape
   // these are no-ops and the whole path is allocation free.
-  ws_.bw.resize(n);
-  ws_.xw.resize(n);
-  T* bw = ws_.bw.data();
-  T* xw = ws_.xw.data();
+  ws.bw.resize(n);
+  ws.xw.resize(n);
+  T* bw = ws.bw.data();
+  T* xw = ws.xw.data();
   scatter_permuted(b, plan_.new_of_old, bw);
   // No zero fill of xw: the triangular blocks tile the diagonal, so every
   // entry is written before anything reads it.
 
-  if (pool_ == nullptr) {
-    for (const ExecStep& step : plan_.steps) exec_step(step, bw, xw, nullptr);
+  // Pool arbitration: the try_lock winner drives the wave executor; every
+  // other concurrent caller (and any caller at threads = 1) runs serial —
+  // the fork-join pool is not reentrant and must not be shared.
+  std::unique_lock<std::mutex> pool_lk(exec_mu_, std::defer_lock);
+  ThreadPool* epool =
+      pool_ != nullptr && pool_lk.try_lock() ? pool_.get() : nullptr;
+
+  if (epool == nullptr) {
+    T* scratch = ws.tri_scratch.empty() ? nullptr : ws.tri_scratch.data();
+    for (const ExecStep& step : plan_.steps) {
+      if (!ctl.check()) break;
+      exec_step(step, bw, xw, nullptr, scratch, &ctl);
+      if (ctl.tripped()) break;  // e.g. a sync-free spin timeout mid-step
+      ++r->steps_completed;
+    }
   } else {
     // Threaded executor: a single-step wave parallelises inside the kernel;
     // a multi-step wave runs its (independent) steps concurrently with
-    // serial kernels inside — the fork-join pool is not reentrant.
+    // serial kernels inside. Wave steps share this call's workspace, so the
+    // sync-free scratch is never lent here (see exec_tri).
     for (const std::vector<ExecStep>& wave : waves_) {
+      if (!ctl.check()) break;
       if (wave.size() == 1) {
-        exec_step(wave[0], bw, xw, pool_.get());
+        exec_step(wave[0], bw, xw, epool, nullptr, &ctl);
       } else {
-        pool_->run(static_cast<int>(wave.size()), [&](int s) {
-          exec_step(wave[static_cast<std::size_t>(s)], bw, xw, nullptr);
+        epool->run(static_cast<int>(wave.size()), [&](int s) {
+          exec_step(wave[static_cast<std::size_t>(s)], bw, xw, nullptr,
+                    nullptr, &ctl);
         });
       }
+      if (ctl.tripped()) break;
+      r->steps_completed += static_cast<index_t>(wave.size());
     }
   }
+  // Partial progress is gathered back even on a trip — diagnostic only.
   gather_permuted(xw, plan_.new_of_old, x);
+  if (ctl.tripped())
+    return ctl.to_status("after " + std::to_string(r->steps_completed) +
+                         " of " + std::to_string(r->steps_total) +
+                         " plan steps");
+  return Status::Ok();
 }
 
 template <class T>
@@ -394,20 +520,58 @@ std::vector<T> BlockSolver<T>::solve_many(const std::vector<T>& B,
 
 template <class T>
 void BlockSolver<T>::solve_many(const T* B, T* X, index_t k) const {
-  if (k <= 0) return;
+  // Same wrapper contract as the raw solve() above.
+  throw_if_error(solve_many(B, X, k, SolveControls{}, nullptr));
+}
+
+template <class T>
+Status BlockSolver<T>::solve_many(const T* B, T* X, index_t k,
+                                  const SolveControls& controls,
+                                  SolveReport* rep) const {
+  if (k <= 0) return Status::Ok();
+  const int prev = in_flight_.fetch_add(1, std::memory_order_relaxed);
+  InFlightGuard in_flight_guard{&in_flight_};
+  if (prev > 0 && opt_.session.strict_reentrancy)
+    return Status(StatusCode::kReentrantSolve,
+                  "another solve is in flight on this solver and "
+                  "Options::session.strict_reentrancy is set");
+  const ExecControl ctl(controls);
+  SolveReport local_rep;
+  SolveReport* r = rep != nullptr ? rep : &local_rep;
+  r->steps_total = static_cast<index_t>(plan_.steps.size());
+  r->steps_completed = 0;
+  if (!ctl.check()) return ctl.to_status("before the solve started");
+
+  auto lease = acquire_workspace();
+  if (!lease) return pool_exhausted_status();
+  SolveWorkspace& ws = *lease;
+  if (opt_.fault.hold_lease_ms > 0)
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(opt_.fault.hold_lease_ms));
+
   const std::size_t n = static_cast<std::size_t>(plan_.n);
   const std::size_t total = n * static_cast<std::size_t>(k);
-  ws_.bw.resize(total);
-  ws_.xw.resize(total);
-  T* bw = ws_.bw.data();
-  T* xw = ws_.xw.data();
+  ws.bw.resize(total);
+  ws.xw.resize(total);
+  T* bw = ws.bw.data();
+  T* xw = ws.xw.data();
   for (index_t c = 0; c < k; ++c)
     scatter_permuted(B + static_cast<std::size_t>(c) * n, plan_.new_of_old,
                      bw + static_cast<std::size_t>(c) * n);
 
-  if (pool_ == nullptr) {
-    for (const ExecStep& step : plan_.steps)
-      exec_step_many(step, bw, xw, 0, k, nullptr);
+  // Pool arbitration: same contract as the single-RHS path above.
+  std::unique_lock<std::mutex> pool_lk(exec_mu_, std::defer_lock);
+  ThreadPool* epool =
+      pool_ != nullptr && pool_lk.try_lock() ? pool_.get() : nullptr;
+
+  if (epool == nullptr) {
+    T* scratch = ws.tri_scratch.empty() ? nullptr : ws.tri_scratch.data();
+    for (const ExecStep& step : plan_.steps) {
+      if (!ctl.check()) break;
+      exec_step_many(step, bw, xw, 0, k, nullptr, scratch, &ctl);
+      if (ctl.tripped()) break;
+      ++r->steps_completed;
+    }
   } else {
     // Threaded executor over steps × column chunks. A wave whose steps alone
     // can occupy the pool runs one task per step (each batched kernel serial
@@ -417,6 +581,7 @@ void BlockSolver<T>::solve_many(const T* B, T* X, index_t k) const {
     // All batched kernels are deterministic, so any shape gives the
     // bitwise-identical panel.
     for (const std::vector<ExecStep>& wave : waves_) {
+      if (!ctl.check()) break;
       const int nsteps = static_cast<int>(wave.size());
       const int nchunks =
           (k > 1 && nsteps < threads_)
@@ -424,9 +589,9 @@ void BlockSolver<T>::solve_many(const T* B, T* X, index_t k) const {
                     k, static_cast<index_t>((threads_ + nsteps - 1) / nsteps)))
               : 1;
       if (nsteps * nchunks == 1) {
-        exec_step_many(wave[0], bw, xw, 0, k, pool_.get());
+        exec_step_many(wave[0], bw, xw, 0, k, epool, nullptr, &ctl);
       } else {
-        pool_->run(nsteps * nchunks, [&](int t) {
+        epool->run(nsteps * nchunks, [&](int t) {
           const int s = t / nchunks;
           const int ch = t % nchunks;
           const index_t c0 = static_cast<index_t>(
@@ -434,14 +599,21 @@ void BlockSolver<T>::solve_many(const T* B, T* X, index_t k) const {
           const index_t c1 = static_cast<index_t>(
               static_cast<std::int64_t>(k) * (ch + 1) / nchunks);
           exec_step_many(wave[static_cast<std::size_t>(s)], bw, xw, c0, c1,
-                         nullptr);
+                         nullptr, nullptr, &ctl);
         });
       }
+      if (ctl.tripped()) break;
+      r->steps_completed += static_cast<index_t>(wave.size());
     }
   }
   for (index_t c = 0; c < k; ++c)
     gather_permuted(xw + static_cast<std::size_t>(c) * n, plan_.new_of_old,
                     X + static_cast<std::size_t>(c) * n);
+  if (ctl.tripped())
+    return ctl.to_status("after " + std::to_string(r->steps_completed) +
+                         " of " + std::to_string(r->steps_total) +
+                         " plan steps");
+  return Status::Ok();
 }
 
 template <class T>
@@ -507,17 +679,22 @@ Status BlockSolver<T>::create(const Csr<T>& lower, const Options& opt,
       std::unique_ptr<BlockSolver<T>> warm;
       if (create_from_artifact(std::move(art), opt, &warm).ok() &&
           warm->refresh_values(lower).ok()) {
+        cache->report_hit_success(key);
         *out = std::move(warm);
         return Status::Ok();
       }
       // A mismatched entry (e.g. a hash collision) falls through to the
       // cold build — the cache is an accelerator, never a correctness gate.
+      // Repeated failures on the same key tombstone it (quarantine), so a
+      // poisoned entry stops being re-admitted every miss.
       hit_failed = true;
+      cache->report_hit_failure(key);
     }
     out->reset(new BlockSolver<T>(lower, opt));
     // When the cached entry just failed the warm path, overwrite it: leaving
     // it in place would make every future create() for this key pay the
-    // failed warm attempt plus a cold build forever.
+    // failed warm attempt plus a cold build forever. (A quarantined key
+    // rejects the insert until its tombstone expires.)
     cache->insert(std::make_shared<PlanArtifact<T>>((*out)->capture_artifact()),
                   /*overwrite=*/hit_failed);
     return Status::Ok();
@@ -695,6 +872,19 @@ BlockSolver<T>::BlockSolver(const PlanArtifact<T>& art, const Options& opt)
   aux_base_ = as.reserve(n_u * (sizeof(T) + 4));
 
   size_tri_scratch();
+  ws_pool_ = std::make_unique<WorkspacePool<SolveWorkspace>>(
+      typename WorkspacePool<SolveWorkspace>::Options{
+          opt_.session.max_workspaces, opt_.session.block_when_exhausted});
+
+  // Deterministic fault hook: a poisoned in-degree counter makes the
+  // sync-free parallel spin-wait undrainable, exercising the bounded-spin
+  // timeout (the serial and batched paths never consult the counters).
+  if (opt_.fault.stuck_spin && opt_.fault.tri_block >= 0 &&
+      opt_.fault.tri_block < static_cast<index_t>(tri_.size())) {
+    TriBlock& blk = tri_[static_cast<std::size_t>(opt_.fault.tri_block)];
+    if (blk.syncfree != nullptr)
+      blk.syncfree->poison_in_degree_for_testing(0, 1);
+  }
 }
 
 template <class T>
@@ -728,21 +918,53 @@ template <class T>
 Status BlockSolver<T>::create_from_file(const std::string& path,
                                         const Csr<T>& lower,
                                         const Options& opt,
-                                        std::unique_ptr<BlockSolver<T>>* out) {
+                                        std::unique_ptr<BlockSolver<T>>* out,
+                                        PlanCache<T>* cache) {
   BLOCKTRI_CHECK(out != nullptr);
   if (Status st = check_lower_triangular(lower); !st.ok()) return st;
+
+  // Transient I/O failures (kIoError: racing writers, flaky network mounts)
+  // retry with jittered exponential backoff; permanent artifact rejections
+  // (checksum, version, malformed sections) fail immediately — retrying a
+  // deterministic failure only adds latency.
   auto art = std::make_shared<PlanArtifact<T>>();
-  if (Status st = load_artifact(path, art.get()); !st.ok()) return st;
+  const int attempts = std::max(1, opt.session.artifact_retry_attempts);
+  Rng jitter_rng(0x61727472792aULL ^
+                 static_cast<std::uint64_t>(
+                     std::chrono::steady_clock::now().time_since_epoch()
+                         .count()));
+  Status load = Status::Ok();
+  for (int a = 0; a < attempts; ++a) {
+    if (a > 0) {
+      const double base_ms = opt.session.artifact_retry_backoff_ms *
+                             static_cast<double>(1 << (a - 1));
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(
+              base_ms * jitter_rng.uniform(0.5, 1.5)));
+    }
+    load = load_artifact(path, art.get());
+    if (load.ok()) {
+      if (a > 0 && cache != nullptr) cache->note_retry_success();
+      break;
+    }
+    if (load.code() != StatusCode::kIoError) return load;  // permanent
+  }
+  if (!load.ok()) return load;
+
   if (blocktri::structure_hash(lower) != art->structure)
     return Status(StatusCode::kStructureMismatch,
                   "artifact '" + path +
                       "' was captured from a matrix with a different "
                       "sparsity pattern");
   std::unique_ptr<BlockSolver<T>> solver;
+  auto art_for_cache = art;
   if (Status st = create_from_artifact(std::move(art), opt, &solver);
       !st.ok())
     return st;
   if (Status st = solver->refresh_values(lower); !st.ok()) return st;
+  // Only a fully rehydrated artifact is worth caching; first-writer-wins
+  // keeps an existing (already proven) entry.
+  if (cache != nullptr) cache->insert(std::move(art_for_cache), false);
   *out = std::move(solver);
   return Status::Ok();
 }
@@ -828,16 +1050,26 @@ Status BlockSolver<T>::refresh_values_impl(const Csr<T>& lower) {
 
 template <class T>
 Status BlockSolver<T>::run_steps_checked(std::vector<T>& bw,
-                                         std::vector<T>& xw,
-                                         SolveReport* rep) const {
+                                         std::vector<T>& xw, SolveReport* rep,
+                                         ThreadPool* epool,
+                                         const ExecControl* ctl,
+                                         T* tri_scratch) const {
   // Steps stay sequential here — the ladder needs each block's output
-  // inspected before its dependents run — but kernels still use the pool.
+  // inspected before its dependents run — but kernels still use this call's
+  // arbitrated pool. With the pool in hand the sync-free scratch is still
+  // safe to lend: the steps below never overlap.
+  rep->steps_completed = 0;  // progress of this pass (attempt or refinement)
   for (const ExecStep& step : plan_.steps) {
+    if (ctl != nullptr && !ctl->check())
+      return ctl->to_status("after " + std::to_string(rep->steps_completed) +
+                            " of " + std::to_string(plan_.steps.size()) +
+                            " plan steps");
     if (step.kind != ExecStep::Kind::kTri) {
       const SquareBlock& blk = squares_[static_cast<std::size_t>(step.index)];
       if (blk.info.nnz == 0) continue;  // skipped, like the plain executors
       exec_square(blk, xw.data() + blk.info.ref.c0,
-                  bw.data() + blk.info.ref.r0, nullptr, pool_.get());
+                  bw.data() + blk.info.ref.r0, nullptr, epool);
+      ++rep->steps_completed;
       continue;
     }
     const TriBlock& blk = tri_[static_cast<std::size_t>(step.index)];
@@ -848,6 +1080,14 @@ Status BlockSolver<T>::run_steps_checked(std::vector<T>& bw,
     int attempt = 0;
     auto run = [&](auto&& solve_fn) {
       solve_fn();
+      if (ctl != nullptr && ctl->tripped()) {
+        // A spin timeout is healable — the rungs below never spin — so with
+        // the ladder enabled it is consumed and treated as a failed attempt.
+        // Deadline/cancel trips stay tripped; the check after the ladder
+        // turns them into the terminal typed Status.
+        if (opt_.verify.fallback) ctl->consume_spin_trip();
+        return false;
+      }
       if (step.index == this->opt_.fault.tri_block &&
           attempt < this->opt_.fault.corrupt_attempts && len > 0)
         xx[0] = std::numeric_limits<T>::quiet_NaN();
@@ -855,7 +1095,11 @@ Status BlockSolver<T>::run_steps_checked(std::vector<T>& bw,
       return all_finite(xx, len);
     };
 
-    bool ok = run([&] { exec_tri(blk, bb, xx, nullptr, pool_.get()); });
+    bool ok =
+        run([&] { exec_tri(blk, bb, xx, nullptr, epool, tri_scratch, ctl); });
+    if (!ok && ctl != nullptr && ctl->tripped())
+      return ctl->to_status("in triangular block " +
+                            std::to_string(step.index));
     if (!ok && opt_.verify.fallback) {
       if (blk.info.kind != TriKernelKind::kLevelSet) {
         rep->fallbacks.push_back({step.index, blk.info.kind,
@@ -876,12 +1120,14 @@ Status BlockSolver<T>::run_steps_checked(std::vector<T>& bw,
                         std::to_string(blk.info.r1) +
                         ") produced non-finite output on every rung of the "
                         "fallback ladder");
+    ++rep->steps_completed;
   }
   return Status::Ok();
 }
 
 template <class T>
-void BlockSolver<T>::residual_into(const T* xw, const T* bw0, T* r) const {
+void BlockSolver<T>::residual_into(const T* xw, const T* bw0, T* r,
+                                   ThreadPool* epool) const {
   auto row_range = [&](index_t i0, index_t i1) {
     for (index_t i = i0; i < i1; ++i) {
       double acc = 0.0;
@@ -896,9 +1142,9 @@ void BlockSolver<T>::residual_into(const T* xw, const T* bw0, T* r) const {
                          acc);
     }
   };
-  if (parallel_enabled(pool_.get()) && nnz_ >= kHostParallelMinNnz) {
-    pool_->run_partition(
-        balanced_row_partition(stored_.row_ptr, stored_.nrows, pool_->size()),
+  if (parallel_enabled(epool) && nnz_ >= kHostParallelMinNnz) {
+    epool->run_partition(
+        balanced_row_partition(stored_.row_ptr, stored_.nrows, epool->size()),
         [&](index_t i0, index_t i1, int) { row_range(i0, i1); });
   } else {
     row_range(0, stored_.nrows);
@@ -906,13 +1152,15 @@ void BlockSolver<T>::residual_into(const T* xw, const T* bw0, T* r) const {
 }
 
 template <class T>
-double BlockSolver<T>::residual_norm(const T* xw, const T* bw0) const {
+double BlockSolver<T>::residual_norm(const T* xw, const T* bw0,
+                                     std::vector<T>& rw,
+                                     ThreadPool* epool) const {
   const std::size_t n = static_cast<std::size_t>(plan_.n);
-  ws_.rw.resize(n);
-  residual_into(xw, bw0, ws_.rw.data());
+  rw.resize(n);
+  residual_into(xw, bw0, rw.data(), epool);
   double rmax = 0.0, xmax = 0.0, bmax = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    rmax = std::max(rmax, std::fabs(static_cast<double>(ws_.rw[i])));
+    rmax = std::max(rmax, std::fabs(static_cast<double>(rw[i])));
     xmax = std::max(xmax, std::fabs(static_cast<double>(xw[i])));
     bmax = std::max(bmax, std::fabs(static_cast<double>(bw0[i])));
   }
@@ -922,15 +1170,16 @@ double BlockSolver<T>::residual_norm(const T* xw, const T* bw0) const {
 }
 
 template <class T>
-void BlockSolver<T>::size_tri_scratch() const {
+void BlockSolver<T>::size_tri_scratch() {
   index_t longest = 0;
   for (const TriBlock& blk : tri_)
     if (blk.info.kind == TriKernelKind::kSyncFree)
       longest = std::max(longest, blk.info.r1 - blk.info.r0);
   // kRhsTile columns is syncfree's per-visit panel width, so this one buffer
-  // covers both the single-RHS and the batched serial accumulators.
-  ws_.tri_scratch.resize(static_cast<std::size_t>(longest) *
-                         static_cast<std::size_t>(kRhsTile));
+  // covers both the single-RHS and the batched serial accumulators. Each
+  // leased workspace sizes its scratch to this once, at creation.
+  tri_scratch_len_ = static_cast<std::size_t>(longest) *
+                     static_cast<std::size_t>(kRhsTile);
 }
 
 template <class T>
@@ -969,6 +1218,12 @@ double BlockSolver<T>::default_residual_tolerance() const {
 
 template <class T>
 SolveResult<T> BlockSolver<T>::solve_checked(const std::vector<T>& b) const {
+  return solve_checked(b, SolveControls{});
+}
+
+template <class T>
+SolveResult<T> BlockSolver<T>::solve_checked(
+    const std::vector<T>& b, const SolveControls& controls) const {
   SolveResult<T> res;
   if (!opt_.verify.enabled) {
     res.status =
@@ -991,75 +1246,168 @@ SolveResult<T> BlockSolver<T>::solve_checked(const std::vector<T>& b) const {
     }
   }
 
+  const int prev = in_flight_.fetch_add(1, std::memory_order_relaxed);
+  InFlightGuard in_flight_guard{&in_flight_};
+  if (prev > 0 && opt_.session.strict_reentrancy) {
+    res.status = Status(StatusCode::kReentrantSolve,
+                        "another solve is in flight on this solver and "
+                        "Options::session.strict_reentrancy is set");
+    return res;
+  }
+  const ExecControl ctl(controls);
+
   res.report.tolerance = opt_.verify.tolerance > 0.0
                              ? opt_.verify.tolerance
                              : default_residual_tolerance();
   if (opt_.collect_stats) accumulate_op_stats(&res.report);
-  const std::size_t n = static_cast<std::size_t>(plan_.n);
-  ws_.bw0.resize(n);
-  ws_.bw.resize(n);
-  ws_.xw.resize(n);
-  // One fused scatter produces the pristine permuted rhs; the solve input is
-  // a plain copy of it — the residual and refinement rounds below reuse
-  // ws_.bw0 instead of re-permuting b each time.
-  scatter_permuted(b.data(), plan_.new_of_old, ws_.bw0.data());
-  std::copy(ws_.bw0.begin(), ws_.bw0.end(), ws_.bw.begin());
-  // On breakdown the partial solution is returned for diagnosis; zeroing the
-  // reused workspace keeps its untouched rows at 0 as a fresh vector had.
-  std::fill(ws_.xw.begin(), ws_.xw.end(), T(0));
-  if (Status st = run_steps_checked(ws_.bw, ws_.xw, &res.report); !st.ok()) {
-    res.status = st;
-    res.x.resize(n);
-    gather_permuted(ws_.xw.data(), plan_.new_of_old, res.x.data());
+  res.report.steps_total = static_cast<index_t>(plan_.steps.size());
+
+  auto lease = acquire_workspace();
+  if (!lease) {
+    res.status = pool_exhausted_status();
     return res;
   }
+  SolveWorkspace& ws = *lease;
+  if (opt_.fault.hold_lease_ms > 0)
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(opt_.fault.hold_lease_ms));
 
-  // Normwise residual in the permuted space; permutations preserve max
-  // norms, so this equals the residual of the user-facing system.
-  double resid = residual_norm(ws_.xw.data(), ws_.bw0.data());
-  res.report.residual_checked = true;
-  for (int it = 0;
-       it < opt_.verify.max_refinements && resid > res.report.tolerance;
-       ++it) {
-    // One round of iterative refinement: solve L d = b − L x, x += d.
-    ws_.rw.resize(n);
-    ws_.dw.resize(n);
-    residual_into(ws_.xw.data(), ws_.bw0.data(), ws_.rw.data());
-    if (!run_steps_checked(ws_.rw, ws_.dw, &res.report).ok()) break;
-    for (std::size_t i = 0; i < n; ++i) ws_.xw[i] += ws_.dw[i];
-    resid = residual_norm(ws_.xw.data(), ws_.bw0.data());
-    ++res.report.refinements;
-  }
-  res.report.residual = resid;
-  res.x.resize(n);
-  gather_permuted(ws_.xw.data(), plan_.new_of_old, res.x.data());
-  if (!(resid <= res.report.tolerance))
-    res.status = Status(StatusCode::kResidualTooLarge,
+  const std::size_t n = static_cast<std::size_t>(plan_.n);
+  ws.bw0.resize(n);
+  ws.bw.resize(n);
+  ws.xw.resize(n);
+  // One fused scatter produces the pristine permuted rhs; each attempt's
+  // solve input is a plain copy of it — the residual and refinement rounds
+  // reuse ws.bw0 instead of re-permuting b each time.
+  scatter_permuted(b.data(), plan_.new_of_old, ws.bw0.data());
+
+  // Pool arbitration (see the unchecked solve): losing the try_lock is
+  // itself a whole-solve degradation — recorded, then run serial.
+  std::unique_lock<std::mutex> pool_lk(exec_mu_, std::defer_lock);
+  const bool have_pool = pool_ != nullptr && pool_lk.try_lock();
+  if (pool_ != nullptr && !have_pool)
+    res.report.degrades.push_back({DegradeEvent::Kind::kParallelToSerial,
+                                   StatusCode::kReentrantSolve});
+
+  // The whole-solve degradation ladder. Rung 0 is the configured execution;
+  // each further rung demotes one axis (parallel → serial, then SIMD
+  // vector → blocked → strict). Demoted SIMD rungs run serial, so the
+  // thread-local path override is seen by every kernel of the attempt.
+  const std::vector<LadderRung> rungs =
+      build_ladder(have_pool, opt_.verify.fallback);
+  const SolveReport base_report = res.report;  // pre-attempt snapshot
+  Status final_status = Status::Ok();
+  for (std::size_t a = 0; a < rungs.size(); ++a) {
+    const LadderRung& rung = rungs[a];
+    SolveReport rep = base_report;  // fallbacks describe this attempt only
+    rep.degrades = std::move(res.report.degrades);  // accumulate across rungs
+    rep.attempts = static_cast<int>(a) + 1;
+    ThreadPool* epool = rung.use_pool ? pool_.get() : nullptr;
+    T* scratch = epool != nullptr || ws.tri_scratch.empty()
+                     ? nullptr
+                     : ws.tri_scratch.data();
+    std::optional<simd::ScopedPathOverride> demoted;
+    if (rung.forced_path >= 0)
+      demoted.emplace(static_cast<simd::Path>(rung.forced_path));
+
+    std::copy(ws.bw0.begin(), ws.bw0.end(), ws.bw.begin());
+    // On breakdown the partial solution is returned for diagnosis; zeroing
+    // the reused workspace keeps untouched rows at 0 as a fresh vector had.
+    std::fill(ws.xw.begin(), ws.xw.end(), T(0));
+
+    Status st = run_steps_checked(ws.bw, ws.xw, &rep, epool, &ctl, scratch);
+    double resid = 0.0;
+    if (st.ok()) {
+      // Deterministic fault hook: a wrong-but-finite solution slips past the
+      // per-block finiteness checks, so only the residual can reject it.
+      if (rep.attempts <= opt_.fault.corrupt_solve_attempts && n > 0)
+        ws.xw[0] = T(1e30);
+
+      // Normwise residual in the permuted space; permutations preserve max
+      // norms, so this equals the residual of the user-facing system.
+      resid = residual_norm(ws.xw.data(), ws.bw0.data(), ws.rw, epool);
+      rep.residual_checked = true;
+      for (int it = 0;
+           it < opt_.verify.max_refinements && resid > rep.tolerance &&
+           ctl.check();
+           ++it) {
+        // One round of iterative refinement: solve L d = b − L x, x += d.
+        ws.rw.resize(n);
+        ws.dw.resize(n);
+        residual_into(ws.xw.data(), ws.bw0.data(), ws.rw.data(), epool);
+        const index_t attempt_steps = rep.steps_completed;
+        const bool refined =
+            run_steps_checked(ws.rw, ws.dw, &rep, epool, &ctl, scratch).ok();
+        rep.steps_completed = attempt_steps;
+        if (!refined) break;
+        for (std::size_t i = 0; i < n; ++i) ws.xw[i] += ws.dw[i];
+        resid = residual_norm(ws.xw.data(), ws.bw0.data(), ws.rw, epool);
+        ++rep.refinements;
+      }
+      rep.residual = resid;
+      st = resid <= rep.tolerance
+               ? Status::Ok()
+               : Status(StatusCode::kResidualTooLarge,
                         "residual " + std::to_string(resid) +
                             " exceeds tolerance " +
-                            std::to_string(res.report.tolerance));
+                            std::to_string(rep.tolerance));
+    }
+
+    res.report = std::move(rep);
+    final_status = std::move(st);
+    if (final_status.ok()) break;
+    // Deadline/cancel (and spin timeouts the disabled ladder left tripped)
+    // are terminal: retrying against an expired budget only burns time.
+    if (ctl.tripped()) break;
+    if (a + 1 < rungs.size())
+      res.report.degrades.push_back(
+          {rungs[a + 1].entered_by, final_status.code()});
+  }
+
+  res.status = std::move(final_status);
+  res.x.resize(n);
+  gather_permuted(ws.xw.data(), plan_.new_of_old, res.x.data());
   return res;
 }
 
 template <class T>
 Status BlockSolver<T>::run_steps_checked_many(
     std::vector<T>& bw, std::vector<T>& xw, index_t k,
-    std::vector<SolveReport>* reps) const {
+    std::vector<SolveReport>* reps, ThreadPool* epool, const ExecControl* ctl,
+    T* tri_scratch) const {
   const std::size_t n = static_cast<std::size_t>(plan_.n);
+  index_t done = 0;  // panel-level progress, mirrored into every report
+  const auto set_progress = [&] {
+    for (SolveReport& rp : *reps) rp.steps_completed = done;
+  };
   for (const ExecStep& step : plan_.steps) {
+    if (ctl != nullptr && !ctl->check()) {
+      set_progress();
+      return ctl->to_status("after " + std::to_string(done) + " of " +
+                            std::to_string(plan_.steps.size()) +
+                            " plan steps");
+    }
     if (step.kind != ExecStep::Kind::kTri) {
       const SquareBlock& blk = squares_[static_cast<std::size_t>(step.index)];
       if (blk.info.nnz == 0) continue;  // skipped, like the plain executors
       exec_square_many(blk, xw.data() + blk.info.ref.c0,
-                       bw.data() + blk.info.ref.r0, k, pool_.get());
+                       bw.data() + blk.info.ref.r0, k, epool);
+      ++done;
       continue;
     }
     const TriBlock& blk = tri_[static_cast<std::size_t>(step.index)];
     const index_t len = blk.info.r1 - blk.info.r0;
 
-    // Attempt 0: the selected kernel, batched over the whole panel.
+    // Attempt 0: the selected kernel, batched over the whole panel. The
+    // batched sync-free path never spins (it is the serial column-split
+    // algorithm), so a trip here can only be a deadline/cancel — terminal.
     exec_tri_many(blk, bw.data() + blk.info.r0, xw.data() + blk.info.r0, k,
-                  pool_.get());
+                  epool, tri_scratch, ctl);
+    if (ctl != nullptr && ctl->tripped()) {
+      set_progress();
+      return ctl->to_status("in triangular block " +
+                            std::to_string(step.index));
+    }
     const bool faulted = step.index == opt_.fault.tri_block &&
                          opt_.fault.corrupt_attempts > 0 && len > 0 &&
                          opt_.fault.column >= 0 && opt_.fault.column < k;
@@ -1100,7 +1448,8 @@ Status BlockSolver<T>::run_steps_checked_many(
           ok = run([&] { sptrsv_serial_raw(blk.csr, bb, xx); });
         }
       }
-      if (!ok)
+      if (!ok) {
+        set_progress();
         return Status(StatusCode::kNumericalBreakdown,
                       "triangular block " + std::to_string(step.index) +
                           " (rows " + std::to_string(blk.info.r0) + ".." +
@@ -1109,14 +1458,23 @@ Status BlockSolver<T>::run_steps_checked_many(
                           std::to_string(c) +
                           " on every rung of the fallback ladder",
                       static_cast<std::int64_t>(c));
+      }
     }
+    ++done;
   }
+  set_progress();
   return Status::Ok();
 }
 
 template <class T>
 SolveManyResult<T> BlockSolver<T>::solve_many_checked(const std::vector<T>& B,
                                                       index_t k) const {
+  return solve_many_checked(B, k, SolveControls{});
+}
+
+template <class T>
+SolveManyResult<T> BlockSolver<T>::solve_many_checked(
+    const std::vector<T>& B, index_t k, const SolveControls& controls) const {
   SolveManyResult<T> res;
   if (!opt_.verify.enabled) {
     res.status = Status(
@@ -1145,76 +1503,154 @@ SolveManyResult<T> BlockSolver<T>::solve_many_checked(const std::vector<T>& B,
     }
   }
 
+  const int prev = in_flight_.fetch_add(1, std::memory_order_relaxed);
+  InFlightGuard in_flight_guard{&in_flight_};
+  if (prev > 0 && opt_.session.strict_reentrancy) {
+    res.status = Status(StatusCode::kReentrantSolve,
+                        "another solve is in flight on this solver and "
+                        "Options::session.strict_reentrancy is set");
+    return res;
+  }
+  const ExecControl ctl(controls);
+
   const double tol = opt_.verify.tolerance > 0.0
                          ? opt_.verify.tolerance
                          : default_residual_tolerance();
   res.reports.resize(static_cast<std::size_t>(k));
-  for (SolveReport& rep : res.reports) rep.tolerance = tol;
+  for (SolveReport& rep : res.reports) {
+    rep.tolerance = tol;
+    rep.steps_total = static_cast<index_t>(plan_.steps.size());
+  }
   if (opt_.collect_stats)
     for (SolveReport& rep : res.reports) accumulate_op_stats(&rep);
 
+  auto lease = acquire_workspace();
+  if (!lease) {
+    res.status = pool_exhausted_status();
+    return res;
+  }
+  SolveWorkspace& ws = *lease;
+  if (opt_.fault.hold_lease_ms > 0)
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(opt_.fault.hold_lease_ms));
+
   const std::size_t total = n * static_cast<std::size_t>(k);
-  ws_.bw0.resize(total);
-  ws_.bw.resize(total);
-  ws_.xw.resize(total);
-  // Fused per-column scatter into the pristine permuted panel; the solve
-  // input is a copy of it, and the per-column residuals below read ws_.bw0
-  // directly instead of re-permuting B.
+  ws.bw0.resize(total);
+  ws.bw.resize(total);
+  ws.xw.resize(total);
+  // Fused per-column scatter into the pristine permuted panel; each
+  // attempt's solve input is a copy of it, and the per-column residuals
+  // below read ws.bw0 directly instead of re-permuting B.
   for (index_t c = 0; c < k; ++c)
     scatter_permuted(B.data() + static_cast<std::size_t>(c) * n,
                      plan_.new_of_old,
-                     ws_.bw0.data() + static_cast<std::size_t>(c) * n);
-  std::copy(ws_.bw0.begin(), ws_.bw0.end(), ws_.bw.begin());
-  // Same partial-solution contract as solve_checked: untouched rows read 0.
-  std::fill(ws_.xw.begin(), ws_.xw.end(), T(0));
-  if (Status st = run_steps_checked_many(ws_.bw, ws_.xw, k, &res.reports);
-      !st.ok()) {
-    res.status = st;
-    res.X = unpermute_panel(ws_.xw, plan_.new_of_old, k);
-    return res;
-  }
+                     ws.bw0.data() + static_cast<std::size_t>(c) * n);
 
-  // Residual check and refinement stay per-column: each column carries its
-  // own report, and refinement solves reuse the single-RHS ladder.
-  double worst = 0.0;
-  index_t worst_col = -1;
-  ws_.xc.resize(n);
-  ws_.bc.resize(n);
-  for (index_t c = 0; c < k; ++c) {
-    SolveReport& rep = res.reports[static_cast<std::size_t>(c)];
-    const std::size_t off = static_cast<std::size_t>(c) * n;
-    std::copy(ws_.xw.begin() + static_cast<std::ptrdiff_t>(off),
-              ws_.xw.begin() + static_cast<std::ptrdiff_t>(off + n),
-              ws_.xc.begin());
-    std::copy(ws_.bw0.begin() + static_cast<std::ptrdiff_t>(off),
-              ws_.bw0.begin() + static_cast<std::ptrdiff_t>(off + n),
-              ws_.bc.begin());
-    double resid = residual_norm(ws_.xc.data(), ws_.bc.data());
-    rep.residual_checked = true;
-    for (int it = 0; it < opt_.verify.max_refinements && resid > tol; ++it) {
-      ws_.rw.resize(n);
-      ws_.dw.resize(n);
-      residual_into(ws_.xc.data(), ws_.bc.data(), ws_.rw.data());
-      if (!run_steps_checked(ws_.rw, ws_.dw, &rep).ok()) break;
-      for (std::size_t i = 0; i < n; ++i) ws_.xc[i] += ws_.dw[i];
-      resid = residual_norm(ws_.xc.data(), ws_.bc.data());
-      ++rep.refinements;
-    }
-    rep.residual = resid;
-    std::copy(ws_.xc.begin(), ws_.xc.end(),
-              ws_.xw.begin() + static_cast<std::ptrdiff_t>(off));
-    if (!(resid <= tol) && resid >= worst) {
-      worst = resid;
-      worst_col = c;
-    }
-  }
-  res.X = unpermute_panel(ws_.xw, plan_.new_of_old, k);
-  if (worst_col >= 0)
-    res.status = Status(StatusCode::kResidualTooLarge,
+  // Pool arbitration, as in solve_checked; panel-level degradations are
+  // mirrored into every column's report.
+  std::unique_lock<std::mutex> pool_lk(exec_mu_, std::defer_lock);
+  const bool have_pool = pool_ != nullptr && pool_lk.try_lock();
+  std::vector<DegradeEvent> degrades;
+  if (pool_ != nullptr && !have_pool)
+    degrades.push_back({DegradeEvent::Kind::kParallelToSerial,
+                        StatusCode::kReentrantSolve});
+
+  // Whole-solve ladder at panel granularity: a batched breakdown or any
+  // column whose residual survives refinement retries the entire panel on
+  // the next rung (per-column rescue inside run_steps_checked_many remains
+  // the first line of defence).
+  const std::vector<LadderRung> rungs =
+      build_ladder(have_pool, opt_.verify.fallback);
+  const std::vector<SolveReport> base_reports = res.reports;
+  Status final_status = Status::Ok();
+  for (std::size_t a = 0; a < rungs.size(); ++a) {
+    const LadderRung& rung = rungs[a];
+    res.reports = base_reports;  // fallbacks describe this attempt only
+    for (SolveReport& rep : res.reports)
+      rep.attempts = static_cast<int>(a) + 1;
+    ThreadPool* epool = rung.use_pool ? pool_.get() : nullptr;
+    T* scratch = epool != nullptr || ws.tri_scratch.empty()
+                     ? nullptr
+                     : ws.tri_scratch.data();
+    std::optional<simd::ScopedPathOverride> demoted;
+    if (rung.forced_path >= 0)
+      demoted.emplace(static_cast<simd::Path>(rung.forced_path));
+
+    std::copy(ws.bw0.begin(), ws.bw0.end(), ws.bw.begin());
+    // Same partial-solution contract as solve_checked: untouched rows read 0.
+    std::fill(ws.xw.begin(), ws.xw.end(), T(0));
+    Status st = run_steps_checked_many(ws.bw, ws.xw, k, &res.reports, epool,
+                                       &ctl, scratch);
+    if (st.ok()) {
+      // Deterministic fault hook (see solve_checked): a wrong-but-finite
+      // column only the residual check can reject.
+      if (static_cast<int>(a) < opt_.fault.corrupt_solve_attempts) {
+        const index_t fc =
+            opt_.fault.column >= 0 && opt_.fault.column < k ? opt_.fault.column
+                                                            : 0;
+        ws.xw[static_cast<std::size_t>(fc) * n] = T(1e30);
+      }
+
+      // Residual check and refinement stay per-column: each column carries
+      // its own report, and refinement solves reuse the single-RHS ladder.
+      double worst = 0.0;
+      index_t worst_col = -1;
+      ws.xc.resize(n);
+      ws.bc.resize(n);
+      for (index_t c = 0; c < k && !ctl.tripped(); ++c) {
+        SolveReport& rep = res.reports[static_cast<std::size_t>(c)];
+        const std::size_t off = static_cast<std::size_t>(c) * n;
+        std::copy(ws.xw.begin() + static_cast<std::ptrdiff_t>(off),
+                  ws.xw.begin() + static_cast<std::ptrdiff_t>(off + n),
+                  ws.xc.begin());
+        std::copy(ws.bw0.begin() + static_cast<std::ptrdiff_t>(off),
+                  ws.bw0.begin() + static_cast<std::ptrdiff_t>(off + n),
+                  ws.bc.begin());
+        double resid = residual_norm(ws.xc.data(), ws.bc.data(), ws.rw, epool);
+        rep.residual_checked = true;
+        for (int it = 0;
+             it < opt_.verify.max_refinements && resid > tol && ctl.check();
+             ++it) {
+          ws.rw.resize(n);
+          ws.dw.resize(n);
+          residual_into(ws.xc.data(), ws.bc.data(), ws.rw.data(), epool);
+          const index_t panel_steps = rep.steps_completed;
+          const bool refined =
+              run_steps_checked(ws.rw, ws.dw, &rep, epool, &ctl, scratch)
+                  .ok();
+          rep.steps_completed = panel_steps;
+          if (!refined) break;
+          for (std::size_t i = 0; i < n; ++i) ws.xc[i] += ws.dw[i];
+          resid = residual_norm(ws.xc.data(), ws.bc.data(), ws.rw, epool);
+          ++rep.refinements;
+        }
+        rep.residual = resid;
+        std::copy(ws.xc.begin(), ws.xc.end(),
+                  ws.xw.begin() + static_cast<std::ptrdiff_t>(off));
+        if (!(resid <= tol) && resid >= worst) {
+          worst = resid;
+          worst_col = c;
+        }
+      }
+      st = worst_col >= 0
+               ? Status(StatusCode::kResidualTooLarge,
                         "panel column " + std::to_string(worst_col) +
                             " residual " + std::to_string(worst) +
                             " exceeds tolerance " + std::to_string(tol),
-                        static_cast<std::int64_t>(worst_col));
+                        static_cast<std::int64_t>(worst_col))
+               : Status::Ok();
+    }
+
+    final_status = std::move(st);
+    if (final_status.ok()) break;
+    if (ctl.tripped()) break;  // deadline/cancel: terminal, never retried
+    if (a + 1 < rungs.size())
+      degrades.push_back({rungs[a + 1].entered_by, final_status.code()});
+  }
+
+  for (SolveReport& rep : res.reports) rep.degrades = degrades;
+  res.status = std::move(final_status);
+  res.X = unpermute_panel(ws.xw, plan_.new_of_old, k);
   return res;
 }
 

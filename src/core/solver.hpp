@@ -20,9 +20,13 @@
 // Simulated-GPU timing (the benchmark path) goes through solve_simulated.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "common/deadline.hpp"
+#include "common/workspace_pool.hpp"
 #include "core/adaptive.hpp"
 #include "core/plan.hpp"
 #include "sim/cache.hpp"
@@ -60,6 +64,23 @@ struct FallbackEvent {
   enum class Rung { kLevelSet, kSerial } to = Rung::kLevelSet;
 };
 
+/// One rung of the whole-solve degradation ladder: a full retry attempt was
+/// demoted along one axis — parallel execution handed back for a serial
+/// pass, or the SIMD lowering stepped down vector → blocked → strict —
+/// because of `reason` (kNumericalBreakdown, kSpinTimeout,
+/// kResidualTooLarge, or kReentrantSolve when the solver's pool was busy
+/// serving a concurrent caller). The per-block FallbackEvent ladder swaps
+/// the *kernel* of one block; DegradeEvents demote the *whole solve*.
+struct DegradeEvent {
+  enum class Kind {
+    kParallelToSerial,   // pool handed back; retry runs the serial executor
+    kVectorToBlocked,    // SIMD lowering demoted to canonical blocked-scalar
+    kBlockedToStrict,    // lowering demoted to the pre-SIMD sequential order
+  };
+  Kind kind = Kind::kParallelToSerial;
+  StatusCode reason = StatusCode::kOk;
+};
+
 /// What solve_checked observed: the verified residual, how many refinement
 /// rounds ran, and every fallback the degradation ladder fired — benches and
 /// callers can see when and where a solve did not take the fast path.
@@ -74,7 +95,12 @@ struct SolveReport {
   double residual = 0.0;   // ‖Lx−b‖∞ / (‖L‖∞‖x‖∞ + ‖b‖∞), final
   double tolerance = 0.0;  // threshold the residual was compared against
   int refinements = 0;     // iterative-refinement rounds applied
-  std::vector<FallbackEvent> fallbacks;
+  std::vector<FallbackEvent> fallbacks;  // per-block rungs, final attempt only
+  std::vector<DegradeEvent> degrades;    // whole-solve rungs, all attempts
+  int attempts = 0;              // whole-solve attempts run (1 = no ladder)
+  index_t steps_completed = 0;   // plan steps finished (partial progress when
+                                 // a deadline/cancel/spin-timeout fired)
+  index_t steps_total = 0;       // plan steps the solve would run
   std::int64_t flops = 0;        // 2 per nonzero touched (+1 divide per row)
   std::int64_t bytes = 0;        // structure + value bytes streamed
   index_t levels_executed = 0;   // level-set groups actually run
@@ -126,8 +152,10 @@ class BlockSolver {
     /// environment variable, when set, overrides whatever is configured
     /// here (see resolve_threads). With more than one thread the solver
     /// owns a ThreadPool used for preprocessing (planning, CSC conversion,
-    /// level analyses) and for solve()/solve_checked(); a solver built with
-    /// threads > 1 must not be solved from multiple user threads at once.
+    /// level analyses) and for solve()/solve_checked(). Every solve entry
+    /// point is reentrant at any thread count: concurrent callers lease
+    /// independent workspaces, and the pool is arbitrated so exactly one
+    /// in-flight solve drives it while the others take the serial executor.
     int threads = 1;
 
     /// Fill the SolveReport operation counters (flops, bytes, levels
@@ -149,6 +177,32 @@ class BlockSolver {
     };
     VerifyOptions verify;
 
+    /// Session/resilience knobs. All runtime-only: none participate in the
+    /// options fingerprint, so cached plans are reusable across them.
+    struct SessionOptions {
+      /// Upper bound on concurrently leased solve workspaces (≥ 1). Each
+      /// concurrent in-flight solve on this solver holds one lease; the pool
+      /// never shrinks, so steady-state concurrency costs no allocation.
+      int max_workspaces = 8;
+      /// When every workspace is leased: true blocks the caller until one
+      /// frees (backpressure), false fails the solve with kPoolExhausted.
+      bool block_when_exhausted = true;
+      /// Debug guard: when true, a second solve entering while one is in
+      /// flight returns kReentrantSolve instead of proceeding. Off by
+      /// default — concurrent solves are supported; this exists to flag
+      /// callers that *assumed* exclusive use and want the old contract
+      /// enforced as a typed error rather than silently sharing the pool.
+      bool strict_reentrancy = false;
+      /// create_from_file retries transient kIoError loads up to this many
+      /// attempts total, sleeping a jittered exponential backoff
+      /// (artifact_retry_backoff_ms · 2^attempt · U[0.5,1.5)) between them.
+      /// Permanent failures (checksum/version/structure mismatch) never
+      /// retry.
+      int artifact_retry_attempts = 3;
+      double artifact_retry_backoff_ms = 1.0;
+    };
+    SessionOptions session;
+
     /// Test-only deterministic fault hook for the fault-injection suite:
     /// while solve_checked processes triangular block `tri_block`, the
     /// output of its first `corrupt_attempts` solve attempts (0 = the
@@ -160,6 +214,19 @@ class BlockSolver {
       index_t tri_block = -1;
       int corrupt_attempts = 0;
       index_t column = 0;
+      /// Poisons the checked solve's first `corrupt_solve_attempts` whole
+      /// attempts with a large-but-finite wrong solution *after* the steps
+      /// ran clean, so the per-block ladder sees nothing and the residual
+      /// check must catch it — exercising the whole-solve degradation
+      /// ladder's residual-rejection trigger.
+      int corrupt_solve_attempts = 0;
+      /// Bumps one in-degree counter of `tri_block`'s sync-free solver at
+      /// construction, so its parallel spin-wait can never drain — the
+      /// bounded-spin timeout and its spin-free fallbacks are exercised.
+      bool stuck_spin = false;
+      /// Holds the leased workspace for this long at solve entry —
+      /// lets tests overlap leases deterministically to fill the pool.
+      int hold_lease_ms = 0;
     };
     FaultInjection fault;
   };
@@ -201,10 +268,16 @@ class BlockSolver {
   /// load_artifact(path) + structure check against `lower` +
   /// create_from_artifact + refresh_values(lower): the full warm-start path.
   /// Adds kStructureMismatch when `lower`'s pattern differs from the one the
-  /// artifact was captured from.
+  /// artifact was captured from. Transient I/O failures (kIoError) are
+  /// retried with jittered exponential backoff per opt.session; permanent
+  /// artifact rejections (checksum, version, structure) fail immediately.
+  /// With a `cache`, a successfully loaded artifact is inserted so later
+  /// create() calls warm-hit, and retried-then-successful loads are counted
+  /// in the cache stats.
   static Status create_from_file(const std::string& path, const Csr<T>& lower,
                                  const Options& opt,
-                                 std::unique_ptr<BlockSolver<T>>* out);
+                                 std::unique_ptr<BlockSolver<T>>* out,
+                                 PlanCache<T>* cache = nullptr);
 
   /// Installs the numeric values of `lower` — which must have the exact
   /// sparsity pattern this solver was built for (checked via the structure
@@ -229,18 +302,37 @@ class BlockSolver {
 
   /// Allocation-free solve into caller storage: `b` and `x` are length-n
   /// arrays (they may not alias). The entry/exit permutations run as single
-  /// fused scatter/gather passes over the solver's reusable workspace, so
-  /// after the first (warm-up) call this path performs zero heap
-  /// allocations — the serving fast path, enforced by tests/test_alloc.cpp.
-  /// The workspace makes every solve entry point non-reentrant: one solver
-  /// must not be solved from multiple user threads at once, at any thread
-  /// count.
+  /// fused scatter/gather passes over a leased workspace, so after the first
+  /// (warm-up) call per shape this path performs zero heap allocations — the
+  /// serving fast path, enforced by tests/test_alloc.cpp. Every solve entry
+  /// point is reentrant: concurrent callers lease independent workspaces
+  /// from a bounded pool (Options::session), and at threads = 1 concurrent
+  /// results are bitwise identical to serial ones. Throws blocktri::Error
+  /// only for the session faults the Status overload types (pool exhaustion
+  /// in failing mode, strict-reentrancy violations, spin timeouts).
   void solve(const T* b, T* x) const;
 
+  /// Resilient solve: like the raw solve() but cooperative — `controls`
+  /// carries an optional deadline, cancel token and spin-wait budget that
+  /// the executor polls at step/wave granularity (and the kernels poll at
+  /// level/chunk granularity). On kDeadlineExceeded / kCancelled, `x` holds
+  /// the partial permuted progress gathered back (diagnostic only) and
+  /// `rep` (optional) reports steps_completed/steps_total. Returns
+  /// kPoolExhausted when the workspace pool is drained in failing mode and
+  /// kReentrantSolve under session.strict_reentrancy.
+  Status solve(const T* b, T* x, const SolveControls& controls,
+               SolveReport* rep = nullptr) const;
+
   /// Allocation-free batched solve into caller storage: `B` and `X` are
-  /// n × k column-major panels. Same workspace/warm-up contract as the
-  /// raw-pointer solve().
+  /// n × k column-major panels. Same workspace/warm-up/reentrancy contract
+  /// as the raw-pointer solve().
   void solve_many(const T* B, T* X, index_t k) const;
+
+  /// Resilient batched solve — the solve_many counterpart of the
+  /// Status-returning solve() overload, with the same controls semantics.
+  Status solve_many(const T* B, T* X, index_t k,
+                    const SolveControls& controls,
+                    SolveReport* rep = nullptr) const;
 
   /// Batched solve of k right-hand sides against the same plan: `B` is an
   /// n × k column-major panel (column c occupies [c·n, (c+1)·n)) and the
@@ -258,15 +350,36 @@ class BlockSolver {
   /// and applies up to verify.max_refinements rounds of iterative refinement
   /// when it exceeds the tolerance. Never throws on bad numerics — the
   /// outcome is typed in SolveResult::status and itemised in the report.
+  ///
+  /// On top of the per-block ladder, a whole-solve degradation ladder
+  /// (gated on verify.fallback) retries the complete solve on progressively
+  /// more conservative rungs — parallel → serial executor, then SIMD
+  /// vector → blocked → strict lowering — when an attempt ends in
+  /// kNumericalBreakdown, a sync-free spin timeout, or a residual still
+  /// above tolerance after refinement. Each demotion is recorded as a
+  /// DegradeEvent; the report's fallbacks describe the final attempt only.
   SolveResult<T> solve_checked(const std::vector<T>& b) const;
+
+  /// solve_checked with cooperative controls: deadline/cancel trips are
+  /// terminal (never retried by the ladder) and surface as
+  /// kDeadlineExceeded / kCancelled with partial progress in the report.
+  SolveResult<T> solve_checked(const std::vector<T>& b,
+                               const SolveControls& controls) const;
 
   /// Hardened batched solve: validates the panel, runs the batched block
   /// solve with the per-block fallback ladder engaged per column (a bad
   /// column degrades alone — the healthy columns keep their fast batched
   /// result), then verifies every column's normwise residual and applies
-  /// per-column iterative refinement. Requires verify.enabled.
+  /// per-column iterative refinement. Requires verify.enabled. The
+  /// whole-solve degradation ladder applies at panel granularity: when a
+  /// batched attempt breaks down or any column's residual survives
+  /// refinement, the entire panel retries on the next rung.
   SolveManyResult<T> solve_many_checked(const std::vector<T>& B,
                                         index_t k) const;
+
+  /// solve_many_checked with cooperative controls (see solve_checked).
+  SolveManyResult<T> solve_many_checked(const std::vector<T>& B, index_t k,
+                                        const SolveControls& controls) const;
 
   /// Solves and accounts simulated GPU time into `report`. `cache` carries
   /// locality across calls (pass the same cache for warm-cache measurements;
@@ -306,6 +419,10 @@ class BlockSolver {
   /// Effective host thread count after the BLOCKTRI_THREADS override.
   int threads() const { return threads_; }
 
+  /// Live counters of the leased-workspace pool: total leases, creations,
+  /// blocking waits, failed (exhausted) acquisitions, and current in-use.
+  WorkspacePoolStats workspace_stats() const { return ws_pool_->stats(); }
+
   /// The executor's step waves (mutually independent steps grouped for
   /// concurrent execution) — introspection for tests and the explorer.
   const std::vector<std::vector<ExecStep>>& step_waves() const {
@@ -343,46 +460,63 @@ class BlockSolver {
     Dcsr<T> dcsr;  // populated for the DCSR kernel kinds
   };
 
+  /// `tri_scratch` is the leased workspace's sync-free serial accumulator;
+  /// callers lend it only when the per-call executor pool is null (wave
+  /// steps of one call share a workspace, so concurrent steps must not share
+  /// the scratch). `ctl` is the session's cooperative control (nullable).
   void exec_tri(const TriBlock& blk, const T* b, T* x, const TrsvSim* s,
-                ThreadPool* pool = nullptr) const;
+                ThreadPool* pool = nullptr, T* tri_scratch = nullptr,
+                const ExecControl* ctl = nullptr) const;
   void exec_square(const SquareBlock& blk, const T* x, T* y, const SpmvSim* s,
                    ThreadPool* pool = nullptr) const;
   /// One ExecStep of the host solve (no simulation, no ladder).
-  void exec_step(const ExecStep& step, T* bw, T* xw, ThreadPool* pool) const;
+  void exec_step(const ExecStep& step, T* bw, T* xw, ThreadPool* pool,
+                 T* tri_scratch, const ExecControl* ctl) const;
   /// Batched counterparts (host only): b/x/y point at the block's rows in
   /// the panel's first solved column; the leading dimension is plan_.n.
   void exec_tri_many(const TriBlock& blk, const T* b, T* x, index_t k,
-                     ThreadPool* pool) const;
+                     ThreadPool* pool, T* tri_scratch,
+                     const ExecControl* ctl) const;
   void exec_square_many(const SquareBlock& blk, const T* x, T* y, index_t k,
                         ThreadPool* pool) const;
   /// One ExecStep of the batched host solve over panel columns [c0, c1).
   void exec_step_many(const ExecStep& step, T* bw, T* xw, index_t c0,
-                      index_t c1, ThreadPool* pool) const;
+                      index_t c1, ThreadPool* pool, T* tri_scratch,
+                      const ExecControl* ctl) const;
   /// refresh_values body; the public wrapper maps any escaping Error back to
   /// its Status so the warm path never throws through the Status API.
   Status refresh_values_impl(const Csr<T>& lower);
   /// One pass over the execution steps with the fallback ladder armed.
-  /// Consumes bw (square blocks accumulate into it).
+  /// Consumes bw (square blocks accumulate into it). `epool` is this call's
+  /// arbitrated executor pool (null → serial), `ctl` the cooperative
+  /// control: deadline/cancel trips return its typed Status immediately; a
+  /// sync-free spin timeout is consumed and healed by the spin-free rungs
+  /// when the ladder is enabled. `rep->steps_completed` tracks progress.
   Status run_steps_checked(std::vector<T>& bw, std::vector<T>& xw,
-                           SolveReport* rep) const;
+                           SolveReport* rep, ThreadPool* epool,
+                           const ExecControl* ctl, T* tri_scratch) const;
   /// Batched ladder pass: the selected kernels run batched over all k
   /// columns; columns with non-finite output degrade individually through
   /// the single-RHS rungs, recorded in their own report.
   Status run_steps_checked_many(std::vector<T>& bw, std::vector<T>& xw,
-                                index_t k,
-                                std::vector<SolveReport>* reps) const;
+                                index_t k, std::vector<SolveReport>* reps,
+                                ThreadPool* epool, const ExecControl* ctl,
+                                T* tri_scratch) const;
   /// r = bw0 − L·xw over the retained (permuted) matrix (length-n arrays;
   /// r may not alias xw/bw0).
-  void residual_into(const T* xw, const T* bw0, T* r) const;
-  double residual_norm(const T* xw, const T* bw0) const;
+  void residual_into(const T* xw, const T* bw0, T* r, ThreadPool* epool) const;
+  /// Normwise relative residual, staged through the caller's `rw` scratch.
+  double residual_norm(const T* xw, const T* bw0, std::vector<T>& rw,
+                       ThreadPool* epool) const;
   double default_residual_tolerance() const;
   /// Adds the per-solve operation counters (Options::collect_stats) — flops
   /// and bytes from the block nnz, level-merge savings from the level-set
   /// blocks' execution groups.
   void accumulate_op_stats(SolveReport* rep) const;
-  /// Sizes ws_.tri_scratch for the largest syncfree block × kRhsTile; called
-  /// at the end of both constructors so warm solves never grow it.
-  void size_tri_scratch() const;
+  /// Computes tri_scratch_len_ (largest syncfree block × kRhsTile); called
+  /// at the end of both constructors so leased workspaces size their
+  /// scratch once and warm solves never grow it.
+  void size_tri_scratch();
 
   Options opt_;
   std::uint64_t structure_hash_ = 0;  // of the original (unpermuted) pattern
@@ -404,9 +538,10 @@ class BlockSolver {
 
   /// Reusable buffers backing the allocation-free solve paths. Vectors only
   /// ever grow (resize never shrinks capacity), so after the first solve of
-  /// each shape every entry point runs without heap traffic. Mutable because
-  /// solving is logically const; the shared workspace is what makes all
-  /// solve entry points on one solver non-reentrant.
+  /// each shape every entry point runs without heap traffic. Instances live
+  /// in ws_pool_ and are leased per call — concurrent solves each hold a
+  /// private workspace, which is what makes the solve entry points
+  /// reentrant.
   struct SolveWorkspace {
     std::vector<T> bw;           // permuted rhs (n, or n·k for panels)
     std::vector<T> xw;           // permuted solution (n, or n·k)
@@ -416,7 +551,22 @@ class BlockSolver {
     std::vector<T> xc, bc;       // solve_many_checked per-column staging
     std::vector<T> tri_scratch;  // syncfree serial left_sum (× kRhsTile)
   };
-  mutable SolveWorkspace ws_;
+
+  /// Leases a workspace from ws_pool_, sizing a freshly created one's
+  /// sync-free scratch to tri_scratch_len_. An empty lease means the pool is
+  /// exhausted in failing mode — callers surface pool_exhausted_status().
+  typename WorkspacePool<SolveWorkspace>::Lease acquire_workspace() const;
+  Status pool_exhausted_status() const;
+
+  std::size_t tri_scratch_len_ = 0;  // sync-free serial scratch per workspace
+  /// Bounded, never-shrinking pool of per-call workspaces (capacity and
+  /// exhaustion behaviour from Options::session).
+  std::unique_ptr<WorkspacePool<SolveWorkspace>> ws_pool_;
+  /// Arbitrates pool_ between concurrent callers: the try_lock winner drives
+  /// the parallel wave executor, every other in-flight solve runs serial.
+  mutable std::mutex exec_mu_;
+  /// In-flight solve count — the strict_reentrancy debug guard's evidence.
+  mutable std::atomic<int> in_flight_{0};
 };
 
 }  // namespace blocktri

@@ -1,5 +1,6 @@
 #include "persist/artifact.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <type_traits>
@@ -542,9 +543,35 @@ Status save_artifact(const std::string& path, const PlanArtifact<T>& art) {
   return Status::Ok();
 }
 
+namespace persist_testing {
+
+namespace {
+std::atomic<int> g_forced_io_failures{0};
+}  // namespace
+
+void force_io_failures(int n) {
+  g_forced_io_failures.store(n, std::memory_order_relaxed);
+}
+
+int pending_io_failures() {
+  return g_forced_io_failures.load(std::memory_order_relaxed);
+}
+
+}  // namespace persist_testing
+
 template <class T>
 Status load_artifact(const std::string& path, PlanArtifact<T>* out) {
   BLOCKTRI_CHECK(out != nullptr);
+  // Transient-I/O fault hook: each armed failure consumes one load attempt,
+  // so tests can prove the retry-with-backoff path end to end.
+  for (int n = persist_testing::g_forced_io_failures.load(
+           std::memory_order_relaxed);
+       n > 0;) {
+    if (persist_testing::g_forced_io_failures.compare_exchange_weak(
+            n, n - 1, std::memory_order_relaxed))
+      return Status(StatusCode::kIoError,
+                    "injected transient read failure loading '" + path + "'");
+  }
   FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr)
     return Status(StatusCode::kBadFormat, "cannot open '" + path + "'");

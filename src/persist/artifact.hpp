@@ -116,6 +116,15 @@ std::size_t artifact_bytes(const PlanArtifact<T>& art);
 template <class T>
 Status save_artifact(const std::string& path, const PlanArtifact<T>& art);
 
+/// TESTING ONLY: arms the next `n` load_artifact calls (process-wide, any
+/// thread) to fail with a transient kIoError before touching the file —
+/// the fault class BlockSolver::create_from_file's retry-with-backoff loop
+/// exists to absorb. pending_io_failures() reads the remaining budget.
+namespace persist_testing {
+void force_io_failures(int n);
+int pending_io_failures();
+}  // namespace persist_testing
+
 /// Loads an artifact written by save_artifact. Every defect class maps to a
 /// typed Status: wrong magic / endianness / value width → kBadFormat, other
 /// format version → kVersionMismatch, file ends early → kTruncated (location

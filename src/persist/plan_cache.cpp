@@ -3,9 +3,24 @@
 namespace blocktri {
 
 template <class T>
+bool PlanCache<T>::tombstoned_locked(const PlanCacheKey& key) {
+  auto ts = tombstones_.find(key);
+  if (ts == tombstones_.end()) return false;
+  if (counters_.inserts >= ts->second) {
+    tombstones_.erase(ts);  // TTL lapsed — the key may be cached again
+    return false;
+  }
+  return true;
+}
+
+template <class T>
 std::shared_ptr<const PlanArtifact<T>> PlanCache<T>::find(
     const PlanCacheKey& key) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (tombstoned_locked(key)) {
+    ++counters_.misses;
+    return nullptr;
+  }
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++counters_.misses;
@@ -24,6 +39,12 @@ std::shared_ptr<const PlanArtifact<T>> PlanCache<T>::insert(
   const std::size_t bytes = artifact_bytes(*art);
 
   std::lock_guard<std::mutex> lock(mu_);
+  if (tombstoned_locked(key)) {
+    // The key is serving a quarantine sentence: hand the artifact back
+    // uncached (it is still perfectly usable by this caller) rather than
+    // re-admitting a pattern whose cached form keeps failing.
+    return art;
+  }
   if (auto it = index_.find(key); it != index_.end()) {
     if (!overwrite) {
       // First writer wins: identical (structure, options) builds produce
@@ -64,11 +85,57 @@ void PlanCache<T>::evict_until_fits_locked(std::size_t incoming_bytes) {
 }
 
 template <class T>
+void PlanCache<T>::report_hit_failure(const PlanCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tombstoned_locked(key)) return;  // already quarantined
+  const int failures = ++failures_[key];
+  if (limits_.quarantine_failures <= 0 ||
+      failures < limits_.quarantine_failures)
+    return;
+  // Threshold reached: evict the entry (if still cached) and tombstone the
+  // key until quarantine_ttl_inserts further inserts have happened.
+  if (auto it = index_.find(key); it != index_.end()) {
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++counters_.evictions;
+  }
+  failures_.erase(key);
+  tombstones_[key] = counters_.inserts + limits_.quarantine_ttl_inserts;
+  ++counters_.quarantined;
+}
+
+template <class T>
+void PlanCache<T>::report_hit_success(const PlanCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  failures_.erase(key);  // quarantine counts *consecutive* failures
+}
+
+template <class T>
+void PlanCache<T>::note_retry_success() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.retry_successes;
+}
+
+template <class T>
+void PlanCache<T>::note_lease_waits(std::uint64_t waits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.lease_waits += waits;
+}
+
+template <class T>
+bool PlanCache<T>::quarantined(const PlanCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tombstoned_locked(key);
+}
+
+template <class T>
 PlanCacheStats PlanCache<T>::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   PlanCacheStats s = counters_;
   s.entries = lru_.size();
   s.bytes = bytes_;
+  s.tombstones = tombstones_.size();
   return s;
 }
 
@@ -77,6 +144,8 @@ void PlanCache<T>::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+  failures_.clear();
+  tombstones_.clear();
   bytes_ = 0;
 }
 

@@ -19,6 +19,15 @@
 //   * Observable: hit / miss / eviction / insert counters plus current
 //     entries and bytes, for cache-sizing decisions and the zero-analysis
 //     warm-path tests.
+//   * Quarantine: an entry whose *hit path* keeps failing (the cached
+//     artifact rehydrates into a solver that breaks — stale values file,
+//     corrupted mmap, miscompiled plan) is tombstoned after
+//     Limits::quarantine_failures consecutive failures. While the tombstone
+//     lives, find() misses and insert() hands artifacts back uncached, so a
+//     poisoned pattern cannot ping-pong between warm failure and re-admission.
+//     Tombstones age in insert-generation counts (cheap, monotonic, no
+//     clock): one created at generation g expires once the cache has seen
+//     Limits::quarantine_ttl_inserts further successful inserts.
 #pragma once
 
 #include <cstdint>
@@ -56,8 +65,18 @@ struct PlanCacheStats {
   std::uint64_t misses = 0;
   std::uint64_t inserts = 0;
   std::uint64_t evictions = 0;
+  /// Keys tombstoned after repeated hit-path failures (monotonic).
+  std::uint64_t quarantined = 0;
+  /// Artifact loads that succeeded only after transient-I/O retries
+  /// (fed by BlockSolver::create_from_file's backoff loop).
+  std::uint64_t retry_successes = 0;
+  /// Workspace-lease acquisitions that had to block on an exhausted pool
+  /// (fed by callers wiring WorkspacePoolStats into their cache telemetry).
+  std::uint64_t lease_waits = 0;
   std::size_t entries = 0;
   std::size_t bytes = 0;
+  /// Currently live (unexpired) quarantine tombstones.
+  std::size_t tombstones = 0;
 };
 
 template <class T>
@@ -66,6 +85,13 @@ class PlanCache {
   struct Limits {
     std::size_t max_bytes = std::size_t(256) << 20;  // 256 MiB
     std::size_t max_entries = 64;
+    /// Consecutive hit-path failures (report_hit_failure without an
+    /// intervening report_hit_success) before a key is tombstoned.
+    int quarantine_failures = 3;
+    /// Tombstone lifetime, measured in successful inserts of *other* keys —
+    /// a generation clock rather than wall time, so quarantine behaviour is
+    /// deterministic under test and in replay.
+    std::uint64_t quarantine_ttl_inserts = 8;
   };
 
   PlanCache() : PlanCache(Limits{}) {}
@@ -93,8 +119,31 @@ class PlanCache {
 
   PlanCacheStats stats() const;
 
+  /// Records that a solver rehydrated from this key's cached artifact and
+  /// the warm path *failed* (rehydration threw, refresh_values mismatched,
+  /// warm verification rejected the plan). After
+  /// Limits::quarantine_failures consecutive failures the key is evicted
+  /// and tombstoned for Limits::quarantine_ttl_inserts insert generations.
+  void report_hit_failure(const PlanCacheKey& key);
+
+  /// Records a successful warm rehydration for `key`, resetting its
+  /// consecutive-failure count (quarantine counts *consecutive* failures).
+  void report_hit_success(const PlanCacheKey& key);
+
+  /// Counts an artifact load that succeeded only after transient-I/O
+  /// retries (BlockSolver::create_from_file's backoff loop reports here).
+  void note_retry_success();
+
+  /// Folds workspace-pool blocking-acquisition waits into the cache's
+  /// telemetry, so one stats() call covers the whole resilience surface.
+  void note_lease_waits(std::uint64_t waits);
+
+  /// True while `key` is under an unexpired quarantine tombstone.
+  bool quarantined(const PlanCacheKey& key);
+
   /// Drops every entry (outstanding shared_ptrs stay valid) and resets the
-  /// occupancy, keeping the monotonic counters.
+  /// occupancy, keeping the monotonic counters. Tombstones and failure
+  /// counts are dropped too — a cleared cache starts from a clean slate.
   void clear();
 
   const Limits& limits() const { return limits_; }
@@ -108,6 +157,9 @@ class PlanCache {
 
   // Called with mu_ held.
   void evict_until_fits_locked(std::size_t incoming_bytes);
+  // Called with mu_ held: drops `key`'s tombstone if its TTL has lapsed and
+  // returns whether a live tombstone remains.
+  bool tombstoned_locked(const PlanCacheKey& key);
 
   Limits limits_;
   mutable std::mutex mu_;
@@ -115,6 +167,12 @@ class PlanCache {
   std::unordered_map<PlanCacheKey, typename std::list<Entry>::iterator,
                      PlanCacheKeyHash>
       index_;
+  // Consecutive hit-path failures per key (erased on success/quarantine).
+  std::unordered_map<PlanCacheKey, int, PlanCacheKeyHash> failures_;
+  // key -> insert generation (counters_.inserts) at which the tombstone
+  // expires.
+  std::unordered_map<PlanCacheKey, std::uint64_t, PlanCacheKeyHash>
+      tombstones_;
   std::size_t bytes_ = 0;
   PlanCacheStats counters_;
 };

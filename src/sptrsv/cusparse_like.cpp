@@ -14,6 +14,11 @@ namespace {
 // One thread per row: val/col_idx reads are strided per lane, not coalesced
 // (same factor as the scalar SpMV kernels — see spmv/kernels.cpp).
 constexpr double kUncoalescedFactor = 4.0;
+
+// Items per deadline poll when a control is armed: large enough that the
+// check disappears against the memory traffic of a chunk, small enough that
+// a deadline fires promptly even on huge flat blocks.
+constexpr offset_t kCtlChunkItems = 8192;
 }  // namespace
 
 template <class T>
@@ -61,20 +66,32 @@ void CusparseLikeSolver<T>::refresh_values(const Csr<T>& lower) {
 }
 
 template <class T>
-void CusparseLikeSolver<T>::solve_many(const T* b, T* x, index_t k,
-                                       index_t ld) const {
+void CusparseLikeSolver<T>::solve_many(const T* b, T* x, index_t k, index_t ld,
+                                       const ExecControl* ctl) const {
   if (k <= 0) return;
   // One flat pass over the level-ordered item list — in-order processing
   // satisfies every dependency, and the barriers only matter to the cost
-  // model, not to host execution.
+  // model, not to host execution. With an armed control the pass is chunked
+  // (identical item order, so identical results) to create poll points.
+  const offset_t end = ls_.level_ptr[static_cast<std::size_t>(ls_.nlevels)];
+  if (ctl != nullptr && ctl->armed()) {
+    for (offset_t p = 0; p < end; p += kCtlChunkItems) {
+      if (!ctl->check()) return;
+      simd::sptrsv_rows_many(a_.row_ptr.data(), a_.col_idx.data(),
+                             a_.val.data(), ls_.level_item.data(), p,
+                             std::min<offset_t>(p + kCtlChunkItems, end), b, x,
+                             0, k, ld);
+    }
+    return;
+  }
+  if (ctl != nullptr && !ctl->check()) return;
   simd::sptrsv_rows_many(a_.row_ptr.data(), a_.col_idx.data(), a_.val.data(),
-                         ls_.level_item.data(), 0,
-                         ls_.level_ptr[static_cast<std::size_t>(ls_.nlevels)],
-                         b, x, 0, k, ld);
+                         ls_.level_item.data(), 0, end, b, x, 0, k, ld);
 }
 
 template <class T>
-void CusparseLikeSolver<T>::solve(const T* b, T* x, const TrsvSim* s) const {
+void CusparseLikeSolver<T>::solve(const T* b, T* x, const TrsvSim* s,
+                                  const ExecControl* ctl) const {
   const int elem = static_cast<int>(sizeof(T));
   const bool simulate = s != nullptr && s->active();
   std::uint64_t addrs[kWarp];
@@ -82,10 +99,21 @@ void CusparseLikeSolver<T>::solve(const T* b, T* x, const TrsvSim* s) const {
   if (!simulate) {
     // Host execution: one flat in-order pass over the level-ordered items
     // (the per-level structure only matters to the simulated cost model).
+    // With an armed control the pass is chunked — identical item order, so
+    // identical results — to create deadline/cancel poll points.
+    const offset_t end = ls_.level_ptr[static_cast<std::size_t>(ls_.nlevels)];
+    if (ctl != nullptr && ctl->armed()) {
+      for (offset_t p = 0; p < end; p += kCtlChunkItems) {
+        if (!ctl->check()) return;
+        simd::sptrsv_rows(a_.row_ptr.data(), a_.col_idx.data(), a_.val.data(),
+                          ls_.level_item.data(), p,
+                          std::min<offset_t>(p + kCtlChunkItems, end), b, x);
+      }
+      return;
+    }
+    if (ctl != nullptr && !ctl->check()) return;
     simd::sptrsv_rows(a_.row_ptr.data(), a_.col_idx.data(), a_.val.data(),
-                      ls_.level_item.data(), 0,
-                      ls_.level_ptr[static_cast<std::size_t>(ls_.nlevels)], b,
-                      x);
+                      ls_.level_item.data(), 0, end, b, x);
     return;
   }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "analysis/levels.hpp"
+#include "common/deadline.hpp"
 #include "sparse/formats.hpp"
 #include "sptrsv/sim_ctx.hpp"
 
@@ -40,14 +41,21 @@ class CusparseLikeSolver {
   /// sparsity structure — without touching the schedule.
   void refresh_values(const Csr<T>& lower);
 
-  void solve(const T* b, T* x, const TrsvSim* s = nullptr) const;
+  /// `ctl` is the solve session's cooperative control. The host path is one
+  /// flat pass with no natural barriers, so when a deadline or cancel token
+  /// is actually armed the pass is chunked (same item order — bitwise
+  /// identical) with a poll between chunks; unarmed solves keep the single
+  /// flat call.
+  void solve(const T* b, T* x, const TrsvSim* s = nullptr,
+             const ExecControl* ctl = nullptr) const;
 
   /// Batched solve of k right-hand sides (column-major panel, leading
   /// dimension `ld`): the merged level schedule is walked once and every row
   /// visit solves all k columns. Host only; like solve(), the host path is
   /// intentionally serial, and per column it is bitwise identical to k
   /// single solves.
-  void solve_many(const T* b, T* x, index_t k, index_t ld) const;
+  void solve_many(const T* b, T* x, index_t k, index_t ld,
+                  const ExecControl* ctl = nullptr) const;
 
   const Csr<T>& matrix() const { return a_; }
   const LevelSets& levels() const { return ls_; }

@@ -17,7 +17,9 @@ DiagonalSolver<T>::DiagonalSolver(std::vector<T> diag)
 
 template <class T>
 void DiagonalSolver<T>::solve_many(const T* b, T* x, index_t k, index_t ld,
-                                   ThreadPool* pool) const {
+                                   ThreadPool* pool,
+                                   const ExecControl* ctl) const {
+  if (ctl != nullptr && !ctl->check()) return;
   const index_t count = n();
   auto rows = [this, b, x, k, ld](index_t r0, index_t r1) {
     // Element-wise divides — column order is irrelevant, so each column runs
@@ -37,7 +39,9 @@ void DiagonalSolver<T>::solve_many(const T* b, T* x, index_t k, index_t ld,
 
 template <class T>
 void DiagonalSolver<T>::solve(const T* b, T* x, const TrsvSim* s,
-                              ThreadPool* pool) const {
+                              ThreadPool* pool,
+                              const ExecControl* ctl) const {
+  if (ctl != nullptr && !ctl->check()) return;
   const index_t count = n();
   const int elem = static_cast<int>(sizeof(T));
   const bool simulate = s != nullptr && s->active();

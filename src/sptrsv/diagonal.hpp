@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "common/thread_pool.hpp"
 #include "sparse/formats.hpp"
 #include "sptrsv/sim_ctx.hpp"
@@ -19,16 +20,20 @@ class DiagonalSolver {
   explicit DiagonalSolver(std::vector<T> diag);
 
   /// Embarrassingly parallel on the host: a pool splits the range into
-  /// contiguous chunks (bitwise deterministic — disjoint writes).
+  /// contiguous chunks (bitwise deterministic — disjoint writes). `ctl` is
+  /// the solve session's cooperative control — one elementwise pass is the
+  /// natural check granularity here, so it is polled once on entry.
   void solve(const T* b, T* x, const TrsvSim* s = nullptr,
-             ThreadPool* pool = nullptr) const;
+             ThreadPool* pool = nullptr,
+             const ExecControl* ctl = nullptr) const;
 
   /// Batched solve of k right-hand sides stored column-major with leading
   /// dimension `ld` (column c of the panel starts at b + c·ld): the diagonal
   /// is streamed once and divides all k columns per row. Host only; bitwise
   /// identical to k single solves at any thread count (disjoint writes).
   void solve_many(const T* b, T* x, index_t k, index_t ld,
-                  ThreadPool* pool = nullptr) const;
+                  ThreadPool* pool = nullptr,
+                  const ExecControl* ctl = nullptr) const;
 
   index_t n() const { return static_cast<index_t>(diag_.size()); }
 

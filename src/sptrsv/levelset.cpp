@@ -70,11 +70,13 @@ void LevelSetSolver<T>::refresh_values(const Csr<T>& lower) {
 
 template <class T>
 void LevelSetSolver<T>::solve_many(const T* b, T* x, index_t k, index_t ld,
-                                   ThreadPool* pool) const {
+                                   ThreadPool* pool,
+                                   const ExecControl* ctl) const {
   if (k <= 0) return;
   const bool parallel = parallel_enabled(pool);
   const index_t ngroups = exec_groups();
   for (index_t g = 0; g < ngroups; ++g) {
+    if (ctl != nullptr && !ctl->check()) return;
     const index_t g_lo = group_lvl_[static_cast<std::size_t>(g)];
     const index_t g_hi = group_lvl_[static_cast<std::size_t>(g) + 1];
     const offset_t lo = ls_.level_ptr[static_cast<std::size_t>(g_lo)];
@@ -109,7 +111,8 @@ void LevelSetSolver<T>::solve_many(const T* b, T* x, index_t k, index_t ld,
 
 template <class T>
 void LevelSetSolver<T>::solve(const T* b, T* x, const TrsvSim* s,
-                              ThreadPool* pool) const {
+                              ThreadPool* pool,
+                              const ExecControl* ctl) const {
   const int elem = static_cast<int>(sizeof(T));
   const bool simulate = s != nullptr && s->active();
   std::uint64_t addrs[kWarp];
@@ -128,6 +131,9 @@ void LevelSetSolver<T>::solve(const T* b, T* x, const TrsvSim* s,
   if (!simulate) {
     const index_t ngroups = exec_groups();
     for (index_t g = 0; g < ngroups; ++g) {
+      // Deadline/cancel checkpoint at the group boundary — between the same
+      // barriers Alg. 2 already pays for, so the poll costs one relaxed load.
+      if (ctl != nullptr && !ctl->check()) return;
       const index_t g_lo = group_lvl_[static_cast<std::size_t>(g)];
       const index_t g_hi = group_lvl_[static_cast<std::size_t>(g) + 1];
       const offset_t lo = ls_.level_ptr[static_cast<std::size_t>(g_lo)];

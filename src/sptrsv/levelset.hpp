@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "analysis/levels.hpp"
+#include "common/deadline.hpp"
 #include "common/thread_pool.hpp"
 #include "sparse/formats.hpp"
 #include "sptrsv/sim_ctx.hpp"
@@ -55,8 +56,13 @@ class LevelSetSolver {
   /// realisation of Alg. 2's per-level kernel launches. Distinct x entries
   /// are written by distinct rows and chunk assignment is deterministic, so
   /// the parallel result is bitwise identical to the serial one.
+  ///
+  /// `ctl` is the solve session's cooperative control, polled once per
+  /// execution group (the natural barrier granularity); a tripped control
+  /// abandons the remaining groups, leaving x partially written.
   void solve(const T* b, T* x, const TrsvSim* s = nullptr,
-             ThreadPool* pool = nullptr) const;
+             ThreadPool* pool = nullptr,
+             const ExecControl* ctl = nullptr) const;
 
   /// Batched solve of k right-hand sides (column-major panel, leading
   /// dimension `ld`): every row visit streams the row's structure once and
@@ -66,7 +72,8 @@ class LevelSetSolver {
   /// operation order per column, so the result is bitwise identical to k
   /// independent serial solves at any thread count.
   void solve_many(const T* b, T* x, index_t k, index_t ld,
-                  ThreadPool* pool = nullptr) const;
+                  ThreadPool* pool = nullptr,
+                  const ExecControl* ctl = nullptr) const;
 
   const Csr<T>& matrix() const { return a_; }
   const LevelSets& levels() const { return ls_; }

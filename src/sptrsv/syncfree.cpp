@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <thread>
@@ -90,10 +91,16 @@ namespace {
 /// fetch_add the product then fetch_sub(1, release) the counter, and the
 /// consumer's acquire load of 0 pairs with every decrement in the release
 /// sequence, making all contributions visible before x_i is computed.
+///
+/// `ctl` is never null here: the spin-waits are *bounded* by its wall-clock
+/// budget (a healthy matrix drains every counter long before the budget; a
+/// corrupted one trips kSpinTimeout instead of livelocking), and a tripped
+/// control — spin timeout, deadline or cancel, from any thread — makes every
+/// thread abandon its remaining components. x is partial after a trip.
 template <class T>
 void syncfree_parallel(const Csc<T>& csc, const T* b, T* x,
                        const std::vector<index_t>& in_degree,
-                       ThreadPool* pool) {
+                       ThreadPool* pool, const ExecControl* ctl) {
   const index_t n = csc.ncols;
   const std::unique_ptr<std::atomic<T>[]> left(new std::atomic<T>[
       static_cast<std::size_t>(n)]);
@@ -109,19 +116,41 @@ void syncfree_parallel(const Csc<T>& csc, const T* b, T* x,
     }
   });
 
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point spin_deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             ctl->spin_timeout_ms()));
+
   const int nthreads = pool->size();
   pool->run(nthreads, [&](int tid) {
     for (index_t i = tid; i < n; i += static_cast<index_t>(nthreads)) {
+      if (ctl->tripped()) return;
       // Busy-wait until every dependency has published its contribution.
-      // Deadlock-free: each thread walks its components in ascending order
-      // and dependencies only point to smaller indices, so the smallest
-      // unsolved component is always runnable. yield() keeps the spin
-      // honest when threads are oversubscribed on few cores.
+      // Deadlock-free on healthy inputs: each thread walks its components in
+      // ascending order and dependencies only point to smaller indices, so
+      // the smallest unsolved component is always runnable. yield() keeps
+      // the spin honest when threads are oversubscribed on few cores, and
+      // the wall-clock budget keeps it *bounded* when the counters are
+      // corrupt — the escalation ladder is: 64 spins → yield, 1024 yields →
+      // read the clock + poll deadline/cancel, budget exceeded → trip
+      // kSpinTimeout so every thread (including the ones spinning on other
+      // components) bails.
       int spins = 0;
+      int yields = 0;
       while (deg[i].load(std::memory_order_acquire) != 0) {
+        if (ctl->tripped()) return;
         if (++spins > 64) {
           std::this_thread::yield();
           spins = 0;
+          if (++yields >= 1024) {
+            yields = 0;
+            if (!ctl->check()) return;
+            if (Clock::now() >= spin_deadline) {
+              ctl->trip(StatusCode::kSpinTimeout);
+              return;
+            }
+          }
         }
       }
       const offset_t clo = csc.col_ptr[static_cast<std::size_t>(i)];
@@ -150,7 +179,8 @@ namespace {
 /// RHS.
 template <class T>
 void syncfree_columns_many(const Csc<T>& csc, const T* b, T* x, index_t c0,
-                           index_t c1, index_t ld, T* scratch) {
+                           index_t c1, index_t ld, T* scratch,
+                           const ExecControl* ctl) {
   const index_t n = csc.ncols;
   const auto nu = static_cast<std::size_t>(n);
   std::vector<T> local;
@@ -161,6 +191,7 @@ void syncfree_columns_many(const Csc<T>& csc, const T* b, T* x, index_t c0,
     left_buf = local.data();
   }
   for (index_t ct = c0; ct < c1; ct += kRhsTile) {
+    if (ctl != nullptr && !ctl->check()) return;
     const int nt = static_cast<int>(
         ct + kRhsTile <= c1 ? kRhsTile : c1 - ct);
     std::fill(left_buf, left_buf + nu * static_cast<std::size_t>(nt), T(0));
@@ -190,31 +221,50 @@ void syncfree_columns_many(const Csc<T>& csc, const T* b, T* x, index_t c0,
 
 template <class T>
 void SyncFreeSolver<T>::solve_many(const T* b, T* x, index_t k, index_t ld,
-                                   ThreadPool* pool, T* scratch) const {
+                                   ThreadPool* pool, T* scratch,
+                                   const ExecControl* ctl) const {
   if (k <= 0) return;
+  if (ctl != nullptr && !ctl->check()) return;
   if (parallel_enabled(pool) && k >= 2 &&
       static_cast<offset_t>(k) * csc_.nnz() >= kHostParallelMinNnz) {
     // Column chunks run concurrently, each needing its own accumulator
     // panel — the shared scratch would race, so chunks allocate locally.
+    // Each chunk polls the control per tile (check() is thread-safe).
     pool->parallel_for(0, k, [&](index_t c0, index_t c1, int) {
-      syncfree_columns_many(csc_, b, x, c0, c1, ld, static_cast<T*>(nullptr));
+      syncfree_columns_many(csc_, b, x, c0, c1, ld, static_cast<T*>(nullptr),
+                            ctl);
     });
     return;
   }
-  syncfree_columns_many(csc_, b, x, 0, k, ld, scratch);
+  syncfree_columns_many(csc_, b, x, 0, k, ld, scratch, ctl);
 }
 
 template <class T>
 void SyncFreeSolver<T>::solve(const T* b, T* x, const TrsvSim* s,
-                              ThreadPool* pool, T* scratch) const {
+                              ThreadPool* pool, T* scratch,
+                              const ExecControl* ctl) const {
   const index_t n = csc_.ncols;
   const int elem = static_cast<int>(sizeof(T));
   const bool simulate = s != nullptr && s->active();
 
   if (!simulate && parallel_enabled(pool) && n >= 2 * pool->size()) {
-    syncfree_parallel(csc_, b, x, in_degree_, pool);
-    return;
+    if (ctl != nullptr) {
+      if (!ctl->check()) return;
+      // The trip (spin timeout, deadline, cancel) is the caller's to
+      // observe; x is partial after one.
+      syncfree_parallel(csc_, b, x, in_degree_, pool, ctl);
+      return;
+    }
+    // Direct kernel call with no status channel: bound the spin with a local
+    // control and self-heal on a trip by falling through to the serial path
+    // below, which never consults the in-degree counters — a corrupted
+    // counter costs the spin budget once, not a livelock.
+    const ExecControl local;
+    syncfree_parallel(csc_, b, x, in_degree_, pool, &local);
+    if (!local.tripped()) return;
   }
+
+  if (ctl != nullptr && !ctl->check()) return;
 
   // Host execution, faithful to Algorithm 3's data flow: a left_sum
   // accumulator per component, updated column by column. Processing
@@ -249,6 +299,9 @@ void SyncFreeSolver<T>::solve(const T* b, T* x, const TrsvSim* s,
                : 0;
 
   for (index_t i = 0; i < n; ++i) {
+    // Armed controls are polled every 8192 components — the same chunk
+    // granularity the flat level-ordered kernels use.
+    if (ctl != nullptr && (i & 8191) == 0 && !ctl->check()) return;
     const offset_t clo = csc_.col_ptr[static_cast<std::size_t>(i)];
     const offset_t chi = csc_.col_ptr[static_cast<std::size_t>(i) + 1];
     // Diagonal-first within the column: rows are sorted ascending and the

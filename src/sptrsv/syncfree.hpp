@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "common/thread_pool.hpp"
 #include "sparse/formats.hpp"
 #include "sptrsv/sim_ctx.hpp"
@@ -54,8 +55,18 @@ class SyncFreeSolver {
   /// `scratch` (≥ n elements) lets the caller provide the serial path's
   /// left_sum accumulator so warm solves allocate nothing; nullptr falls back
   /// to a local vector. The parallel path ignores it (it needs atomics).
+  ///
+  /// The busy-wait is *bounded*: every spin loop carries a wall-clock budget
+  /// (ctl->spin_timeout_ms(), or kDefaultSpinTimeoutMs for direct calls), so
+  /// corrupted or cyclic in-degree counters time out instead of livelocking.
+  /// With `ctl` attached, a timeout trips the control with kSpinTimeout and
+  /// the caller observes it (x is partial); a deadline/cancel trip likewise
+  /// abandons the solve mid-flight. Without `ctl`, a tripped spin budget
+  /// self-heals: the block is re-solved on the serial path, which never
+  /// consults the in-degree counters — slower, but correct and bounded.
   void solve(const T* b, T* x, const TrsvSim* s = nullptr,
-             ThreadPool* pool = nullptr, T* scratch = nullptr) const;
+             ThreadPool* pool = nullptr, T* scratch = nullptr,
+             const ExecControl* ctl = nullptr) const;
 
   /// Batched solve of k right-hand sides (column-major panel, leading
   /// dimension `ld`): each column visit streams the CSC structure once and
@@ -69,11 +80,21 @@ class SyncFreeSolver {
   /// serial path's accumulator panel; the parallel column-split ignores it
   /// (each chunk needs its own panel and allocates locally).
   void solve_many(const T* b, T* x, index_t k, index_t ld,
-                  ThreadPool* pool = nullptr, T* scratch = nullptr) const;
+                  ThreadPool* pool = nullptr, T* scratch = nullptr,
+                  const ExecControl* ctl = nullptr) const;
 
   const Csc<T>& matrix_csc() const { return csc_; }
   const Csr<T>& strict_rows() const { return strict_rows_; }
   const std::vector<index_t>& in_degree() const { return in_degree_; }
+
+  /// TESTING ONLY: adds `delta` to one row's in-degree counter, simulating
+  /// the corrupted dependency metadata the bounded spin-wait defends
+  /// against — the parallel path then waits on a count that can never drain.
+  /// The serial and batched paths ignore in-degree entirely, so a poisoned
+  /// solver still produces correct results on every spin-free rung.
+  void poison_in_degree_for_testing(index_t row, index_t delta) {
+    in_degree_.at(static_cast<std::size_t>(row)) += delta;
+  }
 
  private:
   Csc<T> csc_;                      // execution format (Alg. 3 is CSC)

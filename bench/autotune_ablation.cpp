@@ -1,0 +1,188 @@
+// Autotuner ablation (ISSUE 7): on the Fig. 6 dataset, how do cost-model
+// tuned plans compare against the default adaptive planner and against the
+// two single-kernel baselines (everything level-set / everything sync-free)?
+//
+// All four variants are measured with the same warm-cache simulated-solve
+// protocol as the other harnesses (bench::measure_block), which is also the
+// oracle the tuner's search minimises — so "tuned never slower than default"
+// is the property under test, not a lucky draw. Acceptance (ISSUE 7):
+// geomean tuned/default <= 1.00 and no matrix regressing by more than 2%.
+//
+//   ./bench/autotune_ablation [--limit=159] [--out=BENCH_autotune.json]
+//                             [--tiny] [--verbose]
+//
+// --tiny is the CI smoke mode: two matrices, a short annealing budget, the
+// acceptance gate still evaluated per record but the geomean summary is
+// informational only.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "tune/cost_model.hpp"
+
+using namespace blocktri;
+using namespace blocktri::bench;
+
+namespace {
+
+struct Record {
+  std::string matrix;
+  std::string family;
+  index_t n = 0;
+  offset_t nnz = 0;
+  double default_ms = 0.0;
+  double tuned_ms = 0.0;
+  double levelset_ms = 0.0;
+  double syncfree_ms = 0.0;
+  double tuned_vs_default = 0.0;
+  bool fell_back = false;
+};
+
+void write_json(const std::string& path, const std::vector<Record>& recs,
+                double geomean, std::uint64_t calibrations) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"autotune_ablation\",\n");
+  std::fprintf(f, "  \"geomean_tuned_vs_default\": %.6f,\n", geomean);
+  std::fprintf(f, "  \"calibration_runs\": %llu,\n",
+               static_cast<unsigned long long>(calibrations));
+  std::fprintf(f, "  \"records\": [\n");
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const Record& r = recs[i];
+    std::fprintf(
+        f,
+        "    {\"matrix\": \"%s\", \"family\": \"%s\", \"n\": %lld, "
+        "\"nnz\": %lld, \"default_ms\": %.6f, \"tuned_ms\": %.6f, "
+        "\"levelset_ms\": %.6f, \"syncfree_ms\": %.6f, "
+        "\"tuned_vs_default\": %.4f, \"fell_back\": %s}%s\n",
+        r.matrix.c_str(), r.family.c_str(), static_cast<long long>(r.n),
+        static_cast<long long>(r.nnz), r.default_ms, r.tuned_ms,
+        r.levelset_ms, r.syncfree_ms, r.tuned_vs_default,
+        r.fell_back ? "true" : "false", i + 1 == recs.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool tiny = cli.get_bool("tiny", false);
+  const auto limit =
+      static_cast<std::size_t>(cli.get_int("limit", tiny ? 2 : 159));
+  const std::string out_path = cli.get("out", "BENCH_autotune.json");
+  const bool verbose = cli.get_bool("verbose", true);
+  if (const auto bad = cli.unused(); !bad.empty()) {
+    std::fprintf(stderr, "unknown flag --%s\n", bad.front().c_str());
+    return 1;
+  }
+
+  const sim::GpuSpec base = sim::titan_rtx();
+  const auto suite = gen::paper_suite();
+
+  TextTable table({"matrix", "family", "n", "default", "tuned", "lvlset",
+                   "syncfree", "tuned/def"});
+
+  std::vector<Record> recs;
+  GeoMean gm;
+  double worst = 0.0;
+  std::string worst_name;
+  int fallbacks = 0;
+
+  std::size_t done = 0;
+  for (const auto& entry : suite) {
+    if (done >= limit) break;
+    ++done;
+    const Csr<double> L = entry.build();
+    const sim::GpuSpec gpu = sim::scale_for_dataset(base, entry.scale);
+    const auto stop =
+        static_cast<index_t>(sim::paper_stop_rows(base, entry.scale));
+    const auto b = gen::random_rhs<double>(L.nrows, 7);
+
+    Record r;
+    r.matrix = entry.name;
+    r.family = entry.family;
+    r.n = L.nrows;
+    r.nnz = L.nnz();
+
+    {
+      BlockSolver<double> s(L, bench_block_options<double>(stop));
+      r.default_ms = measure_block(s, b, gpu).ms;
+    }
+    {
+      auto opt = bench_block_options<double>(stop);
+      opt.tune.enabled = true;
+      opt.tune.gpu = gpu;
+      opt.tune.sa_iterations = tiny ? 6 : 24;
+      BlockSolver<double> s(L, opt);
+      r.tuned_ms = measure_block(s, b, gpu).ms;
+      r.fell_back = s.tune_stats().fell_back;
+      if (r.fell_back) ++fallbacks;
+    }
+    {
+      auto opt = bench_block_options<double>(stop);
+      opt.adaptive = false;
+      opt.forced_tri = TriKernelKind::kLevelSet;
+      BlockSolver<double> s(L, opt);
+      r.levelset_ms = measure_block(s, b, gpu).ms;
+    }
+    {
+      auto opt = bench_block_options<double>(stop);
+      opt.adaptive = false;
+      opt.forced_tri = TriKernelKind::kSyncFree;
+      BlockSolver<double> s(L, opt);
+      r.syncfree_ms = measure_block(s, b, gpu).ms;
+    }
+
+    r.tuned_vs_default =
+        r.default_ms > 0.0 ? r.tuned_ms / r.default_ms : 1.0;
+    gm.add(r.tuned_vs_default);
+    if (r.tuned_vs_default > worst) {
+      worst = r.tuned_vs_default;
+      worst_name = r.matrix;
+    }
+
+    table.add_row({r.matrix, r.family, fmt_count(r.n), fmt_fixed(r.default_ms, 4),
+                   fmt_fixed(r.tuned_ms, 4), fmt_fixed(r.levelset_ms, 4),
+                   fmt_fixed(r.syncfree_ms, 4),
+                   fmt_fixed(r.tuned_vs_default, 3)});
+    recs.push_back(r);
+    if (verbose && done % 20 == 0)
+      std::fprintf(stderr, "  ... %zu/%zu matrices\n", done,
+                   std::min(limit, suite.size()));
+  }
+
+  std::printf("Autotune ablation — simulated ms per solve (warm cache):\n%s\n",
+              table.to_string().c_str());
+  std::printf(
+      "geomean tuned/default %.4f over %d matrices; worst %.4f (%s); "
+      "fell back to default plan on %d\n",
+      gm.value(), gm.count(), worst, worst_name.c_str(), fallbacks);
+  std::printf("cost-model calibrations this run: %llu\n",
+              static_cast<unsigned long long>(tune::calibration_run_count()));
+
+  write_json(out_path, recs, gm.value(), tune::calibration_run_count());
+  std::fprintf(stderr, "wrote %s (%zu records)\n", out_path.c_str(),
+               recs.size());
+
+  // Acceptance gate (ISSUE 7). Per-matrix: no regression beyond 2%. The
+  // geomean bound is only meaningful over the full suite, so it is skipped
+  // under --tiny / small --limit runs.
+  for (const Record& r : recs)
+    if (r.tuned_vs_default > 1.02) {
+      std::fprintf(stderr, "ACCEPTANCE FAIL: %s tuned/default = %.4f > 1.02\n",
+                   r.matrix.c_str(), r.tuned_vs_default);
+      return 1;
+    }
+  if (!tiny && done >= suite.size() && !(gm.value() <= 1.0 + 1e-9)) {
+    std::fprintf(stderr, "ACCEPTANCE FAIL: geomean tuned/default = %.4f > 1\n",
+                 gm.value());
+    return 1;
+  }
+  return 0;
+}

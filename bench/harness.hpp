@@ -9,8 +9,10 @@
 //     taken with a cache warmed by one prior solve.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <optional>
 #include <string>
 
@@ -19,6 +21,50 @@
 namespace blocktri::bench {
 
 inline constexpr double kDatasetScale = 16.0;
+
+/// Wall-clock timing policy for host-side measurements (plan build, artifact
+/// save/load, refresh). The default is warmup + min-of-N: `warmup` discarded
+/// runs, then `repeats` timed samples of which the minimum is reported —
+/// the estimator least sensitive to scheduler noise for deterministic work.
+/// When `min_ms > 0` each sample is itself an average over as many runs as
+/// fit in `min_ms`, which keeps sub-millisecond operations above the clock
+/// granularity without giving up the min-of-N outlier rejection.
+/// `legacy_average = true` restores the pre-tuner estimator (one warmup,
+/// single grand average over runs until `min_ms` elapses) for comparing
+/// against historical BENCH_*.json numbers.
+struct TimingOptions {
+  int warmup = 1;
+  int repeats = 5;
+  double min_ms = 0.0;
+  bool legacy_average = false;
+};
+
+template <class Fn>
+double time_ms(Fn&& fn, const TimingOptions& opts = {}) {
+  if (opts.legacy_average) {
+    fn();  // warmup
+    Stopwatch sw;
+    int reps = 0;
+    do {
+      fn();
+      ++reps;
+    } while (sw.milliseconds() < opts.min_ms || reps < 2);
+    return sw.milliseconds() / reps;
+  }
+  for (int i = 0; i < opts.warmup; ++i) fn();
+  double best = std::numeric_limits<double>::infinity();
+  const int samples = std::max(1, opts.repeats);
+  for (int i = 0; i < samples; ++i) {
+    Stopwatch sw;
+    int reps = 0;
+    do {
+      fn();
+      ++reps;
+    } while (sw.milliseconds() < opts.min_ms);
+    best = std::min(best, sw.milliseconds() / reps);
+  }
+  return best;
+}
 
 /// Simulated time/GFlops for one method on one matrix (warm cache).
 struct MethodResult {

@@ -16,11 +16,12 @@
 // the warm create+solve must come in under 0.5x the cold create+solve.
 //
 //   ./bench/plan_cache [--n=120000] [--min-ms=40] [--out=BENCH_cache.json]
-//                      [--tiny]
+//                      [--tiny] [--legacy-timing]
 //
 // --tiny is the CI smoke mode: small matrix, short timings, still
 // exercising save/load/cache-hit/refresh on every scheme and the JSON
-// writer.
+// writer. --legacy-timing restores the pre-tuner grand-average estimator
+// (see bench::TimingOptions) for comparison with historical JSON records.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -29,22 +30,11 @@
 #include <vector>
 
 #include "blocktri.hpp"
+#include "harness.hpp"
 
 using namespace blocktri;
 
 namespace {
-
-template <class Fn>
-double time_ms(double min_ms, Fn&& fn) {
-  fn();  // warmup
-  Stopwatch sw;
-  int reps = 0;
-  do {
-    fn();
-    ++reps;
-  } while (sw.milliseconds() < min_ms || reps < 2);
-  return sw.milliseconds() / reps;
-}
 
 struct Record {
   std::string matrix;
@@ -132,6 +122,11 @@ int main(int argc, char** argv) {
   const auto n =
       static_cast<index_t>(cli.get_int("n", tiny ? 10000 : 120000));
   const std::string out_path = cli.get("out", "BENCH_cache.json");
+  bench::TimingOptions topt;
+  topt.min_ms = min_ms;
+  topt.repeats = tiny ? 3 : 5;
+  topt.legacy_average = cli.get_bool("legacy-timing", false);
+  const auto time_ms = [&](auto&& fn) { return bench::time_ms(fn, topt); };
   if (const auto bad = cli.unused(); !bad.empty()) {
     std::fprintf(stderr, "unknown flag --%s\n", bad.front().c_str());
     return 1;
@@ -179,20 +174,20 @@ int main(int argc, char** argv) {
       r.scheme = sc.name;
 
       std::unique_ptr<BlockSolver<double>> solver;
-      r.cold_ms = time_ms(min_ms, [&] {
+      r.cold_ms = time_ms([&] {
         solver.reset();
         if (!BlockSolver<double>::create(L, opt, &solver).ok()) std::exit(1);
       });
 
       const std::string path = out_path + "." + mc.name + "." + sc.name +
                                ".btpa";
-      r.save_ms = time_ms(min_ms, [&] {
+      r.save_ms = time_ms([&] {
         if (!solver->save_artifact(path).ok()) std::exit(1);
       });
       r.artifact_bytes = artifact_bytes(solver->capture_artifact());
 
       std::unique_ptr<BlockSolver<double>> warm;
-      r.load_ms = time_ms(min_ms, [&] {
+      r.load_ms = time_ms([&] {
         warm.reset();
         if (!BlockSolver<double>::create_from_file(path, L, opt, &warm).ok())
           std::exit(1);
@@ -202,7 +197,7 @@ int main(int argc, char** argv) {
       std::unique_ptr<BlockSolver<double>> tmp;
       if (!BlockSolver<double>::create(L, opt, &tmp, &cache).ok())
         std::exit(1);  // seed the cache (one miss)
-      r.hit_ms = time_ms(min_ms, [&] {
+      r.hit_ms = time_ms([&] {
         tmp.reset();
         if (!BlockSolver<double>::create(L, opt, &tmp, &cache).ok())
           std::exit(1);
@@ -216,12 +211,12 @@ int main(int argc, char** argv) {
       cache.note_lease_waits(tmp->workspace_stats().lease_waits);
       r.cache_stats = cache.stats();
 
-      r.refresh_ms = time_ms(min_ms, [&] {
+      r.refresh_ms = time_ms([&] {
         if (!solver->refresh_values(L2).ok()) std::exit(1);
       });
 
       std::vector<double> x;
-      r.solve_ms = time_ms(min_ms, [&] { x = warm->solve(b); });
+      r.solve_ms = time_ms([&] { x = warm->solve(b); });
       emit(&recs, r);
       std::remove(path.c_str());
     }

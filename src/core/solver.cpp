@@ -116,6 +116,13 @@ BlockSolver<T>::BlockSolver(const Csr<T>& lower, const Options& opt)
 
   // --- Partition (and, for the recursive scheme, reorder). ---
   Csr<T> stored;
+  // Per-block decisions adopted from the tuner (kRecursive + tune.enabled
+  // only); the block loops below then skip the feature/selector work the
+  // search already did.
+  std::vector<TriKernelKind> tuned_tri;
+  std::vector<index_t> tuned_nlevels;
+  std::vector<SpmvKernelKind> tuned_sq;
+  std::vector<double> tuned_empty;
   switch (opt.scheme) {
     case BlockScheme::kColumn:
       plan_ = plan_column(lower.nrows, opt.planner.nseg);
@@ -126,7 +133,26 @@ BlockSolver<T>::BlockSolver(const Csr<T>& lower, const Options& opt)
       stored = lower;
       break;
     case BlockScheme::kRecursive:
-      plan_ = plan_recursive(lower, opt.planner, &stored, pool_.get());
+      if (opt.tune.enabled) {
+        // Cost-model-driven plan search (DESIGN.md §13): calibration is paid
+        // once per device (in-process + on-disk cache), the search once per
+        // (matrix, options) — warm artifact/PlanCache paths re-run neither.
+        const tune::CostModel& model =
+            tune::ensure_cost_model(opt.tune.gpu, opt.tune.model_path);
+        tune::TunedPlan<T> tp = tune::autotune_recursive(
+            lower, opt.planner, opt.thresholds, model, opt.tune, pool_.get());
+        plan_ = std::move(tp.plan);
+        stored = std::move(tp.stored);
+        tuned_tri = std::move(tp.tri_kinds);
+        tuned_nlevels = std::move(tp.tri_nlevels);
+        tuned_sq = std::move(tp.square_kinds);
+        tuned_empty = std::move(tp.square_empty_ratio);
+        merge_width_ = tp.merge_width;
+        tune_stats_ = tp.stats;
+        tuned_ = true;
+      } else {
+        plan_ = plan_recursive(lower, opt.planner, &stored, pool_.get());
+      }
       break;
   }
 
@@ -150,15 +176,20 @@ BlockSolver<T>::BlockSolver(const Csr<T>& lower, const Options& opt)
     out.info.nnz = blk.nnz();
     if (opt.verify.enabled) out.csr = blk;  // fallback/refinement reference
 
-    const TriangularFeatures feat = compute_triangular_features(blk);
-    out.info.nlevels = feat.nlevels;
-    TriKernelKind kind = opt.adaptive
-                             ? select_tri_kernel(feat, opt.thresholds)
-                             : opt.forced_tri;
+    TriKernelKind kind;
+    if (tuned_) {
+      out.info.nlevels = tuned_nlevels[static_cast<std::size_t>(t)];
+      kind = tuned_tri[static_cast<std::size_t>(t)];
+    } else {
+      const TriangularFeatures feat = compute_triangular_features(blk);
+      out.info.nlevels = feat.nlevels;
+      kind = opt.adaptive ? select_tri_kernel(feat, opt.thresholds)
+                          : opt.forced_tri;
+    }
     // A forced kernel still degrades gracefully on a diagonal block: every
     // kernel handles it, so honour the forced choice except that the
     // diagonal fast path requires an actually-diagonal block.
-    if (kind == TriKernelKind::kCompletelyParallel && feat.nlevels > 1)
+    if (kind == TriKernelKind::kCompletelyParallel && out.info.nlevels > 1)
       kind = TriKernelKind::kSyncFree;
     out.info.kind = kind;
 
@@ -170,8 +201,8 @@ BlockSolver<T>::BlockSolver(const Csr<T>& lower, const Options& opt)
         break;
       }
       case TriKernelKind::kLevelSet:
-        out.levelset =
-            std::make_unique<LevelSetSolver<T>>(std::move(blk), pool_.get());
+        out.levelset = std::make_unique<LevelSetSolver<T>>(
+            std::move(blk), pool_.get(), merge_width_);
         build_ops_ += out.info.nnz;  // level analysis in the sub-solver
         break;
       case TriKernelKind::kSyncFree:
@@ -209,10 +240,16 @@ BlockSolver<T>::BlockSolver(const Csr<T>& lower, const Options& opt)
       square_info_.push_back(out.info);
       continue;
     }
-    const MatrixFeatures feat = compute_features(blk);
-    out.info.empty_ratio = feat.empty_ratio;
-    out.info.kind = opt.adaptive ? select_square_kernel(feat, opt.thresholds)
-                                 : opt.forced_square;
+    if (tuned_) {
+      out.info.empty_ratio = tuned_empty[q];
+      out.info.kind = tuned_sq[q];
+    } else {
+      const MatrixFeatures feat = compute_features(blk);
+      out.info.empty_ratio = feat.empty_ratio;
+      out.info.kind = opt.adaptive
+                          ? select_square_kernel(feat, opt.thresholds)
+                          : opt.forced_square;
+    }
     if (out.info.kind == SpmvKernelKind::kScalarDcsr ||
         out.info.kind == SpmvKernelKind::kVectorDcsr) {
       out.dcsr = csr_to_dcsr(blk);
@@ -733,6 +770,14 @@ std::uint64_t BlockSolver<T>::options_fingerprint(const Options& opt) {
   // per-block CSRs); the other verify knobs and all runtime-only fields
   // (threads, tolerances, fault injection) do not affect the plan.
   h = hash_combine(h, opt.verify.enabled ? 1 : 0);
+  // Tuning fields join only when enabled, so untuned fingerprints (and every
+  // pre-tuner artifact) are byte-identical to version 1 of this hash.
+  if (opt.tune.enabled) {
+    h = hash_combine(h, 0x74756e65u);  // "tune"
+    h = hash_combine(h, tune::device_fingerprint(opt.tune.gpu));
+    h = hash_combine(h, static_cast<std::uint64_t>(opt.tune.sa_iterations));
+    h = hash_combine(h, opt.tune.seed);
+  }
   return h;
 }
 
@@ -751,6 +796,12 @@ PlanArtifact<T> BlockSolver<T>::capture_artifact() const {
   }
   art.build_ops = build_ops_;
   art.build_bytes = build_bytes_;
+  art.tuned = tuned_;
+  art.merge_width = merge_width_;
+  art.tune_fell_back = tune_stats_.fell_back;
+  art.tune_device = tuned_ ? tune::device_fingerprint(opt_.tune.gpu) : 0;
+  art.oracle_default_ns = tune_stats_.oracle_default_ns;
+  art.oracle_tuned_ns = tune_stats_.oracle_tuned_ns;
 
   art.tri.reserve(tri_.size());
   for (const TriBlock& blk : tri_) {
@@ -815,6 +866,12 @@ BlockSolver<T>::BlockSolver(const PlanArtifact<T>& art, const Options& opt)
   nnz_ = art.nnz;
   build_ops_ = art.build_ops;
   build_bytes_ = art.build_bytes;
+  tuned_ = art.tuned;
+  merge_width_ = art.merge_width;
+  tune_stats_.fell_back = art.tune_fell_back;
+  tune_stats_.merge_width = art.merge_width;
+  tune_stats_.oracle_default_ns = art.oracle_default_ns;
+  tune_stats_.oracle_tuned_ns = art.oracle_tuned_ns;
 
   tri_.resize(art.tri.size());
   for (std::size_t t = 0; t < art.tri.size(); ++t) {
@@ -831,8 +888,8 @@ BlockSolver<T>::BlockSolver(const PlanArtifact<T>& art, const Options& opt)
         out.diag = std::make_unique<DiagonalSolver<T>>(in.diag);
         break;
       case TriKernelKind::kLevelSet:
-        out.levelset =
-            std::make_unique<LevelSetSolver<T>>(in.kernel_csr, in.levels);
+        out.levelset = std::make_unique<LevelSetSolver<T>>(
+            in.kernel_csr, in.levels, merge_width_);
         break;
       case TriKernelKind::kSyncFree:
         out.syncfree = std::make_unique<SyncFreeSolver<T>>(
@@ -1203,10 +1260,18 @@ void BlockSolver<T>::accumulate_op_stats(SolveReport* rep) const {
   for (const SquareBlock& blk : squares_) {
     if (blk.info.nnz == 0) continue;
     rep->flops += 2 * static_cast<std::int64_t>(blk.info.nnz);
-    rep->bytes += static_cast<std::int64_t>(blk.info.nnz) * idx_val +
-                  static_cast<std::int64_t>(blk.info.ref.r1 -
-                                            blk.info.ref.r0) *
-                      row_overhead;
+    const bool dcsr = blk.info.kind == SpmvKernelKind::kScalarDcsr ||
+                      blk.info.kind == SpmvKernelKind::kVectorDcsr;
+    // DCSR kernels iterate only the stored (non-empty) rows, but each of
+    // those rows additionally streams its row id from the indirection array.
+    const auto rows =
+        dcsr ? static_cast<std::int64_t>(blk.dcsr.row_ids.size())
+             : static_cast<std::int64_t>(blk.info.ref.r1 - blk.info.ref.r0);
+    const auto per_row =
+        row_overhead +
+        (dcsr ? static_cast<std::int64_t>(sizeof(index_t)) : 0);
+    rep->bytes +=
+        static_cast<std::int64_t>(blk.info.nnz) * idx_val + rows * per_row;
   }
 }
 

@@ -38,6 +38,7 @@
 #include "sptrsv/diagonal.hpp"
 #include "sptrsv/levelset.hpp"
 #include "sptrsv/syncfree.hpp"
+#include "tune/search.hpp"
 
 namespace blocktri {
 
@@ -202,6 +203,17 @@ class BlockSolver {
       double artifact_retry_backoff_ms = 1.0;
     };
     SessionOptions session;
+
+    /// Cost-model-driven plan autotuning (DESIGN.md §13). Off by default —
+    /// plans are then byte-for-byte identical to the untuned planner +
+    /// Alg. 7 selector. When enabled, the cold build calibrates (or loads) a
+    /// per-device CostModel, searches partition depth / per-block kernels /
+    /// the level-merge schedule against the execution-simulator oracle, and
+    /// adopts the winner; the tuned choices persist into the .btpa artifact
+    /// so warm starts pay zero re-tuning. tune.enabled and the fields that
+    /// change the chosen plan (device, SA budget, seed) join the options
+    /// fingerprint only when enabled, so untuned fingerprints are unchanged.
+    tune::TuneOptions tune;
 
     /// Test-only deterministic fault hook for the fault-injection suite:
     /// while solve_checked processes triangular block `tri_block`, the
@@ -441,6 +453,16 @@ class BlockSolver {
   };
   PreprocessStats preprocess_stats() const;
 
+  /// True when this solver was built with Options::tune.enabled (cold tuned
+  /// build) or rehydrated from an artifact captured by one. Whether the
+  /// search actually beat the default plan is tune_stats().fell_back.
+  bool tuned() const { return tuned_; }
+  /// Level-merge width every level-set block of this solver was built with.
+  offset_t level_merge_width() const { return merge_width_; }
+  /// Search diagnostics of the cold tuned build (zeros for untuned solvers
+  /// and artifact rehydrations, which re-run no search).
+  const tune::TuneStats& tune_stats() const { return tune_stats_; }
+
  private:
   /// Rehydration: adopt a captured artifact instead of analyzing. The
   /// fingerprint/verify preconditions are create_from_artifact's job.
@@ -533,6 +555,9 @@ class BlockSolver {
   std::vector<SquareBlockInfo> square_info_;
   std::int64_t build_ops_ = 0;    // extraction/conversion cost counters
   std::int64_t build_bytes_ = 0;
+  bool tuned_ = false;            // this solver runs an autotuned plan
+  offset_t merge_width_ = kLevelMergeMaxWidth;  // level-set exec-group bound
+  tune::TuneStats tune_stats_;    // cold tuned builds only
   // Simulated address layout: x, b and the per-solve scratch region.
   std::uint64_t x_base_ = 0, b_base_ = 0, aux_base_ = 0;
 

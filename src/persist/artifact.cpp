@@ -1,6 +1,7 @@
 #include "persist/artifact.hpp"
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <type_traits>
@@ -208,6 +209,7 @@ enum : std::uint32_t {
   kSectionStored = 2,
   kSectionTri = 3,
   kSectionSquares = 4,
+  kSectionTuning = 5,  // optional (format version 2, tuned plans only)
 };
 
 template <class T>
@@ -429,6 +431,32 @@ bool decode_squares(Reader& r, PlanArtifact<T>* art) {
   return true;
 }
 
+template <class T>
+void encode_tuning(Writer& w, const PlanArtifact<T>& art) {
+  w.u32(art.tuned ? 1 : 0);
+  w.i64(static_cast<std::int64_t>(art.merge_width));
+  w.u32(art.tune_fell_back ? 1 : 0);
+  w.u64(art.tune_device);
+  w.f64(art.oracle_default_ns);
+  w.f64(art.oracle_tuned_ns);
+}
+
+template <class T>
+bool decode_tuning(Reader& r, PlanArtifact<T>* art) {
+  std::uint32_t tuned = 0, fell_back = 0;
+  std::int64_t merge_width = 0;
+  if (!r.u32(&tuned) || !r.i64(&merge_width) || !r.u32(&fell_back) ||
+      !r.u64(&art->tune_device) || !r.f64(&art->oracle_default_ns) ||
+      !r.f64(&art->oracle_tuned_ns))
+    return false;
+  if (merge_width < 1)
+    return r.corrupt("tuning section carries a non-positive merge width");
+  art->tuned = tuned != 0;
+  art->tune_fell_back = fell_back != 0;
+  art->merge_width = static_cast<offset_t>(merge_width);
+  return true;
+}
+
 // --- File framing -----------------------------------------------------------
 
 constexpr char kMagic[4] = {'B', 'T', 'P', 'A'};
@@ -502,10 +530,18 @@ Status save_artifact(const std::string& path, const PlanArtifact<T>& art) {
     encode_squares(w, art);
     sections.push_back({kSectionSquares, w.bytes()});
   }
+  if (art.tuned) {
+    Writer w;
+    encode_tuning(w, art);
+    sections.push_back({kSectionTuning, w.bytes()});
+  }
 
   Writer file;
   file.raw(kMagic, sizeof kMagic);
-  file.u32(kArtifactFormatVersion);
+  // Untuned artifacts stay on version 1 so their files are byte-identical to
+  // pre-tuner builds (and loadable by them); only a tuned plan needs the
+  // version-2 tuning section.
+  file.u32(art.tuned ? kArtifactFormatVersion : 1u);
   file.u32(kEndianTag);
   file.u32(static_cast<std::uint32_t>(sizeof(T)));
   file.u64(art.structure);
@@ -601,10 +637,10 @@ Status load_artifact(const std::string& path, PlanArtifact<T>* out) {
     return Status(StatusCode::kBadFormat,
                   "'" + path + "' is not a blocktri plan artifact (bad magic)");
   if (!header.u32(&version)) return header.status();
-  if (version != kArtifactFormatVersion)
+  if (version < 1 || version > kArtifactFormatVersion)
     return Status(StatusCode::kVersionMismatch,
                   "artifact format version " + std::to_string(version) +
-                      ", this build reads version " +
+                      ", this build reads versions 1-" +
                       std::to_string(kArtifactFormatVersion));
   if (!header.u32(&endian)) return header.status();
   if (endian != kEndianTag)
@@ -622,7 +658,7 @@ Status load_artifact(const std::string& path, PlanArtifact<T>* out) {
     return header.status();
 
   std::size_t offset = header.offset();
-  bool have[5] = {};
+  bool have[6] = {};
   for (std::uint32_t s = 0; s < nsections; ++s) {
     Reader frame(bytes.data() + offset, bytes.size() - offset, offset);
     std::uint32_t id = 0, crc = 0;
@@ -648,6 +684,7 @@ Status load_artifact(const std::string& path, PlanArtifact<T>* out) {
       case kSectionStored: ok = decode_stored(r, &art); break;
       case kSectionTri: ok = decode_tri(r, &art); break;
       case kSectionSquares: ok = decode_squares(r, &art); break;
+      case kSectionTuning: ok = decode_tuning(r, &art); break;
       default:
         return Status(StatusCode::kBadFormat,
                       "unknown artifact section id " + std::to_string(id));
@@ -657,7 +694,7 @@ Status load_artifact(const std::string& path, PlanArtifact<T>* out) {
                              "section " + std::to_string(id) +
                                  " has trailing or missing bytes")
                     : r.status();
-    if (id <= 4) have[id] = true;
+    if (id <= kSectionTuning) have[id] = true;
     offset = payload_off + static_cast<std::size_t>(size);
   }
   for (std::uint32_t id : {kSectionPlan, kSectionStored, kSectionTri,
@@ -916,6 +953,12 @@ Status validate_artifact(const PlanArtifact<T>& art) {
     if (Status st = check_tri_csr(art.stored, "stored matrix"); !st.ok())
       return st;
   }
+
+  if (art.merge_width < 1) return bad("non-positive level-merge width");
+  if (art.tuned && (!std::isfinite(art.oracle_default_ns) ||
+                    !std::isfinite(art.oracle_tuned_ns) ||
+                    art.oracle_default_ns < 0.0 || art.oracle_tuned_ns < 0.0))
+    return bad("tuning record carries invalid oracle timings");
   return Status::Ok();
 }
 

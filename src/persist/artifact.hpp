@@ -33,12 +33,15 @@
 #include "core/plan.hpp"
 #include "sparse/formats.hpp"
 #include "spmv/kernels.hpp"
+#include "sptrsv/levelset.hpp"
 
 namespace blocktri {
 
-/// On-disk format version accepted by this build. Bumped on any layout
-/// change; load_artifact rejects other versions with kVersionMismatch.
-inline constexpr std::uint32_t kArtifactFormatVersion = 1;
+/// Newest on-disk format version this build writes and reads. Version 2
+/// added the optional tuning section; untuned artifacts are still written as
+/// version 1 — byte-identical to pre-tuner builds — and load_artifact
+/// accepts both. Versions outside [1, 2] are rejected with kVersionMismatch.
+inline constexpr std::uint32_t kArtifactFormatVersion = 2;
 
 /// Everything preprocessing derived for one triangular leaf block. Only the
 /// fields of the selected kernel kind are populated (the rest stay empty),
@@ -97,6 +100,20 @@ struct PlanArtifact {
 
   std::int64_t build_ops = 0;  // preprocessing cost counters (Table 5)
   std::int64_t build_bytes = 0;
+
+  /// Autotuning record (format version 2, optional section — absent in
+  /// version-1 files, which load with these defaults). The tuned kernel
+  /// *choices* live in the regular tri/square sections like any others; this
+  /// section carries what cannot be reconstructed from them: that the plan
+  /// came from the tuner (so rehydration must not expect the heuristic
+  /// plan), the level-merge width the level-set blocks were built with, and
+  /// the search's oracle verdict for diagnostics.
+  bool tuned = false;
+  offset_t merge_width = kLevelMergeMaxWidth;
+  bool tune_fell_back = false;
+  std::uint64_t tune_device = 0;     // device_fingerprint of the tuning GPU
+  double oracle_default_ns = 0.0;    // exact-sim time of the default plan
+  double oracle_tuned_ns = 0.0;      // exact-sim time of the captured plan
 
   std::vector<TriBlockArtifact<T>> tri;
   std::vector<SquareBlockArtifact<T>> squares;

@@ -30,7 +30,7 @@ void LevelSetSolver<T>::compute_exec_groups() {
   for (index_t lvl = 0; lvl < ls_.nlevels; ++lvl) {
     const offset_t width = ls_.level_ptr[static_cast<std::size_t>(lvl) + 1] -
                            ls_.level_ptr[static_cast<std::size_t>(lvl)];
-    const bool mergeable = merge && width <= kLevelMergeMaxWidth;
+    const bool mergeable = merge && width <= merge_max_width_;
     if (mergeable && open_run) {
       group_lvl_.back() = lvl + 1;  // extend the open run
     } else {
@@ -41,8 +41,9 @@ void LevelSetSolver<T>::compute_exec_groups() {
 }
 
 template <class T>
-LevelSetSolver<T>::LevelSetSolver(Csr<T> lower, ThreadPool* pool)
-    : a_(std::move(lower)) {
+LevelSetSolver<T>::LevelSetSolver(Csr<T> lower, ThreadPool* pool,
+                                  offset_t merge_max_width)
+    : a_(std::move(lower)), merge_max_width_(merge_max_width) {
   BLOCKTRI_CHECK_MSG(is_lower_triangular_nonsingular(a_),
                      "LevelSetSolver requires a nonsingular lower triangle");
   ls_ = compute_level_sets(a_.nrows, a_.row_ptr, a_.col_idx, pool);
@@ -50,8 +51,11 @@ LevelSetSolver<T>::LevelSetSolver(Csr<T> lower, ThreadPool* pool)
 }
 
 template <class T>
-LevelSetSolver<T>::LevelSetSolver(Csr<T> lower, LevelSets levels)
-    : a_(std::move(lower)), ls_(std::move(levels)) {
+LevelSetSolver<T>::LevelSetSolver(Csr<T> lower, LevelSets levels,
+                                  offset_t merge_max_width)
+    : a_(std::move(lower)),
+      ls_(std::move(levels)),
+      merge_max_width_(merge_max_width) {
   BLOCKTRI_CHECK_MSG(
       ls_.level_of.size() == static_cast<std::size_t>(a_.nrows) &&
           ls_.level_item.size() == static_cast<std::size_t>(a_.nrows) &&

@@ -37,13 +37,17 @@ class LevelSetSolver {
   /// Preprocessing (Alg. 2 lines 1–11): level analysis of the lower
   /// triangular matrix. The matrix is copied in; diagonal must be present.
   /// A pool parallelises the level-set construction (the analysis itself);
-  /// it is not retained.
-  explicit LevelSetSolver(Csr<T> lower, ThreadPool* pool = nullptr);
+  /// it is not retained. `merge_max_width` bounds the level widths eligible
+  /// for merging into one execution group (the autotuner overrides the
+  /// default with a host-calibrated value; values < 1 disable merging).
+  explicit LevelSetSolver(Csr<T> lower, ThreadPool* pool = nullptr,
+                          offset_t merge_max_width = kLevelMergeMaxWidth);
 
   /// Rehydration constructor for the plan-persistence subsystem: adopts a
   /// previously computed level analysis instead of re-running it. `levels`
   /// must be the LevelSets of `lower` (checked structurally, not recomputed).
-  LevelSetSolver(Csr<T> lower, LevelSets levels);
+  LevelSetSolver(Csr<T> lower, LevelSets levels,
+                 offset_t merge_max_width = kLevelMergeMaxWidth);
 
   /// Installs the values of `lower` — which must have the matrix's exact
   /// sparsity structure — without touching the level analysis. The hot path
@@ -85,11 +89,15 @@ class LevelSetSolver {
     return static_cast<index_t>(group_lvl_.size()) - 1;
   }
 
+  /// The merge-width bound this instance was built with.
+  offset_t merge_max_width() const { return merge_max_width_; }
+
  private:
   void compute_exec_groups();
 
   Csr<T> a_;
   LevelSets ls_;
+  offset_t merge_max_width_ = kLevelMergeMaxWidth;
   // Level-index boundaries of the execution groups: group g covers levels
   // [group_lvl_[g], group_lvl_[g+1]). Derived, never persisted.
   std::vector<index_t> group_lvl_;

@@ -119,6 +119,50 @@ TEST(AdaptiveTri, CustomThresholds) {
             TriKernelKind::kCusparseLike);
 }
 
+// Exact-equality boundary pins for every ThresholdTable constant (ISSUE 7
+// satellite): the tuner's search treats the heuristic as one candidate among
+// many, so the heuristic itself must stay frozen at the published fence
+// posts. Each case sits *on* a threshold; the off-by-one cases around them
+// are covered above.
+TEST(AdaptiveBoundary, TriThresholdEqualityIsInclusive) {
+  const ThresholdTable t{};
+  // nnz/row (off-diagonal) == 15 exactly, i.e. 16.0 with the diagonal:
+  // still level-set at nlevels == 20.
+  EXPECT_EQ(select_tri_kernel(tri_feat(16.0, 20), t),
+            TriKernelKind::kLevelSet);
+  // nlevels == 20 exactly with denser rows: sync-free (rows too long).
+  EXPECT_EQ(select_tri_kernel(tri_feat(16.0 + 1e-9, 20), t),
+            TriKernelKind::kSyncFree);
+  // Unit off-diagonal rows at nlevels == 100 exactly: still level-set.
+  EXPECT_EQ(select_tri_kernel(tri_feat(2.0, 100), t),
+            TriKernelKind::kLevelSet);
+  // nlevels == 20000 exactly: NOT cusparse-like (strict >), and with long
+  // rows that leaves sync-free.
+  EXPECT_EQ(select_tri_kernel(tri_feat(40.0, 20000), t),
+            TriKernelKind::kSyncFree);
+  EXPECT_EQ(select_tri_kernel(tri_feat(40.0, 20001), t),
+            TriKernelKind::kCusparseLike);
+}
+
+TEST(AdaptiveBoundary, SquareEmptyRatioEqualityStaysCsr) {
+  const ThresholdTable t{};
+  // emptyratio == 0.50 exactly on short rows: CSR (strict > for DCSR).
+  EXPECT_EQ(select_square_kernel(sq_feat(1000, 5000, 0.50), t),
+            SpmvKernelKind::kScalarCsr);
+  EXPECT_EQ(select_square_kernel(sq_feat(1000, 5000, 0.50 + 1e-9), t),
+            SpmvKernelKind::kScalarDcsr);
+  // emptyratio == 0.15 exactly on long rows: CSR.
+  EXPECT_EQ(select_square_kernel(sq_feat(1000, 20000, 0.15), t),
+            SpmvKernelKind::kVectorCsr);
+  EXPECT_EQ(select_square_kernel(sq_feat(1000, 20000, 0.15 + 1e-9), t),
+            SpmvKernelKind::kVectorDcsr);
+  // nnz per active row == 12 exactly: scalar (inclusive <=).
+  EXPECT_EQ(select_square_kernel(sq_feat(1000, 12000, 0.0), t),
+            SpmvKernelKind::kScalarCsr);
+  EXPECT_EQ(select_square_kernel(sq_feat(1000, 12001, 0.0), t),
+            SpmvKernelKind::kVectorCsr);
+}
+
 TEST(Adaptive, KindNames) {
   EXPECT_EQ(to_string(TriKernelKind::kCompletelyParallel),
             "completely-parallel");

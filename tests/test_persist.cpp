@@ -634,7 +634,16 @@ TEST_F(PersistFault, FlippedMagic) {
 
 TEST_F(PersistFault, FutureVersion) {
   std::string b = bytes_;
-  ++b[4];  // version is the little-endian u32 right after the magic
+  // Version is the little-endian u32 right after the magic; anything past
+  // the newest readable version must be rejected (versions up to
+  // kArtifactFormatVersion are all legal).
+  b[4] = static_cast<char>(kArtifactFormatVersion + 1);
+  EXPECT_EQ(load_mutated(b).code(), StatusCode::kVersionMismatch);
+}
+
+TEST_F(PersistFault, ZeroVersion) {
+  std::string b = bytes_;
+  b[4] = 0;
   EXPECT_EQ(load_mutated(b).code(), StatusCode::kVersionMismatch);
 }
 

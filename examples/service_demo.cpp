@@ -1,0 +1,107 @@
+// Solve service demo: the embeddable session API and the Unix-socket front
+// end, end to end.
+//
+// The scenario is a long-lived solver process serving many lightweight
+// callers, each with a single right-hand side. Registering the matrix once
+// pays analysis once (into the service's shared PlanCache); concurrent
+// single-RHS requests are then coalesced into solve_many panels, which is
+// where the batched kernels' amortisation (BENCH_batched.json) turns into
+// request throughput. Part 1 drives the in-process API from a handful of
+// threads; part 2 serves the same service over a Unix socket and talks to
+// it with SolveClient.
+//
+//   ./examples/service_demo [--n=20000] [--clients=8]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "blocktri.hpp"
+
+using namespace blocktri;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto n = static_cast<index_t>(cli.get_int("n", 20000));
+  const int clients = cli.get_int("clients", 8);
+  if (const auto bad = cli.unused(); !bad.empty()) {
+    std::fprintf(stderr, "unknown flag --%s\n", bad.front().c_str());
+    return 1;
+  }
+
+  const Csr<double> L = gen::banded(n, 32, 8.0, 3);
+  BlockSolver<double>::Options opt;
+  opt.planner.stop_rows = std::max<index_t>(256, n / 64);
+
+  // --- Part 1: the embeddable API ------------------------------------------
+  service::ServiceOptions sopt;
+  sopt.max_panel = clients;
+  sopt.batch_window_ms = 5.0;
+  service::SolveService svc(sopt);
+
+  std::uint64_t id = 0;
+  if (Status st = svc.register_matrix(L, opt, &id); !st.ok()) {
+    std::fprintf(stderr, "register failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  std::printf("registered matrix id=%llu (n=%lld)\n",
+              static_cast<unsigned long long>(id), static_cast<long long>(n));
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      service::Request req;
+      req.matrix_id = id;
+      req.tenant = "team-" + std::to_string(c % 2);
+      req.b = gen::random_rhs<double>(L.nrows, 10 + c);
+      req.deadline_ms = 30000.0;
+      const service::Response resp = svc.solve(req);
+      std::printf("  client %d: %s, panel width %d, x[0]=%.6f\n", c,
+                  status_code_name(resp.status.code()), resp.panel_width,
+                  resp.x.empty() ? 0.0 : resp.x[0]);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const service::ServiceStats st = svc.stats();
+  std::printf("service: %llu requests in %llu panels (ratio %.2f, widest "
+              "%llu), %llu deadline misses\n",
+              static_cast<unsigned long long>(st.requests),
+              static_cast<unsigned long long>(st.panels), st.coalesce_ratio,
+              static_cast<unsigned long long>(st.max_panel_width),
+              static_cast<unsigned long long>(st.deadline_misses));
+  for (const char* tenant : {"team-0", "team-1"}) {
+    const service::TenantStats ts = svc.tenant_stats(tenant);
+    std::printf("  %s: %llu requests, %llu coalesced\n", tenant,
+                static_cast<unsigned long long>(ts.requests),
+                static_cast<unsigned long long>(ts.coalesced));
+  }
+
+  // --- Part 2: the socket front end ----------------------------------------
+  const std::string path =
+      "/tmp/blocktri_demo_" + std::to_string(::getpid()) + ".sock";
+  service::SolveServer server(svc, path);
+  if (Status s = server.start(); !s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  std::printf("serving at %s\n", path.c_str());
+
+  service::SolveClient client;
+  if (!client.connect(path).ok()) return 1;
+  service::WireRequest wreq;
+  wreq.matrix_id = id;
+  wreq.tenant = "remote";
+  wreq.b = gen::random_rhs<double>(L.nrows, 99);
+  service::WireResponse wresp;
+  if (Status s = client.solve(wreq, &wresp); !s.ok()) {
+    std::fprintf(stderr, "socket solve failed: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  std::printf("socket round trip: %s, %zu entries, x[0]=%.6f\n",
+              status_code_name(wresp.code), wresp.x.size(), wresp.x[0]);
+  server.stop();
+  return 0;
+}

@@ -32,6 +32,10 @@
 #include "gen/suite.hpp"           // IWYU pragma: export
 #include "persist/artifact.hpp"    // IWYU pragma: export
 #include "persist/plan_cache.hpp"  // IWYU pragma: export
+#include "service/client.hpp"        // IWYU pragma: export
+#include "service/server.hpp"        // IWYU pragma: export
+#include "service/solve_service.hpp" // IWYU pragma: export
+#include "service/wire.hpp"          // IWYU pragma: export
 #include "sim/cache.hpp"           // IWYU pragma: export
 #include "sim/host_sim.hpp"        // IWYU pragma: export
 #include "sim/kernel_sim.hpp"      // IWYU pragma: export

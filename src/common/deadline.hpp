@@ -37,12 +37,32 @@ class Deadline {
 
   static Deadline unlimited() { return Deadline(); }
 
-  /// Deadline `ms` milliseconds from now (ms <= 0 = already expired).
+  /// Deadline `ms` milliseconds from now. Non-positive and NaN budgets are
+  /// already expired at arm (deterministically — no clock arithmetic, so a
+  /// huge negative value cannot wrap into the far future), and budgets
+  /// beyond the clock's representable range (including +inf) are pinned at
+  /// time_point::max() — armed but effectively never expiring — instead of
+  /// overflowing the integer duration_cast into the past.
   static Deadline after_ms(double ms) {
     Deadline d;
     d.armed_ = true;
-    d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                               std::chrono::duration<double, std::milli>(ms));
+    if (!(ms > 0.0)) {  // <= 0 or NaN: expired before the solve starts
+      d.at_ = Clock::time_point::min();
+      return d;
+    }
+    const auto now = Clock::now();
+    const double headroom_ms =
+        std::chrono::duration<double, std::milli>(Clock::time_point::max() -
+                                                  now)
+            .count();
+    // Half the headroom (~146 years on a nanosecond steady_clock) keeps the
+    // double → integer cast below clear of the 2^63 rounding boundary.
+    if (!(ms < headroom_ms * 0.5)) {  // also catches +inf
+      d.at_ = Clock::time_point::max();
+      return d;
+    }
+    d.at_ = now + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double, std::milli>(ms));
     return d;
   }
 
@@ -152,6 +172,12 @@ class ExecControl {
   }
 
   double spin_timeout_ms() const { return spin_timeout_ms_; }
+
+  /// The armed deadline/cancel token, for machinery that must wait *before*
+  /// the solve runs (e.g. a blocking workspace acquisition) and still honour
+  /// the caller's controls.
+  const Deadline& deadline() const { return deadline_; }
+  const CancelToken* cancel() const { return cancel_; }
 
   /// The tripped reason as a Status (kInternal if nothing tripped —
   /// callers only build a status after observing tripped()).

@@ -401,6 +401,171 @@ void sptrsv_rows_many_blocked(const offset_t* row_ptr, const index_t* col_idx,
   }
 }
 
+// --- Interleaved-panel (PanelLayout::kInterleaved) lowerings ----------------
+//
+// Same canonical per-column operation order as the column-major bodies above,
+// over a panel stored row-interleaved: element (i, c) at base[i·ld + c],
+// ld ≥ the panel width. A column tile's x reads (`xc[c]`) and writes are
+// unit-stride, so the tile loop vectorises and one row visit touches one or
+// two cache lines per nonzero instead of one per column.
+
+template <class T>
+void spmv_update_rows_many_ilv_strict(const offset_t* row_ptr,
+                                      const index_t* col_idx, const T* val,
+                                      const index_t* row_ids, index_t r0,
+                                      index_t r1, const T* x, T* y, index_t c0,
+                                      index_t c1, index_t ldx, index_t ldy) {
+  for (index_t r = r0; r < r1; ++r) {
+    const offset_t lo = row_ptr[r];
+    const offset_t hi = row_ptr[r + 1];
+    T* yr = y + static_cast<std::size_t>(row_ids == nullptr ? r : row_ids[r]) *
+                    static_cast<std::size_t>(ldy);
+    for (index_t ct = c0; ct < c1; ct += kRhsTile) {
+      const int nt = static_cast<int>(ct + kRhsTile <= c1 ? kRhsTile
+                                                          : c1 - ct);
+      T acc[kRhsTile] = {};
+      for (offset_t p = lo; p < hi; ++p) {
+        const T v = val[p];
+        const T* xc = x + static_cast<std::size_t>(col_idx[p]) *
+                              static_cast<std::size_t>(ldx) +
+                      ct;
+        for (int c = 0; c < nt; ++c) acc[c] += v * xc[c];
+      }
+      for (int c = 0; c < nt; ++c) yr[ct + c] -= acc[c];
+    }
+  }
+}
+
+template <class T>
+void spmv_update_rows_many_ilv_blocked(const offset_t* row_ptr,
+                                       const index_t* col_idx, const T* val,
+                                       const index_t* row_ids, index_t r0,
+                                       index_t r1, const T* x, T* y,
+                                       index_t c0, index_t c1, index_t ldx,
+                                       index_t ldy) {
+  for (index_t r = r0; r < r1; ++r) {
+    const offset_t lo = row_ptr[r];
+    const offset_t len = row_ptr[r + 1] - lo;
+    const offset_t nb = len & ~offset_t(3);
+    if (nb == 0) {
+      // len < 4 degenerates to the sequential chain, as in the column-major
+      // body — run the strict inner body (bitwise-identical).
+      spmv_update_rows_many_ilv_strict(row_ptr, col_idx, val, row_ids, r,
+                                       r + 1, x, y, c0, c1, ldx, ldy);
+      continue;
+    }
+    T* yr = y + static_cast<std::size_t>(row_ids == nullptr ? r : row_ids[r]) *
+                    static_cast<std::size_t>(ldy);
+    const T* v = val + lo;
+    const index_t* ci = col_idx + lo;
+    for (index_t ct = c0; ct < c1; ct += kRhsTile) {
+      const int nt = static_cast<int>(ct + kRhsTile <= c1 ? kRhsTile
+                                                          : c1 - ct);
+      T s[4][kRhsTile] = {};
+      for (offset_t q = 0; q < nb; q += 4) {
+        for (int l = 0; l < 4; ++l) {
+          const T vv = v[q + l];
+          const T* xc = x + static_cast<std::size_t>(ci[q + l]) *
+                                static_cast<std::size_t>(ldx) +
+                        ct;
+          for (int c = 0; c < nt; ++c) s[l][c] += vv * xc[c];
+        }
+      }
+      T total[kRhsTile];
+      for (int c = 0; c < nt; ++c)
+        total[c] = (s[0][c] + s[2][c]) + (s[1][c] + s[3][c]);
+      for (offset_t q = nb; q < len; ++q) {
+        const T vv = v[q];
+        const T* xc = x + static_cast<std::size_t>(ci[q]) *
+                              static_cast<std::size_t>(ldx) +
+                      ct;
+        for (int c = 0; c < nt; ++c) total[c] += vv * xc[c];
+      }
+      for (int c = 0; c < nt; ++c) yr[ct + c] -= total[c];
+    }
+  }
+}
+
+template <class T>
+void sptrsv_rows_many_ilv_strict(const offset_t* row_ptr,
+                                 const index_t* col_idx, const T* val,
+                                 const index_t* items, offset_t p0,
+                                 offset_t p1, const T* b, T* x, index_t c0,
+                                 index_t c1, index_t ld) {
+  for (offset_t p = p0; p < p1; ++p) {
+    const index_t i = items[static_cast<std::size_t>(p)];
+    const offset_t lo = row_ptr[i];
+    const offset_t hi = row_ptr[i + 1];
+    const T d = val[hi - 1];
+    const T* bi =
+        b + static_cast<std::size_t>(i) * static_cast<std::size_t>(ld);
+    T* xi = x + static_cast<std::size_t>(i) * static_cast<std::size_t>(ld);
+    for (index_t ct = c0; ct < c1; ct += kRhsTile) {
+      const int nt = static_cast<int>(ct + kRhsTile <= c1 ? kRhsTile
+                                                          : c1 - ct);
+      T acc[kRhsTile] = {};
+      for (offset_t q = lo; q < hi - 1; ++q) {
+        const T v = val[q];
+        const T* xc = x + static_cast<std::size_t>(col_idx[q]) *
+                              static_cast<std::size_t>(ld) +
+                      ct;
+        for (int c = 0; c < nt; ++c) acc[c] += v * xc[c];
+      }
+      for (int c = 0; c < nt; ++c) xi[ct + c] = (bi[ct + c] - acc[c]) / d;
+    }
+  }
+}
+
+template <class T>
+void sptrsv_rows_many_ilv_blocked(const offset_t* row_ptr,
+                                  const index_t* col_idx, const T* val,
+                                  const index_t* items, offset_t p0,
+                                  offset_t p1, const T* b, T* x, index_t c0,
+                                  index_t c1, index_t ld) {
+  for (offset_t p = p0; p < p1; ++p) {
+    const index_t i = items[static_cast<std::size_t>(p)];
+    const offset_t lo = row_ptr[i];
+    const offset_t len = row_ptr[i + 1] - 1 - lo;
+    const offset_t nb = len & ~offset_t(3);
+    if (nb == 0) {
+      sptrsv_rows_many_ilv_strict(row_ptr, col_idx, val, items, p, p + 1, b,
+                                  x, c0, c1, ld);
+      continue;
+    }
+    const T d = val[lo + len];
+    const T* v = val + lo;
+    const index_t* ci = col_idx + lo;
+    const T* bi =
+        b + static_cast<std::size_t>(i) * static_cast<std::size_t>(ld);
+    T* xi = x + static_cast<std::size_t>(i) * static_cast<std::size_t>(ld);
+    for (index_t ct = c0; ct < c1; ct += kRhsTile) {
+      const int nt = static_cast<int>(ct + kRhsTile <= c1 ? kRhsTile
+                                                          : c1 - ct);
+      T s[4][kRhsTile] = {};
+      for (offset_t q = 0; q < nb; q += 4) {
+        for (int l = 0; l < 4; ++l) {
+          const T vv = v[q + l];
+          const T* xc = x + static_cast<std::size_t>(ci[q + l]) *
+                                static_cast<std::size_t>(ld) +
+                        ct;
+          for (int c = 0; c < nt; ++c) s[l][c] += vv * xc[c];
+        }
+      }
+      T total[kRhsTile];
+      for (int c = 0; c < nt; ++c)
+        total[c] = (s[0][c] + s[2][c]) + (s[1][c] + s[3][c]);
+      for (offset_t q = nb; q < len; ++q) {
+        const T vv = v[q];
+        const T* xc = x + static_cast<std::size_t>(ci[q]) *
+                              static_cast<std::size_t>(ld) +
+                      ct;
+        for (int c = 0; c < nt; ++c) total[c] += vv * xc[c];
+      }
+      for (int c = 0; c < nt; ++c) xi[ct + c] = (bi[ct + c] - total[c]) / d;
+    }
+  }
+}
+
 }  // namespace detail
 
 // --- Dispatching kernels ----------------------------------------------------
@@ -464,6 +629,26 @@ void spmv_update_rows_many(const offset_t* row_ptr, const index_t* col_idx,
   }
 }
 
+/// Batched update over a row-interleaved panel (PanelLayout::kInterleaved;
+/// element (i, c) at base[i·ld + c]). The vector lowering is the blocked
+/// body: its unit-stride column loops are what the compiler vectorises, and
+/// the canonical per-column order keeps it bitwise equal to every other
+/// path and layout.
+template <class T>
+void spmv_update_rows_many_ilv(const offset_t* row_ptr,
+                               const index_t* col_idx, const T* val,
+                               const index_t* row_ids, index_t r0, index_t r1,
+                               const T* x, T* y, index_t c0, index_t c1,
+                               index_t ldx, index_t ldy) {
+  if (active_path() == Path::kStrictScalar) {
+    detail::spmv_update_rows_many_ilv_strict(row_ptr, col_idx, val, row_ids,
+                                             r0, r1, x, y, c0, c1, ldx, ldy);
+    return;
+  }
+  detail::spmv_update_rows_many_ilv_blocked(row_ptr, col_idx, val, row_ids,
+                                            r0, r1, x, y, c0, c1, ldx, ldy);
+}
+
 /// Forward substitution over the listed rows, in list order: for each
 /// p in [p0, p1), row i = items[p] gets x[i] = (b[i] − Σ val·x[col]) / diag
 /// (diagonal stored last in the row). Valid for any dependency-respecting
@@ -513,6 +698,22 @@ void sptrsv_rows_many(const offset_t* row_ptr, const index_t* col_idx,
                                        b, x, c0, c1, ld);
       return;
   }
+}
+
+/// Batched forward substitution over a row-interleaved panel
+/// (PanelLayout::kInterleaved; element (i, c) at base[i·ld + c]).
+template <class T>
+void sptrsv_rows_many_ilv(const offset_t* row_ptr, const index_t* col_idx,
+                          const T* val, const index_t* items, offset_t p0,
+                          offset_t p1, const T* b, T* x, index_t c0,
+                          index_t c1, index_t ld) {
+  if (active_path() == Path::kStrictScalar) {
+    detail::sptrsv_rows_many_ilv_strict(row_ptr, col_idx, val, items, p0, p1,
+                                        b, x, c0, c1, ld);
+    return;
+  }
+  detail::sptrsv_rows_many_ilv_blocked(row_ptr, col_idx, val, items, p0, p1,
+                                       b, x, c0, c1, ld);
 }
 
 /// x[i] = b[i] / d[i] over [0, n) — the diagonal fast path. Element-wise, so

@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 
 namespace blocktri {
@@ -81,9 +82,21 @@ void ThreadPool::worker_loop(int tid) {
 
 int resolve_threads(int requested) {
   if (const char* env = std::getenv("BLOCKTRI_THREADS")) {
+    // Hostile-env parsing: garbage, empty, negative, zero, and overflowing
+    // values must fall back to `requested`, never wrap into a bogus thread
+    // count. strtol saturates at LONG_MIN/LONG_MAX with errno = ERANGE, so
+    // the range gate below already rejects overflow — the explicit errno
+    // check additionally rejects values that saturate *inside* [1, 4096]
+    // on exotic platforms where long is 32-bit.
+    errno = 0;
     char* end = nullptr;
     const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 1 && v <= 4096)
+    bool parsed = end != env && errno != ERANGE;
+    if (parsed) {
+      while (*end == ' ' || *end == '\t') ++end;  // tolerate trailing blanks
+      parsed = *end == '\0';
+    }
+    if (parsed && v >= 1 && v <= kMaxResolvedThreads)
       return static_cast<int>(v);
   }
   if (requested == 0) {

@@ -97,9 +97,15 @@ class ThreadPool {
   std::exception_ptr error_;                       // guarded by mu_
 };
 
+/// Upper bound on a BLOCKTRI_THREADS override — far above any real host,
+/// low enough that a typo cannot oversubscribe the process into the ground.
+inline constexpr long kMaxResolvedThreads = 4096;
+
 /// The effective host thread count: the BLOCKTRI_THREADS environment
-/// variable when set to a positive integer, otherwise `requested` (with 0
-/// meaning std::thread::hardware_concurrency). Always >= 1.
+/// variable when set to a valid integer in [1, kMaxResolvedThreads],
+/// otherwise `requested` (with 0 meaning
+/// std::thread::hardware_concurrency). Garbage, empty, negative, zero and
+/// overflowing env values are ignored — never wrapped. Always >= 1.
 int resolve_threads(int requested);
 
 /// True when `pool` would actually run anything concurrently.

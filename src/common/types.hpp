@@ -28,7 +28,20 @@ inline constexpr int kWarp = 32;
 /// streams the row's structure once and updates up to this many right-hand
 /// sides from a stack-resident accumulator before the next tile. Per column
 /// the floating-point operation order equals the single-RHS kernel's, so the
-/// batched results are bitwise identical to k independent solves.
+/// batched results are bitwise identical to k independent solves. Wider
+/// tiles stream the structure fewer times but spill the blocked kernels'
+/// accumulator arrays out of registers; 8 measures fastest on the service
+/// panel shapes (see bench/service_load.cpp).
 inline constexpr int kRhsTile = 8;
+
+/// Memory layout of a multi-RHS panel handed to the batched kernels.
+/// Column-major is the user-facing layout (column c starts at base + c·ld,
+/// ld ≥ block rows). Interleaved stores one row's k panel entries
+/// contiguously (element (i, c) at base + i·ld + c, ld ≥ k): every x-gather
+/// a row visit performs then lands on one or two cache lines for the whole
+/// tile instead of one line per column, and the per-column accumulator loop
+/// runs over unit-stride memory. The per-column floating-point operation
+/// order is identical in both layouts, so results are bitwise equal.
+enum class PanelLayout { kColMajor, kInterleaved };
 
 }  // namespace blocktri

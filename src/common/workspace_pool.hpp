@@ -22,12 +22,14 @@
 //     layer reads them to size the pool (see DESIGN.md §12).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "common/status.hpp"
 
 namespace blocktri {
@@ -112,7 +114,22 @@ class WorkspacePool {
   /// Lease (the caller maps it to kPoolExhausted).
   template <class Init>
   Lease acquire(const Init& init_new) {
+    return acquire(init_new, Deadline::unlimited(), nullptr, nullptr);
+  }
+
+  /// Cancellable acquisition: like acquire(init_new), but a blocked waiter
+  /// wakes and gives up — with `*denial` telling the caller why — when
+  /// `cancel` fires (kCancelled) or `deadline` expires (kDeadlineExceeded)
+  /// while it is parked on the exhausted pool. A request that would
+  /// otherwise sleep forever on a drained pool (its workspace holders
+  /// themselves stuck, the service shutting down) unblocks in about a
+  /// millisecond instead. Failing-mode denials still report kPoolExhausted.
+  /// `denial` is written only when the returned Lease is empty.
+  template <class Init>
+  Lease acquire(const Init& init_new, const Deadline& deadline,
+                const CancelToken* cancel, StatusCode* denial) {
     std::unique_lock<std::mutex> lock(mu_);
+    bool counted_wait = false;
     for (;;) {
       if (!free_.empty()) {
         W* w = free_.back();
@@ -133,10 +150,32 @@ class WorkspacePool {
       }
       if (!opt_.block_when_exhausted) {
         ++stats_.exhausted;
+        if (denial != nullptr) *denial = StatusCode::kPoolExhausted;
         return Lease();
       }
-      ++stats_.lease_waits;
-      cv_.wait(lock, [this] { return !free_.empty(); });
+      if (cancel != nullptr && cancel->cancelled()) {
+        if (denial != nullptr) *denial = StatusCode::kCancelled;
+        return Lease();
+      }
+      if (deadline.expired()) {
+        if (denial != nullptr) *denial = StatusCode::kDeadlineExceeded;
+        return Lease();
+      }
+      if (!counted_wait) {  // one blocked acquisition, however many wakes
+        ++stats_.lease_waits;
+        counted_wait = true;
+      }
+      const auto have_free = [this] { return !free_.empty(); };
+      if (cancel != nullptr) {
+        // A CancelToken has no condition variable to signal, so a waiting
+        // thread polls it: wake at least every millisecond, re-check, park
+        // again. Cheap (the pool is already in its slow path) and bounded.
+        cv_.wait_for(lock, std::chrono::milliseconds(1), have_free);
+      } else if (!deadline.unlimited_deadline()) {
+        cv_.wait_until(lock, deadline.time_point(), have_free);
+      } else {
+        cv_.wait(lock, have_free);
+      }
     }
   }
 

@@ -369,20 +369,21 @@ void BlockSolver<T>::exec_step(const ExecStep& step, T* bw, T* xw,
 template <class T>
 void BlockSolver<T>::exec_tri_many(const TriBlock& blk, const T* b, T* x,
                                    index_t k, ThreadPool* pool, T* tri_scratch,
-                                   const ExecControl* ctl) const {
+                                   const ExecControl* ctl, index_t ld,
+                                   PanelLayout layout) const {
   switch (blk.info.kind) {
     case TriKernelKind::kCompletelyParallel:
-      blk.diag->solve_many(b, x, k, plan_.n, pool, ctl);
+      blk.diag->solve_many(b, x, k, ld, pool, ctl, layout);
       return;
     case TriKernelKind::kLevelSet:
-      blk.levelset->solve_many(b, x, k, plan_.n, pool, ctl);
+      blk.levelset->solve_many(b, x, k, ld, pool, ctl, layout);
       return;
     case TriKernelKind::kSyncFree:
       // Same scratch-lending rule as exec_tri (see the comment there).
-      blk.syncfree->solve_many(b, x, k, plan_.n, pool, tri_scratch, ctl);
+      blk.syncfree->solve_many(b, x, k, ld, pool, tri_scratch, ctl, layout);
       return;
     case TriKernelKind::kCusparseLike:
-      blk.cusparse->solve_many(b, x, k, plan_.n, ctl);
+      blk.cusparse->solve_many(b, x, k, ld, ctl, layout);
       return;
   }
   BLOCKTRI_CHECK_MSG(false, "unknown triangular kernel kind");
@@ -390,19 +391,20 @@ void BlockSolver<T>::exec_tri_many(const TriBlock& blk, const T* b, T* x,
 
 template <class T>
 void BlockSolver<T>::exec_square_many(const SquareBlock& blk, const T* x,
-                                      T* y, index_t k, ThreadPool* pool) const {
+                                      T* y, index_t k, ThreadPool* pool,
+                                      index_t ld, PanelLayout layout) const {
   switch (blk.info.kind) {
     case SpmvKernelKind::kScalarCsr:
-      spmv_scalar_csr_many(blk.csr, x, y, k, plan_.n, plan_.n, pool);
+      spmv_scalar_csr_many(blk.csr, x, y, k, ld, ld, pool, layout);
       return;
     case SpmvKernelKind::kVectorCsr:
-      spmv_vector_csr_many(blk.csr, x, y, k, plan_.n, plan_.n, pool);
+      spmv_vector_csr_many(blk.csr, x, y, k, ld, ld, pool, layout);
       return;
     case SpmvKernelKind::kScalarDcsr:
-      spmv_scalar_dcsr_many(blk.dcsr, x, y, k, plan_.n, plan_.n, pool);
+      spmv_scalar_dcsr_many(blk.dcsr, x, y, k, ld, ld, pool, layout);
       return;
     case SpmvKernelKind::kVectorDcsr:
-      spmv_vector_dcsr_many(blk.dcsr, x, y, k, plan_.n, plan_.n, pool);
+      spmv_vector_dcsr_many(blk.dcsr, x, y, k, ld, ld, pool, layout);
       return;
   }
   BLOCKTRI_CHECK_MSG(false, "unknown square kernel kind");
@@ -411,21 +413,32 @@ void BlockSolver<T>::exec_square_many(const SquareBlock& blk, const T* x,
 template <class T>
 void BlockSolver<T>::exec_step_many(const ExecStep& step, T* bw, T* xw,
                                     index_t c0, index_t c1, ThreadPool* pool,
-                                    T* tri_scratch,
-                                    const ExecControl* ctl) const {
+                                    T* tri_scratch, const ExecControl* ctl,
+                                    index_t ld, PanelLayout layout) const {
   const index_t k = c1 - c0;
   if (k <= 0) return;
+  // Column-major: column c0 starts coff elements in, blocks offset by their
+  // first row. Interleaved: the sub-panel [c0, c1) is base + c0 with the
+  // same row stride, blocks offset by r0·ld.
+  const bool ilv = layout == PanelLayout::kInterleaved;
   const std::size_t coff =
-      static_cast<std::size_t>(c0) * static_cast<std::size_t>(plan_.n);
+      ilv ? static_cast<std::size_t>(c0)
+          : static_cast<std::size_t>(c0) * static_cast<std::size_t>(ld);
+  const auto row_off = [&](index_t r) {
+    return ilv ? static_cast<std::size_t>(r) * static_cast<std::size_t>(ld)
+               : static_cast<std::size_t>(r);
+  };
   if (step.kind == ExecStep::Kind::kTri) {
     const TriBlock& blk = tri_[static_cast<std::size_t>(step.index)];
-    exec_tri_many(blk, bw + coff + blk.info.r0, xw + coff + blk.info.r0, k,
-                  pool, tri_scratch, ctl);
+    exec_tri_many(blk, bw + coff + row_off(blk.info.r0),
+                  xw + coff + row_off(blk.info.r0), k, pool, tri_scratch, ctl,
+                  ld, layout);
   } else {
     const SquareBlock& blk = squares_[static_cast<std::size_t>(step.index)];
     if (blk.info.nnz == 0) return;  // skipped, like the wave executor
-    exec_square_many(blk, xw + coff + blk.info.ref.c0,
-                     bw + coff + blk.info.ref.r0, k, pool);
+    exec_square_many(blk, xw + coff + row_off(blk.info.ref.c0),
+                     bw + coff + row_off(blk.info.ref.r0), k, pool, ld,
+                     layout);
   }
 }
 
@@ -438,13 +451,23 @@ std::vector<T> BlockSolver<T>::solve(const std::vector<T>& b) const {
 }
 
 template <class T>
-auto BlockSolver<T>::acquire_workspace() const ->
+auto BlockSolver<T>::acquire_workspace(const ExecControl* ctl) const ->
     typename WorkspacePool<SolveWorkspace>::Lease {
-  return ws_pool_->acquire([this](SolveWorkspace& w) {
+  const auto init = [this](SolveWorkspace& w) {
     // A freshly created workspace gets its sync-free scratch sized once;
     // every other buffer grows on first use and never shrinks.
     w.tri_scratch.resize(tri_scratch_len_);
-  });
+  };
+  if (ctl == nullptr || !ctl->armed() || !ws_pool_->blocking())
+    return ws_pool_->acquire(init);
+  // Armed controls race the blocking acquisition: a waiter parked on the
+  // exhausted pool wakes with the caller's kCancelled / kDeadlineExceeded
+  // instead of sleeping until a workspace frees.
+  StatusCode denial = StatusCode::kPoolExhausted;
+  auto lease = ws_pool_->acquire(init, ctl->deadline(), ctl->cancel(),
+                                 &denial);
+  if (!lease && denial != StatusCode::kPoolExhausted) ctl->trip(denial);
+  return lease;
 }
 
 template <class T>
@@ -480,8 +503,10 @@ Status BlockSolver<T>::solve(const T* b, T* x, const SolveControls& controls,
   r->steps_completed = 0;
   if (!ctl.check()) return ctl.to_status("before the solve started");
 
-  auto lease = acquire_workspace();
-  if (!lease) return pool_exhausted_status();
+  auto lease = acquire_workspace(&ctl);
+  if (!lease)
+    return ctl.tripped() ? ctl.to_status("while waiting for a solve workspace")
+                         : pool_exhausted_status();
   SolveWorkspace& ws = *lease;
   if (opt_.fault.hold_lease_ms > 0)
     std::this_thread::sleep_for(
@@ -565,6 +590,21 @@ template <class T>
 Status BlockSolver<T>::solve_many(const T* B, T* X, index_t k,
                                   const SolveControls& controls,
                                   SolveReport* rep) const {
+  return solve_many_impl(B, nullptr, X, nullptr, k, controls, rep);
+}
+
+template <class T>
+Status BlockSolver<T>::solve_many(const T* const* Bs, T* const* Xs, index_t k,
+                                  const SolveControls& controls,
+                                  SolveReport* rep) const {
+  return solve_many_impl(nullptr, Bs, nullptr, Xs, k, controls, rep);
+}
+
+template <class T>
+Status BlockSolver<T>::solve_many_impl(const T* B, const T* const* Bs, T* X,
+                                       T* const* Xs, index_t k,
+                                       const SolveControls& controls,
+                                       SolveReport* rep) const {
   if (k <= 0) return Status::Ok();
   const int prev = in_flight_.fetch_add(1, std::memory_order_relaxed);
   InFlightGuard in_flight_guard{&in_flight_};
@@ -579,8 +619,10 @@ Status BlockSolver<T>::solve_many(const T* B, T* X, index_t k,
   r->steps_completed = 0;
   if (!ctl.check()) return ctl.to_status("before the solve started");
 
-  auto lease = acquire_workspace();
-  if (!lease) return pool_exhausted_status();
+  auto lease = acquire_workspace(&ctl);
+  if (!lease)
+    return ctl.tripped() ? ctl.to_status("while waiting for a solve workspace")
+                         : pool_exhausted_status();
   SolveWorkspace& ws = *lease;
   if (opt_.fault.hold_lease_ms > 0)
     std::this_thread::sleep_for(
@@ -588,13 +630,39 @@ Status BlockSolver<T>::solve_many(const T* B, T* X, index_t k,
 
   const std::size_t n = static_cast<std::size_t>(plan_.n);
   const std::size_t total = n * static_cast<std::size_t>(k);
-  ws.bw.resize(total);
-  ws.xw.resize(total);
-  T* bw = ws.bw.data();
-  T* xw = ws.xw.data();
-  for (index_t c = 0; c < k; ++c)
-    scatter_permuted(B + static_cast<std::size_t>(c) * n, plan_.new_of_old,
-                     bw + static_cast<std::size_t>(c) * n);
+  // 64-byte-align the panel bases: when a row slab (k elements) is a
+  // cache-line multiple, every tile-wide gather/update in the interleaved
+  // kernels then touches exactly the lines it covers — an unaligned base
+  // would spill each slab across one extra line.
+  constexpr std::size_t kAlign = 64 / sizeof(T);
+  ws.bw.resize(total + kAlign - 1);
+  ws.xw.resize(total + kAlign - 1);
+  const auto align64 = [](T* p) {
+    const auto u = reinterpret_cast<std::uintptr_t>(p);
+    return reinterpret_cast<T*>((u + 63u) & ~std::uintptr_t{63u});
+  };
+  T* bw = align64(ws.bw.data());
+  T* xw = align64(ws.xw.data());
+  // The workspace panel is row-interleaved (element (i, c) at i·k + c, see
+  // PanelLayout): every row visit in the batched kernels then reads and
+  // writes all k panel entries of a nonzero from one or two cache lines
+  // instead of one line per column, which is where the per-RHS amortisation
+  // beyond structure streaming comes from. The caller-facing layout stays
+  // column-major; this fused entry permutation transposes on the way in.
+  const auto ku = static_cast<std::size_t>(k);
+  if (Bs != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      T* row = bw + static_cast<std::size_t>(plan_.new_of_old[i]) * ku;
+      for (std::size_t c = 0; c < ku; ++c) row[c] = Bs[c][i];
+    }
+  } else {
+    // Contiguous column-major panel: column c starts at B + c·n.
+    for (std::size_t i = 0; i < n; ++i) {
+      T* row = bw + static_cast<std::size_t>(plan_.new_of_old[i]) * ku;
+      const T* bi = B + i;
+      for (std::size_t c = 0; c < ku; ++c) row[c] = bi[c * n];
+    }
+  }
 
   // Pool arbitration: same contract as the single-RHS path above.
   std::unique_lock<std::mutex> pool_lk(exec_mu_, std::defer_lock);
@@ -605,7 +673,8 @@ Status BlockSolver<T>::solve_many(const T* B, T* X, index_t k,
     T* scratch = ws.tri_scratch.empty() ? nullptr : ws.tri_scratch.data();
     for (const ExecStep& step : plan_.steps) {
       if (!ctl.check()) break;
-      exec_step_many(step, bw, xw, 0, k, nullptr, scratch, &ctl);
+      exec_step_many(step, bw, xw, 0, k, nullptr, scratch, &ctl, k,
+                     PanelLayout::kInterleaved);
       if (ctl.tripped()) break;
       ++r->steps_completed;
     }
@@ -626,7 +695,8 @@ Status BlockSolver<T>::solve_many(const T* B, T* X, index_t k,
                     k, static_cast<index_t>((threads_ + nsteps - 1) / nsteps)))
               : 1;
       if (nsteps * nchunks == 1) {
-        exec_step_many(wave[0], bw, xw, 0, k, epool, nullptr, &ctl);
+        exec_step_many(wave[0], bw, xw, 0, k, epool, nullptr, &ctl, k,
+                       PanelLayout::kInterleaved);
       } else {
         epool->run(nsteps * nchunks, [&](int t) {
           const int s = t / nchunks;
@@ -636,16 +706,27 @@ Status BlockSolver<T>::solve_many(const T* B, T* X, index_t k,
           const index_t c1 = static_cast<index_t>(
               static_cast<std::int64_t>(k) * (ch + 1) / nchunks);
           exec_step_many(wave[static_cast<std::size_t>(s)], bw, xw, c0, c1,
-                         nullptr, nullptr, &ctl);
+                         nullptr, nullptr, &ctl, k,
+                         PanelLayout::kInterleaved);
         });
       }
       if (ctl.tripped()) break;
       r->steps_completed += static_cast<index_t>(wave.size());
     }
   }
-  for (index_t c = 0; c < k; ++c)
-    gather_permuted(xw + static_cast<std::size_t>(c) * n, plan_.new_of_old,
-                    X + static_cast<std::size_t>(c) * n);
+  // Fused exit permutation, scattering back to the caller's columns.
+  if (Xs != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const T* row = xw + static_cast<std::size_t>(plan_.new_of_old[i]) * ku;
+      for (std::size_t c = 0; c < ku; ++c) Xs[c][i] = row[c];
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const T* row = xw + static_cast<std::size_t>(plan_.new_of_old[i]) * ku;
+      T* xi = X + i;
+      for (std::size_t c = 0; c < ku; ++c) xi[c * n] = row[c];
+    }
+  }
   if (ctl.tripped())
     return ctl.to_status("after " + std::to_string(r->steps_completed) +
                          " of " + std::to_string(r->steps_total) +
@@ -1327,9 +1408,11 @@ SolveResult<T> BlockSolver<T>::solve_checked(
   if (opt_.collect_stats) accumulate_op_stats(&res.report);
   res.report.steps_total = static_cast<index_t>(plan_.steps.size());
 
-  auto lease = acquire_workspace();
+  auto lease = acquire_workspace(&ctl);
   if (!lease) {
-    res.status = pool_exhausted_status();
+    res.status = ctl.tripped()
+                     ? ctl.to_status("while waiting for a solve workspace")
+                     : pool_exhausted_status();
     return res;
   }
   SolveWorkspace& ws = *lease;
@@ -1456,7 +1539,8 @@ Status BlockSolver<T>::run_steps_checked_many(
       const SquareBlock& blk = squares_[static_cast<std::size_t>(step.index)];
       if (blk.info.nnz == 0) continue;  // skipped, like the plain executors
       exec_square_many(blk, xw.data() + blk.info.ref.c0,
-                       bw.data() + blk.info.ref.r0, k, epool);
+                       bw.data() + blk.info.ref.r0, k, epool, plan_.n,
+                       PanelLayout::kColMajor);
       ++done;
       continue;
     }
@@ -1466,8 +1550,10 @@ Status BlockSolver<T>::run_steps_checked_many(
     // Attempt 0: the selected kernel, batched over the whole panel. The
     // batched sync-free path never spins (it is the serial column-split
     // algorithm), so a trip here can only be a deadline/cancel — terminal.
+    // The checked panel stays column-major: the per-column fallback ladder
+    // below hands contiguous column slices to the single-RHS rungs.
     exec_tri_many(blk, bw.data() + blk.info.r0, xw.data() + blk.info.r0, k,
-                  epool, tri_scratch, ctl);
+                  epool, tri_scratch, ctl, plan_.n, PanelLayout::kColMajor);
     if (ctl != nullptr && ctl->tripped()) {
       set_progress();
       return ctl->to_status("in triangular block " +
@@ -1589,9 +1675,11 @@ SolveManyResult<T> BlockSolver<T>::solve_many_checked(
   if (opt_.collect_stats)
     for (SolveReport& rep : res.reports) accumulate_op_stats(&rep);
 
-  auto lease = acquire_workspace();
+  auto lease = acquire_workspace(&ctl);
   if (!lease) {
-    res.status = pool_exhausted_status();
+    res.status = ctl.tripped()
+                     ? ctl.to_status("while waiting for a solve workspace")
+                     : pool_exhausted_status();
     return res;
   }
   SolveWorkspace& ws = *lease;

@@ -346,6 +346,18 @@ class BlockSolver {
                     const SolveControls& controls,
                     SolveReport* rep = nullptr) const;
 
+  /// Gather/scatter batched solve: column c is read from Bs[c] and written
+  /// to Xs[c] (each an n-vector), with no contiguous panel required on
+  /// either side. The entry permutation gathers the scattered columns
+  /// straight into the solver's interleaved workspace and the exit
+  /// permutation scatters back, so callers batching k independent
+  /// right-hand sides (e.g. the solve service's coalescing queue) pay zero
+  /// panel-assembly or demux copies. Column c of the result is bitwise
+  /// identical to solve(Bs[c], Xs[c]).
+  Status solve_many(const T* const* Bs, T* const* Xs, index_t k,
+                    const SolveControls& controls,
+                    SolveReport* rep = nullptr) const;
+
   /// Batched solve of k right-hand sides against the same plan: `B` is an
   /// n × k column-major panel (column c occupies [c·n, (c+1)·n)) and the
   /// returned X uses the same layout. One pass over the execution steps
@@ -495,16 +507,23 @@ class BlockSolver {
   void exec_step(const ExecStep& step, T* bw, T* xw, ThreadPool* pool,
                  T* tri_scratch, const ExecControl* ctl) const;
   /// Batched counterparts (host only): b/x/y point at the block's rows in
-  /// the panel's first solved column; the leading dimension is plan_.n.
+  /// the panel's first solved column (kColMajor, ld = plan_.n) or at the
+  /// block's first row of an interleaved panel (kInterleaved, ld = the
+  /// panel's row stride).
   void exec_tri_many(const TriBlock& blk, const T* b, T* x, index_t k,
-                     ThreadPool* pool, T* tri_scratch,
-                     const ExecControl* ctl) const;
+                     ThreadPool* pool, T* tri_scratch, const ExecControl* ctl,
+                     index_t ld, PanelLayout layout) const;
   void exec_square_many(const SquareBlock& blk, const T* x, T* y, index_t k,
-                        ThreadPool* pool) const;
+                        ThreadPool* pool, index_t ld,
+                        PanelLayout layout) const;
   /// One ExecStep of the batched host solve over panel columns [c0, c1).
+  /// For kColMajor `ld` is plan_.n; for kInterleaved it is the full panel's
+  /// row stride (an interleaved sub-panel is base + c0 with the same
+  /// stride, so [c0, c1) needs no kernel-side column offsets).
   void exec_step_many(const ExecStep& step, T* bw, T* xw, index_t c0,
                       index_t c1, ThreadPool* pool, T* tri_scratch,
-                      const ExecControl* ctl) const;
+                      const ExecControl* ctl, index_t ld,
+                      PanelLayout layout) const;
   /// refresh_values body; the public wrapper maps any escaping Error back to
   /// its Status so the warm path never throws through the Status API.
   Status refresh_values_impl(const Csr<T>& lower);
@@ -539,6 +558,15 @@ class BlockSolver {
   /// at the end of both constructors so leased workspaces size their
   /// scratch once and warm solves never grow it.
   void size_tri_scratch();
+
+  /// Shared body of the panel solves. Exactly one of `B`/`Bs` is non-null
+  /// (likewise `X`/`Xs`): the contiguous form reads column c at B + c·n,
+  /// the gather form through the pointer table. Branching here instead of
+  /// delegating through a built pointer array keeps the warm contiguous
+  /// path allocation-free.
+  Status solve_many_impl(const T* B, const T* const* Bs, T* X, T* const* Xs,
+                         index_t k, const SolveControls& controls,
+                         SolveReport* rep) const;
 
   Options opt_;
   std::uint64_t structure_hash_ = 0;  // of the original (unpermuted) pattern
@@ -578,9 +606,14 @@ class BlockSolver {
   };
 
   /// Leases a workspace from ws_pool_, sizing a freshly created one's
-  /// sync-free scratch to tri_scratch_len_. An empty lease means the pool is
-  /// exhausted in failing mode — callers surface pool_exhausted_status().
-  typename WorkspacePool<SolveWorkspace>::Lease acquire_workspace() const;
+  /// sync-free scratch to tri_scratch_len_. When `ctl` is armed, a blocking
+  /// acquisition races the caller's deadline/cancel instead of sleeping
+  /// forever on a drained pool: the denial is tripped on `ctl` so callers
+  /// surface ctl.to_status(). An empty lease with `ctl` untripped means the
+  /// pool is exhausted in failing mode — callers surface
+  /// pool_exhausted_status().
+  typename WorkspacePool<SolveWorkspace>::Lease acquire_workspace(
+      const ExecControl* ctl = nullptr) const;
   Status pool_exhausted_status() const;
 
   std::size_t tri_scratch_len_ = 0;  // sync-free serial scratch per workspace

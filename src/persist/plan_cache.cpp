@@ -1,5 +1,7 @@
 #include "persist/plan_cache.hpp"
 
+#include <limits>
+
 namespace blocktri {
 
 template <class T>
@@ -101,7 +103,15 @@ void PlanCache<T>::report_hit_failure(const PlanCacheKey& key) {
     ++counters_.evictions;
   }
   failures_.erase(key);
-  tombstones_[key] = counters_.inserts + limits_.quarantine_ttl_inserts;
+  // Saturating add: a huge TTL (UINT64_MAX as "quarantine forever") or a
+  // generation counter near the top must pin the tombstone at the far end
+  // of the generation clock, not wrap past it — a wrapped expiry generation
+  // would be <= counters_.inserts and the tombstone would die at its very
+  // first check, re-admitting the poisoned key immediately.
+  const std::uint64_t g = counters_.inserts;
+  const std::uint64_t ttl = limits_.quarantine_ttl_inserts;
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  tombstones_[key] = g > kMax - ttl ? kMax : g + ttl;
   ++counters_.quarantined;
 }
 

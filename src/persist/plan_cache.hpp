@@ -90,7 +90,10 @@ class PlanCache {
     int quarantine_failures = 3;
     /// Tombstone lifetime, measured in successful inserts of *other* keys —
     /// a generation clock rather than wall time, so quarantine behaviour is
-    /// deterministic under test and in replay.
+    /// deterministic under test and in replay. 0 makes tombstones expire at
+    /// their first check (quarantine still evicts, but never blocks
+    /// re-admission); UINT64_MAX quarantines forever (the expiry generation
+    /// saturates instead of wrapping).
     std::uint64_t quarantine_ttl_inserts = 8;
   };
 

@@ -1,0 +1,83 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace blocktri::service {
+
+SolveClient::~SolveClient() { close(); }
+
+SolveClient::SolveClient(SolveClient&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+SolveClient& SolveClient::operator=(SolveClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void SolveClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status SolveClient::connect(const std::string& socket_path) {
+  if (fd_ >= 0)
+    return Status(StatusCode::kInvalidArgument, "client already connected");
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path))
+    return Status(StatusCode::kInvalidArgument,
+                  "socket path longer than sockaddr_un allows: " +
+                      socket_path);
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    return Status(StatusCode::kIoError,
+                  std::string("socket: ") + std::strerror(errno));
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const Status st(StatusCode::kIoError, "connect to '" + socket_path +
+                                              "': " + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  fd_ = fd;
+  return Status::Ok();
+}
+
+Status SolveClient::solve(const WireRequest& req, WireResponse* resp) {
+  BLOCKTRI_CHECK(resp != nullptr);
+  if (fd_ < 0)
+    return Status(StatusCode::kInvalidArgument, "client is not connected");
+
+  const std::vector<std::uint8_t> out = encode_request(req);
+  if (Status st = write_exact(fd_, out.data(), out.size()); !st.ok())
+    return st;
+
+  std::vector<std::uint8_t> frame;
+  bool clean_eof = false;
+  if (Status st = read_frame(fd_, &frame, &clean_eof); !st.ok()) return st;
+  if (clean_eof)
+    return Status(StatusCode::kIoError,
+                  "server closed the connection before responding");
+  return decode_response(frame.data(), frame.size(), resp);
+}
+
+}  // namespace blocktri::service

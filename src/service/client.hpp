@@ -1,0 +1,53 @@
+// SolveClient — blocking Unix-socket client of the solve server (ISSUE 8).
+//
+// One connection, one outstanding request at a time: solve() writes a
+// request frame and blocks until the response frame arrives. Concurrency is
+// achieved with one client per thread — that is precisely the traffic shape
+// the server's coalescer batches (bench/service_load drives sixteen of
+// these at once).
+//
+// All socket I/O goes through the shared wire helpers, so EINTR restarts,
+// short reads/writes, and SIGPIPE suppression are inherited; a server that
+// disappears mid-call surfaces as a typed kIoError/kTruncated, never a hang
+// or a signal.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "service/wire.hpp"
+
+namespace blocktri::service {
+
+class SolveClient {
+ public:
+  SolveClient() = default;
+  ~SolveClient();
+
+  SolveClient(const SolveClient&) = delete;
+  SolveClient& operator=(const SolveClient&) = delete;
+  SolveClient(SolveClient&& other) noexcept;
+  SolveClient& operator=(SolveClient&& other) noexcept;
+
+  /// Connects to a server at `socket_path`. kIoError when the server is not
+  /// listening; kInvalidArgument for an oversize path or an already-connected
+  /// client.
+  Status connect(const std::string& socket_path);
+
+  /// One round trip: sends `req`, blocks for the response. The transport
+  /// outcome is the returned Status; the *solve* outcome is resp->code (a
+  /// transport failure leaves *resp untouched).
+  Status solve(const WireRequest& req, WireResponse* resp);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// The raw connection fd — for fault-injection tests that write damaged
+  /// bytes directly. -1 when not connected.
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace blocktri::service

@@ -1,0 +1,206 @@
+#include "service/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "service/wire.hpp"
+
+namespace blocktri::service {
+
+namespace {
+
+Status io_error(const char* what) {
+  return Status(StatusCode::kIoError,
+                std::string(what) + ": " + std::strerror(errno));
+}
+
+void close_quietly(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+SolveServer::SolveServer(SolveService& service, std::string socket_path)
+    : service_(service), path_(std::move(socket_path)) {}
+
+SolveServer::~SolveServer() { stop(); }
+
+Status SolveServer::start() {
+  if (running_.load(std::memory_order_acquire))
+    return Status(StatusCode::kInvalidArgument, "server already started");
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof(addr.sun_path))
+    return Status(StatusCode::kInvalidArgument,
+                  "socket path longer than sockaddr_un allows: " + path_);
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+  if (::pipe(wake_pipe_) != 0) return io_error("pipe");
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    Status st = io_error("socket");
+    close_quietly(wake_pipe_[0]);
+    close_quietly(wake_pipe_[1]);
+    return st;
+  }
+  ::unlink(path_.c_str());  // a stale file from a dead server blocks bind
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    Status st = io_error("bind/listen");
+    close_quietly(listen_fd_);
+    close_quietly(wake_pipe_[0]);
+    close_quietly(wake_pipe_[1]);
+    return st;
+  }
+
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return Status::Ok();
+}
+
+void SolveServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+
+  // Wake the accept loop's poll, then shut down every live connection so
+  // threads blocked in recv see EOF immediately.
+  const char byte = 'x';
+  while (::write(wake_pipe_[1], &byte, 1) < 0 && errno == EINTR) {
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (Connection& c : conns_)
+      if (c.fd >= 0) ::shutdown(c.fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  std::deque<Connection> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns.swap(conns_);
+  }
+  for (Connection& c : conns) {
+    if (c.thread.joinable()) c.thread.join();
+    close_quietly(c.fd);  // threads that exited early already closed theirs
+  }
+
+  close_quietly(listen_fd_);
+  close_quietly(wake_pipe_[0]);
+  close_quietly(wake_pipe_[1]);
+  ::unlink(path_.c_str());
+}
+
+void SolveServer::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // stop() wrote the wake byte
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (!running_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    conns_.push_back(Connection{fd, {}});
+    Connection* c = &conns_.back();  // deque: stable across later push_backs
+    c->thread = std::thread([this, c] { serve_connection(c); });
+  }
+}
+
+void SolveServer::serve_connection(Connection* conn) {
+  const int fd = conn->fd;
+  while (running_.load(std::memory_order_acquire)) {
+    std::vector<std::uint8_t> frame;
+    bool clean_eof = false;
+    const Status st = read_frame(fd, &frame, &clean_eof);
+    if (clean_eof) break;  // normal hang-up between frames
+    if (!st.ok()) {
+      // Header damage or truncation mid-frame: framing is lost, the byte
+      // stream cannot be resynced. Count and close.
+      if (st.code() == StatusCode::kBadFormat ||
+          st.code() == StatusCode::kVersionMismatch)
+        decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      else
+        io_errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (!serve_frame(fd, frame)) break;
+  }
+  // Self-close so a peer still reading sees EOF immediately (any buffered
+  // response bytes are delivered first). stop() skips fds nulled here.
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  close_quietly(conn->fd);
+}
+
+bool SolveServer::serve_frame(int fd, const std::vector<std::uint8_t>& frame) {
+  WireRequest wreq;
+  WireResponse wresp;
+  const Status dec = decode_request(frame.data(), frame.size(), &wreq);
+  if (!dec.ok()) {
+    // Framing was intact (read_frame validated the header and delivered a
+    // complete payload), so the connection is still usable: answer with a
+    // typed error and keep serving.
+    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    wresp.code = dec.code();
+    wresp.message = dec.to_string();
+  } else {
+    Request req;
+    req.matrix_id = wreq.matrix_id;
+    req.tenant = std::move(wreq.tenant);
+    req.deadline_ms = wreq.deadline_ms;
+    req.b = std::move(wreq.b);
+    Response resp = service_.solve(req);
+
+    wresp.code = resp.status.code();
+    wresp.message = resp.status.ok() ? std::string() : resp.status.to_string();
+    wresp.panel_width = static_cast<std::uint32_t>(resp.panel_width);
+    wresp.residual = resp.report.residual;
+    wresp.refinements = static_cast<std::uint32_t>(resp.report.refinements);
+    wresp.attempts = static_cast<std::uint32_t>(resp.report.attempts);
+    wresp.degrades = static_cast<std::uint32_t>(resp.report.degrades.size());
+    wresp.x = std::move(resp.x);
+  }
+
+  const std::vector<std::uint8_t> out = encode_response(wresp);
+  if (Status wr = write_exact(fd, out.data(), out.size()); !wr.ok()) {
+    // The client disconnected mid-solve. write_exact already turned the
+    // EPIPE into a typed kIoError (MSG_NOSIGNAL — no signal was raised).
+    io_errors_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  frames_served_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+ServerStats SolveServer::stats() const {
+  ServerStats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.frames_served = frames_served_.load(std::memory_order_relaxed);
+  s.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  s.io_errors = io_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace blocktri::service

@@ -1,0 +1,103 @@
+// SolveServer — the Unix-domain-socket front end of the solve service
+// (ISSUE 8).
+//
+// The server is a thin transport shim: it owns the listening socket, one
+// accept thread, and one thread per connection; all solve semantics
+// (admission, coalescing, demux, tenancy) live in the SolveService it
+// wraps, which remains fully usable as an embedded API without any server.
+// A connection thread blocking in SolveService::solve is exactly what feeds
+// the coalescer — sixteen concurrent clients become one sixteen-wide panel.
+//
+// Error policy per connection (exercised by tests/test_service.cpp):
+//   clean EOF between frames     normal hang-up; close quietly
+//   header damage / truncation   framing is lost and cannot be resynced:
+//                                count a decode error, close
+//   payload decode failure       framing intact: reply with a typed error
+//                                response frame and keep serving
+//   write failure (peer died     typed kIoError from write_exact
+//   mid-solve)                   (MSG_NOSIGNAL, never SIGPIPE); count an
+//                                io error, close — no crash, no hang
+//
+// stop() wakes the accept loop through a self-pipe and shuts down every
+// live connection socket, so threads blocked in recv return immediately;
+// it never calls SolveService::shutdown — the service outlives its
+// transport.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "service/solve_service.hpp"
+
+namespace blocktri::service {
+
+/// Transport-level telemetry (all monotonic).
+struct ServerStats {
+  std::uint64_t connections = 0;
+  std::uint64_t frames_served = 0;  // solve responses successfully written
+  std::uint64_t decode_errors = 0;  // malformed frames (either severity)
+  std::uint64_t io_errors = 0;      // kIoError / kTruncated on the socket
+};
+
+class SolveServer {
+ public:
+  /// Serves `service` (not owned; must outlive the server) at
+  /// `socket_path`. Nothing is bound until start().
+  SolveServer(SolveService& service, std::string socket_path);
+  ~SolveServer();
+
+  SolveServer(const SolveServer&) = delete;
+  SolveServer& operator=(const SolveServer&) = delete;
+
+  /// Binds the socket (unlinking any stale file at the path), listens, and
+  /// spawns the accept loop. kIoError on any socket-layer failure;
+  /// kInvalidArgument when the path does not fit sockaddr_un.
+  Status start();
+
+  /// Stops accepting, shuts down live connections, joins every thread, and
+  /// unlinks the socket file. Idempotent; called by the destructor.
+  void stop();
+
+  const std::string& socket_path() const { return path_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  ServerStats stats() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+  };
+
+  void accept_loop();
+  /// Runs one connection to completion, then closes its socket (so a peer
+  /// blocked on a reply after a framing error sees EOF, not a hang).
+  void serve_connection(Connection* conn);
+  /// Handles one decoded request end to end; false ⇒ close the connection.
+  bool serve_frame(int fd, const std::vector<std::uint8_t>& frame);
+
+  SolveService& service_;
+  std::string path_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+
+  std::mutex conn_mu_;
+  /// Deque for reference stability: each connection thread holds a pointer
+  /// to its own entry and nulls the fd when it self-closes.
+  std::deque<Connection> conns_;  // guarded by conn_mu_
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> frames_served_{0};
+  std::atomic<std::uint64_t> decode_errors_{0};
+  std::atomic<std::uint64_t> io_errors_{0};
+};
+
+}  // namespace blocktri::service

@@ -1,0 +1,200 @@
+// SolveService — the embeddable, multi-tenant solve session API (ISSUE 8).
+//
+// The session substrate (leased workspaces, deadlines/cancellation,
+// kPoolExhausted backpressure, the degradation ladder, plan-cache
+// quarantine — DESIGN.md §12) made every BlockSolver entry point safe to
+// share; this layer makes sharing *profitable*. BENCH_batched.json shows
+// per-RHS cost collapsing to 0.03–0.10× at panel widths 16–64, so the
+// service turns concurrent single-RHS traffic into exactly those panels:
+//
+//   admission   requests name a registered matrix; size and deadline are
+//               checked before anything is queued — an already-expired
+//               deadline is a typed kDeadlineExceeded that never touches
+//               the solver or the shared PlanCache.
+//   coalesce    per-matrix group commit: the first queued request becomes
+//               the batch *leader* and lingers up to batch_window_ms (or
+//               until max_panel requests are queued); followers park on the
+//               entry's condition variable. The leader snapshots the front
+//               of the queue into one n × k panel.
+//   solve       one solve_many call per panel. Every batched kernel is
+//               deterministic, so the panel is bitwise identical to k
+//               serial solve calls — coalescing is invisible to callers
+//               except in latency and throughput.
+//   demux       per-column solutions (and, in checked mode, per-column
+//               SolveReports) are copied back into each member's Response;
+//               done flags flip under the entry mutex and the followers
+//               wake. Remaining queued requests elect the next leader, so
+//               panel formation pipelines with the in-flight solve.
+//
+// Tenancy is a label on the request: per-tenant counters (requests,
+// coalesced requests, deadline misses, degrade events, failures) ride the
+// same telemetry style as WorkspacePoolStats/PlanCacheStats and are
+// snapshotted by stats(). The service owns one shared PlanCache, so every
+// registered matrix with a recurring pattern pays analysis once.
+//
+// Thread safety: everything is callable from any thread. solve() blocks the
+// calling thread until its response is ready — the server front end
+// (service/server.hpp) gives each connection a thread, which is what feeds
+// the coalescer its concurrency.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "persist/plan_cache.hpp"
+
+namespace blocktri::service {
+
+struct ServiceOptions {
+  /// Max coalesced panel width k. 1 (or coalesce = false) serves every
+  /// request as a lone solve — the bench baseline.
+  int max_panel = 16;
+  /// How long a batch leader lingers for co-travellers before dispatching a
+  /// partial panel. The latency cost of coalescing is bounded by this; it
+  /// is also capped by the leader's own deadline.
+  double batch_window_ms = 2.0;
+  bool coalesce = true;
+  /// true: panels run solve_many_checked (residual-verified, per-column
+  /// SolveReports, degradation ladder). false (default): panels run the raw
+  /// allocation-free solve_many fast path — the serving configuration; the
+  /// panel's single report is mirrored to every member.
+  bool checked = false;
+  /// Limits of the service-owned shared PlanCache.
+  PlanCache<double>::Limits cache_limits;
+};
+
+/// One solve request against a registered matrix.
+struct Request {
+  std::uint64_t matrix_id = 0;
+  std::string tenant = "default";
+  std::vector<double> b;
+  /// Per-request budget in milliseconds; <= 0 means unlimited. Armed at
+  /// submission: queueing time counts against it.
+  double deadline_ms = 0.0;
+};
+
+/// The demuxed outcome of one request.
+struct Response {
+  Status status;
+  std::vector<double> x;
+  SolveReport report;
+  /// Width of the coalesced panel this request was served in (1 = solo;
+  /// 0 = rejected before any panel formed).
+  int panel_width = 0;
+};
+
+/// Per-tenant telemetry (all monotonic).
+struct TenantStats {
+  std::uint64_t requests = 0;
+  std::uint64_t coalesced = 0;        // served in a panel of width > 1
+  std::uint64_t deadline_misses = 0;  // rejected or tripped on deadline
+  std::uint64_t degrade_events = 0;   // DegradeEvents across this tenant's
+                                      // checked responses
+  std::uint64_t failures = 0;         // non-ok responses other than misses
+};
+
+/// Service-wide telemetry: the coalescer's own counters plus the shared
+/// cache's stats (with workspace lease waits folded in, DESIGN.md §12).
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t panels = 0;             // solve dispatches (any width)
+  std::uint64_t coalesced_requests = 0; // members of width > 1 panels
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t max_panel_width = 0;
+  /// Requests per panel — the amortisation the coalescer achieved.
+  double coalesce_ratio = 0.0;
+  PlanCacheStats cache;
+};
+
+class SolveService {
+ public:
+  explicit SolveService(ServiceOptions opt = {});
+  ~SolveService();
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Builds (or rehydrates from the shared cache) a solver for `lower` and
+  /// registers it under the returned id. Thread safe; registration is
+  /// expected to be rare next to solves.
+  Status register_matrix(const Csr<double>& lower,
+                         const BlockSolver<double>::Options& solver_opt,
+                         std::uint64_t* id);
+
+  /// Solves one request, blocking until the response is ready. The calling
+  /// thread may become the batch leader and run the panel solve itself.
+  Response solve(const Request& req);
+
+  /// Cancels in-flight panels (via the service CancelToken wired into every
+  /// dispatch) and fails new and queued requests with kCancelled. Idempotent.
+  void shutdown();
+
+  ServiceStats stats() const;
+  TenantStats tenant_stats(const std::string& tenant) const;
+
+  /// The registered solver (nullptr for an unknown id) — introspection for
+  /// tests and telemetry (workspace_stats), not a bypass of the coalescer.
+  const BlockSolver<double>* solver(std::uint64_t id) const;
+
+  /// The shared plan cache, for telemetry and test assertions.
+  PlanCache<double>& cache() { return cache_; }
+
+  const ServiceOptions& options() const { return opt_; }
+
+ private:
+  /// One queued request: completion state lives on the submitting thread's
+  /// stack; the entry's mutex guards it, the entry's condition variable
+  /// announces it.
+  struct Pending {
+    const std::vector<double>* b = nullptr;
+    const std::string* tenant = nullptr;
+    Deadline deadline;
+    Response resp;
+    bool done = false;
+  };
+
+  /// Per-matrix coalescing state. Entries are created by register_matrix
+  /// and never destroyed before the service, so pointers are stable.
+  struct MatrixEntry {
+    std::uint64_t id = 0;
+    std::unique_ptr<BlockSolver<double>> solver;
+    index_t n = 0;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Pending*> queue;
+    bool leader_active = false;
+  };
+
+  MatrixEntry* find_entry(std::uint64_t id) const;
+  /// Solves one snapshotted batch and completes every member (the leader
+  /// calls this outside the entry mutex; completion re-takes it).
+  void dispatch(MatrixEntry* e, std::vector<Pending*>& batch);
+  /// Folds one finished response into the tenant/service counters.
+  void account(const std::string& tenant, const Response& resp);
+
+  ServiceOptions opt_;
+  mutable PlanCache<double> cache_;
+  CancelToken stop_token_;
+  bool stopping_ = false;  // guarded by reg_mu_
+
+  mutable std::mutex reg_mu_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<MatrixEntry>> matrices_;
+  std::uint64_t next_id_ = 1;
+
+  mutable std::mutex stats_mu_;
+  std::unordered_map<std::string, TenantStats> tenants_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t panels_ = 0;
+  std::uint64_t coalesced_requests_ = 0;
+  std::uint64_t deadline_misses_ = 0;
+  std::uint64_t max_panel_width_ = 0;
+};
+
+}  // namespace blocktri::service

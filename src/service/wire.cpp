@@ -1,0 +1,308 @@
+#include "service/wire.hpp"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace blocktri::service {
+namespace {
+
+// --- Bounded little-endian writer/reader ------------------------------------
+// The same field-by-field discipline as persist/artifact.cpp, minus the CRC
+// (the kernel delivers stream-socket bytes intact; what the protocol guards
+// against is truncation and hostile lengths, both typed by the reader).
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>* out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_->push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, sizeof v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i32(std::int32_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void bytes(const void* p, std::size_t n) { raw(p, n); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    out_->insert(out_->end(), b, b + n);
+  }
+  std::vector<std::uint8_t>* out_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t len) : data_(data), len_(len) {}
+
+  bool u8(std::uint8_t* v) { return raw(v, sizeof *v); }
+  bool u16(std::uint16_t* v) { return raw(v, sizeof *v); }
+  bool u32(std::uint32_t* v) { return raw(v, sizeof *v); }
+  bool u64(std::uint64_t* v) { return raw(v, sizeof *v); }
+  bool i32(std::int32_t* v) { return raw(v, sizeof *v); }
+  bool f64(double* v) { return raw(v, sizeof *v); }
+  bool bytes(void* p, std::size_t n) { return raw(p, n); }
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return len_ - pos_; }
+
+  Status truncated(const char* what) const {
+    return Status(StatusCode::kTruncated,
+                  std::string("frame ends inside ") + what,
+                  static_cast<std::int64_t>(pos_), LocationKind::kLine);
+  }
+
+ private:
+  bool raw(void* p, std::size_t n) {
+    if (len_ - pos_ < n) return false;
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+};
+
+void write_header(Writer* w, FrameType type, std::uint64_t payload_len) {
+  w->u32(kWireMagic);
+  w->u8(kWireVersion);
+  w->u8(static_cast<std::uint8_t>(type));
+  w->u16(0);  // reserved
+  w->u64(payload_len);
+}
+
+// Reads a length-prefixed string whose declared size must fit the buffer.
+Status read_string(Reader* r, std::string* out, const char* what) {
+  std::uint16_t len = 0;
+  if (!r->u16(&len)) return r->truncated(what);
+  if (r->remaining() < len) return r->truncated(what);
+  out->resize(len);
+  if (len > 0) r->bytes(out->data(), len);
+  return Status::Ok();
+}
+
+// Reads a length-prefixed f64 vector, validating the declared count against
+// the bytes actually present before any resize — a corrupt count must fail
+// typed, not drive a huge allocation.
+Status read_doubles(Reader* r, std::vector<double>* out, const char* what) {
+  std::uint64_t n = 0;
+  if (!r->u64(&n)) return r->truncated(what);
+  if (n > r->remaining() / sizeof(double)) return r->truncated(what);
+  out->resize(static_cast<std::size_t>(n));
+  if (n > 0) r->bytes(out->data(), static_cast<std::size_t>(n) * sizeof(double));
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_request(const WireRequest& req) {
+  std::vector<std::uint8_t> out;
+  std::vector<std::uint8_t> payload;
+  Writer p(&payload);
+  p.u16(kWireCanary);
+  p.u64(req.matrix_id);
+  p.f64(req.deadline_ms);
+  const std::size_t tenant_len = std::min<std::size_t>(req.tenant.size(),
+                                                       0xFFFF);
+  p.u16(static_cast<std::uint16_t>(tenant_len));
+  p.bytes(req.tenant.data(), tenant_len);
+  p.u64(req.b.size());
+  p.bytes(req.b.data(), req.b.size() * sizeof(double));
+
+  out.reserve(kFrameHeaderBytes + payload.size());
+  Writer h(&out);
+  write_header(&h, FrameType::kSolveRequest, payload.size());
+  h.bytes(payload.data(), payload.size());
+  return out;
+}
+
+std::vector<std::uint8_t> encode_response(const WireResponse& resp) {
+  std::vector<std::uint8_t> out;
+  std::vector<std::uint8_t> payload;
+  Writer p(&payload);
+  p.i32(static_cast<std::int32_t>(resp.code));
+  const std::size_t msg_len = std::min<std::size_t>(resp.message.size(),
+                                                    0xFFFF);
+  p.u16(static_cast<std::uint16_t>(msg_len));
+  p.bytes(resp.message.data(), msg_len);
+  p.u32(resp.panel_width);
+  p.f64(resp.residual);
+  p.u32(resp.refinements);
+  p.u32(resp.attempts);
+  p.u32(resp.degrades);
+  p.u64(resp.x.size());
+  p.bytes(resp.x.data(), resp.x.size() * sizeof(double));
+
+  out.reserve(kFrameHeaderBytes + payload.size());
+  Writer h(&out);
+  write_header(&h, FrameType::kSolveResponse, payload.size());
+  h.bytes(payload.data(), payload.size());
+  return out;
+}
+
+Status decode_header(const std::uint8_t* data, std::size_t len,
+                     FrameHeader* out) {
+  Reader r(data, len);
+  std::uint16_t reserved = 0;
+  if (!r.u32(&out->magic) || !r.u8(&out->version) || !r.u8(&out->type) ||
+      !r.u16(&reserved) || !r.u64(&out->payload_len))
+    return r.truncated("the frame header");
+  if (out->magic != kWireMagic)
+    return Status(StatusCode::kBadFormat,
+                  "bad frame magic (not a blocktri service frame)");
+  if (out->version != kWireVersion)
+    return Status(StatusCode::kVersionMismatch,
+                  "frame protocol version " + std::to_string(out->version) +
+                      ", this build speaks " + std::to_string(kWireVersion));
+  if (out->type != static_cast<std::uint8_t>(FrameType::kSolveRequest) &&
+      out->type != static_cast<std::uint8_t>(FrameType::kSolveResponse))
+    return Status(StatusCode::kBadFormat,
+                  "unknown frame type " + std::to_string(out->type));
+  if (out->payload_len > kMaxFramePayload)
+    return Status(StatusCode::kBadFormat,
+                  "frame payload length " + std::to_string(out->payload_len) +
+                      " exceeds the " + std::to_string(kMaxFramePayload) +
+                      "-byte bound");
+  return Status::Ok();
+}
+
+namespace {
+
+// Shared prologue of the whole-frame decoders: header checks + the
+// declared-vs-present payload length cross-check.
+Status check_frame(const std::uint8_t* data, std::size_t len,
+                   FrameType expect, FrameHeader* hdr) {
+  if (len < kFrameHeaderBytes)
+    return Status(StatusCode::kTruncated, "frame ends inside the header",
+                  static_cast<std::int64_t>(len), LocationKind::kLine);
+  if (Status st = decode_header(data, len, hdr); !st.ok()) return st;
+  if (hdr->type != static_cast<std::uint8_t>(expect))
+    return Status(StatusCode::kBadFormat,
+                  "unexpected frame type " + std::to_string(hdr->type));
+  if (len - kFrameHeaderBytes < hdr->payload_len)
+    return Status(StatusCode::kTruncated, "frame ends inside the payload",
+                  static_cast<std::int64_t>(len), LocationKind::kLine);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status decode_request(const std::uint8_t* data, std::size_t len,
+                      WireRequest* out) {
+  FrameHeader hdr;
+  if (Status st = check_frame(data, len, FrameType::kSolveRequest, &hdr);
+      !st.ok())
+    return st;
+  Reader r(data + kFrameHeaderBytes, static_cast<std::size_t>(hdr.payload_len));
+  std::uint16_t canary = 0;
+  if (!r.u16(&canary)) return r.truncated("the request canary");
+  if (canary != kWireCanary)
+    return Status(StatusCode::kBadFormat,
+                  "request endianness canary mismatch (frame written by an "
+                  "incompatible host)");
+  if (!r.u64(&out->matrix_id)) return r.truncated("the matrix id");
+  if (!r.f64(&out->deadline_ms)) return r.truncated("the deadline");
+  if (Status st = read_string(&r, &out->tenant, "the tenant name"); !st.ok())
+    return st;
+  if (Status st = read_doubles(&r, &out->b, "the right-hand side"); !st.ok())
+    return st;
+  return Status::Ok();
+}
+
+Status decode_response(const std::uint8_t* data, std::size_t len,
+                       WireResponse* out) {
+  FrameHeader hdr;
+  if (Status st = check_frame(data, len, FrameType::kSolveResponse, &hdr);
+      !st.ok())
+    return st;
+  Reader r(data + kFrameHeaderBytes, static_cast<std::size_t>(hdr.payload_len));
+  std::int32_t code = 0;
+  if (!r.i32(&code)) return r.truncated("the status code");
+  if (code < 0 || code > static_cast<std::int32_t>(StatusCode::kSpinTimeout))
+    return Status(StatusCode::kBadFormat,
+                  "response status code " + std::to_string(code) +
+                      " out of range");
+  out->code = static_cast<StatusCode>(code);
+  if (Status st = read_string(&r, &out->message, "the status message");
+      !st.ok())
+    return st;
+  if (!r.u32(&out->panel_width)) return r.truncated("the panel width");
+  if (!r.f64(&out->residual)) return r.truncated("the residual");
+  if (!r.u32(&out->refinements)) return r.truncated("the refinement count");
+  if (!r.u32(&out->attempts)) return r.truncated("the attempt count");
+  if (!r.u32(&out->degrades)) return r.truncated("the degrade count");
+  if (Status st = read_doubles(&r, &out->x, "the solution"); !st.ok())
+    return st;
+  return Status::Ok();
+}
+
+// --- EINTR-safe fd I/O ------------------------------------------------------
+
+Status read_exact(int fd, void* buf, std::size_t len, bool* clean_eof) {
+  if (clean_eof != nullptr) *clean_eof = false;
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t r = ::recv(fd, p + got, len - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {  // peer hung up
+      if (got == 0 && clean_eof != nullptr) {
+        *clean_eof = true;
+        return Status::Ok();
+      }
+      return got == 0
+                 ? Status(StatusCode::kIoError,
+                          "peer closed the connection before a frame")
+                 : Status(StatusCode::kTruncated,
+                          "peer closed the connection mid-frame",
+                          static_cast<std::int64_t>(got), LocationKind::kLine);
+    }
+    if (errno == EINTR) continue;  // signal delivery is not an error
+    return Status(StatusCode::kIoError,
+                  std::string("recv failed: ") + std::strerror(errno),
+                  static_cast<std::int64_t>(got), LocationKind::kLine);
+  }
+  return Status::Ok();
+}
+
+Status write_exact(int fd, const void* buf, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::size_t put = 0;
+  while (put < len) {
+    // MSG_NOSIGNAL: a disconnected peer yields EPIPE here instead of a
+    // process-wide SIGPIPE — the whole point of the typed kIoError contract.
+    const ssize_t w = ::send(fd, p + put, len - put, MSG_NOSIGNAL);
+    if (w >= 0) {
+      put += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status(StatusCode::kIoError,
+                  std::string("send failed: ") + std::strerror(errno),
+                  static_cast<std::int64_t>(put), LocationKind::kLine);
+  }
+  return Status::Ok();
+}
+
+Status read_frame(int fd, std::vector<std::uint8_t>* frame, bool* clean_eof) {
+  frame->resize(kFrameHeaderBytes);
+  if (Status st = read_exact(fd, frame->data(), kFrameHeaderBytes, clean_eof);
+      !st.ok() || (clean_eof != nullptr && *clean_eof))
+    return st;
+  FrameHeader hdr;
+  if (Status st = decode_header(frame->data(), frame->size(), &hdr); !st.ok())
+    return st;
+  frame->resize(kFrameHeaderBytes + static_cast<std::size_t>(hdr.payload_len));
+  return read_exact(fd, frame->data() + kFrameHeaderBytes,
+                    static_cast<std::size_t>(hdr.payload_len));
+}
+
+}  // namespace blocktri::service

@@ -1,0 +1,123 @@
+// Wire protocol of the solve service (ISSUE 8): length-prefixed binary
+// frames over a local stream socket, plus the EINTR-safe fd I/O the server
+// and client share.
+//
+// A frame is a fixed 16-byte header followed by `payload_len` payload bytes:
+//
+//   u32  magic        'BTSV' (0x56535442)
+//   u8   version      kWireVersion
+//   u8   type         FrameType
+//   u16  reserved     0
+//   u64  payload_len  <= kMaxFramePayload (hostile lengths are rejected
+//                     before any allocation)
+//
+// Payloads are little-endian plain-old-data written field by field — the
+// same discipline as persist/artifact.cpp. The protocol is host-local (Unix
+// domain sockets), so no cross-endian translation is attempted; a u16
+// endianness canary in the request payload makes a mismatch a typed
+// kBadFormat instead of silent garbage.
+//
+// Everything decodable is decodable from a plain byte buffer with no socket
+// attached, so the fault-injection tests can truncate and corrupt frames
+// byte by byte (mirroring tests/test_fault_injection.cpp) without a live
+// server. Typed failures, never a crash:
+//   kBadFormat        bad magic, unknown type, oversize length, bad canary
+//   kVersionMismatch  frame written by an incompatible protocol version
+//   kTruncated        buffer ends mid-field; location = byte offset
+//
+// The fd helpers handle the classic POSIX sharp edges once, for every
+// caller: EINTR restarts, short reads/writes, SIGPIPE (suppressed via
+// MSG_NOSIGNAL — a dead peer is a typed kIoError, not a process kill).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/solver.hpp"
+
+namespace blocktri::service {
+
+inline constexpr std::uint32_t kWireMagic = 0x56535442u;  // "BTSV"
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+/// Hard bound on a frame payload: a hostile or corrupt length field must
+/// fail typed, not drive a multi-gigabyte allocation. 1 GiB comfortably
+/// holds the largest single-RHS request the solver itself could accept.
+inline constexpr std::uint64_t kMaxFramePayload = std::uint64_t(1) << 30;
+/// Value of the endianness canary as written (see header comment).
+inline constexpr std::uint16_t kWireCanary = 0x0102;
+
+enum class FrameType : std::uint8_t {
+  kSolveRequest = 1,
+  kSolveResponse = 2,
+};
+
+struct FrameHeader {
+  std::uint32_t magic = 0;
+  std::uint8_t version = 0;
+  std::uint8_t type = 0;
+  std::uint64_t payload_len = 0;
+};
+
+/// One client solve call as it travels the wire.
+struct WireRequest {
+  std::uint64_t matrix_id = 0;
+  double deadline_ms = 0.0;  // <= 0 → unlimited
+  std::string tenant;
+  std::vector<double> b;
+};
+
+/// The demuxed outcome for one request: its solution column, the panel
+/// width it rode in, and the SolveReport fields worth shipping.
+struct WireResponse {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  std::uint32_t panel_width = 0;
+  double residual = 0.0;
+  std::uint32_t refinements = 0;
+  std::uint32_t attempts = 0;
+  std::uint32_t degrades = 0;
+  std::vector<double> x;
+};
+
+/// Serializes a complete frame (header + payload).
+std::vector<std::uint8_t> encode_request(const WireRequest& req);
+std::vector<std::uint8_t> encode_response(const WireResponse& resp);
+
+/// Validates the fixed header at `data` (magic, version, known type, sane
+/// payload length). `len` is how many bytes are available.
+Status decode_header(const std::uint8_t* data, std::size_t len,
+                     FrameHeader* out);
+
+/// Decodes a complete frame produced by the matching encode_*. Any
+/// truncation or corruption yields a typed Status (see header comment).
+Status decode_request(const std::uint8_t* data, std::size_t len,
+                      WireRequest* out);
+Status decode_response(const std::uint8_t* data, std::size_t len,
+                       WireResponse* out);
+
+// --- EINTR-safe fd I/O ------------------------------------------------------
+
+/// Reads exactly `len` bytes into `buf`, restarting on EINTR and continuing
+/// across short reads. EOF before the first byte: when `clean_eof` is
+/// non-null it is set and Ok is returned (the caller is between frames and
+/// a peer hanging up there is normal); otherwise kIoError. EOF mid-buffer
+/// is always kTruncated with the byte count read as the location.
+Status read_exact(int fd, void* buf, std::size_t len,
+                  bool* clean_eof = nullptr);
+
+/// Writes exactly `len` bytes, restarting on EINTR, continuing across short
+/// writes, and suppressing SIGPIPE (MSG_NOSIGNAL): a peer that disconnected
+/// mid-solve surfaces as kIoError, never a signal or a hang.
+Status write_exact(int fd, const void* buf, std::size_t len);
+
+/// Reads one frame (header + payload) into `*frame` — the whole buffer, so
+/// decode_request/decode_response run on it directly. Validates the header
+/// before allocating for the payload. `*clean_eof` is set when the peer
+/// hung up between frames.
+Status read_frame(int fd, std::vector<std::uint8_t>* frame, bool* clean_eof);
+
+}  // namespace blocktri::service

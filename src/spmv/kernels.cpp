@@ -109,11 +109,17 @@ void host_update_many(const std::vector<offset_t>& row_ptr,
                       const std::vector<index_t>& col_idx,
                       const std::vector<T>& val, const index_t* row_ids,
                       index_t nrows_listed, const T* x, T* y, index_t k,
-                      index_t ldx, index_t ldy, ThreadPool* pool) {
+                      index_t ldx, index_t ldy, ThreadPool* pool,
+                      PanelLayout layout) {
   if (k <= 0 || nrows_listed <= 0) return;
   auto run_range = [&](index_t r0, index_t r1) {
-    simd::spmv_update_rows_many(row_ptr.data(), col_idx.data(), val.data(),
-                                row_ids, r0, r1, x, y, 0, k, ldx, ldy);
+    if (layout == PanelLayout::kInterleaved)
+      simd::spmv_update_rows_many_ilv(row_ptr.data(), col_idx.data(),
+                                      val.data(), row_ids, r0, r1, x, y, 0, k,
+                                      ldx, ldy);
+    else
+      simd::spmv_update_rows_many(row_ptr.data(), col_idx.data(), val.data(),
+                                  row_ids, r0, r1, x, y, 0, k, ldx, ldy);
   };
   const offset_t nnz = row_ptr[static_cast<std::size_t>(nrows_listed)];
   if (parallel_enabled(pool) && nnz * k >= kHostParallelMinNnz &&
@@ -245,30 +251,34 @@ void spmv_update(SpmvKernelKind kind, const Csr<T>& a, const T* x, T* y,
 
 template <class T>
 void spmv_scalar_csr_many(const Csr<T>& a, const T* x, T* y, index_t k,
-                          index_t ldx, index_t ldy, ThreadPool* pool) {
+                          index_t ldx, index_t ldy, ThreadPool* pool,
+                          PanelLayout layout) {
   host_update_many(a.row_ptr, a.col_idx, a.val, nullptr, a.nrows, x, y, k,
-                   ldx, ldy, pool);
+                   ldx, ldy, pool, layout);
 }
 
 template <class T>
 void spmv_vector_csr_many(const Csr<T>& a, const T* x, T* y, index_t k,
-                          index_t ldx, index_t ldy, ThreadPool* pool) {
+                          index_t ldx, index_t ldy, ThreadPool* pool,
+                          PanelLayout layout) {
   host_update_many(a.row_ptr, a.col_idx, a.val, nullptr, a.nrows, x, y, k,
-                   ldx, ldy, pool);
+                   ldx, ldy, pool, layout);
 }
 
 template <class T>
 void spmv_scalar_dcsr_many(const Dcsr<T>& a, const T* x, T* y, index_t k,
-                           index_t ldx, index_t ldy, ThreadPool* pool) {
+                           index_t ldx, index_t ldy, ThreadPool* pool,
+                           PanelLayout layout) {
   host_update_many(a.row_ptr, a.col_idx, a.val, a.row_ids.data(),
-                   a.nnz_rows(), x, y, k, ldx, ldy, pool);
+                   a.nnz_rows(), x, y, k, ldx, ldy, pool, layout);
 }
 
 template <class T>
 void spmv_vector_dcsr_many(const Dcsr<T>& a, const T* x, T* y, index_t k,
-                           index_t ldx, index_t ldy, ThreadPool* pool) {
+                           index_t ldx, index_t ldy, ThreadPool* pool,
+                           PanelLayout layout) {
   host_update_many(a.row_ptr, a.col_idx, a.val, a.row_ids.data(),
-                   a.nnz_rows(), x, y, k, ldx, ldy, pool);
+                   a.nnz_rows(), x, y, k, ldx, ldy, pool, layout);
 }
 
 template <class T>
@@ -317,13 +327,17 @@ std::vector<T> spmv_apply(const Csr<T>& a, const std::vector<T>& x) {
   template void spmv_update(SpmvKernelKind, const Csr<T>&, const T*, T*,      \
                             const SpmvSim*, ThreadPool*);                     \
   template void spmv_scalar_csr_many(const Csr<T>&, const T*, T*, index_t,    \
-                                     index_t, index_t, ThreadPool*);          \
+                                     index_t, index_t, ThreadPool*,           \
+                                     PanelLayout);                            \
   template void spmv_vector_csr_many(const Csr<T>&, const T*, T*, index_t,    \
-                                     index_t, index_t, ThreadPool*);          \
+                                     index_t, index_t, ThreadPool*,           \
+                                     PanelLayout);                            \
   template void spmv_scalar_dcsr_many(const Dcsr<T>&, const T*, T*, index_t,  \
-                                      index_t, index_t, ThreadPool*);         \
+                                      index_t, index_t, ThreadPool*,          \
+                                      PanelLayout);                           \
   template void spmv_vector_dcsr_many(const Dcsr<T>&, const T*, T*, index_t,  \
-                                      index_t, index_t, ThreadPool*);         \
+                                      index_t, index_t, ThreadPool*,          \
+                                      PanelLayout);                           \
   template void spmv_update_many(SpmvKernelKind, const Csr<T>&, const T*,     \
                                  T*, index_t, index_t, index_t, ThreadPool*); \
   template std::vector<T> spmv_apply(const Csr<T>&, const std::vector<T>&);

@@ -74,8 +74,10 @@ void spmv_update(SpmvKernelKind kind, const Csr<T>& a, const T* x, T* y,
 
 // --- Batched (multi-RHS) update kernels -------------------------------------
 //
-// SpMM-style Y ← Y − A·X over column-major panels: X has k columns with
-// leading dimension `ldx`, Y with `ldy`. Each (listed) row streams its
+// SpMM-style Y ← Y − A·X over multi-RHS panels: X has k columns with
+// leading dimension `ldx`, Y with `ldy`; `layout` selects column-major
+// (element (i, c) at base[i + c·ld]) or row-interleaved (base[i·ld + c])
+// storage, with identical per-column operation order either way. Each (listed) row streams its
 // structure once and updates all k columns in kRhsTile-wide stack-accumulated
 // groups, so the CSR/DCSR arrays are read once per solve step instead of once
 // per RHS. Host only (no simulation context — the batched path is the
@@ -86,22 +88,26 @@ void spmv_update(SpmvKernelKind kind, const Csr<T>& a, const T* x, T* y,
 template <class T>
 void spmv_scalar_csr_many(const Csr<T>& a, const T* x, T* y, index_t k,
                           index_t ldx, index_t ldy,
-                          ThreadPool* pool = nullptr);
+                          ThreadPool* pool = nullptr,
+                          PanelLayout layout = PanelLayout::kColMajor);
 
 template <class T>
 void spmv_vector_csr_many(const Csr<T>& a, const T* x, T* y, index_t k,
                           index_t ldx, index_t ldy,
-                          ThreadPool* pool = nullptr);
+                          ThreadPool* pool = nullptr,
+                          PanelLayout layout = PanelLayout::kColMajor);
 
 template <class T>
 void spmv_scalar_dcsr_many(const Dcsr<T>& a, const T* x, T* y, index_t k,
                            index_t ldx, index_t ldy,
-                           ThreadPool* pool = nullptr);
+                           ThreadPool* pool = nullptr,
+                           PanelLayout layout = PanelLayout::kColMajor);
 
 template <class T>
 void spmv_vector_dcsr_many(const Dcsr<T>& a, const T* x, T* y, index_t k,
                            index_t ldx, index_t ldy,
-                           ThreadPool* pool = nullptr);
+                           ThreadPool* pool = nullptr,
+                           PanelLayout layout = PanelLayout::kColMajor);
 
 /// Dispatch by kind on a pre-built CSR block (DCSR kinds convert on the fly,
 /// mirroring spmv_update — production callers hold native DCSR blocks and

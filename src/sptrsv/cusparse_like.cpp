@@ -67,8 +67,19 @@ void CusparseLikeSolver<T>::refresh_values(const Csr<T>& lower) {
 
 template <class T>
 void CusparseLikeSolver<T>::solve_many(const T* b, T* x, index_t k, index_t ld,
-                                       const ExecControl* ctl) const {
+                                       const ExecControl* ctl,
+                                       PanelLayout layout) const {
   if (k <= 0) return;
+  const auto rows_many = [&](offset_t p0, offset_t p1) {
+    if (layout == PanelLayout::kInterleaved)
+      simd::sptrsv_rows_many_ilv(a_.row_ptr.data(), a_.col_idx.data(),
+                                 a_.val.data(), ls_.level_item.data(), p0, p1,
+                                 b, x, 0, k, ld);
+    else
+      simd::sptrsv_rows_many(a_.row_ptr.data(), a_.col_idx.data(),
+                             a_.val.data(), ls_.level_item.data(), p0, p1, b,
+                             x, 0, k, ld);
+  };
   // One flat pass over the level-ordered item list — in-order processing
   // satisfies every dependency, and the barriers only matter to the cost
   // model, not to host execution. With an armed control the pass is chunked
@@ -77,16 +88,12 @@ void CusparseLikeSolver<T>::solve_many(const T* b, T* x, index_t k, index_t ld,
   if (ctl != nullptr && ctl->armed()) {
     for (offset_t p = 0; p < end; p += kCtlChunkItems) {
       if (!ctl->check()) return;
-      simd::sptrsv_rows_many(a_.row_ptr.data(), a_.col_idx.data(),
-                             a_.val.data(), ls_.level_item.data(), p,
-                             std::min<offset_t>(p + kCtlChunkItems, end), b, x,
-                             0, k, ld);
+      rows_many(p, std::min<offset_t>(p + kCtlChunkItems, end));
     }
     return;
   }
   if (ctl != nullptr && !ctl->check()) return;
-  simd::sptrsv_rows_many(a_.row_ptr.data(), a_.col_idx.data(), a_.val.data(),
-                         ls_.level_item.data(), 0, end, b, x, 0, k, ld);
+  rows_many(0, end);
 }
 
 template <class T>

@@ -55,7 +55,8 @@ class CusparseLikeSolver {
   /// intentionally serial, and per column it is bitwise identical to k
   /// single solves.
   void solve_many(const T* b, T* x, index_t k, index_t ld,
-                  const ExecControl* ctl = nullptr) const;
+                  const ExecControl* ctl = nullptr,
+                  PanelLayout layout = PanelLayout::kColMajor) const;
 
   const Csr<T>& matrix() const { return a_; }
   const LevelSets& levels() const { return ls_; }

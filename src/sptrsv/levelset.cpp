@@ -74,9 +74,22 @@ void LevelSetSolver<T>::refresh_values(const Csr<T>& lower) {
 
 template <class T>
 void LevelSetSolver<T>::solve_many(const T* b, T* x, index_t k, index_t ld,
-                                   ThreadPool* pool,
-                                   const ExecControl* ctl) const {
+                                   ThreadPool* pool, const ExecControl* ctl,
+                                   PanelLayout layout) const {
   if (k <= 0) return;
+  // Both layouts share the level/group schedule; only the inner kernel
+  // differs (identical per-column operation order either way).
+  const auto rows_many = [&](offset_t p0, offset_t p1, index_t c0,
+                             index_t c1) {
+    if (layout == PanelLayout::kInterleaved)
+      simd::sptrsv_rows_many_ilv(a_.row_ptr.data(), a_.col_idx.data(),
+                                 a_.val.data(), ls_.level_item.data(), p0, p1,
+                                 b, x, c0, c1, ld);
+    else
+      simd::sptrsv_rows_many(a_.row_ptr.data(), a_.col_idx.data(),
+                             a_.val.data(), ls_.level_item.data(), p0, p1, b,
+                             x, c0, c1, ld);
+  };
   const bool parallel = parallel_enabled(pool);
   const index_t ngroups = exec_groups();
   for (index_t g = 0; g < ngroups; ++g) {
@@ -89,26 +102,19 @@ void LevelSetSolver<T>::solve_many(const T* b, T* x, index_t k, index_t ld,
     if (parallel && single_level && hi - lo >= 2 * pool->size()) {
       // Wide level: split the rows (each row owns its x entries in every
       // column), barrier at return.
-      pool->parallel_for(
-          static_cast<index_t>(lo), static_cast<index_t>(hi),
-          [&](index_t cb, index_t ce, int) {
-            simd::sptrsv_rows_many(a_.row_ptr.data(), a_.col_idx.data(),
-                                   a_.val.data(), ls_.level_item.data(), cb,
-                                   ce, b, x, 0, k, ld);
-          });
+      pool->parallel_for(static_cast<index_t>(lo), static_cast<index_t>(hi),
+                         [&](index_t cb, index_t ce, int) {
+                           rows_many(cb, ce, 0, k);
+                         });
     } else if (parallel && k >= 2 * pool->size()) {
       // Narrow/merged group, many columns: split the columns instead; each
       // chunk walks the group's rows serially (level order → dependencies
       // satisfied) over its own column range.
       pool->parallel_for(0, k, [&](index_t c0, index_t c1, int) {
-        simd::sptrsv_rows_many(a_.row_ptr.data(), a_.col_idx.data(),
-                               a_.val.data(), ls_.level_item.data(), lo, hi,
-                               b, x, c0, c1, ld);
+        rows_many(lo, hi, c0, c1);
       });
     } else {
-      simd::sptrsv_rows_many(a_.row_ptr.data(), a_.col_idx.data(),
-                             a_.val.data(), ls_.level_item.data(), lo, hi, b,
-                             x, 0, k, ld);
+      rows_many(lo, hi, 0, k);
     }
   }
 }

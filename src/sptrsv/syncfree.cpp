@@ -217,26 +217,87 @@ void syncfree_columns_many(const Csc<T>& csc, const T* b, T* x, index_t c0,
   }
 }
 
+/// Interleaved-panel counterpart of syncfree_columns_many: panel element
+/// (i, c) at b[i·ld + c], and the accumulator panel keeps one row's tile
+/// entries adjacent (left_buf[i·nt + c]) so both the x/b traffic and the
+/// scatter updates are unit-stride across the tile. Per column the
+/// accumulation order is identical (ascending components, ascending rows
+/// within a column), so results stay bitwise equal to the column-major path.
+template <class T>
+void syncfree_columns_many_ilv(const Csc<T>& csc, const T* b, T* x, index_t c0,
+                               index_t c1, index_t ld, T* scratch,
+                               const ExecControl* ctl) {
+  const index_t n = csc.ncols;
+  const auto nu = static_cast<std::size_t>(n);
+  std::vector<T> local;
+  T* left_buf = scratch;
+  if (left_buf == nullptr) {
+    local.resize(nu * static_cast<std::size_t>(
+                          std::min<index_t>(kRhsTile, c1 - c0)));
+    left_buf = local.data();
+  }
+  for (index_t ct = c0; ct < c1; ct += kRhsTile) {
+    if (ctl != nullptr && !ctl->check()) return;
+    const int nt = static_cast<int>(
+        ct + kRhsTile <= c1 ? kRhsTile : c1 - ct);
+    const auto ntu = static_cast<std::size_t>(nt);
+    std::fill(left_buf, left_buf + nu * ntu, T(0));
+    for (index_t i = 0; i < n; ++i) {
+      const offset_t clo = csc.col_ptr[static_cast<std::size_t>(i)];
+      const offset_t chi = csc.col_ptr[static_cast<std::size_t>(i) + 1];
+      const T d = csc.val[static_cast<std::size_t>(clo)];
+      const T* bi = b + static_cast<std::size_t>(i) *
+                            static_cast<std::size_t>(ld) +
+                    ct;
+      T* xi = x + static_cast<std::size_t>(i) *
+                      static_cast<std::size_t>(ld) +
+              ct;
+      T* li = left_buf + static_cast<std::size_t>(i) * ntu;
+      T xi_loc[kRhsTile];
+      for (int c = 0; c < nt; ++c) {
+        xi_loc[c] = (bi[c] - li[c]) / d;
+        xi[c] = xi_loc[c];
+      }
+      for (offset_t p = clo + 1; p < chi; ++p) {
+        T* lr = left_buf + static_cast<std::size_t>(
+                               csc.row_idx[static_cast<std::size_t>(p)]) *
+                               ntu;
+        const T v = csc.val[static_cast<std::size_t>(p)];
+        for (int c = 0; c < nt; ++c) lr[c] += v * xi_loc[c];
+      }
+    }
+  }
+}
+
 }  // namespace
 
 template <class T>
 void SyncFreeSolver<T>::solve_many(const T* b, T* x, index_t k, index_t ld,
                                    ThreadPool* pool, T* scratch,
-                                   const ExecControl* ctl) const {
+                                   const ExecControl* ctl,
+                                   PanelLayout layout) const {
   if (k <= 0) return;
   if (ctl != nullptr && !ctl->check()) return;
+  const bool ilv = layout == PanelLayout::kInterleaved;
   if (parallel_enabled(pool) && k >= 2 &&
       static_cast<offset_t>(k) * csc_.nnz() >= kHostParallelMinNnz) {
     // Column chunks run concurrently, each needing its own accumulator
     // panel — the shared scratch would race, so chunks allocate locally.
     // Each chunk polls the control per tile (check() is thread-safe).
     pool->parallel_for(0, k, [&](index_t c0, index_t c1, int) {
-      syncfree_columns_many(csc_, b, x, c0, c1, ld, static_cast<T*>(nullptr),
-                            ctl);
+      if (ilv)
+        syncfree_columns_many_ilv(csc_, b, x, c0, c1, ld,
+                                  static_cast<T*>(nullptr), ctl);
+      else
+        syncfree_columns_many(csc_, b, x, c0, c1, ld,
+                              static_cast<T*>(nullptr), ctl);
     });
     return;
   }
-  syncfree_columns_many(csc_, b, x, 0, k, ld, scratch, ctl);
+  if (ilv)
+    syncfree_columns_many_ilv(csc_, b, x, 0, k, ld, scratch, ctl);
+  else
+    syncfree_columns_many(csc_, b, x, 0, k, ld, scratch, ctl);
 }
 
 template <class T>

@@ -81,7 +81,8 @@ class SyncFreeSolver {
   /// (each chunk needs its own panel and allocates locally).
   void solve_many(const T* b, T* x, index_t k, index_t ld,
                   ThreadPool* pool = nullptr, T* scratch = nullptr,
-                  const ExecControl* ctl = nullptr) const;
+                  const ExecControl* ctl = nullptr,
+                  PanelLayout layout = PanelLayout::kColMajor) const;
 
   const Csc<T>& matrix_csc() const { return csc_; }
   const Csr<T>& strict_rows() const { return strict_rows_; }

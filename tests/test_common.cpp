@@ -2,9 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
+#include <string>
 
 #include "common/cli.hpp"
+#include "common/thread_pool.hpp"
 #include "common/prefix.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -274,6 +277,83 @@ TEST(Status, ThrowIfErrorBridgesToException) {
     EXPECT_EQ(e.status().location(), 3);
     EXPECT_EQ(std::string(e.what()), e.status().to_string());
   }
+}
+
+// --- resolve_threads env hardening (ISSUE 8 satellite) ----------------------
+
+// Sets BLOCKTRI_THREADS for one test body, restoring the prior state on
+// scope exit so tests cannot leak environment into each other.
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    const char* old = std::getenv("BLOCKTRI_THREADS");
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    if (value != nullptr)
+      ::setenv("BLOCKTRI_THREADS", value, 1);
+    else
+      ::unsetenv("BLOCKTRI_THREADS");
+  }
+  ~ScopedThreadsEnv() {
+    if (had_)
+      ::setenv("BLOCKTRI_THREADS", saved_.c_str(), 1);
+    else
+      ::unsetenv("BLOCKTRI_THREADS");
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(ResolveThreads, ValidEnvOverridesTheRequest) {
+  ScopedThreadsEnv env("3");
+  EXPECT_EQ(resolve_threads(8), 3);
+  EXPECT_EQ(resolve_threads(0), 3);
+}
+
+TEST(ResolveThreads, UnsetEnvFallsBackToTheRequest) {
+  ScopedThreadsEnv env(nullptr);
+  EXPECT_EQ(resolve_threads(8), 8);
+  EXPECT_GE(resolve_threads(0), 1);   // 0 = auto-detect, at least one
+  EXPECT_EQ(resolve_threads(-4), 1);  // negative requests clamp to one
+}
+
+TEST(ResolveThreads, GarbageEnvFallsBackToTheRequest) {
+  for (const char* bad : {"", "abc", "4x", "4 2", "2.5", "--3", "+", " ",
+                          "0x10", "1e3"}) {
+    ScopedThreadsEnv env(bad);
+    EXPECT_EQ(resolve_threads(8), 8) << "env was '" << bad << "'";
+  }
+}
+
+TEST(ResolveThreads, NonPositiveEnvFallsBackToTheRequest) {
+  for (const char* bad : {"0", "-1", "-4096"}) {
+    ScopedThreadsEnv env(bad);
+    EXPECT_EQ(resolve_threads(8), 8) << "env was '" << bad << "'";
+  }
+}
+
+TEST(ResolveThreads, OverflowingEnvFallsBackInsteadOfWrapping) {
+  // Both values saturate or overflow long; neither may wrap into a small
+  // positive thread count.
+  for (const char* bad :
+       {"9223372036854775808", "99999999999999999999999999", "-99999999999"}) {
+    ScopedThreadsEnv env(bad);
+    EXPECT_EQ(resolve_threads(8), 8) << "env was '" << bad << "'";
+  }
+}
+
+TEST(ResolveThreads, EnvAboveTheSanityCapFallsBack) {
+  ScopedThreadsEnv env("1000000");  // > kMaxResolvedThreads, parses fine
+  EXPECT_EQ(resolve_threads(8), 8);
+  ScopedThreadsEnv env2("4096");  // the cap itself is accepted
+  EXPECT_EQ(resolve_threads(8), 4096);
+}
+
+TEST(ResolveThreads, TrailingBlanksAreTolerated) {
+  ScopedThreadsEnv env("6  \t");
+  EXPECT_EQ(resolve_threads(8), 6);
 }
 
 }  // namespace

@@ -10,7 +10,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -678,6 +680,178 @@ TEST(ExecControlUnit, DeadlineAndCancelArmTheControl) {
   token.cancel();
   EXPECT_FALSE(ctl.check());
   EXPECT_EQ(ctl.reason(), StatusCode::kCancelled);
+}
+
+// --- Latent-bug sweep (ISSUE 8): edges the service front end stresses -------
+
+// A zero or negative budget must be expired the instant it is armed — the
+// service admission path relies on this to reject dead requests before they
+// touch the solver — and a huge negative value must not wrap the integer
+// duration_cast into the far future.
+TEST(DeadlineEdges, NonPositiveAndNaNBudgetsAreBornExpired) {
+  EXPECT_TRUE(Deadline::after_ms(0.0).expired());
+  EXPECT_TRUE(Deadline::after_ms(-1.0).expired());
+  EXPECT_TRUE(Deadline::after_ms(-1e300).expired());
+  EXPECT_TRUE(Deadline::after_ms(std::nan("")).expired());
+  EXPECT_TRUE(
+      Deadline::after_ms(-std::numeric_limits<double>::infinity()).expired());
+  EXPECT_FALSE(Deadline::after_ms(0.0).unlimited_deadline());  // armed
+}
+
+// A budget beyond the clock's range used to overflow duration_cast and land
+// in the past (instantly expired); it must instead pin at time_point::max().
+TEST(DeadlineEdges, OversizeBudgetsPinAtClockMaxInsteadOfOverflowing) {
+  const Deadline huge = Deadline::after_ms(1e300);
+  EXPECT_FALSE(huge.unlimited_deadline());
+  EXPECT_FALSE(huge.expired());
+  EXPECT_EQ(huge.time_point(), Deadline::Clock::time_point::max());
+
+  const Deadline inf =
+      Deadline::after_ms(std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(inf.expired());
+  EXPECT_EQ(inf.time_point(), Deadline::Clock::time_point::max());
+
+  EXPECT_FALSE(Deadline::after_ms(5.0).expired());  // sane budgets still work
+}
+
+// The waiter-vs-cancellation race: a thread parked on an exhausted blocking
+// pool must wake with a typed denial when its request is cancelled — before
+// this sweep it slept until a workspace came back, potentially forever.
+TEST(WorkspacePool, BlockedWaiterWakesWithCancelledWhenTokenFires) {
+  WorkspacePool<int> pool({1, /*block_when_exhausted=*/true});
+  auto init = [](int&) {};
+  auto held = pool.acquire(init);
+  ASSERT_TRUE(held);
+
+  CancelToken token;
+  StatusCode denial = StatusCode::kOk;
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    auto late = pool.acquire(init, Deadline::unlimited(), &token, &denial);
+    EXPECT_FALSE(late);  // cancelled, not served
+    woke.store(true);
+  });
+  // The waiter is parked (lease_waits ticks once it blocks).
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (pool.stats().lease_waits < 1 &&
+         std::chrono::steady_clock::now() < give_up)
+    std::this_thread::yield();
+  ASSERT_GE(pool.stats().lease_waits, 1u);
+  EXPECT_FALSE(woke.load());
+
+  token.cancel();  // no workspace is ever released
+  waiter.join();
+  EXPECT_EQ(denial, StatusCode::kCancelled);
+  EXPECT_EQ(pool.stats().in_use, 1u);  // the held lease is untouched
+}
+
+TEST(WorkspacePool, BlockedWaiterWakesWithDeadlineExceeded) {
+  WorkspacePool<int> pool({1, /*block_when_exhausted=*/true});
+  auto init = [](int&) {};
+  auto held = pool.acquire(init);
+  ASSERT_TRUE(held);
+
+  StatusCode denial = StatusCode::kOk;
+  auto late = pool.acquire(init, Deadline::after_ms(20.0), nullptr, &denial);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(denial, StatusCode::kDeadlineExceeded);
+}
+
+TEST(WorkspacePool, CancellableAcquireStillServesWhenAWorkspaceReturns) {
+  WorkspacePool<int> pool({1, /*block_when_exhausted=*/true});
+  auto init = [](int&) {};
+  auto held = pool.acquire(init);
+  ASSERT_TRUE(held);
+
+  CancelToken token;  // armed but never fired
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    StatusCode denial = StatusCode::kOk;
+    auto late =
+        pool.acquire(init, Deadline::after_ms(60000.0), &token, &denial);
+    acquired.store(static_cast<bool>(late));
+  });
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (pool.stats().lease_waits < 1 &&
+         std::chrono::steady_clock::now() < give_up)
+    std::this_thread::yield();
+  held.release();
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+// End to end through the solver: a solve blocked waiting for a workspace is
+// unblocked by its own cancel token with a typed kCancelled.
+TEST(PoolBackpressure, CancelWakesASolveBlockedOnTheExhaustedPool) {
+  Opt opt = base_options();
+  opt.session.max_workspaces = 1;
+  opt.session.block_when_exhausted = true;
+  opt.fault.hold_lease_ms = 400;  // the holder camps on the lone workspace
+  auto solver = make_solver(opt);
+  const auto b = gen::random_rhs<double>(fixture().nrows, 3);
+
+  Status first = Status::Ok();
+  std::thread holder([&] {
+    std::vector<double> x(b.size());
+    first = solver->solve(b.data(), x.data(), SolveControls{});
+  });
+  ASSERT_TRUE(wait_for_in_use(*solver, 1));
+
+  CancelToken token;
+  SolveControls controls;
+  controls.cancel = &token;
+  Status second = Status::Ok();
+  std::thread blocked([&] {
+    std::vector<double> x(b.size());
+    second = solver->solve(b.data(), x.data(), controls);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  token.cancel();
+  blocked.join();  // wakes on the poll tick, long before the holder releases
+  holder.join();
+  EXPECT_TRUE(first.ok()) << first.to_string();
+  EXPECT_EQ(second.code(), StatusCode::kCancelled) << second.to_string();
+}
+
+// quarantine_ttl_inserts = 0 documents "expires at the first check after
+// insert"; the boundary arithmetic must not make it permanent.
+TEST(PlanCacheQuarantine, ZeroTtlTombstoneExpiresImmediately) {
+  typename PlanCache<double>::Limits lim;
+  lim.quarantine_failures = 1;
+  lim.quarantine_ttl_inserts = 0;
+  PlanCache<double> cache(lim);
+
+  auto bad = artifact_for(gen::banded(200, 4, 2.0, 1));
+  const PlanCacheKey key{bad->structure, bad->options};
+  cache.insert(bad);
+  cache.report_hit_failure(key);
+  EXPECT_FALSE(cache.quarantined(key));  // expiry generation == now
+  EXPECT_EQ(cache.insert(bad), bad);     // re-admitted right away
+}
+
+// quarantine_ttl_inserts = UINT64_MAX means "forever". Before the sweep,
+// insert_generation + ttl wrapped modulo 2^64 to insert_generation − 1: the
+// tombstone expired instantly and the quarantine silently never engaged.
+TEST(PlanCacheQuarantine, MaxTtlTombstoneSaturatesInsteadOfWrapping) {
+  typename PlanCache<double>::Limits lim;
+  lim.quarantine_failures = 1;
+  lim.quarantine_ttl_inserts = std::numeric_limits<std::uint64_t>::max();
+  PlanCache<double> cache(lim);
+
+  auto bad = artifact_for(gen::banded(200, 4, 2.0, 1));
+  const PlanCacheKey key{bad->structure, bad->options};
+  cache.insert(bad);
+  cache.report_hit_failure(key);
+  ASSERT_TRUE(cache.quarantined(key));
+
+  // Generations advance; a wrapped expiry would have lapsed at the first.
+  cache.insert(artifact_for(gen::banded(220, 4, 2.0, 2)));
+  cache.insert(artifact_for(gen::banded(240, 4, 2.0, 3)));
+  EXPECT_TRUE(cache.quarantined(key));
+  EXPECT_EQ(cache.find(key), nullptr);
+  EXPECT_EQ(cache.stats().tombstones, 1u);
 }
 
 }  // namespace

@@ -20,18 +20,29 @@
 // Acceptance (ISSUE 8): coalesced throughput >= 3x uncoalesced with 16
 // concurrent clients at full size.
 //
+// Besides the closed-loop modes above, an *open-loop* mode (ISSUE 9
+// satellite) drives the coalesced service with a Poisson arrival process —
+// arrivals scheduled up front at a fixed offered rate, latency measured from
+// the scheduled arrival so queueing delay counts. Two rates are derived from
+// the measured closed-loop coalesced throughput: 0.8x (below saturation —
+// achieved tracks offered, the tail stays flat) and 1.5x (past saturation —
+// achieved clamps at capacity and the backlog shows up in p99). An explicit
+// --rate runs one open-loop record at that rate instead.
+//
 //   ./bench/service_load [--n=60000] [--clients=16] [--iters=12]
-//                        [--panel=16] [--window-ms=15]
-//                        [--out=BENCH_service.json] [--tiny]
+//                        [--panel=16] [--window-ms=15] [--rate=R]
+//                        [--open-ms=3000] [--out=BENCH_service.json] [--tiny]
 //
 // --tiny is the CI smoke mode: small matrix, few iterations, gate reported
 // but not enforced.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <random>
 #include <string>
 #include <thread>
 #include <unistd.h>
@@ -49,6 +60,7 @@ struct Record {
   std::uint64_t requests = 0;
   double wall_ms = 0.0;
   double throughput_rps = 0.0;
+  double offered_rps = 0.0;        // open-loop only: the Poisson arrival rate
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   double coalesce_ratio = 0.0;     // requests per dispatched panel
@@ -143,6 +155,86 @@ Record run_load(service::SolveService& svc, std::uint64_t id,
   return r;
 }
 
+/// Open-loop (arrival-rate) load: request arrivals follow a Poisson process
+/// at `rate_rps`, independent of service completion — the load a real
+/// front-end applies, where a slow service does not throttle its own
+/// arrivals and queueing delay shows up in the latency tail instead of
+/// hiding in the closed loop. Arrival times are drawn up front (exponential
+/// inter-arrivals); `clients` worker threads claim arrivals from a shared
+/// cursor, sleep until each scheduled instant, and measure latency from the
+/// *scheduled arrival* — a late pickup is queueing delay and counts.
+Record run_open_loop(service::SolveService& svc, std::uint64_t id,
+                     const std::vector<std::vector<double>>& rhs,
+                     const std::vector<std::vector<double>>& ref,
+                     int clients, double rate_rps, double duration_ms,
+                     const std::string& mode) {
+  using Clock = std::chrono::steady_clock;
+
+  std::mt19937_64 rng(1234567);
+  std::exponential_distribution<double> gap_ms(rate_rps / 1000.0);
+  std::vector<double> arrival_ms;
+  for (double t = gap_ms(rng); t < duration_ms; t += gap_ms(rng))
+    arrival_ms.push_back(t);
+
+  std::vector<service::Request> reqs(rhs.size());
+  for (std::size_t s = 0; s < rhs.size(); ++s) {
+    reqs[s].matrix_id = id;
+    reqs[s].tenant = "tenant-" + std::to_string(s);
+    reqs[s].b = rhs[s];
+  }
+
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<std::uint64_t> mismatches{0};
+  std::atomic<std::size_t> cursor{0};
+  const auto start = Clock::now();
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (;;) {
+        const std::size_t i = cursor.fetch_add(1);
+        if (i >= arrival_ms.size()) return;
+        const auto due =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double, std::milli>(
+                            arrival_ms[i]));
+        std::this_thread::sleep_until(due);
+        const std::size_t slot = i % rhs.size();
+        service::Response resp = svc.solve(reqs[slot]);
+        const double lat_ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - due)
+                .count();
+        latencies[c].push_back(lat_ms);
+        if (!resp.status.ok() || resp.x.size() != ref[slot].size() ||
+            std::memcmp(resp.x.data(), ref[slot].data(),
+                        resp.x.size() * sizeof(double)) != 0)
+          mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+
+  std::vector<double> all;
+  for (const auto& l : latencies) all.insert(all.end(), l.begin(), l.end());
+
+  const service::ServiceStats st = svc.stats();
+  Record r;
+  r.mode = mode;
+  r.clients = clients;
+  r.requests = arrival_ms.size();
+  r.wall_ms = wall_ms;
+  r.offered_rps = rate_rps;
+  r.throughput_rps = 1000.0 * static_cast<double>(r.requests) / wall_ms;
+  r.p50_ms = percentile(all, 0.50);
+  r.p99_ms = percentile(all, 0.99);
+  r.coalesce_ratio = st.coalesce_ratio;
+  r.max_panel_width = st.max_panel_width;
+  r.mismatches = mismatches.load();
+  return r;
+}
+
 void write_json(const std::string& path, index_t n,
                 const std::vector<Record>& recs) {
   FILE* f = std::fopen(path.c_str(), "w");
@@ -160,12 +252,13 @@ void write_json(const std::string& path, index_t n,
     std::fprintf(
         f,
         "    {\"mode\": \"%s\", \"clients\": %d, \"requests\": %llu, "
-        "\"wall_ms\": %.3f, \"throughput_rps\": %.3f, \"p50_ms\": %.4f, "
+        "\"wall_ms\": %.3f, \"throughput_rps\": %.3f, \"offered_rps\": %.3f, "
+        "\"p50_ms\": %.4f, "
         "\"p99_ms\": %.4f, \"coalesce_ratio\": %.3f, "
         "\"max_panel_width\": %llu, \"mismatches\": %llu}%s\n",
         r.mode.c_str(), r.clients,
         static_cast<unsigned long long>(r.requests), r.wall_ms,
-        r.throughput_rps, r.p50_ms, r.p99_ms, r.coalesce_ratio,
+        r.throughput_rps, r.offered_rps, r.p50_ms, r.p99_ms, r.coalesce_ratio,
         static_cast<unsigned long long>(r.max_panel_width),
         static_cast<unsigned long long>(r.mismatches),
         i + 1 == recs.size() ? "" : ",");
@@ -186,6 +279,8 @@ int main(int argc, char** argv) {
   // The window must exceed the client-turnaround spread or panels run
   // half-full: on a single core, 16 clients re-arrive over ~10ms.
   const double window_ms = cli.get_double("window-ms", tiny ? 2.0 : 15.0);
+  const double rate = cli.get_double("rate", 0.0);  // 0: derive from closed
+  const double open_ms = cli.get_double("open-ms", tiny ? 400.0 : 3000.0);
   const std::string matrix = cli.get("matrix", "rndlevels");
   const std::string out_path = cli.get("out", "BENCH_service.json");
   if (const auto bad = cli.unused(); !bad.empty()) {
@@ -266,14 +361,38 @@ int main(int argc, char** argv) {
     server.stop();
   }
 
-  for (const Record& r : recs)
+  // Open-loop (Poisson arrival) records against a fresh coalesced service.
+  {
+    std::vector<std::pair<std::string, double>> rates;
+    if (rate > 0.0) {
+      rates.emplace_back("open-loop", rate);
+    } else {
+      const double capacity = recs[1].throughput_rps;  // closed coalesced
+      rates.emplace_back("open-0.8x", 0.8 * capacity);
+      rates.emplace_back("open-1.5x", 1.5 * capacity);
+    }
+    for (const auto& [mode, rps] : rates) {
+      auto svc = make_service(true);
+      std::uint64_t id = 0;
+      if (!svc->register_matrix(L, opt, &id).ok()) return 1;
+      recs.push_back(
+          run_open_loop(*svc, id, rhs, ref, clients, rps, open_ms, mode));
+    }
+  }
+
+  for (const Record& r : recs) {
+    char offered[48] = "";
+    if (r.offered_rps > 0.0)
+      std::snprintf(offered, sizeof offered, " (offered %.0f)",
+                    r.offered_rps);
     std::fprintf(stderr,
-                 "  %-12s %6.1f req/s  wall %8.1f ms  p50 %7.2f ms  "
+                 "  %-12s %6.1f req/s%s  wall %8.1f ms  p50 %7.2f ms  "
                  "p99 %7.2f ms  ratio %5.2f  widest %llu  mismatches %llu\n",
-                 r.mode.c_str(), r.throughput_rps, r.wall_ms, r.p50_ms,
-                 r.p99_ms, r.coalesce_ratio,
+                 r.mode.c_str(), r.throughput_rps, offered, r.wall_ms,
+                 r.p50_ms, r.p99_ms, r.coalesce_ratio,
                  static_cast<unsigned long long>(r.max_panel_width),
                  static_cast<unsigned long long>(r.mismatches));
+  }
 
   write_json(out_path, n, recs);
   std::fprintf(stderr, "wrote %s (%zu records)\n", out_path.c_str(),

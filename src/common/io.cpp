@@ -1,0 +1,181 @@
+#include "common/io.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace blocktri::io {
+
+namespace {
+
+const std::uint32_t* crc32_table() {
+  static const auto* table = [] {
+    auto* t = new std::uint32_t[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const std::uint32_t* t = crc32_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i)
+    c = t[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+Status read_exact(int fd, void* buf, std::size_t len, bool* clean_eof) {
+  if (clean_eof != nullptr) *clean_eof = false;
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  bool socket = true;  // optimistic; demoted once on ENOTSOCK
+  while (got < len) {
+    const ssize_t r = socket ? ::recv(fd, p + got, len - got, 0)
+                             : ::read(fd, p + got, len - got);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {  // peer hung up
+      if (got == 0 && clean_eof != nullptr) {
+        *clean_eof = true;
+        return Status::Ok();
+      }
+      return got == 0
+                 ? Status(StatusCode::kIoError,
+                          "peer closed the connection before a frame")
+                 : Status(StatusCode::kTruncated,
+                          "peer closed the connection mid-frame",
+                          static_cast<std::int64_t>(got), LocationKind::kLine);
+    }
+    if (errno == EINTR) continue;  // signal delivery is not an error
+    if (socket && errno == ENOTSOCK) {
+      socket = false;  // plain pipe fd: same loop over read(2)
+      continue;
+    }
+    return Status(StatusCode::kIoError,
+                  std::string("read failed: ") + std::strerror(errno),
+                  static_cast<std::int64_t>(got), LocationKind::kLine);
+  }
+  return Status::Ok();
+}
+
+Status write_exact(int fd, const void* buf, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::size_t put = 0;
+  bool socket = true;
+  while (put < len) {
+    // MSG_NOSIGNAL: a disconnected peer yields EPIPE here instead of a
+    // process-wide SIGPIPE — the whole point of the typed kIoError contract.
+    const ssize_t w = socket ? ::send(fd, p + put, len - put, MSG_NOSIGNAL)
+                             : ::write(fd, p + put, len - put);
+    if (w >= 0) {
+      put += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (socket && errno == ENOTSOCK) {
+      socket = false;
+      continue;
+    }
+    return Status(StatusCode::kIoError,
+                  std::string("write failed: ") + std::strerror(errno),
+                  static_cast<std::int64_t>(put), LocationKind::kLine);
+  }
+  return Status::Ok();
+}
+
+void encode_frame_header(const FrameHeader& hdr,
+                         std::uint8_t out[kFrameHeaderBytes]) {
+  std::memcpy(out, &hdr.magic, 4);
+  out[4] = hdr.version;
+  out[5] = hdr.type;
+  std::memcpy(out + 6, &hdr.flags, 2);
+  std::memcpy(out + 8, &hdr.payload_len, 8);
+}
+
+Status decode_frame_header(const FrameSpec& spec, const std::uint8_t* data,
+                           std::size_t len, FrameHeader* out) {
+  BLOCKTRI_CHECK(out != nullptr);
+  if (len < kFrameHeaderBytes)
+    return Status(StatusCode::kTruncated, "frame header is incomplete",
+                  static_cast<std::int64_t>(len), LocationKind::kLine);
+  std::memcpy(&out->magic, data, 4);
+  out->version = data[4];
+  out->type = data[5];
+  std::memcpy(&out->flags, data + 6, 2);
+  std::memcpy(&out->payload_len, data + 8, 8);
+  if (out->magic != spec.magic)
+    return Status(StatusCode::kBadFormat, "frame has a foreign magic value");
+  if (out->version != spec.version)
+    return Status(StatusCode::kVersionMismatch,
+                  "frame protocol version " + std::to_string(out->version) +
+                      ", this build speaks version " +
+                      std::to_string(spec.version));
+  if ((out->flags & ~kFrameFlagCrc) != 0)
+    return Status(StatusCode::kBadFormat, "frame carries unknown flag bits");
+  if (out->payload_len > spec.max_payload)
+    return Status(StatusCode::kBadFormat,
+                  "frame claims " + std::to_string(out->payload_len) +
+                      " payload bytes, above the protocol bound");
+  return Status::Ok();
+}
+
+Status write_frame(int fd, const FrameSpec& spec, std::uint8_t type,
+                   const void* payload, std::size_t len, bool with_crc) {
+  FrameHeader hdr;
+  hdr.magic = spec.magic;
+  hdr.version = spec.version;
+  hdr.type = type;
+  hdr.flags = with_crc ? kFrameFlagCrc : 0;
+  hdr.payload_len = len;
+  std::vector<std::uint8_t> buf(kFrameHeaderBytes + len +
+                                (with_crc ? 4 : 0));
+  encode_frame_header(hdr, buf.data());
+  if (len != 0) std::memcpy(buf.data() + kFrameHeaderBytes, payload, len);
+  if (with_crc) {
+    const std::uint32_t crc = crc32(payload, len);
+    std::memcpy(buf.data() + kFrameHeaderBytes + len, &crc, 4);
+  }
+  return write_exact(fd, buf.data(), buf.size());
+}
+
+Status read_frame(int fd, const FrameSpec& spec, std::uint8_t* type,
+                  std::vector<std::uint8_t>* payload, bool* clean_eof) {
+  BLOCKTRI_CHECK(type != nullptr && payload != nullptr);
+  std::uint8_t raw[kFrameHeaderBytes];
+  if (Status st = read_exact(fd, raw, sizeof raw, clean_eof);
+      !st.ok() || (clean_eof != nullptr && *clean_eof))
+    return st;
+  FrameHeader hdr;
+  if (Status st = decode_frame_header(spec, raw, sizeof raw, &hdr); !st.ok())
+    return st;
+  *type = hdr.type;
+  payload->resize(static_cast<std::size_t>(hdr.payload_len));
+  if (hdr.payload_len != 0) {
+    if (Status st = read_exact(fd, payload->data(), payload->size());
+        !st.ok())
+      return st;
+  }
+  if ((hdr.flags & kFrameFlagCrc) != 0) {
+    std::uint32_t sent = 0;
+    if (Status st = read_exact(fd, &sent, sizeof sent); !st.ok()) return st;
+    if (crc32(payload->data(), payload->size()) != sent)
+      return Status(StatusCode::kChecksumMismatch,
+                    "frame payload does not match its CRC32 trailer");
+  }
+  return Status::Ok();
+}
+
+}  // namespace blocktri::io

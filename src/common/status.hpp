@@ -58,6 +58,12 @@ enum class StatusCode {
                          // is configured to fail rather than block
   kSpinTimeout,          // a sync-free busy-wait exceeded its bounded spin
                          // budget (corrupt or cyclic in-degree counters)
+
+  // Sharded multi-process execution (src/shard). A solve distributed over a
+  // worker pool can lose a member outright — something no in-process code
+  // path can experience:
+  kWorkerLost,           // a shard worker process died (waitpid) or stopped
+                         // responding within the epoch timeout mid-solve
 };
 
 /// Stable short name for a code, e.g. "zero-pivot".

@@ -963,6 +963,12 @@ BlockSolver<T>::BlockSolver(const PlanArtifact<T>& art, const Options& opt)
     out.info.kind = in.kind;
     out.info.nlevels = in.nlevels;
     out.info.nnz = in.nnz;
+    if (!in.populated) {
+      // Foreign leaf of a shard slice: metadata only. The shard worker's
+      // local schedule never issues this block, so no kernel is built.
+      tri_info_.push_back(out.info);
+      continue;
+    }
     if (opt.verify.enabled) out.csr = in.csr;
     switch (in.kind) {
       case TriKernelKind::kCompletelyParallel:

@@ -204,6 +204,39 @@ class BlockSolver {
     };
     SessionOptions session;
 
+    /// Sharded multi-process execution (src/shard, DESIGN.md §15). All
+    /// runtime-only: none participate in the options fingerprint — a shard
+    /// worker rehydrates the same plan a single-process solver would use.
+    /// Consumed by shard::ShardCoordinator and the solve service's shard
+    /// backend; the in-process BlockSolver ignores every field.
+    struct ShardOptions {
+      /// Worker processes (shards). 0 disables sharding entirely (the
+      /// service then solves in process); 1 is valid and useful in tests —
+      /// one worker, full transport machinery.
+      int processes = 0;
+      /// How long the coordinator waits for any worker progress before
+      /// declaring the epoch dead and typing the solve kWorkerLost.
+      int epoch_timeout_ms = 10000;
+      /// After a kWorkerLost, retry the solve on the coordinator's own
+      /// in-process solver instead of surfacing the loss to the caller.
+      bool fallback_inprocess = true;
+      /// Directory for the per-shard .btpa slices (empty → TMPDIR or /tmp).
+      std::string artifact_dir;
+      /// Panel width the shared-memory segment is sized for (k ≤ max_panel).
+      index_t max_panel = 32;
+      /// Test-only deterministic fault hooks, mirroring FaultInjection:
+      /// worker `kill_worker` SIGKILLs itself (or sleeps forever when
+      /// `hang_worker` is set instead) after `after_steps` local steps of
+      /// the next solve. Never set in production.
+      struct Fault {
+        int kill_worker = -1;   // shard index to kill (-1 = none)
+        int hang_worker = -1;   // shard index to hang (-1 = none)
+        int after_steps = 0;    // local steps to run before the fault
+      };
+      Fault fault;
+    };
+    ShardOptions shard;
+
     /// Cost-model-driven plan autotuning (DESIGN.md §13). Off by default —
     /// plans are then byte-for-byte identical to the untuned planner +
     /// Alg. 7 selector. When enabled, the cold build calibrates (or loads) a
@@ -452,6 +485,27 @@ class BlockSolver {
   const std::vector<std::vector<ExecStep>>& step_waves() const {
     return waves_;
   }
+
+  // --- Shard-worker hooks (src/shard) ---------------------------------------
+  // A shard worker executes a *subsequence* of this solver's plan steps
+  // against an externally managed interleaved panel (the shared-memory
+  // x/b regions), so it needs the per-step executor without the surrounding
+  // permute/workspace machinery. Serial (the worker is single-threaded);
+  // bitwise-identical to the same step inside solve_many.
+
+  /// Runs one plan step against interleaved n × k panels `bw`/`xw`
+  /// (element (i, c) at i·k + c). `tri_scratch` must hold at least
+  /// tri_scratch_len() elements when any sync-free block is present.
+  void exec_plan_step_many(const ExecStep& step, T* bw, T* xw, index_t k,
+                           T* tri_scratch,
+                           const ExecControl* ctl = nullptr) const {
+    exec_step_many(step, bw, xw, 0, k, nullptr, tri_scratch, ctl, k,
+                   PanelLayout::kInterleaved);
+  }
+
+  /// Elements of sync-free serial scratch one solve needs (0 when no
+  /// sync-free block exists).
+  std::size_t tri_scratch_len() const { return tri_scratch_len_; }
 
   /// Nonzeros that ended up in square blocks — the §3.3 claim that the
   /// reordering concentrates work into the parallel-friendly SpMV parts.

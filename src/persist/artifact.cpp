@@ -6,34 +6,15 @@
 #include <cstring>
 #include <type_traits>
 
+#include "common/io.hpp"
 #include "common/prefix.hpp"
 
 namespace blocktri {
 
 namespace {
 
-// --- CRC32 (IEEE 802.3, polynomial 0xEDB88320, table-driven) --------------
-
-const std::uint32_t* crc32_table() {
-  static const auto* table = [] {
-    auto* t = new std::uint32_t[256];
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int bit = 0; bit < 8; ++bit)
-        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      t[i] = c;
-    }
-    return t;
-  }();
-  return table;
-}
-
-std::uint32_t crc32(const unsigned char* data, std::size_t n) {
-  const std::uint32_t* t = crc32_table();
-  std::uint32_t c = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < n; ++i) c = t[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
-  return c ^ 0xFFFFFFFFu;
-}
+// CRC32 shared with the framed-I/O layer (one table for the whole repo).
+using io::crc32;
 
 // --- Byte-buffer writer/reader --------------------------------------------
 //
@@ -210,6 +191,7 @@ enum : std::uint32_t {
   kSectionTri = 3,
   kSectionSquares = 4,
   kSectionTuning = 5,  // optional (format version 2, tuned plans only)
+  kSectionShard = 6,   // optional (format version 3, shard slices only)
 };
 
 template <class T>
@@ -457,6 +439,42 @@ bool decode_tuning(Reader& r, PlanArtifact<T>* art) {
   return true;
 }
 
+template <class T>
+void encode_shard(Writer& w, const PlanArtifact<T>& art) {
+  w.u32(art.shard_index);
+  w.u32(art.shard_count);
+  w.i32(art.shard_row_begin);
+  w.i32(art.shard_row_end);
+  w.vec(art.shard_bounds);
+  std::vector<std::uint8_t> tri_pop(art.tri.size()), sq_pop(art.squares.size());
+  for (std::size_t t = 0; t < art.tri.size(); ++t)
+    tri_pop[t] = art.tri[t].populated ? 1 : 0;
+  for (std::size_t q = 0; q < art.squares.size(); ++q)
+    sq_pop[q] = art.squares[q].populated ? 1 : 0;
+  w.vec(tri_pop);
+  w.vec(sq_pop);
+}
+
+/// The shard section references the tri/square arrays, so it can only be
+/// applied after those sections decoded; save_artifact writes it last and a
+/// reordered (crafted) file fails the size cross-checks here.
+template <class T>
+bool decode_shard(Reader& r, PlanArtifact<T>* art) {
+  std::vector<std::uint8_t> tri_pop, sq_pop;
+  if (!r.u32(&art->shard_index) || !r.u32(&art->shard_count) ||
+      !r.i32(&art->shard_row_begin) || !r.i32(&art->shard_row_end) ||
+      !r.vec(&art->shard_bounds) || !r.vec(&tri_pop) || !r.vec(&sq_pop))
+    return false;
+  if (tri_pop.size() != art->tri.size() || sq_pop.size() != art->squares.size())
+    return r.corrupt("shard section does not match the block sections");
+  art->shard = true;
+  for (std::size_t t = 0; t < tri_pop.size(); ++t)
+    art->tri[t].populated = tri_pop[t] != 0;
+  for (std::size_t q = 0; q < sq_pop.size(); ++q)
+    art->squares[q].populated = sq_pop[q] != 0;
+  return true;
+}
+
 // --- File framing -----------------------------------------------------------
 
 constexpr char kMagic[4] = {'B', 'T', 'P', 'A'};
@@ -535,13 +553,18 @@ Status save_artifact(const std::string& path, const PlanArtifact<T>& art) {
     encode_tuning(w, art);
     sections.push_back({kSectionTuning, w.bytes()});
   }
+  if (art.shard) {
+    Writer w;
+    encode_shard(w, art);
+    sections.push_back({kSectionShard, w.bytes()});
+  }
 
   Writer file;
   file.raw(kMagic, sizeof kMagic);
-  // Untuned artifacts stay on version 1 so their files are byte-identical to
-  // pre-tuner builds (and loadable by them); only a tuned plan needs the
-  // version-2 tuning section.
-  file.u32(art.tuned ? kArtifactFormatVersion : 1u);
+  // Each file claims the oldest version that can describe it, so plain
+  // artifacts stay byte-identical to (and loadable by) pre-tuner builds:
+  // version 1 untuned, version 2 tuned, version 3 only for shard slices.
+  file.u32(art.shard ? kArtifactFormatVersion : (art.tuned ? 2u : 1u));
   file.u32(kEndianTag);
   file.u32(static_cast<std::uint32_t>(sizeof(T)));
   file.u64(art.structure);
@@ -658,7 +681,7 @@ Status load_artifact(const std::string& path, PlanArtifact<T>* out) {
     return header.status();
 
   std::size_t offset = header.offset();
-  bool have[6] = {};
+  bool have[8] = {};
   for (std::uint32_t s = 0; s < nsections; ++s) {
     Reader frame(bytes.data() + offset, bytes.size() - offset, offset);
     std::uint32_t id = 0, crc = 0;
@@ -685,6 +708,7 @@ Status load_artifact(const std::string& path, PlanArtifact<T>* out) {
       case kSectionTri: ok = decode_tri(r, &art); break;
       case kSectionSquares: ok = decode_squares(r, &art); break;
       case kSectionTuning: ok = decode_tuning(r, &art); break;
+      case kSectionShard: ok = decode_shard(r, &art); break;
       default:
         return Status(StatusCode::kBadFormat,
                       "unknown artifact section id " + std::to_string(id));
@@ -694,7 +718,7 @@ Status load_artifact(const std::string& path, PlanArtifact<T>* out) {
                              "section " + std::to_string(id) +
                                  " has trailing or missing bytes")
                     : r.status();
-    if (id <= kSectionTuning) have[id] = true;
+    if (id <= kSectionShard) have[id] = true;
     offset = payload_off + static_cast<std::size_t>(size);
   }
   for (std::uint32_t id : {kSectionPlan, kSectionStored, kSectionTri,
@@ -825,11 +849,57 @@ Status validate_artifact(const PlanArtifact<T>& art) {
     for (const ExecStep& s : wave)
       if (Status st = check_step(s); !st.ok()) return st;
 
+  if (art.shard) {
+    // A shard slice is a restricted view: cuts must be actual recursion
+    // boundaries (never through a triangle) and the populated row range must
+    // be exactly the shard's interval of the cut.
+    if (art.shard_count < 1 || art.shard_index >= art.shard_count)
+      return bad("shard index outside the shard count");
+    if (art.shard_bounds.size() !=
+        static_cast<std::size_t>(art.shard_count) + 1)
+      return bad("shard bound count != shard count + 1");
+    if (art.shard_bounds.front() != 0 || art.shard_bounds.back() != p.n)
+      return bad("shard bounds do not cover [0, n)");
+    for (std::size_t i = 0; i < art.shard_bounds.size(); ++i) {
+      if (i > 0 && art.shard_bounds[i] <= art.shard_bounds[i - 1])
+        return bad("shard bounds are not strictly ascending");
+      bool on_leaf = false;
+      for (const index_t b : p.tri_bounds)
+        if (b == art.shard_bounds[i]) { on_leaf = true; break; }
+      if (!on_leaf)
+        return bad("shard cut splits a triangular leaf");
+    }
+    if (art.shard_row_begin != art.shard_bounds[art.shard_index] ||
+        art.shard_row_end != art.shard_bounds[art.shard_index + 1])
+      return bad("shard row range disagrees with its bounds entry");
+    if (art.verify_captured)
+      return bad("shard slices never capture the verify payloads");
+  }
+
   for (std::size_t t = 0; t < art.tri.size(); ++t) {
     const TriBlockArtifact<T>& b = art.tri[t];
     const index_t len = b.r1 - b.r0;
     if (b.r0 != p.tri_bounds[t] || b.r1 != p.tri_bounds[t + 1] || len < 0)
       return bad("triangular block range disagrees with the plan");
+    const bool local_tri =
+        !art.shard ||
+        (b.r0 >= art.shard_row_begin && b.r1 <= art.shard_row_end);
+    if (b.populated != local_tri)
+      return bad(art.shard
+                     ? "shard tri population disagrees with the row range"
+                     : "unpopulated tri block outside a shard slice");
+    if (!b.populated) {
+      // Foreign leaf: metadata only, never executed by this shard's worker.
+      if (b.has_csr || !b.csr.val.empty() || !b.diag.empty() ||
+          !b.kernel_csr.val.empty() || !b.levels.level_item.empty() ||
+          !b.kernel_first_level.empty() || !b.csc.val.empty() ||
+          !b.strict_rows.val.empty() || !b.in_degree.empty())
+        return bad("foreign shard tri block carries payloads");
+      if (static_cast<std::uint32_t>(b.kind) >
+          static_cast<std::uint32_t>(TriKernelKind::kCusparseLike))
+        return bad("unknown triangular kernel kind");
+      continue;
+    }
     if (b.has_csr != art.verify_captured)
       return bad("per-block CSR retention disagrees with verify flag");
     if (b.has_csr) {
@@ -912,17 +982,34 @@ Status validate_artifact(const PlanArtifact<T>& art) {
   for (std::size_t q = 0; q < art.squares.size(); ++q) {
     const SquareBlockArtifact<T>& b = art.squares[q];
     const SquareBlockRef& ref = p.squares[q];
-    if (b.ref.r0 != ref.r0 || b.ref.r1 != ref.r1 || b.ref.c0 != ref.c0 ||
-        b.ref.c1 != ref.c1)
-      return bad("square block range disagrees with the plan");
     if (ref.r0 < 0 || ref.r0 > ref.r1 || ref.r1 > p.n || ref.c0 < 0 ||
         ref.c0 > ref.c1 || ref.c1 > p.n)
       return bad("square block range is outside the matrix");
     if (static_cast<std::uint32_t>(b.kind) >
         static_cast<std::uint32_t>(SpmvKernelKind::kVectorDcsr))
       return bad("unknown square kernel kind");
-    const index_t rows = ref.r1 - ref.r0;
-    const index_t cols = ref.c1 - ref.c0;
+    if (b.populated && art.shard) {
+      // A shard's slice of a boundary square keeps the plan's columns but may
+      // narrow the rows to the shard's interval — SpMV rows are independent,
+      // so the slice computes the identical values for the rows it keeps.
+      if (b.ref.c0 != ref.c0 || b.ref.c1 != ref.c1 || b.ref.r0 < ref.r0 ||
+          b.ref.r1 > ref.r1 || b.ref.r0 > b.ref.r1)
+        return bad("shard square slice is not a row sub-range of the plan");
+      if (b.ref.r0 < art.shard_row_begin || b.ref.r1 > art.shard_row_end)
+        return bad("shard square slice leaves the shard's rows");
+    } else if (b.ref.r0 != ref.r0 || b.ref.r1 != ref.r1 ||
+               b.ref.c0 != ref.c0 || b.ref.c1 != ref.c1) {
+      return bad("square block range disagrees with the plan");
+    }
+    if (!b.populated) {
+      if (!art.shard)
+        return bad("unpopulated square block outside a shard slice");
+      if (b.nnz != 0 || !b.csr.val.empty() || !b.dcsr.val.empty())
+        return bad("foreign shard square block carries payloads");
+      continue;
+    }
+    const index_t rows = b.ref.r1 - b.ref.r0;
+    const index_t cols = b.ref.c1 - b.ref.c0;
     const bool dcsr = b.kind == SpmvKernelKind::kScalarDcsr ||
                       b.kind == SpmvKernelKind::kVectorDcsr;
     if (dcsr && b.nnz != 0) {

@@ -38,10 +38,14 @@
 namespace blocktri {
 
 /// Newest on-disk format version this build writes and reads. Version 2
-/// added the optional tuning section; untuned artifacts are still written as
-/// version 1 — byte-identical to pre-tuner builds — and load_artifact
-/// accepts both. Versions outside [1, 2] are rejected with kVersionMismatch.
-inline constexpr std::uint32_t kArtifactFormatVersion = 2;
+/// added the optional tuning section, version 3 the optional shard section
+/// (per-shard slices for the multi-process worker pool, src/shard). Plain
+/// untuned artifacts are still written as version 1 — byte-identical to
+/// pre-tuner builds — tuned ones as version 2, and only shard slices need
+/// version 3, so every file stays readable by the oldest build that could
+/// have produced it. Versions outside [1, 3] are rejected with
+/// kVersionMismatch.
+inline constexpr std::uint32_t kArtifactFormatVersion = 3;
 
 /// Everything preprocessing derived for one triangular leaf block. Only the
 /// fields of the selected kernel kind are populated (the rest stay empty),
@@ -52,6 +56,12 @@ struct TriBlockArtifact {
   TriKernelKind kind = TriKernelKind::kSyncFree;
   index_t nlevels = 0;
   offset_t nnz = 0;
+
+  /// Shard slices (format v3) keep every leaf's metadata but only the
+  /// payloads of the leaves the shard owns; a foreign leaf is `!populated`
+  /// (empty payloads, never executed by that worker). Always true outside
+  /// shard artifacts.
+  bool populated = true;
 
   /// The block's CSR, retained iff the artifact was captured with
   /// verify.enabled — the fallback-ladder / refinement reference.
@@ -71,10 +81,17 @@ struct TriBlockArtifact {
 /// the CSR kernel kinds, DCSR for the DCSR kinds).
 template <class T>
 struct SquareBlockArtifact {
+  /// In a shard slice (format v3) this may be a *row sub-range* of the
+  /// plan's square: a boundary square crossing a shard cut is row-sliced per
+  /// shard (columns untouched — SpMV updates are row-independent, so the
+  /// per-row arithmetic and therefore the bitwise result are unchanged).
   SquareBlockRef ref{};
   SpmvKernelKind kind = SpmvKernelKind::kScalarCsr;
   offset_t nnz = 0;
   double empty_ratio = 0.0;
+  /// False in shard slices for squares the shard does not execute (foreign
+  /// rows, or an empty row slice); payloads empty. Always true otherwise.
+  bool populated = true;
   Csr<T> csr;
   Dcsr<T> dcsr;
 };
@@ -114,6 +131,20 @@ struct PlanArtifact {
   std::uint64_t tune_device = 0;     // device_fingerprint of the tuning GPU
   double oracle_default_ns = 0.0;    // exact-sim time of the default plan
   double oracle_tuned_ns = 0.0;      // exact-sim time of the captured plan
+
+  /// Shard-slice record (format version 3, optional section — absent in
+  /// v1/v2 files, which load with these defaults). A shard slice keeps the
+  /// *global* plan (steps, waves, permutation) so a worker can derive its
+  /// local schedule and halo dependencies, but populates only the blocks in
+  /// [shard_row_begin, shard_row_end) — the executors of shard workers never
+  /// touch a foreign block. shard_bounds holds all shard_count + 1 cut rows
+  /// (values of plan.tri_bounds), identical across the slices of one cut.
+  bool shard = false;
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 0;
+  index_t shard_row_begin = 0;
+  index_t shard_row_end = 0;
+  std::vector<index_t> shard_bounds;
 
   std::vector<TriBlockArtifact<T>> tri;
   std::vector<SquareBlockArtifact<T>> squares;

@@ -24,6 +24,17 @@ Status SolveService::register_matrix(
   auto e = std::make_unique<MatrixEntry>();
   e->solver = std::move(solver);
   e->n = e->solver->n();
+  if (solver_opt.shard.processes > 0) {
+    // The coordinator's shared panels must fit the widest panel the
+    // coalescer can form for this matrix.
+    BlockSolver<double>::Options shard_opt = solver_opt;
+    shard_opt.shard.max_panel = std::max<index_t>(
+        shard_opt.shard.max_panel, static_cast<index_t>(opt_.max_panel));
+    if (Status st = shard::ShardCoordinator<double>::create(
+            *e->solver, shard_opt, &e->shard);
+        !st.ok())
+      return st;
+  }
   std::lock_guard<std::mutex> lock(reg_mu_);
   if (stopping_)
     return Status(StatusCode::kCancelled,
@@ -43,6 +54,12 @@ SolveService::MatrixEntry* SolveService::find_entry(std::uint64_t id) const {
 const BlockSolver<double>* SolveService::solver(std::uint64_t id) const {
   const MatrixEntry* e = find_entry(id);
   return e == nullptr ? nullptr : e->solver.get();
+}
+
+const shard::ShardCoordinator<double>* SolveService::shard_backend(
+    std::uint64_t id) const {
+  const MatrixEntry* e = find_entry(id);
+  return e == nullptr ? nullptr : e->shard.get();
 }
 
 void SolveService::account(const std::string& tenant, const Response& resp) {
@@ -254,7 +271,10 @@ void SolveService::dispatch(MatrixEntry* e, std::vector<Pending*>& batch) {
       }
       SolveReport rep;
       const Status st =
-          e->solver->solve_many(bs.data(), xs.data(), k, controls, &rep);
+          e->shard != nullptr
+              ? e->shard->solve_many(bs.data(), xs.data(), k, controls, &rep)
+              : e->solver->solve_many(bs.data(), xs.data(), k, controls,
+                                      &rep);
       for (index_t c = 0; c < k; ++c) {
         Pending* p = live[static_cast<std::size_t>(c)];
         if (!st.ok()) p->resp.x.clear();  // partial panels are not results
@@ -304,12 +324,26 @@ ServiceStats SolveService::stats() const {
   // Fold the registered solvers' workspace lease waits into the shared
   // cache telemetry first (DESIGN.md §12 wiring), then snapshot.
   std::uint64_t waits = 0;
+  shard::CoordinatorStats shard_total;
   {
     std::lock_guard<std::mutex> lock(reg_mu_);
-    for (const auto& [id, entry] : matrices_)
+    for (const auto& [id, entry] : matrices_) {
       waits += entry->solver->workspace_stats().lease_waits;
+      if (entry->shard != nullptr) {
+        const shard::CoordinatorStats cs = entry->shard->stats();
+        shard_total.epochs += cs.epochs;
+        shard_total.workers_lost += cs.workers_lost;
+        shard_total.fallbacks += cs.fallbacks;
+        shard_total.respawns += cs.respawns;
+        shard_total.halo_ready += cs.halo_ready;
+        shard_total.halo_deferred += cs.halo_deferred;
+        shard_total.wait_ms += cs.wait_ms;
+        shard_total.worker_level_analyses += cs.worker_level_analyses;
+      }
+    }
   }
   ServiceStats s;
+  s.shard = shard_total;
   s.cache = cache_.stats();
   if (waits > s.cache.lease_waits) {
     cache_.note_lease_waits(waits - s.cache.lease_waits);

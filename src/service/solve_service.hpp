@@ -49,6 +49,7 @@
 
 #include "core/solver.hpp"
 #include "persist/plan_cache.hpp"
+#include "shard/coordinator.hpp"
 
 namespace blocktri::service {
 
@@ -111,6 +112,9 @@ struct ServiceStats {
   /// Requests per panel — the amortisation the coalescer achieved.
   double coalesce_ratio = 0.0;
   PlanCacheStats cache;
+  /// Aggregated over every matrix registered with a sharded backend
+  /// (shard.processes > 0); all zero when sharding is off.
+  shard::CoordinatorStats shard;
 };
 
 class SolveService {
@@ -143,6 +147,10 @@ class SolveService {
   /// tests and telemetry (workspace_stats), not a bypass of the coalescer.
   const BlockSolver<double>* solver(std::uint64_t id) const;
 
+  /// The matrix's sharded backend (nullptr when the matrix was registered
+  /// without shard.processes, or the id is unknown) — test introspection.
+  const shard::ShardCoordinator<double>* shard_backend(std::uint64_t id) const;
+
   /// The shared plan cache, for telemetry and test assertions.
   PlanCache<double>& cache() { return cache_; }
 
@@ -165,6 +173,9 @@ class SolveService {
   struct MatrixEntry {
     std::uint64_t id = 0;
     std::unique_ptr<BlockSolver<double>> solver;
+    /// Optional multi-process backend. Declared after `solver` so it is
+    /// destroyed first — the coordinator borrows the solver as its base.
+    std::unique_ptr<shard::ShardCoordinator<double>> shard;
     index_t n = 0;
     std::mutex mu;
     std::condition_variable cv;

@@ -1,5 +1,7 @@
 #include "service/wire.hpp"
 
+#include "common/io.hpp"
+
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -223,7 +225,7 @@ Status decode_response(const std::uint8_t* data, std::size_t len,
   Reader r(data + kFrameHeaderBytes, static_cast<std::size_t>(hdr.payload_len));
   std::int32_t code = 0;
   if (!r.i32(&code)) return r.truncated("the status code");
-  if (code < 0 || code > static_cast<std::int32_t>(StatusCode::kSpinTimeout))
+  if (code < 0 || code > static_cast<std::int32_t>(StatusCode::kWorkerLost))
     return Status(StatusCode::kBadFormat,
                   "response status code " + std::to_string(code) +
                       " out of range");
@@ -242,54 +244,16 @@ Status decode_response(const std::uint8_t* data, std::size_t len,
 }
 
 // --- EINTR-safe fd I/O ------------------------------------------------------
+// One implementation for every process boundary: these are thin forwards to
+// common/io.hpp (shared with the shard control channels) so the POSIX sharp
+// edges — EINTR restarts, short transfers, MSG_NOSIGNAL — are handled once.
 
 Status read_exact(int fd, void* buf, std::size_t len, bool* clean_eof) {
-  if (clean_eof != nullptr) *clean_eof = false;
-  auto* p = static_cast<std::uint8_t*>(buf);
-  std::size_t got = 0;
-  while (got < len) {
-    const ssize_t r = ::recv(fd, p + got, len - got, 0);
-    if (r > 0) {
-      got += static_cast<std::size_t>(r);
-      continue;
-    }
-    if (r == 0) {  // peer hung up
-      if (got == 0 && clean_eof != nullptr) {
-        *clean_eof = true;
-        return Status::Ok();
-      }
-      return got == 0
-                 ? Status(StatusCode::kIoError,
-                          "peer closed the connection before a frame")
-                 : Status(StatusCode::kTruncated,
-                          "peer closed the connection mid-frame",
-                          static_cast<std::int64_t>(got), LocationKind::kLine);
-    }
-    if (errno == EINTR) continue;  // signal delivery is not an error
-    return Status(StatusCode::kIoError,
-                  std::string("recv failed: ") + std::strerror(errno),
-                  static_cast<std::int64_t>(got), LocationKind::kLine);
-  }
-  return Status::Ok();
+  return io::read_exact(fd, buf, len, clean_eof);
 }
 
 Status write_exact(int fd, const void* buf, std::size_t len) {
-  const auto* p = static_cast<const std::uint8_t*>(buf);
-  std::size_t put = 0;
-  while (put < len) {
-    // MSG_NOSIGNAL: a disconnected peer yields EPIPE here instead of a
-    // process-wide SIGPIPE — the whole point of the typed kIoError contract.
-    const ssize_t w = ::send(fd, p + put, len - put, MSG_NOSIGNAL);
-    if (w >= 0) {
-      put += static_cast<std::size_t>(w);
-      continue;
-    }
-    if (errno == EINTR) continue;
-    return Status(StatusCode::kIoError,
-                  std::string("send failed: ") + std::strerror(errno),
-                  static_cast<std::int64_t>(put), LocationKind::kLine);
-  }
-  return Status::Ok();
+  return io::write_exact(fd, buf, len);
 }
 
 Status read_frame(int fd, std::vector<std::uint8_t>* frame, bool* clean_eof) {

@@ -1,0 +1,105 @@
+// Shared-memory exchange region for the sharded solve (DESIGN.md §15).
+//
+// One POSIX shm segment per coordinator holds the interleaved x and b panels
+// plus the epoch/watermark header through which workers exchange boundary
+// values. The segment is created with shm_open(O_CREAT | O_EXCL), mapped,
+// and *immediately* shm_unlinked — workers inherit the mapping across
+// fork(), so the name only ever exists for the microseconds between create
+// and unlink. A crashed coordinator or SIGKILLed worker can therefore never
+// leak a named segment: leak-freedom by construction, not by cleanup code.
+//
+// Watermark protocol (the boundary exchange):
+//   * progress[p] is an absolute permuted row index: rows
+//     [shard p's begin, progress[p]) of the x panel are final.
+//   * The owning worker release-stores progress[p] after each of its
+//     triangular leaves completes. Local leaves run in ascending row order,
+//     so the watermark is monotone within an epoch.
+//   * A consumer acquire-loads progress[q] and may read the covered x rows
+//     once its step's watermark is reached — acquire/release over the same
+//     shared mapping makes the panel writes visible.
+//   * Exactly one writer per watermark and per x row; b rows are likewise
+//     single-writer (a shard's squares only read-modify-write its own rows).
+//   * solve_seq (release-stored by the coordinator after the b panel and
+//     watermark resets are in place) opens an epoch; abort (set on worker
+//     loss or shutdown) makes every halo wait unwind promptly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+#include "sparse/formats.hpp"
+
+namespace blocktri::shard {
+
+inline constexpr std::uint32_t kShmMagic = 0x42545348;  // "BTSH"
+inline constexpr std::uint32_t kShmVersion = 1;
+inline constexpr int kMaxShards = 64;
+
+/// One cache line per watermark so publishing shards never false-share.
+struct alignas(64) ProgressSlot {
+  std::atomic<std::int64_t> rows{0};
+};
+
+struct ShmHeader {
+  std::uint32_t magic = kShmMagic;
+  std::uint32_t version = kShmVersion;
+  index_t n = 0;
+  index_t k_max = 0;
+  std::int32_t nshards = 0;
+  std::uint32_t pad0 = 0;
+  /// Epoch counter: bumped (release) by the coordinator once an epoch's b
+  /// panel and watermark resets are in place.
+  std::atomic<std::uint64_t> solve_seq{0};
+  /// Nonzero ends the current epoch early: every halo spin re-checks it.
+  std::atomic<std::uint32_t> abort{0};
+  std::uint32_t pad1 = 0;
+  ProgressSlot progress[kMaxShards];
+};
+
+static_assert(std::atomic<std::int64_t>::is_always_lock_free &&
+                  std::atomic<std::uint64_t>::is_always_lock_free &&
+                  std::atomic<std::uint32_t>::is_always_lock_free,
+              "the cross-process watermark protocol requires address-free "
+              "lock-free atomics");
+
+/// RAII owner of the mapped segment. Movable, not copyable; the mapping is
+/// valid in the creating process and, via fork inheritance, in every worker.
+template <class T>
+class SharedRegion {
+ public:
+  SharedRegion() = default;
+  ~SharedRegion();
+  SharedRegion(SharedRegion&& other) noexcept { *this = std::move(other); }
+  SharedRegion& operator=(SharedRegion&& other) noexcept;
+  SharedRegion(const SharedRegion&) = delete;
+  SharedRegion& operator=(const SharedRegion&) = delete;
+
+  /// Creates, maps and immediately unlinks a fresh segment sized for
+  /// `nshards` watermarks and two interleaved n × k_max panels. The name is
+  /// salted with the pid and a random suffix, so concurrent coordinators
+  /// (parallel test runs included) can never collide even within the
+  /// create-to-unlink window.
+  static Status create(index_t n, index_t k_max, int nshards,
+                       SharedRegion* out);
+
+  ShmHeader* header() const { return header_; }
+  T* x_panel() const { return x_; }
+  T* b_panel() const { return b_; }
+  index_t n() const { return header_ != nullptr ? header_->n : 0; }
+  index_t k_max() const { return header_ != nullptr ? header_->k_max : 0; }
+  bool valid() const { return header_ != nullptr; }
+  /// The (already unlinked) shm name — tests assert it absent in /dev/shm.
+  const std::string& name() const { return name_; }
+
+ private:
+  void* base_ = nullptr;
+  std::size_t bytes_ = 0;
+  ShmHeader* header_ = nullptr;
+  T* x_ = nullptr;
+  T* b_ = nullptr;
+  std::string name_;
+};
+
+}  // namespace blocktri::shard

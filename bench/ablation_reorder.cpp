@@ -1,26 +1,167 @@
-// Ablation of the §3.3 recursive level-set reordering: with reordering on
-// vs off, how many nonzeros land in the parallel-friendly square blocks, and
-// what the solve performance becomes. Reproduces the Fig. 3 claim that
-// reordering concentrates nonzeros in the square parts.
+// Ordering ablation: the four blocking schemes (column, row, recursive,
+// HBMC) side by side on wavefront-limited lower factors. For every
+// (matrix, scheme) pair the bench reports the structural story — level
+// count and maximum level width of the unordered factor, color count and
+// executor sync steps (waves) of the built plan — and the measured one:
+// warm solve milliseconds at each requested thread count with speedup
+// against the scheme's own 1-thread run, the SIMD vector-vs-strict-scalar
+// solve-time delta, and a residual check (solve_checked) on every matrix.
 //
-//   ./bench/ablation_reorder
+//   ./bench/ablation_reorder [--threads=1,2] [--out=BENCH_order.json]
+//                            [--min-ms=25] [--tiny] [--no-fig3]
+//
+// The original Fig. 3 ablation (recursive §3.3 level-set reordering on vs
+// off: nonzeros moved into square blocks, simulated solve speedup) is kept
+// as a second section after the scheme sweep; --tiny and --no-fig3 skip it.
+//
+// The point of the comparison: level-scheduled schemes pay one sync step
+// per level (O(depth) — thousands on a banded chain), while HBMC pays
+// 2·colors − 1 steps with colors capped at hbmc_max_colors (DESIGN.md
+// §16). --tiny is the CI smoke mode: small matrices, short repetitions,
+// same code paths and JSON writer.
+//
+// Inputs are renumbered by a random topological order first — our
+// generators emit rows in level-coherent order, real matrices do not, and
+// the orderings under test should get collection-style inputs.
+//
+// The JSON records hardware_concurrency so readers can tell when the
+// sweep ran on fewer cores than the requested thread counts (parallel
+// speedups are then not expected; the numbers are still honest).
+//
+// Note: BLOCKTRI_THREADS overrides BlockSolver's Options::threads, which
+// would pin every point of the sweep to one count — the bench refuses to
+// run with it set.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "common/simd.hpp"
 #include "harness.hpp"
 
 using namespace blocktri;
-using namespace blocktri::bench;
 
-int main(int, char**) {
+namespace {
+
+std::vector<int> parse_thread_list(const std::string& s) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(std::atoi(s.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  for (const int t : out) {
+    if (t < 1) {
+      std::fprintf(stderr, "bad --threads list '%s'\n", s.c_str());
+      std::exit(1);
+    }
+  }
+  return out;
+}
+
+/// Repeats fn until `min_ms` of wall-clock has elapsed (at least twice,
+/// after one untimed warmup) and returns the per-call milliseconds.
+template <class Fn>
+double time_ms(double min_ms, Fn&& fn) {
+  fn();  // warmup
+  Stopwatch sw;
+  int reps = 0;
+  do {
+    fn();
+    ++reps;
+  } while (sw.milliseconds() < min_ms || reps < 2);
+  return sw.milliseconds() / reps;
+}
+
+struct Record {
+  std::string matrix;
+  std::string scheme;
+  int threads = 1;
+  double ms = 0.0;
+  double speedup = 0.0;      // vs the 1-thread run of the same (matrix, scheme)
+  long levels = 0;           // level count of the input factor
+  long max_level_width = 0;  // widest level of the input factor
+  long colors = 0;           // HBMC color count (0 for level-scheduled schemes)
+  long waves = 0;            // executor sync steps
+  double vector_ms = 0.0;    // 1-thread solve, SIMD path forced to kVector
+  double strict_ms = 0.0;    // 1-thread solve, forced to kStrictScalar
+  double simd_delta = 0.0;   // strict_ms / vector_ms (>1 → vector path wins)
+  double residual = 0.0;     // solve_checked's verified relative residual
+  bool residual_ok = false;
+};
+
+void write_json(const std::string& path, const std::vector<Record>& recs,
+                const std::vector<int>& threads) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"ablation_reorder\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"simd_isa\": \"%s\",\n", simd::vector_isa_name());
+  std::fprintf(f, "  \"threads\": [");
+  for (std::size_t i = 0; i < threads.size(); ++i)
+    std::fprintf(f, "%s%d", i == 0 ? "" : ", ", threads[i]);
+  std::fprintf(f, "],\n  \"records\": [\n");
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const Record& r = recs[i];
+    std::fprintf(
+        f,
+        "    {\"matrix\": \"%s\", \"scheme\": \"%s\", \"threads\": %d, "
+        "\"ms\": %.6f, \"speedup\": %.4f, \"levels\": %ld, "
+        "\"max_level_width\": %ld, \"colors\": %ld, \"waves\": %ld, "
+        "\"vector_ms\": %.6f, \"strict_ms\": %.6f, \"simd_delta\": %.4f, "
+        "\"residual\": %.3e, \"residual_ok\": %s}%s\n",
+        r.matrix.c_str(), r.scheme.c_str(), r.threads, r.ms, r.speedup,
+        r.levels, r.max_level_width, r.colors, r.waves, r.vector_ms,
+        r.strict_ms, r.simd_delta, r.residual,
+        r.residual_ok ? "true" : "false", i + 1 == recs.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+struct Case {
+  std::string name;
+  Csr<double> L;
+};
+
+std::vector<Case> build_suite(bool tiny) {
+  std::vector<Case> out;
+  if (tiny) {
+    out.push_back({"laplace3d-6", gen::laplace3d(6, 6, 6, 31)});
+    out.push_back({"chain-banded-800", gen::chain_banded(800, 4, 1.0, 12)});
+    out.push_back({"grid2d-30x20", gen::grid2d(30, 20, 5)});
+  } else {
+    out.push_back({"laplace3d-20", gen::laplace3d(20, 20, 20, 31)});
+    out.push_back({"chain-banded-8000", gen::chain_banded(8000, 8, 2.0, 12)});
+    out.push_back({"grid2d-100x60", gen::grid2d(100, 60, 5)});
+    out.push_back(
+        {"random-levels-8000", gen::random_levels(8000, 160, 3.0, 1.0, 8)});
+  }
+  for (Case& c : out) c.L = gen::random_topological_shuffle(c.L, 12345);
+  return out;
+}
+
+// Fig. 3's claim, measured (the original ablation): on shuffled inputs the
+// §3.3 recursive level-set reordering concentrates nonzeros in the square
+// blocks and never hurts the (simulated) solve much.
+void run_fig3_ablation() {
+  
   const sim::GpuSpec base = sim::titan_rtx();
 
-  std::printf("Reordering ablation (recursive scheme, simulated Titan RTX):\n\n");
+  std::printf("\nReordering ablation (recursive scheme, simulated Titan "
+              "RTX):\n\n");
   TextTable t({"matrix", "sq-nnz (reorder off)", "sq-nnz (on)",
                "GFlops (off)", "GFlops (on)", "speedup"});
   for (const auto& entry : gen::representative_suite()) {
-    // Our generators emit rows in level-coherent order; real matrices do
-    // not. Renumber by a random topological order first, so the ablation
-    // measures what §3.3's reordering recovers on collection-style inputs.
     const Csr<double> L =
         gen::random_topological_shuffle(entry.build(), 12345);
     const sim::GpuSpec gpu = sim::scale_for_dataset(base, entry.scale);
@@ -31,19 +172,21 @@ int main(int, char**) {
     double gflops[2];
     offset_t sq_nnz[2];
     for (const bool reorder : {false, true}) {
-      auto opt = bench_block_options<double>(stop);
+      auto opt = bench::bench_block_options<double>(stop);
       opt.planner.reorder = reorder;
       const BlockSolver<double> solver(L, opt);
       sq_nnz[reorder] = solver.nnz_in_squares();
-      gflops[reorder] = measure_block(solver, b, gpu).gflops;
+      gflops[reorder] = bench::measure_block(solver, b, gpu).gflops;
     }
     t.add_row({entry.name,
                fmt_count(sq_nnz[0]) + " (" +
                    fmt_fixed(100.0 * static_cast<double>(sq_nnz[0]) /
-                                 static_cast<double>(L.nnz()), 0) + "%)",
+                                        static_cast<double>(L.nnz()), 0) +
+                   "%)",
                fmt_count(sq_nnz[1]) + " (" +
                    fmt_fixed(100.0 * static_cast<double>(sq_nnz[1]) /
-                                 static_cast<double>(L.nnz()), 0) + "%)",
+                                        static_cast<double>(L.nnz()), 0) +
+                   "%)",
                fmt_fixed(gflops[0], 2), fmt_fixed(gflops[1], 2),
                fmt_fixed(gflops[1] / gflops[0], 2) + "x"});
     std::fflush(stdout);
@@ -51,5 +194,146 @@ int main(int, char**) {
   std::printf("%s\n", t.to_string().c_str());
   std::printf("Expected: reordering moves nonzeros into squares (Fig. 3's "
               "11 > 8 example)\nand never hurts solve performance much.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool tiny = cli.get_bool("tiny", false);
+  const auto threads = parse_thread_list(cli.get("threads", "1,2"));
+  const double min_ms = cli.get_double("min-ms", tiny ? 2.0 : 25.0);
+  const bool fig3 = !cli.get_bool("no-fig3", false) && !tiny;
+  const std::string out_path = cli.get("out", "BENCH_order.json");
+  if (const auto bad = cli.unused(); !bad.empty()) {
+    std::fprintf(stderr, "unknown flag --%s\n", bad.front().c_str());
+    return 1;
+  }
+  if (std::getenv("BLOCKTRI_THREADS") != nullptr) {
+    std::fprintf(stderr,
+                 "BLOCKTRI_THREADS is set; it would pin every point of the "
+                 "sweep to one thread count. Unset it and rerun.\n");
+    return 1;
+  }
+
+  const BlockScheme schemes[] = {BlockScheme::kColumn, BlockScheme::kRow,
+                                 BlockScheme::kRecursive, BlockScheme::kHbmc};
+
+  std::vector<Record> recs;
+  int gate_failures = 0;
+
+  for (const Case& c : build_suite(tiny)) {
+    const index_t n = c.L.nrows;
+    const LevelSets ls = compute_level_sets(c.L);
+    const ParallelismStats ps = parallelism_stats(ls);
+    std::vector<double> b(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i)
+      b[static_cast<std::size_t>(i)] = 1.0 + 0.25 * (i % 7);
+
+    std::printf("%-18s n=%-7lld nnz=%-8lld levels=%lld max_width=%lld\n",
+                c.name.c_str(), static_cast<long long>(n),
+                static_cast<long long>(c.L.nnz()),
+                static_cast<long long>(ls.nlevels),
+                static_cast<long long>(ps.max_width));
+
+    // Best parallel warm-solve ms per scheme, for the cross-scheme summary.
+    double hbmc_best = 0.0, others_best = 0.0;
+    long hbmc_waves = 0;
+
+    for (const BlockScheme scheme : schemes) {
+      BlockSolver<double>::Options opt;
+      opt.scheme = scheme;
+      opt.planner.stop_rows = std::max<index_t>(64, n / 16);
+      std::unique_ptr<BlockSolver<double>> probe;
+      const Status st = BlockSolver<double>::create(c.L, opt, &probe);
+      if (!st.ok()) {
+        std::fprintf(stderr, "  %s: create failed: %s\n",
+                     to_string(scheme).c_str(), st.message().c_str());
+        ++gate_failures;
+        continue;
+      }
+
+      const long waves = static_cast<long>(probe->step_waves().size());
+      const long colors = scheme == BlockScheme::kHbmc
+                              ? static_cast<long>(probe->plan().num_colors())
+                              : 0;
+
+      // Residual gate: the checked solve must pass on every matrix.
+      const SolveResult<double> chk = probe->solve_checked(b);
+      const bool res_ok = chk.ok() && chk.report.residual_checked;
+
+      // SIMD vector-vs-strict delta on the 1-thread warm solve. Same plan,
+      // same executor; only the kernel inner loops differ.
+      double vec_ms = 0.0, strict_ms = 0.0;
+      {
+        simd::ScopedPathOverride force(simd::Path::kVector);
+        vec_ms = time_ms(min_ms, [&] { (void)probe->solve(b); });
+      }
+      {
+        simd::ScopedPathOverride force(simd::Path::kStrictScalar);
+        strict_ms = time_ms(min_ms, [&] { (void)probe->solve(b); });
+      }
+
+      double t1_ms = 0.0;
+      for (const int t : threads) {
+        opt.threads = t;
+        std::unique_ptr<BlockSolver<double>> s;
+        if (!BlockSolver<double>::create(c.L, opt, &s).ok()) continue;
+        const double ms = time_ms(min_ms, [&] { (void)s->solve(b); });
+        if (t == 1) t1_ms = ms;
+
+        Record r;
+        r.matrix = c.name;
+        r.scheme = to_string(scheme);
+        r.threads = t;
+        r.ms = ms;
+        r.speedup = (t1_ms > 0.0 && ms > 0.0) ? t1_ms / ms : 0.0;
+        r.levels = static_cast<long>(ls.nlevels);
+        r.max_level_width = static_cast<long>(ps.max_width);
+        r.colors = colors;
+        r.waves = waves;
+        r.vector_ms = vec_ms;
+        r.strict_ms = strict_ms;
+        r.simd_delta = vec_ms > 0.0 ? strict_ms / vec_ms : 0.0;
+        r.residual = chk.report.residual;
+        r.residual_ok = res_ok;
+        recs.push_back(r);
+
+        // The parallel point feeds the cross-scheme gate; with a single
+        // thread count requested, that single point does.
+        if (t > 1 || threads.size() == 1) {
+          if (scheme == BlockScheme::kHbmc) {
+            if (hbmc_best == 0.0 || ms < hbmc_best) hbmc_best = ms;
+            hbmc_waves = waves;
+          } else if (others_best == 0.0 || ms < others_best) {
+            others_best = ms;
+          }
+        }
+
+        std::printf(
+            "  %-10s t=%d  %9.4f ms  x%-5.2f waves=%-6ld colors=%-3ld "
+            "simd=%.2fx  resid=%.2e %s\n",
+            to_string(scheme).c_str(), t, ms, r.speedup, waves, colors,
+            r.simd_delta, chk.report.residual, res_ok ? "ok" : "FAIL");
+      }
+      if (!res_ok) ++gate_failures;
+    }
+
+    if (hbmc_best > 0.0 && others_best > 0.0) {
+      std::printf(
+          "  summary: hbmc %ld sync steps vs %lld levels; "
+          "hbmc/best-other = %.3fx\n",
+          hbmc_waves, static_cast<long long>(ls.nlevels),
+          others_best / hbmc_best);
+    }
+  }
+
+  write_json(out_path, recs, threads);
+  std::printf("wrote %s (%zu records)\n", out_path.c_str(), recs.size());
+  if (fig3) run_fig3_ablation();
+  if (gate_failures != 0) {
+    std::fprintf(stderr, "%d residual/build gate failure(s)\n", gate_failures);
+    return 1;
+  }
   return 0;
 }

@@ -55,9 +55,44 @@ void group_levels_parallel(LevelSets& ls, index_t n, ThreadPool* pool) {
 
 }  // namespace
 
+namespace {
+
+/// Böhnlein-style partition fix: fuse adjacent raw levels while the combined
+/// component count stays at or under merge_width, relabelling level_of in
+/// place so the grouping passes below build the fused partition directly.
+/// The raw counts pass is O(n); the relabel map is O(nlevels).
+void merge_adjacent_levels(LevelSets& ls, index_t n, index_t merge_width) {
+  if (merge_width <= 0 || ls.nlevels <= 1) return;
+  const auto nraw = static_cast<std::size_t>(ls.nlevels);
+  std::vector<offset_t> raw_count(nraw, 0);
+  for (index_t i = 0; i < n; ++i)
+    ++raw_count[static_cast<std::size_t>(ls.level_of[static_cast<std::size_t>(i)])];
+
+  std::vector<index_t> fused_of_raw(nraw, 0);
+  index_t fused = 0;
+  offset_t run = raw_count[0];
+  for (std::size_t l = 1; l < nraw; ++l) {
+    if (run + raw_count[l] <= static_cast<offset_t>(merge_width)) {
+      run += raw_count[l];  // fuse into the current run
+    } else {
+      ++fused;
+      run = raw_count[l];
+    }
+    fused_of_raw[l] = fused;
+  }
+  if (fused + 1 == ls.nlevels) return;  // nothing fused: keep raw labels
+  for (index_t i = 0; i < n; ++i) {
+    auto& l = ls.level_of[static_cast<std::size_t>(i)];
+    l = fused_of_raw[static_cast<std::size_t>(l)];
+  }
+  ls.nlevels = fused + 1;
+}
+
+}  // namespace
+
 LevelSets compute_level_sets(index_t n, const std::vector<offset_t>& row_ptr,
                              const std::vector<index_t>& col_idx,
-                             ThreadPool* pool) {
+                             ThreadPool* pool, index_t merge_width) {
   BLOCKTRI_CHECK(row_ptr.size() == static_cast<std::size_t>(n) + 1);
   g_level_analysis_count.fetch_add(1, std::memory_order_relaxed);
   LevelSets ls;
@@ -81,6 +116,8 @@ LevelSets compute_level_sets(index_t n, const std::vector<offset_t>& row_ptr,
     max_level = std::max(max_level, lvl);
   }
   ls.nlevels = n == 0 ? 0 : max_level + 1;
+
+  merge_adjacent_levels(ls, n, merge_width);
 
   // Parallel grouping pays off only when levels are much shorter than rows
   // (the histogram is nchunks × nlevels); chains fall back to serial.

@@ -43,9 +43,21 @@ struct LevelSets {
 /// identical LevelSets. Matrices whose level count is a large fraction of n
 /// (near-serial chains) fall back to the serial path — the histograms would
 /// cost more than they save.
+///
+/// `merge_width > 0` applies the Böhnlein-style partition fix during the
+/// grouping itself (not just in the executor): adjacent raw levels are fused
+/// while their combined component count stays at or under `merge_width`, and
+/// `level_of`/`level_ptr`/`level_item` all describe the fused partition.
+/// A fused level may contain internal dependencies (component order within a
+/// level is ascending index, which stays topological for triangular input),
+/// so merged LevelSets are for ORDERING AND PARTITIONING consumers only —
+/// the level-scheduled kernels, which assume levels are dependency-free,
+/// must keep merge_width == 0 and rely on the executor's run merging.
+/// merge_width == 0 (the default) is bit-identical to the historical output.
 LevelSets compute_level_sets(index_t n, const std::vector<offset_t>& row_ptr,
                              const std::vector<index_t>& col_idx,
-                             ThreadPool* pool = nullptr);
+                             ThreadPool* pool = nullptr,
+                             index_t merge_width = 0);
 
 /// Process-wide count of compute_level_sets invocations (atomic). Level
 /// analysis is the dominant preprocessing cost (Table 5), so the plan
@@ -55,8 +67,10 @@ LevelSets compute_level_sets(index_t n, const std::vector<offset_t>& row_ptr,
 std::uint64_t level_analysis_count();
 
 template <class T>
-LevelSets compute_level_sets(const Csr<T>& lower, ThreadPool* pool = nullptr) {
-  return compute_level_sets(lower.nrows, lower.row_ptr, lower.col_idx, pool);
+LevelSets compute_level_sets(const Csr<T>& lower, ThreadPool* pool = nullptr,
+                             index_t merge_width = 0) {
+  return compute_level_sets(lower.nrows, lower.row_ptr, lower.col_idx, pool,
+                            merge_width);
 }
 
 /// Level-width statistics: the "Parallelism min/ave./max" columns of Table 4.

@@ -1,5 +1,7 @@
 #include "core/adaptive.hpp"
 
+#include <algorithm>
+
 namespace blocktri {
 
 std::string to_string(TriKernelKind k) {
@@ -53,6 +55,13 @@ SpmvKernelKind select_square_kernel(const MatrixFeatures& f,
   }
   return f.empty_ratio <= t.sq_empty_vector ? SpmvKernelKind::kVectorCsr
                                             : SpmvKernelKind::kVectorDcsr;
+}
+
+bool prefer_hbmc(index_t nlevels, index_t max_colors,
+                 const ThresholdTable& t) {
+  return static_cast<double>(nlevels) >
+         t.hbmc_depth_per_color * static_cast<double>(std::max<index_t>(
+                                      1, max_colors));
 }
 
 }  // namespace blocktri

@@ -39,6 +39,13 @@ struct ThresholdTable {
   double sq_nnz_row_scalar = 12.0;  // nnz/row <= 12 -> scalar kernels
   double sq_empty_scalar = 0.50;    // scalar: emptyratio > 50% -> DCSR
   double sq_empty_vector = 0.15;    // vector: emptyratio > 15% -> DCSR
+
+  // Scheme-level depth-vs-colors decision (DESIGN.md §16): the HBMC
+  // reordering replaces O(level-depth) synchronisation with O(color-bound)
+  // steps, but pays extra squares and a permutation that scatters locality.
+  // It is considered worthwhile only when the level depth exceeds this
+  // multiple of the color budget (hbmc_max_colors).
+  double hbmc_depth_per_color = 4.0;
 };
 
 /// Thresholds fitted to THIS repository's device model via the Fig. 5
@@ -57,5 +64,12 @@ TriKernelKind select_tri_kernel(const TriangularFeatures& f,
 /// The SpMV branch of Algorithm 7 (kind defined in spmv/kernels.hpp).
 SpmvKernelKind select_square_kernel(const MatrixFeatures& f,
                                     const ThresholdTable& t);
+
+/// Depth-vs-colors gate for the HBMC scheme: true when the whole-matrix
+/// level depth is deep enough (relative to the color budget) that trading
+/// locality for a fixed sync-step count should pay. Used by the tuner to
+/// decide whether to price an HBMC candidate at all.
+bool prefer_hbmc(index_t nlevels, index_t max_colors,
+                 const ThresholdTable& t);
 
 }  // namespace blocktri

@@ -14,6 +14,7 @@ std::string to_string(BlockScheme s) {
     case BlockScheme::kColumn: return "column-block";
     case BlockScheme::kRow: return "row-block";
     case BlockScheme::kRecursive: return "recursive-block";
+    case BlockScheme::kHbmc: return "hbmc-block";
   }
   return "?";
 }
@@ -326,7 +327,9 @@ bool equals(const BlockPlan& a, const BlockPlan& b) {
   return a.scheme == b.scheme && a.n == b.n && a.new_of_old == b.new_of_old &&
          a.tri_bounds == b.tri_bounds && a.squares == b.squares &&
          a.steps == b.steps && a.depth_used == b.depth_used &&
-         a.host_ops == b.host_ops && a.host_bytes == b.host_bytes;
+         a.host_ops == b.host_ops && a.host_bytes == b.host_bytes &&
+         a.color_bounds == b.color_bounds &&
+         a.hbmc_block_rows == b.hbmc_block_rows;
 }
 
 }  // namespace blocktri

@@ -20,6 +20,7 @@ enum class BlockScheme {
   kColumn,     // Fig. 2(a), Algorithm 4
   kRow,        // Fig. 2(b), Algorithm 5
   kRecursive,  // Fig. 2(c), Algorithm 6 / §3.3 improved layout
+  kHbmc,       // hierarchical block multi-color ordering (DESIGN.md §16)
 };
 
 std::string to_string(BlockScheme s);
@@ -34,6 +35,14 @@ struct PlannerOptions {
   bool reorder = true;
   /// Number of segments for the column/row schemes.
   index_t nseg = 4;
+
+  // HBMC scheme knobs (DESIGN.md §16). `hbmc_block_rows` is the aggregation
+  // target W: rows greedily absorbed into a parent's block until it holds W
+  // rows (default one cache line of doubles). The planner doubles W until
+  // the color count fits under `hbmc_max_colors` (or W reaches n), so the
+  // sync-step count is bounded regardless of dependency depth.
+  index_t hbmc_block_rows = 8;
+  index_t hbmc_max_colors = 16;
 };
 
 struct SquareBlockRef {
@@ -56,6 +65,20 @@ struct BlockPlan {
   std::vector<SquareBlockRef> squares;
   std::vector<ExecStep> steps;
   int depth_used = 0;  // recursion depth actually reached
+
+  // HBMC only (empty / 0 for the other schemes): ncolors + 1 ascending color
+  // boundaries in permuted row space — every value is also a tri_bounds entry
+  // (a color is a contiguous run of whole blocks, so the shard planner's
+  // tri-bound cuts respect colors for free) — and the effective aggregation
+  // width W after the planner's doubling loop.
+  std::vector<index_t> color_bounds;
+  index_t hbmc_block_rows = 0;
+
+  index_t num_colors() const {
+    return color_bounds.empty()
+               ? index_t{0}
+               : static_cast<index_t>(color_bounds.size()) - 1;
+  }
 
   // Host-model preprocessing counters (level analyses + permutations).
   std::int64_t host_ops = 0;

@@ -11,6 +11,7 @@
 
 #include "common/rng.hpp"
 #include "common/simd.hpp"
+#include "order/hbmc.hpp"
 #include "persist/artifact.hpp"
 #include "persist/plan_cache.hpp"
 #include "sim/kernel_sim.hpp"
@@ -153,6 +154,15 @@ BlockSolver<T>::BlockSolver(const Csr<T>& lower, const Options& opt)
       } else {
         plan_ = plan_recursive(lower, opt.planner, &stored, pool_.get());
       }
+      break;
+    case BlockScheme::kHbmc:
+      // The executor's calibrated run-merge width doubles as the HBMC
+      // color-fusion bound (DESIGN.md §16); untuned it is the constant
+      // kLevelMergeMaxWidth, so the plan stays a pure function of the
+      // options fingerprint.
+      plan_ = order::plan_hbmc(lower, opt.planner,
+                               static_cast<index_t>(merge_width_), &stored,
+                               pool_.get());
       break;
   }
 
@@ -858,6 +868,23 @@ std::uint64_t BlockSolver<T>::options_fingerprint(const Options& opt) {
     h = hash_combine(h, tune::device_fingerprint(opt.tune.gpu));
     h = hash_combine(h, static_cast<std::uint64_t>(opt.tune.sa_iterations));
     h = hash_combine(h, opt.tune.seed);
+    // The search may swap the whole scheme for kHbmc, so its gate and the
+    // HBMC planner knobs shape tuned plans even under kRecursive.
+    h = hash_combine(h, opt.tune.consider_hbmc ? 1 : 0);
+    h = hash_combine(h,
+                     static_cast<std::uint64_t>(opt.planner.hbmc_block_rows));
+    h = hash_combine(h,
+                     static_cast<std::uint64_t>(opt.planner.hbmc_max_colors));
+    h = hash_combine(h, f64(opt.thresholds.hbmc_depth_per_color));
+  }
+  // HBMC-only fields join under the same rule: every pre-HBMC fingerprint
+  // is unchanged.
+  if (opt.scheme == BlockScheme::kHbmc) {
+    h = hash_combine(h, 0x68626d63u);  // "hbmc"
+    h = hash_combine(h,
+                     static_cast<std::uint64_t>(opt.planner.hbmc_block_rows));
+    h = hash_combine(h,
+                     static_cast<std::uint64_t>(opt.planner.hbmc_max_colors));
   }
   return h;
 }

@@ -183,6 +183,40 @@ Csr<double> grid3d(index_t nx, index_t ny, index_t nz, std::uint64_t seed) {
   return b.take();
 }
 
+Csr<double> laplace3d(index_t nx, index_t ny, index_t nz,
+                      std::uint64_t seed) {
+  BLOCKTRI_CHECK(nx >= 1 && ny >= 1 && nz >= 1);
+  Rng rng(seed);
+  const index_t n = nx * ny * nz;
+  // Built directly (not via LowerBuilder): the Laplacian's values are fixed
+  // by the stencil, not drawn from [-1, 1], and its diagonal is the full
+  // 7-point 6 rather than the 1 + Σ|off-diag| convention.
+  Csr<double> a;
+  a.nrows = n;
+  a.ncols = n;
+  a.row_ptr.reserve(static_cast<std::size_t>(n) + 1);
+  a.row_ptr.push_back(0);
+  for (index_t iz = 0; iz < nz; ++iz) {
+    for (index_t iy = 0; iy < ny; ++iy) {
+      for (index_t ix = 0; ix < nx; ++ix) {
+        const index_t i = (iz * ny + iy) * nx + ix;
+        const auto push = [&](index_t c) {
+          a.col_idx.push_back(c);
+          a.val.push_back(-1.0 + 1e-6 * rng.uniform(-1.0, 1.0));
+        };
+        // Emitted in ascending column order: -nx*ny < -nx < -1 < 0.
+        if (iz > 0) push(i - nx * ny);
+        if (iy > 0) push(i - nx);
+        if (ix > 0) push(i - 1);
+        a.col_idx.push_back(i);
+        a.val.push_back(6.0);
+        a.row_ptr.push_back(static_cast<offset_t>(a.val.size()));
+      }
+    }
+  }
+  return a;
+}
+
 Csr<double> power_law(index_t n, double alpha, index_t max_degree,
                       double avg_degree, std::uint64_t seed) {
   BLOCKTRI_CHECK(max_degree >= 1);

@@ -41,6 +41,15 @@ Csr<double> grid2d(index_t nx, index_t ny, std::uint64_t seed);
 /// 7-point-stencil lower part on an nx*ny*nz grid.
 Csr<double> grid3d(index_t nx, index_t ny, index_t nz, std::uint64_t seed);
 
+/// True 3D 7-point Laplacian lower part on an nx*ny*nz grid: unlike grid3d
+/// (random values in the stencil pattern), every off-diagonal is the
+/// stencil's -1 — perturbed by a seeded jitter of at most 1e-6 so distinct
+/// seeds give distinct systems — and the diagonal is the full stencil's 6,
+/// which keeps each lower row strictly dominant (|6| > 3·|-1|). The
+/// structural profile matches grid3d exactly: nx+ny+nz-2 wavefront levels,
+/// natural (x-fastest) ordering, ascending columns with the diagonal last.
+Csr<double> laplace3d(index_t nx, index_t ny, index_t nz, std::uint64_t seed);
+
 /// Power-law matrix with preferential attachment: row degrees follow
 /// P(k) ∝ k^-alpha (capped) and columns are chosen preferentially, creating
 /// the hub columns that break sync-free load balance (§2.2, FullChip-like).

@@ -192,6 +192,7 @@ enum : std::uint32_t {
   kSectionSquares = 4,
   kSectionTuning = 5,  // optional (format version 2, tuned plans only)
   kSectionShard = 6,   // optional (format version 3, shard slices only)
+  kSectionColor = 7,   // optional (format version 4, HBMC plans only)
 };
 
 template <class T>
@@ -248,7 +249,7 @@ bool decode_plan(Reader& r, PlanArtifact<T>* art) {
   BlockPlan& p = art->plan;
   std::uint32_t scheme = 0;
   if (!r.u32(&scheme)) return false;
-  if (scheme > static_cast<std::uint32_t>(BlockScheme::kRecursive))
+  if (scheme > static_cast<std::uint32_t>(BlockScheme::kHbmc))
     return r.corrupt("block scheme out of range");
   p.scheme = static_cast<BlockScheme>(scheme);
   if (!r.i32(&p.n) || !r.vec(&p.new_of_old) || !r.vec(&p.tri_bounds))
@@ -475,6 +476,26 @@ bool decode_shard(Reader& r, PlanArtifact<T>* art) {
   return true;
 }
 
+/// HBMC color record (DESIGN.md §16). The fields live inside the BlockPlan;
+/// they get their own section (instead of extending kSectionPlan) so every
+/// non-HBMC artifact's plan bytes stay identical to format versions 1-3.
+template <class T>
+void encode_color(Writer& w, const PlanArtifact<T>& art) {
+  w.vec(art.plan.color_bounds);
+  w.i32(art.plan.hbmc_block_rows);
+}
+
+template <class T>
+bool decode_color(Reader& r, PlanArtifact<T>* art) {
+  if (!r.vec(&art->plan.color_bounds) || !r.i32(&art->plan.hbmc_block_rows))
+    return false;
+  if (art->plan.color_bounds.empty())
+    return r.corrupt("color section carries no color bounds");
+  if (art->plan.hbmc_block_rows < 1)
+    return r.corrupt("color section carries a non-positive block size");
+  return true;
+}
+
 // --- File framing -----------------------------------------------------------
 
 constexpr char kMagic[4] = {'B', 'T', 'P', 'A'};
@@ -558,13 +579,21 @@ Status save_artifact(const std::string& path, const PlanArtifact<T>& art) {
     encode_shard(w, art);
     sections.push_back({kSectionShard, w.bytes()});
   }
+  const bool color = !art.plan.color_bounds.empty();
+  if (color) {
+    Writer w;
+    encode_color(w, art);
+    sections.push_back({kSectionColor, w.bytes()});
+  }
 
   Writer file;
   file.raw(kMagic, sizeof kMagic);
   // Each file claims the oldest version that can describe it, so plain
   // artifacts stay byte-identical to (and loadable by) pre-tuner builds:
-  // version 1 untuned, version 2 tuned, version 3 only for shard slices.
-  file.u32(art.shard ? kArtifactFormatVersion : (art.tuned ? 2u : 1u));
+  // version 1 untuned, version 2 tuned, version 3 shard slices, version 4
+  // only for HBMC plans (the color section).
+  file.u32(color ? kArtifactFormatVersion
+                 : (art.shard ? 3u : (art.tuned ? 2u : 1u)));
   file.u32(kEndianTag);
   file.u32(static_cast<std::uint32_t>(sizeof(T)));
   file.u64(art.structure);
@@ -681,7 +710,7 @@ Status load_artifact(const std::string& path, PlanArtifact<T>* out) {
     return header.status();
 
   std::size_t offset = header.offset();
-  bool have[8] = {};
+  bool have[kSectionColor + 1] = {};
   for (std::uint32_t s = 0; s < nsections; ++s) {
     Reader frame(bytes.data() + offset, bytes.size() - offset, offset);
     std::uint32_t id = 0, crc = 0;
@@ -709,6 +738,7 @@ Status load_artifact(const std::string& path, PlanArtifact<T>* out) {
       case kSectionSquares: ok = decode_squares(r, &art); break;
       case kSectionTuning: ok = decode_tuning(r, &art); break;
       case kSectionShard: ok = decode_shard(r, &art); break;
+      case kSectionColor: ok = decode_color(r, &art); break;
       default:
         return Status(StatusCode::kBadFormat,
                       "unknown artifact section id " + std::to_string(id));
@@ -718,7 +748,7 @@ Status load_artifact(const std::string& path, PlanArtifact<T>* out) {
                              "section " + std::to_string(id) +
                                  " has trailing or missing bytes")
                     : r.status();
-    if (id <= kSectionShard) have[id] = true;
+    if (id <= kSectionColor) have[id] = true;
     offset = payload_off + static_cast<std::size_t>(size);
   }
   for (std::uint32_t id : {kSectionPlan, kSectionStored, kSectionTri,
@@ -817,7 +847,7 @@ Status validate_artifact(const PlanArtifact<T>& art) {
   const BlockPlan& p = art.plan;
   if (p.n < 0) return bad("negative dimension");
   if (static_cast<std::uint32_t>(p.scheme) >
-      static_cast<std::uint32_t>(BlockScheme::kRecursive))
+      static_cast<std::uint32_t>(BlockScheme::kHbmc))
     return bad("block scheme out of range");
   if (p.new_of_old.size() != static_cast<std::size_t>(p.n))
     return bad("permutation length != n");
@@ -829,6 +859,28 @@ Status validate_artifact(const PlanArtifact<T>& art) {
   for (std::size_t i = 1; i < p.tri_bounds.size(); ++i)
     if (p.tri_bounds[i] < p.tri_bounds[i - 1])
       return bad("triangular bounds are not ascending");
+  if ((p.scheme == BlockScheme::kHbmc) != !p.color_bounds.empty())
+    return bad("color bounds must be present exactly for the hbmc scheme");
+  if (!p.color_bounds.empty()) {
+    if (p.hbmc_block_rows < 1)
+      return bad("hbmc aggregation block size is not positive");
+    if (p.color_bounds.front() != 0 || p.color_bounds.back() != p.n)
+      return bad("color bounds do not cover [0, n)");
+    for (std::size_t i = 1; i < p.color_bounds.size(); ++i)
+      if (p.color_bounds[i] < p.color_bounds[i - 1])
+        return bad("color bounds are not ascending");
+    // Every color boundary must be a triangular leaf boundary — the wave
+    // builder and the shard planner only ever cut at tri_bounds, so a color
+    // bound off the leaf grid would break the per-color independence the
+    // scheme's 2C-1-wave schedule relies on.
+    for (const index_t c : p.color_bounds) {
+      bool on_leaf = false;
+      for (const index_t b : p.tri_bounds)
+        if (b == c) { on_leaf = true; break; }
+      if (!on_leaf)
+        return bad("color bound does not land on a triangular leaf bound");
+    }
+  }
   if (art.tri.size() != p.tri_bounds.size() - 1)
     return bad("triangular block count != plan leaves");
   if (art.squares.size() != p.squares.size())

@@ -39,13 +39,14 @@ namespace blocktri {
 
 /// Newest on-disk format version this build writes and reads. Version 2
 /// added the optional tuning section, version 3 the optional shard section
-/// (per-shard slices for the multi-process worker pool, src/shard). Plain
-/// untuned artifacts are still written as version 1 — byte-identical to
-/// pre-tuner builds — tuned ones as version 2, and only shard slices need
-/// version 3, so every file stays readable by the oldest build that could
-/// have produced it. Versions outside [1, 3] are rejected with
-/// kVersionMismatch.
-inline constexpr std::uint32_t kArtifactFormatVersion = 3;
+/// (per-shard slices for the multi-process worker pool, src/shard), and
+/// version 4 the optional color section (HBMC color boundaries, DESIGN.md
+/// §16). Plain untuned artifacts are still written as version 1 —
+/// byte-identical to pre-tuner builds — tuned ones as version 2, shard
+/// slices as version 3, and only HBMC plans need version 4, so every file
+/// stays readable by the oldest build that could have produced it. Versions
+/// outside [1, 4] are rejected with kVersionMismatch.
+inline constexpr std::uint32_t kArtifactFormatVersion = 4;
 
 /// Everything preprocessing derived for one triangular leaf block. Only the
 /// fields of the selected kernel kind are populated (the rest stay empty),
@@ -145,6 +146,12 @@ struct PlanArtifact {
   index_t shard_row_begin = 0;
   index_t shard_row_end = 0;
   std::vector<index_t> shard_bounds;
+
+  // HBMC color record (format version 4, optional section — absent in
+  // v1–v3 files). The payload itself lives inside the BlockPlan
+  // (plan.color_bounds / plan.hbmc_block_rows); a separate CRC'd section
+  // carries it so the kSectionPlan encoding — and with it every non-HBMC
+  // artifact — stays byte-identical to the older format versions.
 
   std::vector<TriBlockArtifact<T>> tri;
   std::vector<SquareBlockArtifact<T>> squares;

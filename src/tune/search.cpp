@@ -9,7 +9,9 @@
 #include <utility>
 
 #include "analysis/features.hpp"
+#include "analysis/levels.hpp"
 #include "common/rng.hpp"
+#include "order/hbmc.hpp"
 #include "sim/cache.hpp"
 #include "sim/kernel_sim.hpp"
 #include "sim/report.hpp"
@@ -752,6 +754,94 @@ TunedPlan<T> autotune_recursive(const Csr<T>& lower,
     }
   }
 
+  // --- Candidate H: the HBMC scheme (DESIGN.md §16), priced only when the
+  // depth-vs-colors gate says the matrix is deep enough that trading
+  // locality for a fixed sync-step count could pay. The cost model's fixed
+  // per-step launch price is exactly what a small color count amortises, so
+  // the oracle comparison below is where "search may pick kHbmc" happens.
+  bool hbmc_built = false;
+  double ns_hbmc = 0.0;
+  BlockPlan hplan;
+  Csr<T> hstored;
+  std::vector<TriKernelKind> h_tri;
+  std::vector<index_t> h_nlevels;
+  std::vector<SpmvKernelKind> h_sq;
+  std::vector<double> h_empty;
+  std::vector<SimStep> h_steps;
+  if (topt.consider_hbmc &&
+      prefer_hbmc(compute_level_sets(lower, pool).nlevels,
+                  planner.hbmc_max_colors, thresholds)) {
+    hplan = order::plan_hbmc(lower, planner,
+                             static_cast<index_t>(tp.merge_width), &hstored,
+                             pool);
+    for (index_t t = 0; t < hplan.num_tri_blocks(); ++t) {
+      const index_t r0 = hplan.tri_bounds[static_cast<std::size_t>(t)];
+      const index_t r1 = hplan.tri_bounds[static_cast<std::size_t>(t) + 1];
+      const Csr<T> blk = extract_block(hstored, r0, r1, r0, r1);
+      const TriangularFeatures feat = compute_triangular_features(blk);
+      h_nlevels.push_back(feat.nlevels);
+      TriKernelKind kind = heuristic_tri(feat, thresholds);
+      if (model.valid) {
+        Node nd;
+        nd.r0 = r0;
+        nd.r1 = r1;
+        nd.tri_nnz = blk.nnz();
+        nd.nlevels = feat.nlevels;
+        nd.diagonal_only = feat.base.diagonal_only;
+        nd.heur_tri = kind;
+        kind = model_best_tri(model, nd);
+      }
+      h_tri.push_back(kind);
+    }
+    for (const SquareBlockRef& ref : hplan.squares) {
+      const Csr<T> blk =
+          extract_block(hstored, ref.r0, ref.r1, ref.c0, ref.c1);
+      if (blk.nnz() == 0) {
+        h_sq.push_back(SpmvKernelKind::kScalarCsr);
+        h_empty.push_back(ref.r1 > ref.r0 ? 1.0 : 0.0);
+        continue;
+      }
+      const MatrixFeatures feat = compute_features(blk);
+      h_empty.push_back(feat.empty_ratio);
+      SpmvKernelKind kind = select_square_kernel(feat, thresholds);
+      if (model.valid) {
+        Node nd;
+        nd.r0 = ref.c0;
+        nd.mid = ref.r0;
+        nd.r1 = ref.r1;
+        nd.left = 0;
+        nd.sq_nnz = blk.nnz();
+        nd.sq_stored_rows = static_cast<index_t>(
+            std::lround((1.0 - feat.empty_ratio) *
+                        static_cast<double>(ref.r1 - ref.r0)));
+        nd.heur_sq = kind;
+        kind = model_best_sq(model, nd, launch_ns);
+      }
+      h_sq.push_back(kind);
+    }
+    for (const ExecStep& es : hplan.steps) {
+      SimStep st;
+      if (es.kind == ExecStep::Kind::kTri) {
+        st.tri = true;
+        st.r0 = hplan.tri_bounds[static_cast<std::size_t>(es.index)];
+        st.r1 = hplan.tri_bounds[static_cast<std::size_t>(es.index) + 1];
+        st.kind = static_cast<int>(h_tri[static_cast<std::size_t>(es.index)]);
+      } else {
+        const SquareBlockRef& ref =
+            hplan.squares[static_cast<std::size_t>(es.index)];
+        st.r0 = ref.r0;
+        st.r1 = ref.r1;
+        st.c0 = ref.c0;
+        st.c1 = ref.c1;
+        st.kind = static_cast<int>(h_sq[static_cast<std::size_t>(es.index)]);
+      }
+      h_steps.push_back(st);
+    }
+    OracleContext<T> hctx(&hstored, pool);
+    ns_hbmc = simulate_candidate(hctx, h_steps, n, topt.gpu);
+    hbmc_built = true;
+  }
+
   // --- Final selection: ties go to the earliest candidate, so D with the
   // paper's heuristics wins unless something is strictly better under the
   // oracle.
@@ -759,7 +849,7 @@ TunedPlan<T> autotune_recursive(const Csr<T>& lower,
   tp.stats.model_default_ns =
       model_steps_cost(model, nodes, d_heur_steps, launch_ns);
 
-  enum class Winner { kDefaultHeur, kDefaultModel, kCut };
+  enum class Winner { kDefaultHeur, kDefaultModel, kCut, kHbmc };
   Winner winner = Winner::kDefaultHeur;
   double winner_ns = ns_d_heur;
   if (d_model_differs && ns_d_model < winner_ns) {
@@ -770,8 +860,25 @@ TunedPlan<T> autotune_recursive(const Csr<T>& lower,
     winner = Winner::kCut;
     winner_ns = best_ns;
   }
+  if (hbmc_built && ns_hbmc < winner_ns) {
+    winner = Winner::kHbmc;
+    winner_ns = ns_hbmc;
+  }
   tp.stats.oracle_tuned_ns = winner_ns;
   tp.stats.fell_back = winner == Winner::kDefaultHeur;
+
+  if (winner == Winner::kHbmc) {
+    tp.plan = std::move(hplan);
+    tp.stored = std::move(hstored);
+    tp.tri_kinds = std::move(h_tri);
+    tp.tri_nlevels = std::move(h_nlevels);
+    tp.square_kinds = std::move(h_sq);
+    tp.square_empty_ratio = std::move(h_empty);
+    // The M-tree node list cannot price HBMC's blocks; report the oracle
+    // number so the stats stay meaningful.
+    tp.stats.model_tuned_ns = ns_hbmc;
+    return tp;
+  }
 
   if (winner == Winner::kDefaultHeur || winner == Winner::kDefaultModel) {
     const bool heur = winner == Winner::kDefaultHeur;

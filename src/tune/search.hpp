@@ -50,6 +50,11 @@ struct TuneOptions {
   int sa_iterations = 24;
   /// Seed of the annealer's deterministic Rng.
   std::uint64_t seed = 0x73612d736565ULL;
+  /// Let the search price a BlockScheme::kHbmc candidate (DESIGN.md §16)
+  /// when the matrix's level depth clears the depth-vs-colors gate
+  /// (ThresholdTable::hbmc_depth_per_color); the oracle then decides whether
+  /// its fixed sync-step count beats every recursive candidate.
+  bool consider_hbmc = true;
 };
 
 struct TuneStats {

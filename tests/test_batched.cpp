@@ -101,7 +101,7 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, BatchedOnMatrix,
     ::testing::Combine(
         ::testing::Values(BlockScheme::kColumn, BlockScheme::kRow,
-                          BlockScheme::kRecursive),
+                          BlockScheme::kRecursive, BlockScheme::kHbmc),
         ::testing::Range(0, static_cast<int>(test_matrices().size()))),
     [](const ::testing::TestParamInfo<BatchedOnMatrix::ParamType>& info) {
       std::string s = to_string(std::get<0>(info.param));
@@ -157,7 +157,8 @@ TEST(Batched, DiagonalKernelBitwise) {
 
 TEST(Batched, ThreadSweepK16Bitwise) {
   const auto L = gen::grid2d(40, 25, 5);
-  for (const auto scheme : {BlockScheme::kRecursive, BlockScheme::kColumn}) {
+  for (const auto scheme : {BlockScheme::kRecursive, BlockScheme::kColumn,
+                            BlockScheme::kHbmc}) {
     const BlockSolver<double> ref(L, opts<double>(scheme, 150));
     for (const int t : {1, 2, 4}) {
       auto o = opts<double>(scheme, 150);
@@ -194,6 +195,8 @@ TEST(Batched, KOneMatchesSolve) {
   const auto L = gen::banded(800, 16, 3.0, 4);
   const BlockSolver<double> solver(L, opts<double>(BlockScheme::kRow));
   expect_batched_matches(solver, solver, 1, 308, "k=1");
+  const BlockSolver<double> hbmc(L, opts<double>(BlockScheme::kHbmc));
+  expect_batched_matches(hbmc, hbmc, 1, 308, "hbmc k=1");
 }
 
 TEST(Batched, WrongPanelSizeThrowsTyped) {

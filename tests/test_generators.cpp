@@ -57,6 +57,54 @@ TEST(Generators, Grid3dLevels) {
   EXPECT_EQ(compute_level_sets(L).nlevels, 5 + 6 + 7 - 2);
 }
 
+TEST(Generators, Laplace3dStructure) {
+  const auto L = gen::laplace3d(6, 5, 4, 17);
+  expect_valid_lower(L);
+  EXPECT_EQ(L.nrows, 120);
+  // 7-point stencil, lower half: diagonal + up to three backward neighbours.
+  // Wavefront depth is the grid's anti-diagonal count.
+  EXPECT_EQ(compute_level_sets(L).nlevels, 6 + 5 + 4 - 2);
+  for (index_t i = 0; i < L.nrows; ++i) {
+    const offset_t lo = L.row_ptr[static_cast<std::size_t>(i)];
+    const offset_t hi = L.row_ptr[static_cast<std::size_t>(i) + 1];
+    ASSERT_GE(hi - lo, 1);
+    ASSERT_LE(hi - lo, 4);
+    // Columns ascending, diagonal last; off-diagonals sit at -1 up to the
+    // seeded jitter, the diagonal at the stencil's +6.
+    for (offset_t k = lo; k < hi - 1; ++k) {
+      if (k > lo) EXPECT_LT(L.col_idx[k - 1], L.col_idx[k]);
+      EXPECT_NEAR(L.val[static_cast<std::size_t>(k)], -1.0, 1e-5);
+    }
+    EXPECT_EQ(L.col_idx[static_cast<std::size_t>(hi - 1)], i);
+    EXPECT_DOUBLE_EQ(L.val[static_cast<std::size_t>(hi - 1)], 6.0);
+  }
+}
+
+TEST(Generators, Laplace3dCornerRowsMatchStencil) {
+  const auto L = gen::laplace3d(4, 3, 2, 1);
+  // Row 0 (corner): diagonal only. The last row sees all three backward
+  // neighbours: x-1, y-1 (offset nx) and z-1 (offset nx*ny).
+  EXPECT_EQ(L.row_ptr[1] - L.row_ptr[0], 1);
+  const index_t last = L.nrows - 1;
+  const offset_t lo = L.row_ptr[static_cast<std::size_t>(last)];
+  ASSERT_EQ(L.row_ptr[static_cast<std::size_t>(last) + 1] - lo, 4);
+  EXPECT_EQ(L.col_idx[static_cast<std::size_t>(lo)], last - 4 * 3);
+  EXPECT_EQ(L.col_idx[static_cast<std::size_t>(lo) + 1], last - 4);
+  EXPECT_EQ(L.col_idx[static_cast<std::size_t>(lo) + 2], last - 1);
+  EXPECT_EQ(L.col_idx[static_cast<std::size_t>(lo) + 3], last);
+}
+
+TEST(Generators, Laplace3dDeterministicInSeed) {
+  const auto a = gen::laplace3d(5, 5, 5, 42);
+  const auto b = gen::laplace3d(5, 5, 5, 42);
+  EXPECT_TRUE(equals(a, b));
+  const auto c = gen::laplace3d(5, 5, 5, 43);
+  // Same structure, different jitter.
+  EXPECT_EQ(c.row_ptr, a.row_ptr);
+  EXPECT_EQ(c.col_idx, a.col_idx);
+  EXPECT_FALSE(equals(a, c));
+}
+
 TEST(Generators, PowerLawHasHubColumns) {
   const auto L = gen::power_law(4000, 2.0, 512, 6.0, 6);
   expect_valid_lower(L);

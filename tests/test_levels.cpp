@@ -142,6 +142,88 @@ TEST(Levels, PermutationKeepsLowerTriangular) {
               ls2.level_of[static_cast<std::size_t>(i)]);
 }
 
+// --- Böhnlein-style level merging (merge_width > 0) -------------------------
+
+TEST(LevelMerge, DisabledIsBitIdenticalToDefault) {
+  // The regression contract: merge_width == 0 (the default) must reproduce
+  // the historical grouping exactly, field by field, on every family —
+  // plans built without merging are therefore unchanged by the feature.
+  for (const auto& tm : blocktri::testing::test_matrices()) {
+    SCOPED_TRACE(tm.name);
+    const auto L = tm.build();
+    const auto base = compute_level_sets(L);
+    const auto zero = compute_level_sets(L, nullptr, 0);
+    EXPECT_EQ(zero.nlevels, base.nlevels);
+    EXPECT_EQ(zero.level_of, base.level_of);
+    EXPECT_EQ(zero.level_ptr, base.level_ptr);
+    EXPECT_EQ(zero.level_item, base.level_item);
+  }
+}
+
+TEST(LevelMerge, FusesChainIntoWidthBoundedRuns) {
+  // 64 raw levels of width 1 fuse greedily into runs of merge_width rows.
+  const auto L = gen::tridiag_chain(64, 2);
+  const auto ls = compute_level_sets(L, nullptr, 16);
+  ASSERT_EQ(ls.nlevels, 4);
+  for (index_t l = 0; l < ls.nlevels; ++l) EXPECT_EQ(ls.level_width(l), 16);
+  // Items remain the ascending (topological) order.
+  for (std::size_t p = 1; p < ls.level_item.size(); ++p)
+    EXPECT_LT(ls.level_item[p - 1], ls.level_item[p]);
+}
+
+TEST(LevelMerge, GreedyRunRespectsWidthDuringGrouping) {
+  // Figure 1 widths are 3,3,1,1; at merge_width 4 the greedy pass keeps
+  // level 0 (3+3 > 4 stops the first run), fuses levels 1+2 (3+1 == 4) and
+  // leaves level 3 alone: widths 3,4,1.
+  const auto ls = compute_level_sets(figure1_matrix(), nullptr, 4);
+  ASSERT_EQ(ls.nlevels, 3);
+  EXPECT_EQ(ls.level_width(0), 3);
+  EXPECT_EQ(ls.level_width(1), 4);
+  EXPECT_EQ(ls.level_width(2), 1);
+  EXPECT_EQ(ls.level_item, (std::vector<index_t>{0, 1, 6, 2, 3, 4, 5, 7}));
+  EXPECT_EQ(ls.level_of, (std::vector<index_t>{0, 0, 1, 1, 1, 1, 0, 2}));
+}
+
+TEST(LevelMerge, MergedPartitionStaysTopological) {
+  // Merged levels may hold internal dependencies, but only forward ones in
+  // item order: for ordering/partitioning consumers, every strict parent
+  // must appear before its child in the merged level_item sequence.
+  const auto L = gen::power_law(800, 2.1, 64, 4.0, 19);
+  const auto ls = compute_level_sets(L, nullptr, 32);
+  std::vector<index_t> pos(static_cast<std::size_t>(L.nrows));
+  for (std::size_t p = 0; p < ls.level_item.size(); ++p)
+    pos[static_cast<std::size_t>(ls.level_item[p])] =
+        static_cast<index_t>(p);
+  for (index_t i = 0; i < L.nrows; ++i) {
+    for (offset_t k = L.row_ptr[static_cast<std::size_t>(i)];
+         k < L.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const index_t j = L.col_idx[static_cast<std::size_t>(k)];
+      if (j != i) {
+        EXPECT_LT(pos[static_cast<std::size_t>(j)],
+                  pos[static_cast<std::size_t>(i)]);
+        EXPECT_LE(ls.level_of[static_cast<std::size_t>(j)],
+                  ls.level_of[static_cast<std::size_t>(i)]);
+      }
+    }
+  }
+  // Rows still partitioned: widths sum to n and levels only got wider.
+  EXPECT_EQ(ls.level_ptr.back(), static_cast<offset_t>(L.nrows));
+  EXPECT_LE(ls.nlevels, compute_level_sets(L).nlevels);
+}
+
+TEST(LevelMerge, SerialAndPooledGroupingAgree) {
+  ThreadPool pool(4);
+  // Large enough (n >= 2 * kHostParallelMinNnz, nlevels << n) that the
+  // pooled histogram grouping actually runs.
+  const auto L = gen::random_levels(8000, 120, 2.0, 1.0, 21);
+  const auto serial = compute_level_sets(L, nullptr, 16);
+  const auto pooled = compute_level_sets(L, &pool, 16);
+  EXPECT_EQ(pooled.nlevels, serial.nlevels);
+  EXPECT_EQ(pooled.level_of, serial.level_of);
+  EXPECT_EQ(pooled.level_ptr, serial.level_ptr);
+  EXPECT_EQ(pooled.level_item, serial.level_item);
+}
+
 TEST(Features, BasicQuantities) {
   const auto L = gen::banded(100, 8, 3.0, 13);
   const auto f = compute_features(L);

@@ -1,0 +1,287 @@
+// HBMC ordering tests (DESIGN.md §16): aggregation invariants, chain
+// collapse, the color bound, the color-stepped plan layout, wave counts, and
+// end-to-end solver correctness under BlockScheme::kHbmc.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/levels.hpp"
+#include "common/prefix.hpp"
+#include "core/plan.hpp"
+#include "core/solver.hpp"
+#include "gen/generators.hpp"
+#include "helpers.hpp"
+#include "order/hbmc.hpp"
+#include "sparse/permute.hpp"
+#include "sparse/triangular.hpp"
+#include "sptrsv/serial.hpp"
+
+namespace blocktri {
+namespace {
+
+using blocktri::testing::default_tol;
+using blocktri::testing::test_matrices;
+using blocktri::testing::VectorsNear;
+
+constexpr index_t kW = 8;
+constexpr index_t kMaxColors = 16;
+
+/// Checks every structural invariant the plan layout relies on.
+void check_partition(const Csr<double>& L, const order::HbmcPartition& part,
+                     index_t max_colors) {
+  const index_t n = L.nrows;
+  ASSERT_EQ(part.n, n);
+  ASSERT_TRUE(is_permutation_of_iota(part.new_of_old));
+
+  // Bounds: ascending, covering, colors a subset of blocks.
+  ASSERT_GE(part.color_bounds.size(), 2u);
+  EXPECT_EQ(part.color_bounds.front(), 0);
+  EXPECT_EQ(part.color_bounds.back(), n);
+  EXPECT_EQ(static_cast<index_t>(part.color_bounds.size()) - 1, part.ncolors);
+  for (std::size_t i = 1; i < part.color_bounds.size(); ++i)
+    EXPECT_LE(part.color_bounds[i - 1], part.color_bounds[i]);
+  EXPECT_EQ(part.block_bounds.front(), 0);
+  EXPECT_EQ(part.block_bounds.back(), n);
+  for (std::size_t i = 1; i < part.block_bounds.size(); ++i)
+    EXPECT_LE(part.block_bounds[i - 1], part.block_bounds[i]);
+  for (const index_t c : part.color_bounds)
+    EXPECT_TRUE(std::find(part.block_bounds.begin(), part.block_bounds.end(),
+                          c) != part.block_bounds.end())
+        << "color bound " << c << " is not a block bound";
+
+  // The doubling loop always lands at or under the color budget (W == n
+  // degenerates to a single color, so the loop cannot overshoot).
+  EXPECT_LE(part.ncolors, std::max<index_t>(1, max_colors));
+
+  // The aggregation invariant in permuted space: every dependency of row r
+  // is either in a strictly earlier color (covered by the inter-color
+  // square) or inside r's own block (covered by its serial triangle).
+  const auto P = permute_symmetric(L, part.new_of_old);
+  index_t blk = 0, col = 0;
+  for (index_t r = 0; r < n; ++r) {
+    while (part.block_bounds[static_cast<std::size_t>(blk) + 1] <= r) ++blk;
+    while (part.color_bounds[static_cast<std::size_t>(col) + 1] <= r) ++col;
+    const index_t color_begin =
+        part.color_bounds[static_cast<std::size_t>(col)];
+    const index_t block_begin =
+        part.block_bounds[static_cast<std::size_t>(blk)];
+    for (offset_t k = P.row_ptr[static_cast<std::size_t>(r)];
+         k < P.row_ptr[static_cast<std::size_t>(r) + 1]; ++k) {
+      const index_t q = P.col_idx[static_cast<std::size_t>(k)];
+      ASSERT_LE(q, r) << "permuted matrix is not lower triangular";
+      EXPECT_TRUE(q < color_begin || q >= block_begin)
+          << "row " << r << " depends on column " << q
+          << " inside its own color but outside its block";
+    }
+  }
+}
+
+TEST(HbmcPartition, InvariantsOnEveryFamily) {
+  for (const auto& tm : test_matrices()) {
+    SCOPED_TRACE(tm.name);
+    const auto L = tm.build();
+    const auto part = order::hbmc_partition(L, kW, kMaxColors);
+    check_partition(L, part, kMaxColors);
+  }
+}
+
+TEST(HbmcPartition, ChainCollapsesByDoubling) {
+  // A 256-deep chain at W=8 would need 32 colors; one doubling to W=16
+  // folds it into exactly 16 chained blocks, one per color.
+  const auto L = gen::tridiag_chain(256, 2);
+  const auto part = order::hbmc_partition(L, 8, 16);
+  EXPECT_EQ(part.passes, 2);
+  EXPECT_EQ(part.block_rows, 16);
+  EXPECT_EQ(part.ncolors, 16);
+  ASSERT_EQ(part.block_bounds.size(), 17u);
+  for (std::size_t b = 1; b < part.block_bounds.size(); ++b)
+    EXPECT_EQ(part.block_bounds[b] - part.block_bounds[b - 1], 16);
+  check_partition(L, part, 16);
+  // 16 sync colors versus the pattern's 256 levels: parallelism was
+  // manufactured, not discovered.
+  EXPECT_EQ(compute_level_sets(L).nlevels, 256);
+}
+
+TEST(HbmcPartition, DiagonalIsOneColor) {
+  const auto L = gen::diagonal(100, 1);
+  const auto part = order::hbmc_partition(L, 8, 16);
+  EXPECT_EQ(part.ncolors, 1);
+  EXPECT_EQ(part.passes, 1);
+  EXPECT_EQ(part.block_rows, 8);
+  // ceil(100 / 8) blocks, all within the single color.
+  EXPECT_EQ(part.block_bounds.size(), 14u);
+  check_partition(L, part, 16);
+}
+
+TEST(HbmcPartition, MergeWidthFusesStragglyColors) {
+  // chain(64) at W=4 (no doubling: 16 <= 64 colors allowed) gives a 16-block
+  // quotient chain; merge_width=16 ROWS is a budget of 16/4 = 4 quotient
+  // blocks, fusing runs of 4 into single serial blocks — 4 colors of one
+  // fat block each.
+  const auto L = gen::tridiag_chain(64, 2);
+  const auto merged = order::hbmc_partition(L, 4, 64, 16);
+  EXPECT_EQ(merged.ncolors, 4);
+  ASSERT_EQ(merged.block_bounds.size(), 5u);
+  for (std::size_t b = 1; b < merged.block_bounds.size(); ++b)
+    EXPECT_EQ(merged.block_bounds[b] - merged.block_bounds[b - 1], 16);
+  check_partition(L, merged, 64);
+
+  // merge_width == 0 must reproduce the unmerged partition exactly.
+  const auto plain = order::hbmc_partition(L, 4, 64);
+  const auto plain0 = order::hbmc_partition(L, 4, 64, 0);
+  EXPECT_EQ(plain.ncolors, 16);
+  EXPECT_EQ(plain0.new_of_old, plain.new_of_old);
+  EXPECT_EQ(plain0.color_bounds, plain.color_bounds);
+  EXPECT_EQ(plain0.block_bounds, plain.block_bounds);
+}
+
+TEST(HbmcPartition, EmptyAndSingleRow) {
+  Csr<double> empty;
+  empty.nrows = empty.ncols = 0;
+  empty.row_ptr = {0};
+  const auto p0 = order::hbmc_partition(empty, 8, 16);
+  EXPECT_EQ(p0.ncolors, 1);
+  EXPECT_EQ(p0.color_bounds, (std::vector<index_t>{0, 0}));
+  EXPECT_EQ(p0.block_bounds, (std::vector<index_t>{0, 0}));
+
+  const auto L1 = gen::diagonal(1, 3);
+  const auto p1 = order::hbmc_partition(L1, 8, 16);
+  EXPECT_EQ(p1.ncolors, 1);
+  EXPECT_EQ(p1.new_of_old, (std::vector<index_t>{0}));
+  check_partition(L1, p1, 16);
+}
+
+TEST(HbmcPartition, DeterministicAcrossCalls) {
+  const auto L = gen::power_law(1500, 2.1, 128, 5.0, 7);
+  const auto a = order::hbmc_partition(L, kW, kMaxColors);
+  const auto b = order::hbmc_partition(L, kW, kMaxColors);
+  EXPECT_EQ(a.new_of_old, b.new_of_old);
+  EXPECT_EQ(a.color_bounds, b.color_bounds);
+  EXPECT_EQ(a.block_bounds, b.block_bounds);
+  EXPECT_EQ(a.passes, b.passes);
+}
+
+PlannerOptions hbmc_opts(index_t w = kW, index_t colors = kMaxColors) {
+  PlannerOptions o;
+  o.hbmc_block_rows = w;
+  o.hbmc_max_colors = colors;
+  return o;
+}
+
+TEST(HbmcPlan, ColorSteppedLayoutAndWaves) {
+  for (const auto& tm : test_matrices()) {
+    SCOPED_TRACE(tm.name);
+    const auto L = tm.build();
+    Csr<double> permuted;
+    const auto p = order::plan_hbmc(L, hbmc_opts(), 0, &permuted);
+    ASSERT_EQ(p.scheme, BlockScheme::kHbmc);
+    const index_t C = p.num_colors();
+    ASSERT_GE(C, 1);
+    EXPECT_GE(p.hbmc_block_rows, kW);
+    // One inter-color square per color after the first, spanning every
+    // previously solved column.
+    ASSERT_EQ(static_cast<index_t>(p.squares.size()), C - 1);
+    for (index_t c = 1; c < C; ++c) {
+      const auto& sq = p.squares[static_cast<std::size_t>(c) - 1];
+      EXPECT_EQ(sq.r0, p.color_bounds[static_cast<std::size_t>(c)]);
+      EXPECT_EQ(sq.r1, p.color_bounds[static_cast<std::size_t>(c) + 1]);
+      EXPECT_EQ(sq.c0, 0);
+      EXPECT_EQ(sq.c1, p.color_bounds[static_cast<std::size_t>(c)]);
+    }
+    // Fixed synchronisation budget: exactly 2C - 1 waves, independent of the
+    // pattern's level depth.
+    const auto waves = compute_step_waves(p);
+    EXPECT_EQ(static_cast<index_t>(waves.size()), 2 * C - 1);
+    // The permuted matrix is exactly P L P^T and still triangular.
+    EXPECT_TRUE(is_lower_triangular_nonsingular(permuted));
+    EXPECT_TRUE(equals(permuted, permute_symmetric(L, p.new_of_old)));
+  }
+}
+
+TEST(HbmcPlan, BoundsSyncStepsOnDeepChain) {
+  // The headline property: a chain_banded pattern with nlevels == n solves
+  // in at most 2 * kMaxColors - 1 waves under HBMC.
+  const auto L = gen::chain_banded(2000, 8, 2.0, 3);
+  ASSERT_EQ(compute_level_sets(L).nlevels, 2000);
+  Csr<double> permuted;
+  const auto p = order::plan_hbmc(L, hbmc_opts(), 0, &permuted);
+  EXPECT_LE(p.num_colors(), kMaxColors);
+  EXPECT_LE(static_cast<index_t>(compute_step_waves(p).size()),
+            2 * kMaxColors - 1);
+  EXPECT_GT(p.host_ops, L.nnz());  // preprocessing accounted for
+}
+
+template <class T>
+typename BlockSolver<T>::Options hbmc_solver_opts() {
+  typename BlockSolver<T>::Options o;
+  o.scheme = BlockScheme::kHbmc;
+  return o;
+}
+
+TEST(HbmcSolver, MatchesSerialOnEveryFamily) {
+  for (const auto& tm : test_matrices()) {
+    SCOPED_TRACE(tm.name);
+    const auto L = tm.build();
+    const auto b = gen::random_rhs<double>(L.nrows, 501);
+    BlockSolver<double> solver(L, hbmc_solver_opts<double>());
+    EXPECT_EQ(solver.plan().scheme, BlockScheme::kHbmc);
+    EXPECT_GE(solver.plan().num_colors(), 1);
+    EXPECT_TRUE(VectorsNear(solver.solve(b), sptrsv_serial(L, b),
+                            default_tol<double>()));
+  }
+}
+
+TEST(HbmcSolver, MultithreadedAndCheckedSolves) {
+  const auto L = gen::chain_banded(3000, 16, 2.0, 5);
+  const auto b = gen::random_rhs<double>(L.nrows, 502);
+  const auto want = sptrsv_serial(L, b);
+  auto o = hbmc_solver_opts<double>();
+  o.threads = 4;
+  BlockSolver<double> solver(L, o);
+  EXPECT_TRUE(VectorsNear(solver.solve(b), want, default_tol<double>()));
+  const auto res = solver.solve_checked(b);
+  ASSERT_TRUE(res.ok()) << res.status.to_string();
+  EXPECT_LE(res.report.residual, res.report.tolerance);
+  EXPECT_TRUE(VectorsNear(res.x, want, default_tol<double>()));
+}
+
+TEST(HbmcSolver, FloatPrecision) {
+  const auto Lf = gen::convert_values<float>(gen::grid3d(9, 8, 7, 11));
+  const auto b = gen::random_rhs<float>(Lf.nrows, 503);
+  BlockSolver<float> solver(Lf, hbmc_solver_opts<float>());
+  EXPECT_TRUE(VectorsNear(solver.solve(b), sptrsv_serial(Lf, b),
+                          default_tol<float>()));
+}
+
+TEST(HbmcSolver, Laplace3dSolve) {
+  const auto L = gen::laplace3d(12, 10, 8, 17);
+  const auto b = gen::random_rhs<double>(L.nrows, 504);
+  BlockSolver<double> solver(L, hbmc_solver_opts<double>());
+  EXPECT_TRUE(VectorsNear(solver.solve(b), sptrsv_serial(L, b),
+                          default_tol<double>()));
+}
+
+TEST(HbmcAdaptive, DepthVersusColorsGate) {
+  const ThresholdTable t;  // hbmc_depth_per_color = 4
+  EXPECT_TRUE(prefer_hbmc(2000, 16, t));    // 2000 > 4 * 16
+  EXPECT_FALSE(prefer_hbmc(20, 16, t));     // shallow: recursion suffices
+  EXPECT_FALSE(prefer_hbmc(64, 16, t));     // boundary: 64 == 4 * 16
+  EXPECT_TRUE(prefer_hbmc(65, 16, t));
+  EXPECT_TRUE(prefer_hbmc(5, 0, t));        // color floor clamps to 1
+}
+
+TEST(HbmcPlan, SchemeNameAndEquality) {
+  EXPECT_EQ(to_string(BlockScheme::kHbmc), "hbmc-block");
+  const auto L = gen::banded(500, 8, 2.0, 13);
+  Csr<double> permuted;
+  const auto a = order::plan_hbmc(L, hbmc_opts(), 0, &permuted);
+  auto b = a;
+  EXPECT_TRUE(equals(a, b));
+  b.color_bounds.back() += 0;  // no-op, still equal
+  EXPECT_TRUE(equals(a, b));
+  b.hbmc_block_rows += 1;
+  EXPECT_FALSE(equals(a, b));  // HBMC fields participate in plan equality
+}
+
+}  // namespace
+}  // namespace blocktri

@@ -282,6 +282,7 @@ TEST(Plan, SchemeNames) {
   EXPECT_EQ(to_string(BlockScheme::kColumn), "column-block");
   EXPECT_EQ(to_string(BlockScheme::kRow), "row-block");
   EXPECT_EQ(to_string(BlockScheme::kRecursive), "recursive-block");
+  EXPECT_EQ(to_string(BlockScheme::kHbmc), "hbmc-block");
 }
 
 }  // namespace

@@ -86,7 +86,8 @@ std::vector<Response> submit_concurrent(SolveService& service,
 TEST(ServiceCoalescing, PanelsBitwiseEqualSerialSolves) {
   const Csr<double> L = fixture();
   for (const BlockScheme scheme :
-       {BlockScheme::kColumn, BlockScheme::kRow, BlockScheme::kRecursive}) {
+       {BlockScheme::kColumn, BlockScheme::kRow, BlockScheme::kRecursive,
+        BlockScheme::kHbmc}) {
     for (const int threads : {1, 4}) {
       const Opt opt = base_options(scheme, threads);
       std::unique_ptr<BlockSolver<double>> reference;

@@ -161,6 +161,36 @@ TEST(ShardPlan, SliceValidatesAndRoundTripsAsFormatV3) {
   ::unlink(path.c_str());
 }
 
+TEST(ShardPlan, HbmcSliceCarriesColorBoundsThroughFormatV4) {
+  // The color record rides the shared plan into every slice: a sharded HBMC
+  // slice file stamps format 4 and rehydrates with the color bounds intact,
+  // and the shard cuts themselves land on HBMC block bounds (all of which
+  // are tri_bounds).
+  std::unique_ptr<BlockSolver<double>> solver;
+  ASSERT_TRUE(BlockSolver<double>::create(fixture(),
+                                          base_options(BlockScheme::kHbmc),
+                                          &solver)
+                  .ok());
+  const PlanArtifact<double> art = solver->capture_artifact();
+  ASSERT_FALSE(art.plan.color_bounds.empty());
+  const std::vector<index_t> bounds = shard::compute_shard_cuts(art, 3);
+  ASSERT_GE(bounds.size(), 3u);
+
+  const std::string path = ::testing::TempDir() + "shard_slice_hbmc.btpa";
+  for (int i = 0; i + 1 < static_cast<int>(bounds.size()); ++i) {
+    PlanArtifact<double> slice =
+        shard::slice_shard_artifact(art, bounds, i, art.options);
+    ASSERT_TRUE(validate_artifact(slice).ok()) << "shard " << i;
+    ASSERT_TRUE(save_artifact(path, slice).ok());
+    PlanArtifact<double> loaded;
+    ASSERT_TRUE(load_artifact(path, &loaded).ok());
+    EXPECT_EQ(loaded.plan.scheme, BlockScheme::kHbmc);
+    EXPECT_EQ(loaded.plan.color_bounds, art.plan.color_bounds);
+    EXPECT_EQ(loaded.plan.hbmc_block_rows, art.plan.hbmc_block_rows);
+  }
+  ::unlink(path.c_str());
+}
+
 TEST(ShardPlan, ValidateRejectsACutInsideALeaf) {
   std::unique_ptr<BlockSolver<double>> solver;
   ASSERT_TRUE(BlockSolver<double>::create(fixture(), base_options(), &solver)
@@ -211,7 +241,8 @@ TEST(ShardPlan, LocalSchedulesPartitionThePlanExactly) {
 TEST(ShardSolve, BitwiseEqualAcrossSchemesShardsAndWidths) {
   const Csr<double> L = fixture();
   for (BlockScheme scheme :
-       {BlockScheme::kColumn, BlockScheme::kRow, BlockScheme::kRecursive}) {
+       {BlockScheme::kColumn, BlockScheme::kRow, BlockScheme::kRecursive,
+        BlockScheme::kHbmc}) {
     for (int p : {2, 4}) {
       std::unique_ptr<BlockSolver<double>> solver;
       std::unique_ptr<ShardCoordinator<double>> coord;

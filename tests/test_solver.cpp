@@ -1,4 +1,4 @@
-// BlockSolver integration tests: correctness of all three schemes on every
+// BlockSolver integration tests: correctness of all four schemes on every
 // structural family and precision, ablation modes, simulation consistency,
 // multi-rhs reuse, and preprocessing statistics.
 #include <gtest/gtest.h>
@@ -77,7 +77,8 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, SolverOnMatrix,
     ::testing::Combine(::testing::Values(BlockScheme::kColumn,
                                          BlockScheme::kRow,
-                                         BlockScheme::kRecursive),
+                                         BlockScheme::kRecursive,
+                                         BlockScheme::kHbmc),
                        ::testing::Range(0, static_cast<int>(
                                                test_matrices().size()))),
     [](const ::testing::TestParamInfo<std::tuple<BlockScheme, int>>& info) {
